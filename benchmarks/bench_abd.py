@@ -1,0 +1,181 @@
+"""E10/E11 — ABD registers: 2Δ writes, 4Δ reads, t < n/2 (§5.1).
+
+Claim shape (E10): SWMR write = 2Δ, read = 4Δ exactly under fixed Δ;
+fast-read variant reads in 2Δ in "good circumstances" and ≤ 4Δ under
+write contention (Mostéfaoui–Raynal's envelope).
+
+Claim shape (E11): with a majority alive the emulation is live and
+linearizable; with t ≥ n/2 either liveness (majority quorums block) or
+atomicity (sub-majority quorums split-brain) is lost.
+"""
+
+import pytest
+
+from repro.core import History, check_history
+from repro.core.seqspec import register_spec
+from repro.amp import (
+    AbdNode,
+    CrashAt,
+    FastReadAbdNode,
+    FixedDelay,
+    TargetedDelay,
+    UniformDelay,
+    run_processes,
+)
+
+from conftest import print_series, record
+
+
+def run_nodes(nodes, **kwargs):
+    kwargs.setdefault("delay_model", FixedDelay(1.0))
+    return run_processes(nodes, **kwargs)
+
+
+@pytest.mark.parametrize("n", [3, 5, 9])
+def test_write_latency_2_delta(benchmark, n):
+    def run():
+        nodes = [AbdNode(pid, n, [("write", 1)] if pid == 0 else []) for pid in range(n)]
+        run_nodes(nodes)
+        return nodes[0].op_log[0].latency
+
+    latency = benchmark(run)
+    assert latency == 2.0
+    record(benchmark, n=n, write_latency_delta=latency)
+
+
+@pytest.mark.parametrize("n", [3, 5, 9])
+def test_read_latency_4_delta(benchmark, n):
+    def run():
+        nodes = [AbdNode(pid, n, [("read",)] if pid == 0 else []) for pid in range(n)]
+        run_nodes(nodes)
+        return nodes[0].op_log[0].latency
+
+    latency = benchmark(run)
+    assert latency == 4.0
+    record(benchmark, n=n, read_latency_delta=latency)
+
+
+def test_fast_read_good_circumstances(benchmark):
+    n = 5
+
+    def run():
+        scripts = [[("write", "v")], [("pause", 5.0), ("read",)]] + [[]] * 3
+        nodes = [FastReadAbdNode(pid, n, scripts[pid]) for pid in range(n)]
+        run_nodes(nodes)
+        return nodes[1].op_log[0].latency
+
+    latency = benchmark(run)
+    assert latency == 2.0  # the paper's "good circumstances"
+    record(benchmark, fast_read_latency=latency)
+
+
+def test_latency_report_and_crossover(benchmark):
+    def body():
+        rows = []
+        n = 5
+        # classic vs fast reader, quiet vs contended register
+        for variant, cls in (("ABD", AbdNode), ("fast-read", FastReadAbdNode)):
+            scripts = [[("write", "x")], [("pause", 5.0), ("read",)]] + [[]] * 3
+            nodes = [cls(pid, n, scripts[pid]) for pid in range(n)]
+            run_nodes(nodes)
+            quiet = nodes[1].op_log[0].latency
+            # contended: reader overlaps an in-flight write (stagger replies)
+            delay = TargetedDelay(FixedDelay(1.0), {(0, 1): 0.25, (0, 2): 0.25})
+            scripts = [
+                [("write", "a"), ("write", "b")],
+                [("pause", 2.4), ("read",)],
+            ] + [[]] * 3
+            nodes = [cls(pid, n, scripts[pid]) for pid in range(n)]
+            run_processes(nodes, delay_model=delay)
+            contended = nodes[1].op_log[0].latency
+            rows.append((variant, quiet, contended))
+        print_series(
+            "E10: read latency in Δ units (write = 2Δ): quiet vs contended",
+            rows,
+            ["variant", "quiet read", "contended read"],
+        )
+        # Shape: fast-read wins when quiet (2Δ vs 4Δ), both ≤ 4Δ contended.
+        assert rows[0][1] == 4.0 and rows[1][1] == 2.0
+        assert rows[1][2] <= 4.0
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+def test_majority_liveness_vs_partition_safety(benchmark):
+    def body():
+        """E11 both halves, measured."""
+        rows = []
+        n = 4
+        # (a) t < n/2: crash 1 of 4, ops complete and linearize.
+        history = History()
+        scripts = [[("write", "ok"), ("read",)]] + [[]] * 3
+        nodes = [AbdNode(pid, n, scripts[pid], history=history) for pid in range(n)]
+        result = run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(3, 0.0)],
+            max_crashes=1,
+        )
+        live_ok = result.decided[0]
+        atomic_ok = check_history(history, {"R": register_spec(None)})["R"].linearizable
+        rows.append(("t=1 < n/2, majority quorums", live_ok, atomic_ok))
+
+        # (b) t = 2 = n/2, majority quorums: blocked (liveness lost).
+        history = History()
+        nodes = [AbdNode(pid, n, scripts[pid], history=history) for pid in range(n)]
+        result = run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(2, 0.0), CrashAt(3, 0.0)],
+            max_crashes=2,
+            max_events=4_000,
+        )
+        rows.append(("t=2 = n/2, majority quorums", result.decided[0], True))
+
+        # (c) t = 2, quorum = n - t = 2: live again but split-brain.
+        history = History()
+        slow = 1_000.0
+        overrides = {}
+        for a in (0, 1):
+            for b in (2, 3):
+                overrides[(a, b)] = slow
+                overrides[(b, a)] = slow
+        partition = TargetedDelay(FixedDelay(1.0), overrides)
+        part_scripts = {0: [("write", "w")], 2: [("pause", 10.0), ("read",)]}
+        nodes = [
+            AbdNode(pid, n, part_scripts.get(pid, ()), quorum_size=2, history=history)
+            for pid in range(n)
+        ]
+        result = run_processes(nodes, delay_model=partition, max_events=20_000)
+        atomic = check_history(history, {"R": register_spec(None)})["R"].linearizable
+        rows.append(("t=2, quorum=2 (split-brain)", result.decided[0], atomic))
+
+        print_series(
+            "E11: t < n/2 is necessary AND sufficient",
+            rows,
+            ["configuration", "live", "linearizable"],
+        )
+        assert rows[0] == ("t=1 < n/2, majority quorums", True, True)
+        assert rows[1][1] is False  # liveness lost
+        assert rows[2][1] is True and rows[2][2] is False  # atomicity lost
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_linearizability_under_jitter(benchmark, seed):
+    n = 5
+
+    def run():
+        history = History()
+        scripts = [
+            [("write", 1), ("write", 2)],
+            [("read",), ("read",)],
+            [("read",)],
+            [],
+            [],
+        ]
+        nodes = [AbdNode(pid, n, scripts[pid], history=history) for pid in range(n)]
+        run_processes(nodes, delay_model=UniformDelay(0.1, 2.0), seed=seed)
+        return history
+
+    history = benchmark(run)
+    assert check_history(history, {"R": register_spec(None)})["R"].linearizable

@@ -1,0 +1,139 @@
+"""Ablation — process adversaries, cores & survivor sets (§5.4).
+
+Claim shape: an algorithm that waits for a uniform majority is
+A-resilient exactly for adversaries whose smallest survivor set meets
+its quorum; sizing the wait to the adversary's smallest survivor set
+restores liveness in every scenario; the paper's worked 4-process
+example behaves as stated.
+"""
+
+import pytest
+
+from repro.core.cores import (
+    adversary_from_survivor_sets,
+    cores_from_survivor_sets,
+    paper_example_adversary,
+    t_resilient_survivor_sets,
+)
+from repro.amp import (
+    AdversaryHarness,
+    AsyncProcess,
+    FixedDelay,
+    OmegaFD,
+    quorum_system,
+    required_quorum_for_liveness,
+)
+from repro.amp.consensus.omega import OmegaConsensusProcess
+
+from conftest import print_series, record
+
+
+class QuorumCollect(AsyncProcess):
+    """Broadcast own value; decide after hearing from q processes."""
+
+    def __init__(self, pid, q):
+        self.pid = pid
+        self.q = q
+        self.heard = {}
+
+    def on_start(self, ctx):
+        ctx.broadcast(("val", self.pid))
+
+    def on_message(self, ctx, src, payload):
+        self.heard[src] = payload
+        if len(self.heard) >= self.q and not ctx.decided:
+            ctx.decide(frozenset(self.heard))
+            ctx.halt()
+
+
+def quorum_factory(n, q):
+    return lambda survivors: [QuorumCollect(pid, q) for pid in range(n)]
+
+
+@pytest.mark.parametrize("q", [2, 3, 4])
+def test_quorum_vs_adversary(benchmark, q):
+    """The paper adversary's smallest survivor set has 2 members: only
+    q ≤ 2 algorithms are A-resilient."""
+    adversary = paper_example_adversary()
+
+    def run():
+        harness = AdversaryHarness(
+            adversary,
+            quorum_factory(4, q),
+            delay_model=FixedDelay(1.0),
+            max_events=10_000,
+        )
+        return harness.run(crash_time=0.2, drop_in_flight=1.0)
+
+    report = benchmark(run)
+    expected = q <= required_quorum_for_liveness(adversary)
+    assert report.resilient == expected
+    record(benchmark, q=q, resilient=report.resilient)
+
+
+def test_adversary_frontier_report(benchmark):
+    def body():
+        n = 4
+        adversaries = {
+            "t-resilient t=1": adversary_from_survivor_sets(
+                n, t_resilient_survivor_sets(n, 1)
+            ),
+            "paper §5.4 example": paper_example_adversary(),
+            "cores {01},{23}": adversary_from_survivor_sets(
+                n, [{0, 2}, {0, 3}, {1, 2}, {1, 3}]
+            ),
+        }
+        rows = []
+        for name, adversary in adversaries.items():
+            livable = required_quorum_for_liveness(adversary)
+            verdicts = []
+            for q in (2, 3):
+                harness = AdversaryHarness(
+                    adversary,
+                    quorum_factory(n, q),
+                    delay_model=FixedDelay(1.0),
+                    max_events=10_000,
+                )
+                report = harness.run(crash_time=0.2, drop_in_flight=1.0)
+                verdicts.append(report.resilient)
+                assert report.resilient == (q <= livable)
+            cores = cores_from_survivor_sets(adversary.survivor_sets, n)
+            rows.append(
+                (
+                    name,
+                    len(adversary.survivor_sets),
+                    len(cores),
+                    livable,
+                    verdicts[0],
+                    verdicts[1],
+                )
+            )
+        print_series(
+            "Ablation: A-resilience frontier (wait-for-q vs smallest survivor set)",
+            rows,
+            ["adversary", "#surv.sets", "#cores", "max live q", "q=2 ok", "q=3 ok"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_consensus_under_uniform_adversary(benchmark):
+    """Ω-consensus sized t=1 is A-resilient for the uniform 1-adversary."""
+    n, t = 4, 1
+    adversary = adversary_from_survivor_sets(n, t_resilient_survivor_sets(n, t))
+
+    def run():
+        harness = AdversaryHarness(
+            adversary,
+            lambda survivors: [
+                OmegaConsensusProcess(pid, n, t, pid) for pid in range(n)
+            ],
+            delay_model=FixedDelay(1.0),
+            failure_detector_factory=lambda survivors: OmegaFD(n, tau=3.0),
+            max_events=60_000,
+        )
+        return harness.run(crash_time=0.2, drop_in_flight=1.0)
+
+    report = benchmark(run)
+    assert report.resilient
+    record(benchmark, scenarios=len(report.outcomes))

@@ -1,0 +1,91 @@
+"""Ablation — reliable vs uniform-reliable broadcast costs (§5.1).
+
+Claim shape: flooding RB delivers after one hop (Δ) at O(n²) messages;
+echo-quorum URB pays an extra hop (2Δ to delivery) and comparable
+message volume, buying uniformity; both scale quadratically with n —
+the price of not having TO-order (which would need consensus, E14).
+"""
+
+import pytest
+
+from repro.amp import (
+    AsyncProcess,
+    FixedDelay,
+    ReliableBroadcast,
+    UniformReliableBroadcast,
+    run_processes,
+)
+
+from conftest import print_series, record
+
+
+class Node(AsyncProcess):
+    def __init__(self, pid, n, uniform, send_count):
+        cls = UniformReliableBroadcast if uniform else ReliableBroadcast
+        self.bc = cls(pid, n)
+        self.pid = pid
+        self.send_count = send_count
+        self.delivery_times = []
+
+    def on_start(self, ctx):
+        if self.pid == 0:
+            for i in range(self.send_count):
+                self.bc.broadcast(ctx, f"m{i}")
+
+    def on_message(self, ctx, src, message):
+        for delivery in self.bc.handle(ctx, src, message):
+            self.delivery_times.append(ctx.time)
+
+
+def run_broadcast(n, uniform, send_count=1):
+    nodes = [Node(pid, n, uniform, send_count) for pid in range(n)]
+    result = run_processes(
+        nodes,
+        delay_model=FixedDelay(1.0),
+        quiesce_when_decided=False,
+        max_events=200_000,
+    )
+    non_sender_latencies = [
+        t for node in nodes[1:] for t in node.delivery_times
+    ]
+    return result, max(non_sender_latencies), len(non_sender_latencies)
+
+
+@pytest.mark.parametrize("uniform", [False, True])
+@pytest.mark.parametrize("n", [4, 8])
+def test_broadcast_cost(benchmark, n, uniform):
+    def run():
+        return run_broadcast(n, uniform)
+
+    result, latency, deliveries = benchmark(run)
+    assert deliveries == n - 1  # everyone (except origin) delivered once
+    record(
+        benchmark,
+        n=n,
+        uniform=uniform,
+        delivery_latency=latency,
+        messages=result.messages_sent,
+    )
+
+
+def test_broadcast_cost_report(benchmark):
+    def body():
+        rows = []
+        for n in (4, 8, 12):
+            _, rb_latency, _ = run_broadcast(n, uniform=False)
+            rb_msgs = run_broadcast(n, uniform=False)[0].messages_sent
+            urb_result, urb_latency, _ = run_broadcast(n, uniform=True)
+            rows.append(
+                (n, rb_latency, rb_msgs, urb_latency, urb_result.messages_sent)
+            )
+            # Shape: URB delivers one hop later (echo round) and costs
+            # more messages; both are O(n²).
+            assert urb_latency >= rb_latency + 1.0
+            assert urb_result.messages_sent >= rb_msgs
+        print_series(
+            "Ablation: RB vs URB — delivery latency (Δ) and message count",
+            rows,
+            ["n", "RB latency", "RB msgs", "URB latency", "URB msgs"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

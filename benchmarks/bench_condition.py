@@ -1,0 +1,128 @@
+"""Ablation — the condition-based consensus solvability frontier (§5.3).
+
+Claim shape: with input vectors *inside* an acceptable condition,
+consensus decides after one message exchange (2Δ) despite t crashes;
+vectors *outside* the condition still decide when crash-free, but under
+crashes the protocol (correctly) withholds a decision rather than risk
+disagreement — the frontier sits exactly at the condition boundary.
+"""
+
+import pytest
+
+from repro.amp import CrashAt, FixedDelay, run_processes
+from repro.amp.consensus import (
+    c_frequency_condition,
+    c_max_condition,
+    make_condition_consensus,
+)
+
+from conftest import print_series, record
+
+
+def run_condition(n, t, inputs, condition, crashes=(), assume=False):
+    return run_processes(
+        make_condition_consensus(n, t, inputs, condition, assume_condition=assume),
+        delay_model=FixedDelay(1.0),
+        crashes=list(crashes),
+        max_crashes=t,
+        max_events=20_000,
+    )
+
+
+@pytest.mark.parametrize(
+    "inputs",
+    [
+        [9, 9, 9, 1, 2],  # max appears 3 > t = 2 times
+        [4, 4, 4, 4, 0],
+    ],
+)
+def test_inside_condition_one_exchange(benchmark, inputs):
+    n, t = 5, 2
+    condition = c_max_condition(t)
+    assert condition.contains(tuple(inputs))
+
+    def run():
+        return run_condition(n, t, inputs, condition, crashes=[CrashAt(4, 0.0)])
+
+    result = benchmark(run)
+    survivors = [pid for pid in range(n) if pid not in result.crashed]
+    values = {result.outputs[pid] for pid in survivors if result.decided[pid]}
+    assert values == {max(inputs)}
+    assert all(result.decision_times[pid] == 1.0 for pid in survivors)
+    record(benchmark, decision_time=1.0)
+
+
+def test_solvability_frontier_report(benchmark):
+    def body():
+        """The frontier, charted: the MRR decode (trusting I ∈ C) decides
+        everywhere inside the condition despite worst-case crashes; the
+        conservative decode trades boundary termination for safety
+        outside C.  Crashes use drop_in_flight=1.0 — the victims never
+        speak, the strongest way to hide the decode value."""
+        n, t = 5, 2
+        condition = c_max_condition(t)
+        rows = []
+        cases = [
+            ("deep inside", [7, 7, 7, 7, 1]),
+            ("boundary (count = t+1)", [7, 7, 7, 1, 2]),
+            ("just outside (count = t)", [7, 7, 1, 2, 3]),
+            ("far outside (all distinct)", [5, 4, 3, 2, 1]),
+        ]
+        for label, inputs in cases:
+            inside = condition.contains(tuple(inputs))
+            # Crash t processes holding the max — worst case for hiding
+            # the decode value — before they send anything.
+            max_holders = [i for i, v in enumerate(inputs) if v == max(inputs)]
+            victims = (max_holders + [i for i in range(n) if i not in max_holders])[:t]
+            crashes = [CrashAt(v, 0.0, drop_in_flight=1.0) for v in victims]
+            outcomes = {}
+            for mode, assume in (("conservative", False), ("trusted", True)):
+                result = run_condition(
+                    n, t, inputs, condition, crashes=crashes, assume=assume
+                )
+                survivors = [p for p in range(n) if p not in result.crashed]
+                decided = [p for p in survivors if result.decided[p]]
+                values = {result.outputs[p] for p in decided}
+                outcomes[mode] = (len(decided), len(survivors), values)
+                # Safety inside C in both modes; conservative mode is
+                # safe unconditionally.
+                if inside or mode == "conservative":
+                    assert len(values) <= 1
+                    assert values <= set(inputs)
+                if inside and mode == "trusted":
+                    # The t-acceptability guarantee: all survivors decide.
+                    assert len(decided) == len(survivors)
+            rows.append(
+                (
+                    label,
+                    "in" if inside else "out",
+                    f"{outcomes['conservative'][0]}/{outcomes['conservative'][1]}",
+                    f"{outcomes['trusted'][0]}/{outcomes['trusted'][1]}",
+                    sorted(map(repr, outcomes["trusted"][2])) or "-",
+                )
+            )
+        print_series(
+            "Ablation: condition frontier (decided/survivors per decode mode)",
+            rows,
+            ["inputs", "C?", "conservative", "trusted (MRR)", "trusted values"],
+        )
+        # Shape: trusted decides everywhere inside C, incl. the boundary.
+        assert rows[0][3] == "3/3" and rows[1][3] == "3/3"
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_frequency_condition(benchmark):
+    n, t = 5, 1
+    condition = c_frequency_condition(t)
+    inputs = ["a", "a", "a", "a", "b"]  # lead 3 > t = 1
+    assert condition.contains(tuple(inputs))
+
+    def run():
+        return run_condition(n, t, inputs, condition, crashes=[CrashAt(0, 0.0)])
+
+    result = benchmark(run)
+    survivors = [pid for pid in range(n) if pid not in result.crashed]
+    values = {result.outputs[pid] for pid in survivors if result.decided[pid]}
+    assert values == {"a"}
+    record(benchmark, condition=condition.name)

@@ -1,0 +1,118 @@
+"""Ablation — the §5.3 consensus algorithms, head to head.
+
+Claim shape: all four routes solve the same task under the same
+conditions, with characteristic cost signatures: condition-based wins
+outright when its promise holds (one exchange); Ω/◇S algorithms pay for
+detector stabilization; Ben-Or pays coin-flip rounds but needs no oracle
+at all.  Message counts follow the same ordering.
+"""
+
+import pytest
+
+from repro.amp import (
+    EventuallyStrongFD,
+    FixedDelay,
+    OmegaFD,
+    run_processes,
+)
+from repro.amp.consensus import (
+    c_max_condition,
+    make_benor,
+    make_chandra_toueg,
+    make_condition_consensus,
+    make_omega_consensus,
+    make_paxos,
+)
+
+from conftest import print_series, record
+
+N, T = 5, 2
+INPUTS = [1, 1, 1, 0, 0]  # inside C_max (max=1 appears 3 > t times)
+
+
+def run_algorithm(name, tau=2.0, seed=1):
+    if name == "ben-or":
+        return run_processes(
+            make_benor(N, T, INPUTS),
+            delay_model=FixedDelay(1.0),
+            seed=seed,
+            max_events=200_000,
+        )
+    if name == "condition":
+        return run_processes(
+            make_condition_consensus(
+                N, T, INPUTS, c_max_condition(T), assume_condition=True
+            ),
+            delay_model=FixedDelay(1.0),
+            max_events=100_000,
+        )
+    if name == "omega":
+        return run_processes(
+            make_omega_consensus(N, T, INPUTS),
+            delay_model=FixedDelay(1.0),
+            failure_detector=OmegaFD(N, tau=tau, seed=seed),
+            max_events=200_000,
+        )
+    if name == "chandra-toueg":
+        return run_processes(
+            make_chandra_toueg(N, T, INPUTS),
+            delay_model=FixedDelay(1.0),
+            failure_detector=EventuallyStrongFD(N, tau=tau, seed=seed),
+            max_events=200_000,
+        )
+    if name == "paxos":
+        return run_processes(
+            make_paxos(N, INPUTS),
+            delay_model=FixedDelay(1.0),
+            failure_detector=OmegaFD(N, tau=tau, seed=seed),
+            max_events=200_000,
+        )
+    raise ValueError(name)
+
+
+ALGORITHMS = ["ben-or", "condition", "omega", "chandra-toueg", "paxos"]
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_algorithm_solves_consensus(benchmark, name):
+    def run():
+        return run_algorithm(name)
+
+    result = benchmark(run)
+    values = {v for v, d in zip(result.outputs, result.decided) if d}
+    assert len(values) == 1
+    assert values <= set(INPUTS)
+    record(
+        benchmark,
+        algorithm=name,
+        decision_time=max(result.decision_times.values()),
+        messages=result.messages_sent,
+    )
+
+
+def test_comparison_report(benchmark):
+    def body():
+        rows = []
+        for name in ALGORITHMS:
+            result = run_algorithm(name)
+            values = {v for v, d in zip(result.outputs, result.decided) if d}
+            assert len(values) == 1 and values <= set(INPUTS)
+            rows.append(
+                (
+                    name,
+                    round(max(result.decision_times.values()), 2),
+                    result.messages_sent,
+                    "none" if name in ("ben-or", "condition") else
+                    ("Ω" if name in ("omega", "paxos") else "◇S"),
+                )
+            )
+        rows.sort(key=lambda row: row[1])
+        print_series(
+            "Ablation: §5.3 consensus head-to-head (Δ=1, τ=2, same inputs)",
+            rows,
+            ["algorithm", "decision time", "messages", "oracle"],
+        )
+        # Shape: condition-based (promise holds) is the fastest route.
+        assert rows[0][0] == "condition"
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

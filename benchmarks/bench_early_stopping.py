@@ -1,0 +1,78 @@
+"""Ablation — early-stopping vs FloodSet synchronous consensus (§3/§6).
+
+Claim shape: FloodSet always pays t+1 rounds; the early-stopping variant
+pays ≈ min(f+2, t+1) where f is the number of *actual* crashes — the
+crossover happens exactly as f approaches t.  Both agree in every run.
+"""
+
+import pytest
+
+from repro.sync import CrashEvent, complete, run_synchronous
+from repro.sync.algorithms import make_early_stopping, make_floodset
+
+from conftest import print_series, record
+
+
+def chained_crashes(f):
+    """f crashes, one per round, each delivering to a single process."""
+    return [
+        CrashEvent(pid=r - 1, round=r, delivered_to=frozenset({r}))
+        for r in range(1, f + 1)
+    ]
+
+
+@pytest.mark.parametrize("f", [0, 1, 2, 3])
+def test_early_stopping_rounds(benchmark, f):
+    n, t = 7, 5
+
+    def run():
+        return run_synchronous(
+            complete(n),
+            make_early_stopping(n, t),
+            [0] + [9] * (n - 1),
+            crash_schedule=chained_crashes(f),
+        )
+
+    result = benchmark(run)
+    survivors = [i for i in range(n) if i not in result.crashed]
+    assert len({result.outputs[i] for i in survivors}) == 1
+    assert result.rounds <= min(f + 2, t + 1) + 1  # +1 final announce
+    record(benchmark, f=f, rounds=result.rounds, bound=min(f + 2, t + 1))
+
+
+def test_rounds_vs_failures_report(benchmark):
+    def body():
+        n, t = 7, 5
+        rows = []
+        for f in range(0, t + 1):
+            early = run_synchronous(
+                complete(n),
+                make_early_stopping(n, t),
+                [0] + [9] * (n - 1),
+                crash_schedule=chained_crashes(f),
+            )
+            flood = run_synchronous(
+                complete(n),
+                make_floodset(n, t),
+                [0] + [9] * (n - 1),
+                crash_schedule=chained_crashes(f),
+            )
+            survivors = [i for i in range(n) if i not in early.crashed]
+            assert len({early.outputs[i] for i in survivors}) == 1
+            fsurv = [i for i in range(n) if i not in flood.crashed]
+            assert len({flood.outputs[i] for i in fsurv}) == 1
+            rows.append(
+                (f, min(f + 2, t + 1), early.rounds, flood.rounds)
+            )
+        print_series(
+            "Ablation: rounds vs actual failures f (n=7, t=5)",
+            rows,
+            ["f", "min(f+2,t+1)", "early-stopping", "FloodSet"],
+        )
+        # Shape: FloodSet flat at t+1; early-stopping grows with f and
+        # wins whenever f < t - 1.
+        assert all(flood == t + 1 for _, _, _, flood in rows)
+        assert rows[0][2] < rows[0][3]  # failure-free: early wins big
+        assert rows[-1][2] <= rows[-1][3] + 1
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""E1 — full-information flooding computes any function in D rounds (§3.2).
+
+Claim shape: rounds-to-saturation equals the graph diameter (±1 for the
+stability detection), across topologies with very different diameters;
+message volume scales with edges × rounds.
+"""
+
+import pytest
+
+from repro.sync import complete, grid, path, ring, run_synchronous
+from repro.sync.algorithms import make_flooders
+
+from conftest import print_series, record
+
+TOPOLOGIES = {
+    "ring-32": ring(32),
+    "path-24": path(24),
+    "grid-6x6": grid(6, 6),
+    "complete-16": complete(16),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_flooding_rounds_track_diameter(benchmark, name):
+    topo = TOPOLOGIES[name]
+    n = topo.n
+    diameter = topo.diameter()
+
+    def run():
+        algs = make_flooders(n, rounds=diameter)
+        return run_synchronous(topo, algs, list(range(n))), algs
+
+    result, algs = benchmark(run)
+    # The claim: D rounds suffice to learn the whole input vector.
+    assert all(len(a.known) == n for a in algs)
+    assert result.rounds == diameter
+    record(
+        benchmark,
+        n=n,
+        diameter=diameter,
+        rounds=result.rounds,
+        messages=result.message_count,
+    )
+
+
+def test_flooding_round_series_report(benchmark):
+    def body():
+        """Regenerate the rounds-vs-diameter series the paper's claim implies."""
+        rows = []
+        for name, topo in sorted(TOPOLOGIES.items()):
+            algs = make_flooders(topo.n, rounds=None)
+            result = run_synchronous(topo, algs, list(range(topo.n)))
+            rows.append((name, topo.n, topo.diameter(), result.rounds))
+            assert result.rounds <= topo.diameter() + 2
+        print_series(
+            "E1: flooding rounds vs diameter",
+            rows,
+            ["topology", "n", "diameter", "rounds"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

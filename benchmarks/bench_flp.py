@@ -1,0 +1,84 @@
+"""E6 — FLP: no deterministic 1-crash-resilient consensus (§2.4/§4.2/§5.1).
+
+Claim shape, machine-checked on both communication media:
+
+* shared memory: the eager register protocol terminates but violates
+  agreement; the cautious one is safe but admits a non-deciding schedule;
+* message passing: the eager-min protocol terminates but violates
+  agreement; the unanimity protocol is safe but gets stuck under one
+  crash.  No protocol lands in the safe+live quadrant with registers or
+  bare messages — and test&set (one hierarchy level up) does.
+"""
+
+import pytest
+
+from repro.amp.consensus import (
+    EagerMinConsensus,
+    MessageProtocolExplorer,
+    UnanimityConsensus,
+)
+from repro.shm import (
+    CautiousRegisterConsensus,
+    ConfigurationExplorer,
+    EagerRegisterConsensus,
+    TwoProcessRaceConsensus,
+)
+
+from conftest import print_series, record
+
+
+def test_shared_memory_eager(benchmark):
+    report = benchmark(
+        lambda: ConfigurationExplorer(EagerRegisterConsensus(), (0, 1)).explore()
+    )
+    assert report.always_terminates and not report.safe
+    record(benchmark, configurations=report.configurations)
+
+
+def test_shared_memory_cautious(benchmark):
+    report = benchmark(
+        lambda: ConfigurationExplorer(CautiousRegisterConsensus(), (0, 1)).explore()
+    )
+    assert report.safe and not report.always_terminates
+    record(benchmark, configurations=report.configurations)
+
+
+def test_message_passing_eager(benchmark):
+    report = benchmark(
+        lambda: MessageProtocolExplorer(EagerMinConsensus(3, 1), (0, 1, 1), t=1).explore()
+    )
+    assert not report.safe
+    record(benchmark, configurations=report.configurations)
+
+
+def test_message_passing_unanimity(benchmark):
+    report = benchmark(
+        lambda: MessageProtocolExplorer(UnanimityConsensus(3), (0, 1, 1), t=1).explore()
+    )
+    assert report.safe and report.stuck_configurations > 0
+    record(benchmark, stuck=report.stuck_configurations)
+
+
+def test_flp_quadrant_report(benchmark):
+    def body():
+        rows = []
+        shm_eager = ConfigurationExplorer(EagerRegisterConsensus(), (0, 1)).explore()
+        rows.append(("r/w eager", "shared memory", shm_eager.safe, shm_eager.always_terminates))
+        shm_cautious = ConfigurationExplorer(CautiousRegisterConsensus(), (0, 1)).explore()
+        rows.append(("r/w cautious", "shared memory", shm_cautious.safe, shm_cautious.always_terminates))
+        tas = ConfigurationExplorer(TwoProcessRaceConsensus("test&set"), (0, 1)).explore()
+        rows.append(("test&set race", "shared memory", tas.safe, tas.always_terminates))
+        mp_eager = MessageProtocolExplorer(EagerMinConsensus(2, 1), (0, 1), t=1).explore()
+        rows.append(("eager-min", "message passing", mp_eager.safe, mp_eager.always_terminates))
+        mp_unan = MessageProtocolExplorer(UnanimityConsensus(2), (0, 1), t=1).explore()
+        rows.append(("unanimity", "message passing", mp_unan.safe, mp_unan.always_terminates))
+        print_series(
+            "E6: the FLP quadrant (safe ∧ live only above consensus number 1)",
+            rows,
+            ["protocol", "medium", "safe", "always live"],
+        )
+        # Shape: the only safe+live row is the test&set one.
+        safe_and_live = [name for name, _, safe, live in rows if safe and live]
+        assert safe_and_live == ["test&set race"]
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

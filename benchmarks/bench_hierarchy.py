@@ -1,0 +1,111 @@
+"""E5 — Herlihy's consensus hierarchy (§4.2).
+
+Regenerates the hierarchy table with machine-checked cells: each
+solvable (type, n) cell is verified over EVERY schedule by exhaustive
+exploration; the register row's impossibility is exhibited via the FLP
+dichotomy.  Also measures the exploration cost per object type.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.hierarchy import CONSENSUS_NUMBERS
+from repro.shm import (
+    ConfigurationExplorer,
+    TwoProcessRaceConsensus,
+    measured_hierarchy,
+)
+from repro.shm.consensus_number import (
+    CompareAndSwapConsensus,
+    LLSCConsensus,
+    StickyConsensus,
+)
+
+from conftest import print_series, record
+
+LEVEL_TWO = ["test&set", "fetch&add", "swap", "queue", "stack"]
+LEVEL_INF = {
+    "compare&swap": CompareAndSwapConsensus,
+    "sticky-bit": StickyConsensus,
+    "LL/SC": LLSCConsensus,
+}
+
+
+@pytest.mark.parametrize("kind", LEVEL_TWO)
+def test_verify_level_two_cell(benchmark, kind):
+    def run():
+        reports = []
+        for inputs in itertools.product((0, 1), repeat=2):
+            reports.append(
+                ConfigurationExplorer(
+                    TwoProcessRaceConsensus(kind), inputs
+                ).explore()
+            )
+        return reports
+
+    reports = benchmark(run)
+    assert all(r.safe and r.always_terminates for r in reports)
+    record(
+        benchmark,
+        kind=kind,
+        configurations=max(r.configurations for r in reports),
+    )
+
+
+@pytest.mark.parametrize("kind", sorted(LEVEL_INF))
+@pytest.mark.parametrize("n", [2, 3])
+def test_verify_infinite_level_cell(benchmark, kind, n):
+    factory = LEVEL_INF[kind]
+
+    def run():
+        reports = []
+        for inputs in itertools.product((0, 1), repeat=n):
+            reports.append(ConfigurationExplorer(factory(), inputs).explore())
+        return reports
+
+    reports = benchmark(run)
+    assert all(r.safe and r.always_terminates for r in reports)
+    record(benchmark, kind=kind, n=n)
+
+
+def test_hierarchy_table_report(benchmark):
+    def body():
+        """The table Herlihy's paper states and ours regenerates, plus an
+        exact cost column: worst-case own-steps to decide, over ALL
+        schedules (None = not applicable)."""
+        from repro.shm.consensus_number import protocol_for
+
+        cells = measured_hierarchy(ns=(2, 3))
+        rows = []
+        for cell in cells:
+            number = CONSENSUS_NUMBERS[cell.object_type]
+            step_bound = "-"
+            machine = protocol_for(cell.object_type, cell.n)
+            if cell.theory_solvable and machine is not None:
+                explorer = ConfigurationExplorer(machine, (0,) * cell.n)
+                graph = explorer.reachable()
+                step_bound = explorer.worst_case_steps(graph, 0)
+            rows.append(
+                (
+                    cell.object_type,
+                    "∞" if number is None else number,
+                    cell.n,
+                    "solvable" if cell.theory_solvable else "impossible",
+                    {True: "verified", False: "FAILED", None: "cited"}[cell.verified],
+                    step_bound,
+                )
+            )
+        print_series(
+            "E5: consensus hierarchy (verified = all schedules machine-checked)",
+            rows,
+            ["object", "cons#", "n", "theory", "status", "worst steps"],
+        )
+        assert not any(row[4] == "FAILED" for row in rows)
+        # Shape: solvability flips exactly at the consensus number.
+        for cell in cells:
+            number = CONSENSUS_NUMBERS[cell.object_type]
+            expected = number is None or number >= cell.n
+            assert cell.theory_solvable == expected
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

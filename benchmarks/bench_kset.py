@@ -1,0 +1,88 @@
+"""E9 — obstruction-free k-set agreement (§4.3).
+
+Claim shape: wait-free k-set agreement is impossible (k ≤ n−1, cited +
+FLP machine-check for k=1), but weakening termination to
+obstruction-freedom makes it solvable from registers only — ≤ k distinct
+decisions in every run, solo windows always terminate, and the number of
+distinct decisions tracks k.  The paper's space-optimal bound (n−k+1
+registers, Bouzid–Raynal–Sutra) is reported alongside our construction's
+register usage.
+"""
+
+import pytest
+
+from repro.shm import (
+    ObstructionFreeKSetAgreement,
+    ObstructionScheduler,
+    RandomScheduler,
+    brs_register_bound,
+    run_protocol,
+    verify_k_set_outputs,
+)
+from repro.shm.schedulers import SoloScheduler
+
+from conftest import print_series, record
+
+
+def run_kset(n, k, scheduler, max_steps=400_000):
+    kset = ObstructionFreeKSetAgreement("ks", n, k)
+
+    def proposer(pid):
+        return (yield from kset.propose(pid, f"v{pid}"))
+
+    report = run_protocol(
+        {pid: proposer(pid) for pid in range(n)}, scheduler, max_steps=max_steps
+    )
+    return kset, report
+
+
+@pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (6, 3), (8, 4)])
+def test_kset_safety_and_solo_termination(benchmark, n, k):
+    def run():
+        return run_kset(
+            n, k, ObstructionScheduler(contention_steps=30, solo_steps=3_000, seed=k)
+        )
+
+    kset, report = benchmark(run)
+    verify_k_set_outputs([f"v{i}" for i in range(n)], kset.decisions, k)
+    assert kset.decisions  # someone decided in the solo windows
+    record(
+        benchmark,
+        n=n,
+        k=k,
+        distinct=kset.distinct_decisions(),
+        register_ops=kset.total_register_operations(),
+        brs_bound=brs_register_bound(n, k),
+    )
+
+
+def test_solo_run_is_fast(benchmark):
+    n, k = 6, 2
+
+    def run():
+        return run_kset(n, k, SoloScheduler())
+
+    kset, report = benchmark(run)
+    assert len(report.completed()) == n
+    verify_k_set_outputs([f"v{i}" for i in range(n)], kset.decisions, k)
+    record(benchmark, steps=report.total_steps)
+
+
+def test_kset_report(benchmark):
+    def body():
+        rows = []
+        for (n, k) in [(4, 1), (4, 2), (4, 3), (6, 2), (6, 5)]:
+            distinct_seen = 0
+            for seed in range(5):
+                kset, _ = run_kset(n, k, RandomScheduler(seed))
+                verify_k_set_outputs([f"v{i}" for i in range(n)], kset.decisions, k)
+                distinct_seen = max(distinct_seen, kset.distinct_decisions())
+            rows.append((n, k, distinct_seen, brs_register_bound(n, k)))
+            assert distinct_seen <= k
+        print_series(
+            "E9: k-set agreement — max distinct decisions vs k (BRS space bound shown)",
+            rows,
+            ["n", "k", "max distinct", "n-k+1 registers (BRS)"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

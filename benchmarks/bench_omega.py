@@ -1,0 +1,127 @@
+"""E13 — Ω, the weakest failure detector, and indulgence (§5.3).
+
+Claim shape: Ω-based consensus (and Paxos) terminate shortly after the
+detector's stabilization time τ — decision time tracks τ; with an Ω that
+never stabilizes the algorithms may fail to terminate but never violate
+agreement or validity (indulgence); Ω can be *implemented* from partial
+synchrony (heartbeats), matching the decreed oracle's behavior after GST.
+"""
+
+import pytest
+
+from repro.amp import (
+    AdversarialOmega,
+    CrashAt,
+    FixedDelay,
+    HeartbeatOmega,
+    OmegaFD,
+    PartialSynchronyDelay,
+    UniformDelay,
+    run_processes,
+)
+from repro.amp.consensus import make_omega_consensus, make_paxos
+
+from conftest import print_series, record
+
+
+@pytest.mark.parametrize("tau", [0.0, 4.0, 12.0])
+def test_decision_time_tracks_stabilization(benchmark, tau):
+    n, t = 5, 2
+
+    def run():
+        return run_processes(
+            make_omega_consensus(n, t, list(range(n))),
+            delay_model=FixedDelay(1.0),
+            failure_detector=OmegaFD(n, tau=tau, seed=1),
+            max_events=150_000,
+        )
+
+    result = benchmark(run)
+    assert all(result.decided)
+    latest = max(result.decision_times.values())
+    record(benchmark, tau=tau, decision_time=latest)
+
+
+def test_decision_vs_tau_report(benchmark):
+    def body():
+        n, t = 5, 2
+        rows = []
+        for tau in (0.0, 2.0, 6.0, 12.0, 24.0):
+            result = run_processes(
+                make_omega_consensus(n, t, list(range(n))),
+                delay_model=FixedDelay(1.0),
+                failure_detector=OmegaFD(n, tau=tau, seed=2),
+                max_events=200_000,
+            )
+            assert all(result.decided)
+            latest = max(result.decision_times.values())
+            rows.append((tau, round(latest, 2), round(latest - tau, 2)))
+        print_series(
+            "E13: Ω-consensus decision time vs stabilization time τ",
+            rows,
+            ["τ", "decision time", "overshoot"],
+        )
+        # Shape: decision lands within a constant window after τ.
+        for tau, decision, overshoot in rows[1:]:
+            assert decision >= 0
+            assert overshoot <= 20.0
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_indulgence_report(benchmark):
+    def body():
+        """Safety under a forever-lying Ω, for both Ω-consensus and Paxos."""
+        n, t = 4, 1
+        rows = []
+        for name, make in (
+            ("Ω-consensus", lambda: make_omega_consensus(n, t, "wxyz", poll_interval=0.3)),
+            ("Paxos", lambda: make_paxos(n, list("wxyz"), poll_interval=0.4, backoff=0.3)),
+        ):
+            violations = 0
+            decided_runs = 0
+            for seed in range(8):
+                result = run_processes(
+                    make(),
+                    delay_model=UniformDelay(0.2, 1.5),
+                    failure_detector=AdversarialOmega(n, period=0.6),
+                    seed=seed,
+                    max_events=50_000,
+                )
+                values = {v for v, d in zip(result.outputs, result.decided) if d}
+                if len(values) > 1 or not values <= set("wxyz"):
+                    violations += 1
+                if values:
+                    decided_runs += 1
+            rows.append((name, violations, f"{decided_runs}/8"))
+            assert violations == 0  # indulgence: never unsafe
+        print_series(
+            "E13b: indulgence — lying Ω never breaks safety",
+            rows,
+            ["algorithm", "safety violations", "runs that decided anyway"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_implemented_omega_matches_oracle(benchmark):
+    """Heartbeat-Ω over partial synchrony behaves like the decreed oracle."""
+    n, t = 4, 1
+
+    def run():
+        return run_processes(
+            make_omega_consensus(n, t, [5, 6, 7, 8], poll_interval=1.0),
+            delay_model=PartialSynchronyDelay(gst=8.0, delta=1.0, chaos_max=6.0),
+            failure_detector=HeartbeatOmega(n, timeout=4.0),
+            crashes=[CrashAt(0, 2.0)],
+            max_crashes=t,
+            seed=6,
+            max_events=200_000,
+        )
+
+    result = benchmark(run)
+    survivors = [pid for pid in range(n) if pid not in result.crashed]
+    values = {result.outputs[pid] for pid in survivors if result.decided[pid]}
+    assert len(values) == 1 and values <= {5, 6, 7, 8}
+    assert all(result.decided[pid] for pid in survivors)
+    record(benchmark, decision_time=max(result.decision_times.values()))

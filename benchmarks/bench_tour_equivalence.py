@@ -1,0 +1,112 @@
+"""E4 — SMP_n[adv:TOUR] ≃_T ARW_{n,n−1}[fd:∅] (§3.3).
+
+Claim shape: the same task (ε-approximate agreement) succeeds in both
+models via the two simulation directions, the same task (consensus)
+fails in both, and the tournament structure emerges from every
+asynchronous schedule.
+"""
+
+import pytest
+
+from repro.shm.approximate import ApproximateAgreement, check_epsilon_agreement
+from repro.shm.schedulers import RandomScheduler
+from repro.sync import TourAdversary
+from repro.sync.algorithms import make_floodset
+from repro.sync.algorithms.flooding import make_flooders
+from repro.sync.equivalence import (
+    refute_tour_consensus,
+    run_shared_memory_in_tour,
+    run_tour_in_shared_memory,
+)
+
+from conftest import print_series, record
+
+
+def aa_ownership(aa, n):
+    return {
+        f"{aa.name}.r{r}[{i}]": i for r in range(aa.rounds + 1) for i in range(n)
+    }
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_direction_tour_in_arw(benchmark, n):
+    def run():
+        return run_tour_in_shared_memory(
+            make_flooders(n, rounds=4),
+            list(range(n)),
+            rounds=4,
+            scheduler=RandomScheduler(7),
+        )
+
+    result = benchmark(run)
+    assert result.tournament_property_holds()
+    record(benchmark, n=n, rounds=4)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_direction_arw_in_tour(benchmark, n):
+    inputs = [float(4 * i) for i in range(n)]
+
+    def run():
+        aa = ApproximateAgreement("aa", n, epsilon=0.5, spread_bound=4.0 * n)
+        programs = [aa.propose(pid, inputs[pid]) for pid in range(n)]
+        return run_shared_memory_in_tour(
+            programs,
+            aa_ownership(aa, n),
+            adversary=TourAdversary(orientation="random", seed=3),
+        )
+
+    result = benchmark(run)
+    outputs = [result.outputs[i] for i in range(n)]
+    check_epsilon_agreement(inputs, outputs, 0.5)
+    record(benchmark, n=n, sync_rounds=result.rounds)
+
+
+def test_equivalence_summary_report(benchmark):
+    def body():
+        rows = []
+        # Positive side: approximate agreement in both models.
+        n = 3
+        inputs = [0.0, 8.0, 16.0]
+        aa = ApproximateAgreement("aa", n, epsilon=1.0, spread_bound=16.0)
+        programs = [aa.propose(pid, inputs[pid]) for pid in range(n)]
+        tour_run = run_shared_memory_in_tour(
+            programs, aa_ownership(aa, n), TourAdversary(orientation="random", seed=1)
+        )
+        tour_ok = all(tour_run.decided[i] for i in range(n))
+        rows.append(("ε-agreement", "SMP[TOUR]", "solvable", tour_ok))
+
+        from repro.shm.runtime import run_protocol
+
+        aa2 = ApproximateAgreement("aa2", n, epsilon=1.0, spread_bound=16.0)
+        arw_report = run_protocol(
+            {pid: aa2.propose(pid, inputs[pid]) for pid in range(n)},
+            RandomScheduler(2),
+        )
+        rows.append(("ε-agreement", "ARW wait-free", "solvable", len(arw_report.completed()) == n))
+
+        # Third model for the same task: asynchronous message passing,
+        # deterministic, no oracle (repro.amp.approximate).
+        from repro.amp import FixedDelay, run_processes
+        from repro.amp.approximate import make_approximate_agreement
+
+        amp_result = run_processes(
+            make_approximate_agreement(n, 1, inputs, 1.0),
+            delay_model=FixedDelay(1.0),
+        )
+        rows.append(
+            ("ε-agreement", "AMP t<n/2", "solvable", all(amp_result.decided))
+        )
+
+        # Negative side: consensus refuted in TOUR; register consensus fails
+        # in ARW (machine-checked in bench_flp / E6).
+        violation = refute_tour_consensus(lambda n_: make_floodset(n_, t=1), (1, 0))
+        rows.append(("consensus", "SMP[TOUR]", "impossible", violation is not None))
+        print_series(
+            "E4: task-solvability agreement across the equivalent models",
+            rows,
+            ["task", "model", "theory", "observed"],
+        )
+        assert all(observed for *_, observed in rows)
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

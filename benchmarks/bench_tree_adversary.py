@@ -1,0 +1,83 @@
+"""E3 — TREE adversary: dissemination in ≤ n−1 rounds (§3.3).
+
+Claim shape: under the *worst-case* adaptive tree choice the tracked
+value needs exactly n−1 rounds (the bound is tight); under random trees
+it needs far fewer (≈ log n); everything stays computable either way,
+in contrast to adv:∞ where nothing is.
+"""
+
+import pytest
+
+from repro.sync import (
+    DropAllAdversary,
+    TreeAdversary,
+    complete,
+    run_dissemination,
+    verify_tree_theorem,
+)
+
+from conftest import print_series, record
+
+SIZES = [4, 8, 12, 16]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_worst_case_tree_hits_bound(benchmark, n):
+    topo = complete(n)
+
+    def run():
+        return run_dissemination(
+            topo, TreeAdversary(strategy="worst", track_pid=0)
+        )
+
+    report = benchmark(run)
+    assert report.all_learned                 # the theorem
+    assert report.per_value_rounds[0] == n - 1  # tightness
+    assert report.cut_invariant_held          # the proof's invariant
+    record(benchmark, n=n, tracked_value_rounds=report.per_value_rounds[0])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_random_trees_much_faster(benchmark, n):
+    topo = complete(n)
+
+    def run():
+        return run_dissemination(topo, TreeAdversary(strategy="random", seed=1))
+
+    report = benchmark(run)
+    assert report.all_learned
+    assert report.worst_value_rounds <= n - 1
+    record(benchmark, n=n, worst_value_rounds=report.worst_value_rounds)
+
+
+def test_tree_adversary_series_report(benchmark):
+    def body():
+        rows = []
+        for n in SIZES:
+            worst = run_dissemination(
+                complete(n), TreeAdversary(strategy="worst", track_pid=0)
+            )
+            rand = run_dissemination(
+                complete(n), TreeAdversary(strategy="random", seed=3)
+            )
+            drop_all = run_dissemination(complete(n), DropAllAdversary())
+            rows.append(
+                (
+                    n,
+                    n - 1,
+                    worst.per_value_rounds[0],
+                    rand.worst_value_rounds,
+                    "no" if not drop_all.all_learned else "yes",
+                )
+            )
+            # Shape: worst == bound; random <= worst; adv:∞ computes nothing.
+            assert worst.per_value_rounds[0] == n - 1
+            assert rand.worst_value_rounds <= worst.per_value_rounds[0]
+            assert not drop_all.all_learned
+        print_series(
+            "E3: TREE dissemination rounds (bound n-1)",
+            rows,
+            ["n", "bound", "worst-tree", "random-tree", "adv:∞ learns?"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""E7 — consensus objects are universal (§4.2).
+
+Claim shape: ONE construction implements queue/stack/counter/set
+(anything with a sequential spec) wait-free for any n, with linearizable
+histories; per-operation cost grows polynomially in n (the helping
+overhead), not with the schedule.
+"""
+
+import pytest
+
+from repro.core import History, check_history
+from repro.core.seqspec import counter_spec, queue_spec, set_spec, stack_spec
+from repro.shm import (
+    RandomScheduler,
+    StarveScheduler,
+    UniversalObject,
+    client_program,
+    run_protocol,
+)
+
+from conftest import print_series, record
+
+SPECS = {
+    "queue": (queue_spec, [("enqueue", (1,)), ("dequeue", ())]),
+    "stack": (stack_spec, [("push", (1,)), ("pop", ())]),
+    "counter": (counter_spec, [("increment", (1,)), ("read", ())]),
+    "set": (set_spec, [("add", (1,)), ("contains", (1,))]),
+}
+
+
+@pytest.mark.parametrize("spec_name", sorted(SPECS))
+def test_universal_object_throughput(benchmark, spec_name):
+    spec_factory, script = SPECS[spec_name]
+    n = 3
+
+    def run():
+        history = History()
+        obj = UniversalObject("o", n, spec_factory(), history=history)
+        programs = {
+            pid: client_program(obj, pid, script) for pid in range(n)
+        }
+        report = run_protocol(programs, RandomScheduler(1))
+        return history, report
+
+    history, report = benchmark(run)
+    assert len(report.completed()) == n
+    assert check_history(history, {"o": spec_factory()})["o"].linearizable
+    record(benchmark, spec=spec_name, steps=report.total_steps)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 6])
+def test_universal_cost_scales_with_n(benchmark, n):
+    def run():
+        obj = UniversalObject("o", n, counter_spec())
+        programs = {
+            pid: client_program(obj, pid, [("increment", (1,))]) for pid in range(n)
+        }
+        return run_protocol(programs, RandomScheduler(2)), obj
+
+    report, obj = benchmark(run)
+    assert len(report.completed()) == n
+    # Wait-freedom bound: O(n) consensus slots, O(n) steps per slot.
+    assert max(report.per_process_steps.values()) <= 20 * n * n
+    record(
+        benchmark,
+        n=n,
+        max_steps_per_op=max(report.per_process_steps.values()),
+        consensus_instances=obj.consensus_instances_used,
+    )
+
+
+def test_universal_starvation_report(benchmark):
+    def body():
+        """Helping in action: the starved process's cost stays bounded."""
+        rows = []
+        for n in (2, 3, 4):
+            obj = UniversalObject("o", n, counter_spec())
+            programs = {
+                pid: client_program(obj, pid, [("increment", (1,))]) for pid in range(n)
+            }
+            report = run_protocol(programs, StarveScheduler([n - 1]))
+            assert report.statuses[n - 1] == "done"
+            rows.append(
+                (n, report.per_process_steps[n - 1], obj.consensus_instances_used)
+            )
+        print_series(
+            "E7: universal construction under starvation (victim completes)",
+            rows,
+            ["n", "victim steps", "consensus slots"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)

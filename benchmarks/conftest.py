@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment Exx of EXPERIMENTS.md has a ``bench_*.py`` module here.
+Benchmarks both *measure* (pytest-benchmark timings, plus domain metrics
+in ``extra_info``) and *assert the paper's claim shape* — who wins, what
+the bound is, where the crossover falls.  Absolute wall-clock numbers are
+machine-dependent and not part of any claim.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, **metrics) -> None:
+    """Attach domain metrics (rounds, latencies, counts) to the report."""
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = value
+
+
+def print_series(title: str, rows, headers) -> None:
+    """Print a table the way the paper would have reported it."""
+    print(f"\n[{title}]")
+    print("  " + "  ".join(f"{h:>14}" for h in headers))
+    for row in rows:
+        print("  " + "  ".join(f"{str(v):>14}" for v in row))

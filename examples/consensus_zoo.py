@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""The consensus landscape, executed (paper §4.2 and §5.3).
+
+Part 1 — Herlihy's hierarchy in shared memory: for each base object
+type, either run (and exhaustively verify) the consensus protocol it
+enables, or machine-check the FLP dichotomy showing registers can't.
+
+Part 2 — the four routes around FLP in message passing:
+
+  R1 randomization       → Ben-Or;
+  R2 restricted asynchrony → partial synchrony + heartbeat-implemented Ω;
+  R3 restricted inputs   → condition-based consensus;
+  R4 failure detectors   → Ω-based indulgent consensus and Paxos.
+
+Run:  python examples/consensus_zoo.py
+"""
+
+import itertools
+
+from repro.amp import (
+    CrashAt,
+    FixedDelay,
+    HeartbeatOmega,
+    OmegaFD,
+    PartialSynchronyDelay,
+    run_processes,
+)
+from repro.amp.consensus import (
+    c_max_condition,
+    make_benor,
+    make_condition_consensus,
+    make_omega_consensus,
+    make_paxos,
+)
+from repro.shm import (
+    CautiousRegisterConsensus,
+    EagerRegisterConsensus,
+    measured_hierarchy,
+    verify_protocol_exhaustively,
+)
+
+
+def part1_hierarchy() -> None:
+    print("═" * 72)
+    print("Part 1 — Herlihy's consensus hierarchy (§4.2), machine-checked")
+    print("═" * 72)
+    print(f"{'object type':<16} {'n':>2}  {'theory':<11} {'verdict'}")
+    for cell in measured_hierarchy(ns=(2, 3)):
+        theory = "solvable" if cell.theory_solvable else "impossible"
+        print(f"{cell.object_type:<16} {cell.n:>2}  {theory:<11} {cell.note}")
+
+    print("\nThe FLP dichotomy on register-only attempts (every schedule):")
+    eager = verify_protocol_exhaustively(EagerRegisterConsensus(), (0, 1))
+    print(
+        f"  eager attempt:    terminates={eager.always_terminates}, "
+        f"safe={eager.safe} (agreement violated: {eager.agreement_violation})"
+    )
+    cautious = verify_protocol_exhaustively(CautiousRegisterConsensus(), (0, 1))
+    print(
+        f"  cautious attempt: safe={cautious.safe}, "
+        f"terminates={cautious.always_terminates} "
+        f"(a schedule starves it forever — FLP in action)"
+    )
+
+
+def part2_routes() -> None:
+    n, t = 5, 2
+    print()
+    print("═" * 72)
+    print("Part 2 — four routes around FLP in AMP (§5.3)")
+    print("═" * 72)
+
+    # R1: randomization (Ben-Or).
+    result = run_processes(
+        make_benor(n, t, [0, 1, 0, 1, 1]),
+        delay_model=FixedDelay(1.0),
+        crashes=[CrashAt(4, 0.5)],
+        max_crashes=t,
+        seed=1,
+    )
+    decisions = {v for v, d in zip(result.outputs, result.decided) if d}
+    print(f"R1 Ben-Or:      decided {decisions} despite a crash (prob-1 termination)")
+
+    # R2: restricted asynchrony — heartbeat Ω over partial synchrony.
+    hb = HeartbeatOmega(n, timeout=3.0)
+    result = run_processes(
+        make_omega_consensus(n, t, list("abcde")),
+        delay_model=PartialSynchronyDelay(gst=6.0, delta=1.0, chaos_max=5.0),
+        failure_detector=hb,
+        seed=2,
+    )
+    decisions = {v for v, d in zip(result.outputs, result.decided) if d}
+    print(
+        f"R2 partial sync: decided {decisions} with Ω *implemented* from "
+        f"heartbeats after GST"
+    )
+
+    # R3: restricted inputs — condition-based consensus.
+    condition = c_max_condition(t)
+    inputs = [7, 7, 7, 3, 1]  # max appears > t times: inside the condition
+    assert condition.contains(tuple(inputs))
+    result = run_processes(
+        make_condition_consensus(n, t, inputs, condition),
+        delay_model=FixedDelay(1.0),
+        crashes=[CrashAt(0, 0.0), CrashAt(1, 0.0)],
+        max_crashes=t,
+    )
+    decisions = {v for v, d in zip(result.outputs, result.decided) if d}
+    print(
+        f"R3 condition:   inputs {inputs} ∈ {condition.name} → decided "
+        f"{decisions} in one exchange, despite {t} crashes"
+    )
+
+    # R4: failure detectors — Ω-based consensus and Paxos.
+    result = run_processes(
+        make_omega_consensus(n, t, [10, 20, 30, 40, 50]),
+        delay_model=FixedDelay(1.0),
+        crashes=[CrashAt(0, 0.5)],
+        max_crashes=t,
+        failure_detector=OmegaFD(n, tau=3.0),
+    )
+    decisions = {v for v, d in zip(result.outputs, result.decided) if d}
+    print(f"R4 Ω consensus: decided {decisions} once Ω stabilized")
+
+    result = run_processes(
+        make_paxos(n, ["red", "green", "blue", "cyan", "pink"]),
+        delay_model=FixedDelay(1.0),
+        crashes=[CrashAt(2, 2.0)],
+        max_crashes=t,
+        failure_detector=OmegaFD(n, tau=1.0),
+    )
+    decisions = {v for v, d in zip(result.outputs, result.decided) if d}
+    print(f"R4 Paxos:       chose {decisions} (Ω as the leader service)")
+
+
+if __name__ == "__main__":
+    part1_hierarchy()
+    part2_routes()
+    print("\nConsensus zoo complete.")

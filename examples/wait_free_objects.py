@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Wait-free object construction kit (paper §4.2–§4.3).
+
+Builds the paper's shared-memory menagerie and pokes at its progress
+guarantees:
+
+* a wait-free *set* from Herlihy's universal construction — survives an
+  adversarial scheduler that starves and crashes processes;
+* a (k, ℓ)-universal construction running k objects at once with ≥ ℓ
+  progressing;
+* obstruction-free consensus and k-set agreement from registers only —
+  livelockable under contention, instant once run in isolation;
+* abortable counter — aborts under contention instead of waiting, never
+  corrupts state;
+* the progress-condition test battery classifying each construction.
+
+Run:  python examples/wait_free_objects.py
+"""
+
+from repro.core.history import History
+from repro.core.linearizability import check_history
+from repro.core.seqspec import counter_spec, queue_spec, set_spec, stack_spec
+from repro.shm import (
+    ABORTED,
+    AbortableObject,
+    AtomicSnapshot,
+    CrashAfterScheduler,
+    KUniversalConstruction,
+    ObstructionFreeKSetAgreement,
+    ObstructionScheduler,
+    RandomScheduler,
+    Runtime,
+    StarveScheduler,
+    UniversalObject,
+    check_obstruction_free,
+    check_wait_free,
+    client_program,
+    run_protocol,
+    verify_k_set_outputs,
+)
+
+
+def demo_universal_set(n: int = 4) -> None:
+    print("— wait-free replicated set via Herlihy's universal construction —")
+    history = History()
+    shared_set = UniversalObject("set", n, set_spec(), history=history)
+    programs = {
+        pid: client_program(
+            shared_set,
+            pid,
+            [("add", (pid,)), ("contains", ((pid + 1) % n,)), ("add", (pid * 10,))],
+        )
+        for pid in range(n)
+    }
+    # Hostile schedule: starve process 3, crash process 1 mid-protocol.
+    scheduler = CrashAfterScheduler(StarveScheduler([3]), {1: 7})
+    report = run_protocol(programs, scheduler, max_crashes=n - 1)
+    done = sorted(report.completed())
+    linearizable = check_history(history, {"set": set_spec()})["set"].linearizable
+    print(
+        f"  finished: {done} (crashed: {sorted(report.crashed)}), "
+        f"linearizable: {linearizable}"
+    )
+    print(f"  final set state at p0's replica: {sorted(shared_set.replica_state(0))}")
+
+
+def demo_k_universal(n: int = 4) -> None:
+    print("— (k, ℓ)-universal construction: 3 objects, ≥ 2 progress —")
+    ku = KUniversalConstruction(
+        "trio", n, [counter_spec(), queue_spec(), stack_spec()], ell=2
+    )
+
+    def worker(pid: int):
+        ops = {
+            0: ("increment", ()),
+            1: ("enqueue", (pid,)),
+            2: ("push", (pid,)),
+        }
+        results = []
+        for obj_index in range(3):
+            op, args = ops[obj_index]
+            result = yield from ku.perform(pid, obj_index, op, *args)
+            results.append(result)
+        return results
+
+    report = run_protocol(
+        {pid: worker(pid) for pid in range(n)}, RandomScheduler(9), max_steps=200_000
+    )
+    progressing = ku.progressing_objects()
+    print(
+        f"  all workers done: {sorted(report.completed()) == list(range(n))}, "
+        f"objects that progressed: {progressing} (≥ ℓ = 2: "
+        f"{len(progressing) >= 2}), ops per object: {ku.progress_per_object}"
+    )
+
+
+def demo_obstruction_free(n: int = 4, k: int = 2) -> None:
+    print("— obstruction-free k-set agreement from registers only (§4.3) —")
+    kset = ObstructionFreeKSetAgreement("kset", n, k)
+
+    def proposer(pid: int):
+        return (yield from kset.propose(pid, f"val-{pid}"))
+
+    # Contention bursts followed by isolation windows: obstruction-freedom
+    # only promises termination in the windows — and delivers.
+    scheduler = ObstructionScheduler(contention_steps=40, solo_steps=3_000, seed=4)
+    report = run_protocol(
+        {pid: proposer(pid) for pid in range(n)}, scheduler, max_steps=300_000
+    )
+    verify_k_set_outputs(
+        [f"val-{i}" for i in range(n)], kset.decisions, k
+    )
+    print(
+        f"  decided: {dict(sorted(kset.decisions.items()))} — "
+        f"{kset.distinct_decisions()} distinct value(s) ≤ k = {k} ✔"
+    )
+    print(
+        f"  register ops spent: {kset.total_register_operations()} "
+        f"(paper's optimal space bound: n-k+1 = {n - k + 1} registers)"
+    )
+
+
+def demo_abortable(n: int = 3) -> None:
+    print("— abortable counter: abort under contention, state intact (§4.3) —")
+    counter = AbortableObject("ctr", n, counter_spec())
+
+    def client(pid: int):
+        outcomes = []
+        for _ in range(4):
+            result = yield from counter.invoke(pid, "increment")
+            outcomes.append("abort" if result == ABORTED else "commit")
+        return outcomes
+
+    report = run_protocol(
+        {pid: client(pid) for pid in range(n)}, RandomScheduler(6)
+    )
+    print(
+        f"  outcomes: {report.outputs}\n"
+        f"  commits={counter.stats.commits}, aborts={counter.stats.aborts}, "
+        f"final value={counter.current_state()} "
+        f"(== commits: {counter.current_state() == counter.stats.commits} ✔)"
+    )
+
+
+def demo_progress_batteries(n: int = 3) -> None:
+    print("— progress-condition batteries (§4.3) —")
+
+    def universal_factory():
+        obj = UniversalObject("q", n, queue_spec())
+        return {
+            pid: client_program(obj, pid, [("enqueue", (pid,)), ("dequeue", ())])
+            for pid in range(n)
+        }
+
+    wait_free = check_wait_free(universal_factory, n, max_steps_per_process=600)
+    print(f"  universal queue is wait-free over the battery: {wait_free.holds}")
+
+    def of_consensus_factory():
+        from repro.shm import ObstructionFreeConsensus
+
+        cons = ObstructionFreeConsensus("c", n)
+
+        def proposer(pid):
+            return (yield from cons.propose(pid, pid))
+
+        return {pid: proposer(pid) for pid in range(n)}
+
+    obstruction = check_obstruction_free(of_consensus_factory, n)
+    print(
+        f"  register-only consensus is obstruction-free over the battery: "
+        f"{obstruction.holds} (wait-freedom is impossible — FLP)"
+    )
+
+
+if __name__ == "__main__":
+    demo_universal_set()
+    demo_k_universal()
+    demo_obstruction_free()
+    demo_abortable()
+    demo_progress_batteries()
+    print("\nWait-free object kit demo complete.")

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on toolchains without
+the `wheel` package (the pyproject.toml metadata remains authoritative)."""
+
+from setuptools import setup
+
+setup()

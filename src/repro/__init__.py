@@ -1,0 +1,32 @@
+"""repro — executable basics of distributed computing.
+
+A production-quality reproduction of Michel Raynal's ICDCS 2016 invited
+tutorial *"A Look at Basics of Distributed Computing"*.  The paper is a
+guided tour of the field's load-bearing concepts; this library makes
+every stop on the tour executable:
+
+* :mod:`repro.core` — tasks vs functions, model descriptors,
+  linearizability, cores & survivor sets (§2, §5.4);
+* :mod:`repro.sync` — the synchronous LOCAL model, locality,
+  Cole–Vishkin coloring, message adversaries TREE and TOUR (§3);
+* :mod:`repro.shm` — wait-free shared memory, Herlihy's hierarchy and
+  universal constructions, progress conditions, abortable objects (§4);
+* :mod:`repro.amp` — asynchronous message passing, reliable broadcast,
+  ABD registers, FLP, failure detectors, Ω-based and randomized
+  consensus, state-machine replication (§5).
+
+Quickstart::
+
+    from repro.sync import ring, run_synchronous
+    from repro.sync.algorithms import make_ring_colorers, verify_ring_coloring
+
+    topo = ring(64)
+    result = run_synchronous(topo, make_ring_colorers(64), [None] * 64)
+    verify_ring_coloring([result.outputs[i] for i in range(64)], 64)
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,112 @@
+"""Asynchronous message passing: impossibilities and escapes (paper §5).
+
+* :mod:`repro.amp.network` — the event-driven ``AMP_{n,t}`` simulator;
+* :mod:`repro.amp.broadcast` — (uniform) reliable broadcast, FIFO/causal;
+* :mod:`repro.amp.abd` — ABD atomic registers (``t < n/2``);
+* :mod:`repro.amp.failure_detectors` — P, ◇P, ◇S, Ω, and liars;
+* :mod:`repro.amp.consensus` — FLP + Ben-Or, conditions, Ω, Paxos;
+* :mod:`repro.amp.tobroadcast` / :mod:`repro.amp.smr` — total order and
+  replicated state machines;
+* :mod:`repro.amp.adversary` — process adversaries, A-resilience.
+"""
+
+from .abd import AbdNode, FastReadAbdNode, OpRecord
+from .approximate import (
+    ApproximateAgreementProcess,
+    make_approximate_agreement,
+)
+from .adversary import (
+    AdversaryHarness,
+    AdversaryReport,
+    crash_scenarios,
+    quorum_system,
+    required_quorum_for_liveness,
+)
+from .broadcast import (
+    CausalOrder,
+    Delivery,
+    FifoOrder,
+    ReliableBroadcast,
+    UniformReliableBroadcast,
+)
+from .failure_detectors import (
+    AdversarialOmega,
+    EventuallyPerfectFD,
+    EventuallyStrongFD,
+    FailureDetector,
+    HeartbeatOmega,
+    OmegaFD,
+    PerfectFD,
+    ScriptedFD,
+)
+from .network import (
+    AmpRunResult,
+    AsyncProcess,
+    AsyncRuntime,
+    Context,
+    CrashAt,
+    DelayModel,
+    FixedDelay,
+    PartialSynchronyDelay,
+    TargetedDelay,
+    UniformDelay,
+    run_processes,
+)
+from .quorums import (
+    QuorumAbdNode,
+    is_live_quorum_system,
+    is_safe_quorum_system,
+    majority_family,
+)
+from .smr import (
+    ReplicatedStateMachine,
+    check_mutual_consistency,
+    make_replicated_machine,
+)
+from .tobroadcast import TOBroadcastNode, make_to_broadcast
+
+__all__ = [
+    "AbdNode",
+    "FastReadAbdNode",
+    "OpRecord",
+    "ApproximateAgreementProcess",
+    "make_approximate_agreement",
+    "AdversaryHarness",
+    "AdversaryReport",
+    "crash_scenarios",
+    "quorum_system",
+    "required_quorum_for_liveness",
+    "CausalOrder",
+    "Delivery",
+    "FifoOrder",
+    "ReliableBroadcast",
+    "UniformReliableBroadcast",
+    "AdversarialOmega",
+    "EventuallyPerfectFD",
+    "EventuallyStrongFD",
+    "FailureDetector",
+    "HeartbeatOmega",
+    "OmegaFD",
+    "PerfectFD",
+    "ScriptedFD",
+    "AmpRunResult",
+    "AsyncProcess",
+    "AsyncRuntime",
+    "Context",
+    "CrashAt",
+    "DelayModel",
+    "FixedDelay",
+    "PartialSynchronyDelay",
+    "TargetedDelay",
+    "UniformDelay",
+    "run_processes",
+    "QuorumAbdNode",
+    "is_live_quorum_system",
+    "is_safe_quorum_system",
+    "majority_family",
+    "ReplicatedStateMachine",
+    "check_mutual_consistency",
+    "make_replicated_machine",
+    "TOBroadcastNode",
+    "make_to_broadcast",
+]

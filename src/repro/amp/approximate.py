@@ -1,0 +1,112 @@
+"""Approximate agreement in ``AMP_{n,t}[t<n/2]`` — the same task, third
+model (completing the story started in :mod:`repro.shm.approximate`).
+
+Exact consensus is impossible in bare ``AMP_{n,t>0}`` (FLP); its
+ε-relaxation is solvable *deterministically, with no oracle* — the
+message-passing witness that the impossibility is about exactness.
+
+Round-based averaging with majority collection (t < n/2):
+
+* round ``r``: broadcast ``(r, estimate)``; collect ``n − t`` round-``r``
+  values (echoing ensures laggards catch up: a process that already
+  moved past round ``r`` re-sends its round-``r`` value on request —
+  here simply achieved by broadcasting every round's value once and
+  letting the asynchronous channels deliver late);
+* new estimate = midpoint of the collected values' range.
+
+Convergence: any two processes' round-``r`` collections share at least
+``n − 2t ≥ 1`` senders (quorum intersection), and all collected values
+are round-(r−1) estimates, so the estimate range at least halves every
+*two* rounds; ``2 · ceil(log2(spread/ε))`` rounds suffice.  (The
+shared-memory variant halves every round because registers persist;
+messages don't, hence the factor 2 — measured in the tests.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..core.exceptions import ConfigurationError
+from .network import AsyncProcess, Context
+
+
+def rounds_needed(spread: float, epsilon: float) -> int:
+    """Round budget: two halving-capable rounds per log2(spread/ε)."""
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be > 0")
+    if spread <= epsilon:
+        return 1
+    return 2 * max(1, math.ceil(math.log2(spread / epsilon)))
+
+
+class ApproximateAgreementProcess(AsyncProcess):
+    """One ε-agreement participant over asynchronous messages."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        input_value: float,
+        epsilon: float,
+        spread_bound: float,
+    ) -> None:
+        if not 0 <= t < (n + 1) // 2:
+            raise ConfigurationError(f"needs t < n/2, got t={t}, n={n}")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.estimate = float(input_value)
+        self.rounds = rounds_needed(spread_bound, epsilon)
+        self.round = 1
+        #: round → {src: value}
+        self.inbox: Dict[int, Dict[int, float]] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(("aa", self.round, self.estimate))
+        self._try_advance(ctx)
+
+    def on_message(self, ctx: Context, src: int, message: object) -> None:
+        if ctx.decided:
+            return
+        if not (isinstance(message, tuple) and message and message[0] == "aa"):
+            return
+        _, round_no, value = message
+        self.inbox.setdefault(round_no, {}).setdefault(src, value)
+        self._try_advance(ctx)
+
+    def _try_advance(self, ctx: Context) -> None:
+        while not ctx.decided:
+            bucket = self.inbox.get(self.round, {})
+            if len(bucket) < self.n - self.t:
+                return
+            values = list(bucket.values())
+            self.estimate = (min(values) + max(values)) / 2.0
+            if self.round >= self.rounds:
+                ctx.decide(self.estimate)
+                ctx.halt()
+                return
+            self.round += 1
+            ctx.broadcast(("aa", self.round, self.estimate))
+
+
+def make_approximate_agreement(
+    n: int,
+    t: int,
+    inputs: Sequence[float],
+    epsilon: float,
+    spread_bound: Optional[float] = None,
+) -> List[ApproximateAgreementProcess]:
+    """One participant per process."""
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    bound = (
+        spread_bound
+        if spread_bound is not None
+        else max(max(inputs) - min(inputs), epsilon)
+    )
+    return [
+        ApproximateAgreementProcess(pid, n, t, inputs[pid], epsilon, bound)
+        for pid in range(n)
+    ]

@@ -1,0 +1,228 @@
+"""Broadcast abstractions (paper §5.1; Hadzilacos–Toueg [30]).
+
+A plain ``send``-to-all is *unreliable*: a sender crashing mid-broadcast
+reaches only a subset of processes.  The paper's reliable broadcast
+contract: all correct processes deliver the same set ``S`` of messages,
+``S`` contains every message a correct process broadcast, and a faulty
+process delivers a subset of ``S``.
+
+Three layers, each a *component* embeddable in any
+:class:`~repro.amp.network.AsyncProcess` (tag-routed messages, delivery
+lists returned from ``handle``):
+
+* :class:`ReliableBroadcast` — flood-and-deliver.  Correct-process
+  guarantees only (a faulty process may deliver a message no correct
+  process delivers — the test suite exhibits this with mid-send crashes);
+* :class:`UniformReliableBroadcast` — echo quorums (needs ``t < n/2``):
+  deliver after a majority echoed, so *any* delivery (even by a process
+  about to crash) implies every correct process eventually delivers;
+* :class:`FifoOrder` / :class:`CausalOrder` — ordering layers stackable
+  on either (sequence numbers / vector clocks with delivery buffers).
+
+Total order needs consensus and lives in :mod:`repro.amp.tobroadcast`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .network import Context
+
+MessageId = Tuple[int, int]  # (origin pid, origin sequence number)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One delivered broadcast message."""
+
+    origin: int
+    seq: int
+    payload: object
+
+    @property
+    def message_id(self) -> MessageId:
+        return (self.origin, self.seq)
+
+
+class ReliableBroadcast:
+    """Flood-based reliable broadcast (non-uniform).
+
+    On first receipt of a message, relay it to everyone, then deliver.
+    If any *correct* process delivers, its relay reaches all correct
+    processes — so all correct processes deliver the same set.
+    """
+
+    TAG = "rb"
+
+    def __init__(self, pid: int, n: int, tag: str = "rb") -> None:
+        self.pid = pid
+        self.n = n
+        self.tag = tag
+        self._next_seq = 0
+        self._seen: Set[MessageId] = set()
+        self.delivered: List[Delivery] = []
+
+    def broadcast(self, ctx: Context, payload: object) -> MessageId:
+        """Broadcast ``payload``; returns its message id."""
+        message_id = (self.pid, self._next_seq)
+        self._next_seq += 1
+        ctx.broadcast((self.tag, message_id, payload))
+        return message_id
+
+    def handle(self, ctx: Context, src: int, message: object) -> List[Delivery]:
+        """Feed a raw network message; returns newly delivered broadcasts."""
+        if not (isinstance(message, tuple) and message and message[0] == self.tag):
+            return []
+        _, message_id, payload = message
+        if message_id in self._seen:
+            return []
+        self._seen.add(message_id)
+        # Relay first, deliver second: a crash between the two (which the
+        # simulator models as dropped in-flight relays) leaves this
+        # process *delivered* — the non-uniformity the URB layer fixes.
+        ctx.broadcast((self.tag, message_id, payload))
+        delivery = Delivery(message_id[0], message_id[1], payload)
+        self.delivered.append(delivery)
+        return [delivery]
+
+
+class UniformReliableBroadcast:
+    """Echo-quorum uniform reliable broadcast (requires ``t < n/2``).
+
+    A message is delivered only after ``⌊n/2⌋ + 1`` distinct processes
+    echoed it.  A majority contains a correct process, whose echo reaches
+    every correct process; every correct process then echoes, so every
+    correct process assembles a majority and delivers — even if the
+    original deliverer crashed immediately.
+    """
+
+    def __init__(self, pid: int, n: int, tag: str = "urb") -> None:
+        self.pid = pid
+        self.n = n
+        self.tag = tag
+        self._next_seq = 0
+        self._echoed: Set[MessageId] = set()
+        self._echoes: Dict[MessageId, Set[int]] = {}
+        self._payloads: Dict[MessageId, object] = {}
+        self._delivered_ids: Set[MessageId] = set()
+        self.delivered: List[Delivery] = []
+
+    @property
+    def quorum(self) -> int:
+        return self.n // 2 + 1
+
+    def broadcast(self, ctx: Context, payload: object) -> MessageId:
+        message_id = (self.pid, self._next_seq)
+        self._next_seq += 1
+        ctx.broadcast((self.tag, "msg", message_id, payload))
+        return message_id
+
+    def handle(self, ctx: Context, src: int, message: object) -> List[Delivery]:
+        if not (isinstance(message, tuple) and message and message[0] == self.tag):
+            return []
+        kind = message[1]
+        if kind == "msg":
+            _, _, message_id, payload = message
+            self._payloads[message_id] = payload
+            self._echo(ctx, message_id, payload)
+            return self._maybe_deliver()
+        if kind == "echo":
+            _, _, message_id, payload = message
+            self._payloads.setdefault(message_id, payload)
+            self._echoes.setdefault(message_id, set()).add(src)
+            self._echo(ctx, message_id, payload)
+            return self._maybe_deliver()
+        return []
+
+    def _echo(self, ctx: Context, message_id: MessageId, payload: object) -> None:
+        if message_id in self._echoed:
+            return
+        self._echoed.add(message_id)
+        ctx.broadcast((self.tag, "echo", message_id, payload))
+
+    def _maybe_deliver(self) -> List[Delivery]:
+        out: List[Delivery] = []
+        for message_id, echoers in self._echoes.items():
+            if message_id in self._delivered_ids:
+                continue
+            if len(echoers) >= self.quorum:
+                self._delivered_ids.add(message_id)
+                delivery = Delivery(
+                    message_id[0], message_id[1], self._payloads[message_id]
+                )
+                self.delivered.append(delivery)
+                out.append(delivery)
+        return out
+
+
+class FifoOrder:
+    """FIFO delivery layer: per-origin sequence-number reordering buffer."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._next: Dict[int, int] = {pid: 0 for pid in range(n)}
+        self._buffer: Dict[int, Dict[int, Delivery]] = {pid: {} for pid in range(n)}
+        self.delivered: List[Delivery] = []
+
+    def push(self, deliveries: Sequence[Delivery]) -> List[Delivery]:
+        """Feed underlying deliveries; returns those releasable in FIFO order."""
+        out: List[Delivery] = []
+        for delivery in deliveries:
+            self._buffer[delivery.origin][delivery.seq] = delivery
+        for origin in range(self.n):
+            while self._next[origin] in self._buffer[origin]:
+                released = self._buffer[origin].pop(self._next[origin])
+                self._next[origin] += 1
+                self.delivered.append(released)
+                out.append(released)
+        return out
+
+
+class CausalOrder:
+    """Causal delivery layer via vector clocks piggybacked on payloads.
+
+    Use :meth:`stamp` when broadcasting; :meth:`push` with the underlying
+    deliveries releases messages respecting causal order.
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        self.pid = pid
+        self.n = n
+        self.clock: List[int] = [0] * n
+        self._pending: List[Delivery] = []
+        self.delivered: List[Delivery] = []
+
+    def stamp(self, payload: object) -> Tuple[Tuple[int, ...], object]:
+        """Attach the sender's causal past to an outgoing payload."""
+        self.clock[self.pid] += 1
+        return (tuple(self.clock), payload)
+
+    def _deliverable(self, delivery: Delivery) -> bool:
+        stamp, _ = delivery.payload
+        for q in range(self.n):
+            bound = stamp[q] - 1 if q == delivery.origin else stamp[q]
+            if self.clock[q] < bound:
+                return False
+        return True
+
+    def push(self, deliveries: Sequence[Delivery]) -> List[Delivery]:
+        out: List[Delivery] = []
+        self._pending.extend(deliveries)
+        progress = True
+        while progress:
+            progress = False
+            for delivery in list(self._pending):
+                if self._deliverable(delivery):
+                    self._pending.remove(delivery)
+                    stamp, payload = delivery.payload
+                    if delivery.origin != self.pid:
+                        self.clock[delivery.origin] = max(
+                            self.clock[delivery.origin], stamp[delivery.origin]
+                        )
+                    released = Delivery(delivery.origin, delivery.seq, payload)
+                    self.delivered.append(released)
+                    out.append(released)
+                    progress = True
+        return out

@@ -1,0 +1,59 @@
+"""Consensus in ``AMP_{n,t}`` and the four routes around FLP (paper §5.3).
+
+* :mod:`repro.amp.consensus.flp` — the impossibility, executed;
+* :mod:`repro.amp.consensus.benor` — randomization;
+* :mod:`repro.amp.consensus.condition` — restricted input vectors;
+* :mod:`repro.amp.consensus.omega` — the weakest failure detector Ω;
+* :mod:`repro.amp.consensus.paxos` — Paxos with Ω as leader service.
+
+(The second route — restricting asynchrony — lives in the network layer:
+:class:`~repro.amp.network.PartialSynchronyDelay` plus
+:class:`~repro.amp.failure_detectors.HeartbeatOmega` *implement* Ω from
+partial synchrony.)
+"""
+
+from .benor import BOT, BenOrProcess, make_benor
+from .chandra_toueg import ChandraTouegProcess, make_chandra_toueg
+from .condition import (
+    Condition,
+    ConditionConsensusProcess,
+    c_frequency_condition,
+    c_max_condition,
+    make_condition_consensus,
+)
+from .flp import (
+    EagerMinConsensus,
+    MessageExplorationReport,
+    MessageProtocol,
+    MessageProtocolExplorer,
+    UnanimityConsensus,
+)
+from .omega import (
+    OmegaConsensusComponent,
+    OmegaConsensusProcess,
+    make_omega_consensus,
+)
+from .paxos import PaxosNode, make_paxos
+
+__all__ = [
+    "BOT",
+    "BenOrProcess",
+    "make_benor",
+    "ChandraTouegProcess",
+    "make_chandra_toueg",
+    "Condition",
+    "ConditionConsensusProcess",
+    "c_frequency_condition",
+    "c_max_condition",
+    "make_condition_consensus",
+    "EagerMinConsensus",
+    "MessageExplorationReport",
+    "MessageProtocol",
+    "MessageProtocolExplorer",
+    "UnanimityConsensus",
+    "OmegaConsensusComponent",
+    "OmegaConsensusProcess",
+    "make_omega_consensus",
+    "PaxosNode",
+    "make_paxos",
+]

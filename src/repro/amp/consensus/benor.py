@@ -1,0 +1,160 @@
+"""Ben-Or's randomized binary consensus (paper §5.3, [6]).
+
+The first of the paper's four routes around FLP: *enrich the system with
+randomization and weaken termination accordingly*.  Ben-Or's protocol
+decides with probability 1; every run that decides is safe.
+
+Crash-failure variant for ``t < n/2``, proceeding in asynchronous rounds
+of two phases:
+
+* **report** — broadcast ``(R1, r, est)``; collect ``n − t`` reports.
+  If a strict majority (> n/2) reported the same ``v``, propose ``v``,
+  else propose ``⊥``;
+* **proposal** — broadcast ``(R2, r, w)``; collect ``n − t`` proposals.
+  If ``t + 1`` proposals carry the same ``v ≠ ⊥`` → **decide v**;
+  if at least one ``v ≠ ⊥`` → adopt ``est = v``;
+  otherwise flip a local coin.
+
+Safety: two different non-⊥ proposals in a round would each need a
+majority of reports — impossible.  A decided value is seen by every
+other process's proposal collection (quorum intersection), so all later
+estimates equal it.  Termination: once every est agrees (eventually
+forced by lucky coins), the next round decides — expected O(2^n) rounds
+in the worst case, constant when inputs already agree.
+
+Deciders flood ``DECIDE`` so laggards terminate despite halted peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...core.exceptions import ConfigurationError
+from ..network import AsyncProcess, Context
+
+BOT = "<⊥>"
+
+
+class BenOrProcess(AsyncProcess):
+    """One Ben-Or participant (binary input).
+
+    ``common_coin``: with the default local coins, convergence is
+    probabilistic per process (expected exponential rounds in the worst
+    case).  Setting ``common_coin`` to a seed models a *common coin
+    oracle* (Rabin-style): all processes obtain the same coin value per
+    round, which collapses expected termination to O(1) rounds — the
+    classic randomized-consensus speedup, charted in the benchmarks.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        input_value: int,
+        common_coin: Optional[int] = None,
+    ) -> None:
+        if input_value not in (0, 1):
+            raise ConfigurationError("Ben-Or is binary: inputs must be 0 or 1")
+        if not 0 <= t < (n + 1) // 2:
+            raise ConfigurationError(
+                f"crash-model Ben-Or needs t < n/2, got t={t}, n={n}"
+            )
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.common_coin = common_coin
+        self.est = input_value
+        self.round = 1
+        self.phase = 1
+        #: (phase, round) → {src: value}
+        self.inbox: Dict[Tuple[int, int], Dict[int, object]] = {}
+        self.rounds_executed = 0
+        self.coin_flips = 0
+        self._done = False
+
+    # -- helpers ---------------------------------------------------------
+
+    def _bucket(self, phase: int, round_no: int) -> Dict[int, object]:
+        return self.inbox.setdefault((phase, round_no), {})
+
+    def _broadcast_phase(self, ctx: Context, phase: int, value: object) -> None:
+        ctx.broadcast(("benor", phase, self.round, value))
+
+    # -- protocol ------------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        self._broadcast_phase(ctx, 1, self.est)
+        self._try_advance(ctx)
+
+    def on_message(self, ctx: Context, src: int, message: object) -> None:
+        if self._done:
+            return
+        if not (isinstance(message, tuple) and message):
+            return
+        if message[0] == "benor":
+            _, phase, round_no, value = message
+            self._bucket(phase, round_no).setdefault(src, value)
+            self._try_advance(ctx)
+        elif message[0] == "benor-decide":
+            _, value = message
+            self._decide(ctx, value)
+
+    def _try_advance(self, ctx: Context) -> None:
+        progressed = True
+        while progressed and not self._done:
+            progressed = False
+            bucket = self._bucket(self.phase, self.round)
+            if len(bucket) < self.n - self.t:
+                break
+            values = list(bucket.values())
+            if self.phase == 1:
+                proposal = BOT
+                for candidate in (0, 1):
+                    if values.count(candidate) * 2 > self.n:
+                        proposal = candidate
+                self.phase = 2
+                self._broadcast_phase(ctx, 2, proposal)
+                progressed = True
+            else:
+                non_bot = [v for v in values if v != BOT]
+                if non_bot and len(non_bot) >= self.t + 1:
+                    self._decide(ctx, non_bot[0])
+                    return
+                if non_bot:
+                    self.est = non_bot[0]
+                else:
+                    self.est = self._flip_coin(ctx)
+                    self.coin_flips += 1
+                self.rounds_executed += 1
+                self.round += 1
+                self.phase = 1
+                self._broadcast_phase(ctx, 1, self.est)
+                progressed = True
+
+    def _flip_coin(self, ctx: Context) -> int:
+        if self.common_coin is None:
+            return ctx.random().randrange(2)
+        # Common coin oracle: every process derives the same bit from
+        # (round, shared seed) — no process identity involved.
+        return hash((self.common_coin, self.round)) & 1
+
+    def _decide(self, ctx: Context, value: object) -> None:
+        if self._done:
+            return
+        self._done = True
+        ctx.broadcast(("benor-decide", value), include_self=False)
+        ctx.decide(value)
+        ctx.halt()
+
+
+def make_benor(
+    n: int, t: int, inputs, common_coin: Optional[int] = None
+) -> List[BenOrProcess]:
+    """One Ben-Or process per pid (optionally sharing a common coin)."""
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    return [
+        BenOrProcess(pid, n, t, inputs[pid], common_coin) for pid in range(n)
+    ]

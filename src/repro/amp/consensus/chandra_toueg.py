@@ -1,0 +1,163 @@
+"""Chandra–Toueg ◇S-based consensus (paper §5.3, [15]).
+
+The paper's failure-detector route cites Chandra–Toueg's classes; next
+to Ω (the weakest), the historically first consensus detector class is
+◇S — *eventually* some correct process is never suspected.  The
+rotating-coordinator algorithm (t < n/2):
+
+Round ``r`` with coordinator ``c = r mod n``:
+
+1. every process sends its ``(estimate, last-update round)`` to ``c``;
+2. ``c`` collects ``n − t`` estimates, picks the one with the highest
+   update round, and broadcasts it as the round's proposal;
+3. every process waits for the proposal **or** until its ◇S module
+   suspects ``c`` (polled on a timer): it then ACKs or NACKs;
+4. ``c`` collects ``n − t`` acks/nacks: all-ack → it DECIDES and floods
+   the decision (reliable broadcast); any nack → next round.
+
+Safety rests on quorum intersection exactly as in Paxos: a decided
+proposal was adopted (with its round number) by ``n − t`` processes, so
+every later coordinator's collection contains it with the highest round.
+Termination: once the never-again-suspected correct process coordinates
+a round after stabilization, every correct process acks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...core.exceptions import ConfigurationError
+from ..network import AsyncProcess, Context
+
+
+class ChandraTouegProcess(AsyncProcess):
+    """One participant of the rotating-coordinator ◇S algorithm."""
+
+    def __init__(
+        self, pid: int, n: int, t: int, input_value: object, poll_interval: float = 0.5
+    ) -> None:
+        if not 0 <= t < (n + 1) // 2:
+            raise ConfigurationError(f"needs t < n/2, got t={t}, n={n}")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.estimate = input_value
+        self.estimate_round = 0
+        self.round = 0
+        self.phase = "send-estimate"
+        # Coordinator state per round.
+        self.collected_estimates: Dict[int, Dict[int, Tuple[object, int]]] = {}
+        self.collected_votes: Dict[int, Dict[int, bool]] = {}
+        self.proposal_sent: Set[int] = set()
+        self.decided_flooded = False
+        self.rounds_executed = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _coordinator(self, round_no: int) -> int:
+        return round_no % self.n
+
+    def _begin_round(self, ctx: Context, round_no: int) -> None:
+        self.round = round_no
+        self.rounds_executed += 1
+        self.phase = "wait-proposal"
+        ctx.send(
+            self._coordinator(round_no),
+            ("ct", "estimate", round_no, self.estimate, self.estimate_round),
+        )
+        ctx.set_timer(0.5, ("ct", "poll", round_no))
+
+    def on_start(self, ctx: Context) -> None:
+        self._begin_round(ctx, 0)
+
+    # -- coordinator side ------------------------------------------------------
+
+    def _on_estimate(self, ctx: Context, src: int, message: object) -> None:
+        _, _, round_no, estimate, estimate_round = message
+        bucket = self.collected_estimates.setdefault(round_no, {})
+        bucket.setdefault(src, (estimate, estimate_round))
+        if (
+            self._coordinator(round_no) == self.pid
+            and round_no not in self.proposal_sent
+            and len(bucket) >= self.n - self.t
+        ):
+            self.proposal_sent.add(round_no)
+            best_value, _ = max(
+                bucket.values(), key=lambda pair: pair[1]
+            )
+            ctx.broadcast(("ct", "proposal", round_no, best_value))
+
+    def _on_vote(self, ctx: Context, src: int, message: object) -> None:
+        _, _, round_no, ack, value = message
+        if self._coordinator(round_no) != self.pid:
+            return
+        bucket = self.collected_votes.setdefault(round_no, {})
+        bucket.setdefault(src, ack)
+        if len(bucket) == self.n - self.t:
+            if all(bucket.values()):
+                ctx.broadcast(("ct", "decide", value))
+            # On any nack the round simply dies; participants have
+            # already moved on from their own timeouts/nacks.
+
+    # -- participant side ----------------------------------------------------------
+
+    def _on_proposal(self, ctx: Context, src: int, message: object) -> None:
+        _, _, round_no, value = message
+        if round_no != self.round or self.phase != "wait-proposal":
+            return
+        self.estimate = value
+        self.estimate_round = round_no
+        self.phase = "voted"
+        ctx.send(
+            self._coordinator(round_no), ("ct", "vote", round_no, True, value)
+        )
+        self._begin_round(ctx, round_no + 1)
+
+    def on_timer(self, ctx: Context, name: object) -> None:
+        if not (isinstance(name, tuple) and name and name[0] == "ct"):
+            return
+        _, kind, round_no = name
+        if ctx.decided or kind != "poll" or round_no != self.round:
+            return
+        if self.phase != "wait-proposal":
+            return
+        suspects = ctx.failure_detector()
+        coordinator = self._coordinator(round_no)
+        if coordinator in suspects:
+            self.phase = "voted"
+            ctx.send(coordinator, ("ct", "vote", round_no, False, None))
+            self._begin_round(ctx, round_no + 1)
+        else:
+            ctx.set_timer(0.5, ("ct", "poll", round_no))
+
+    def _on_decide(self, ctx: Context, src: int, message: object) -> None:
+        _, _, value = message
+        if not ctx.decided:
+            ctx.broadcast(("ct", "decide", value), include_self=False)
+            ctx.decide(value)
+            ctx.halt()
+
+    def on_message(self, ctx: Context, src: int, message: object) -> None:
+        if not (isinstance(message, tuple) and message and message[0] == "ct"):
+            return
+        kind = message[1]
+        handler = {
+            "estimate": self._on_estimate,
+            "proposal": self._on_proposal,
+            "vote": self._on_vote,
+            "decide": self._on_decide,
+        }.get(kind)
+        if handler is not None:
+            handler(ctx, src, message)
+
+
+def make_chandra_toueg(
+    n: int, t: int, inputs, poll_interval: float = 0.5
+) -> List[ChandraTouegProcess]:
+    """One Chandra-Toueg participant per process."""
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    return [
+        ChandraTouegProcess(pid, n, t, inputs[pid], poll_interval)
+        for pid in range(n)
+    ]

@@ -1,0 +1,211 @@
+"""Condition-based consensus (paper §5.3; Mostéfaoui–Rajsbaum–Raynal [48]).
+
+The third route around FLP: *restrict the space of input vectors*.
+A condition ``C`` is a set of allowed input vectors; the MRR framework
+shows consensus is solvable in ``AMP_{n,t}`` despite asynchrony exactly
+for the ``t``-*acceptable* conditions, and links them to error-correcting
+codes [25]: a condition is acceptable iff its vectors, viewed as code
+words, keep enough "distance" that ``t`` missing entries cannot make two
+different decisions look alike.
+
+Implemented conditions:
+
+* :func:`c_max_condition` — ``C¹ₜ(max)``: the maximal value of the vector
+  appears more than ``t`` times (the canonical acceptable condition);
+* :func:`c_frequency_condition` — first-mode variant: the most frequent
+  value leads the runner-up by more than ``t`` occurrences.
+
+:class:`ConditionConsensusProcess` — each process broadcasts its input,
+collects ``n − t`` entries into a partial view, and decides as soon as
+its view *determines* the condition's decode function despite the ≤ t
+missing entries; with an input vector inside the condition this happens
+after one message exchange (2Δ).  With a vector outside the condition
+the protocol falls back to waiting for the full vector (it then decides
+only in crash-free runs — exactly the guarantee the theory gives).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...core.exceptions import ConfigurationError
+from ..network import AsyncProcess, Context
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An acceptable condition: membership test + two decode modes.
+
+    ``decide_from_view(view, t)`` — the *conservative* decode: returns
+    the decoded value only when the partial ``view`` (``None`` marks
+    missing entries) determines it even if the input vector might lie
+    outside the condition; ``None`` otherwise.  Safe unconditionally,
+    may withhold termination near the condition's boundary.
+
+    ``decide_trusted(view)`` — the *MRR-framework* decode: under the
+    framework's standing assumption that the input vector IS in the
+    condition, a view with ≤ t missing entries already determines the
+    decode (that is what makes the condition ``t``-acceptable), so it
+    returns a value for any such view.  Guarantees termination after one
+    exchange for all vectors in C; outside C all bets are off — which is
+    exactly the solvability frontier the benchmarks chart.
+    """
+
+    name: str
+    contains: Callable[[Tuple[object, ...]], bool]
+    decide_from_view: Callable[[Sequence[Optional[object]], int], Optional[object]]
+    decide_trusted: Callable[[Sequence[Optional[object]]], Optional[object]] = None
+
+
+def c_max_condition(t: int) -> Condition:
+    """``C¹ₜ(max)``: max(I) appears more than ``t`` times in ``I``.
+
+    Decode = max.  A partial view with ``m ≤ t`` missing entries
+    determines the decode iff its own maximum appears more than ``t - 0``
+    times *counting only visible entries* — any hidden larger value could
+    appear at most ``m ≤ t`` times, which would break membership, so for
+    vectors inside the condition the visible max is the true max.
+    """
+
+    def contains(vector: Tuple[object, ...]) -> bool:
+        counts = Counter(vector)
+        return counts[max(vector)] > t
+
+    def decide_from_view(view: Sequence[Optional[object]], tt: int) -> Optional[object]:
+        visible = [v for v in view if v is not None]
+        if not visible:
+            return None
+        top = max(visible)
+        missing = len(view) - len(visible)
+        # The visible max must already appear more often than the number
+        # of *hidden* slots could hide a larger value's occurrences; for
+        # an in-condition vector this is exactly "count(top) > t - 0"
+        # relaxed by what is still unseen.
+        if visible.count(top) > tt:
+            return top
+        if missing == 0:
+            return top  # full vector: decode directly
+        return None
+
+    def decide_trusted(view: Sequence[Optional[object]]) -> Optional[object]:
+        # With I ∈ C promised, a hidden-from-view larger value would
+        # appear ≤ t times, contradicting membership — so the visible
+        # max is max(I).
+        visible = [v for v in view if v is not None]
+        return max(visible) if visible else None
+
+    return Condition(f"C_max[t={t}]", contains, decide_from_view, decide_trusted)
+
+
+def c_frequency_condition(t: int) -> Condition:
+    """First-mode condition: the most frequent value leads by > t.
+
+    Decode = most frequent value (ties broken by max).  With ≤ t hidden
+    entries the leader of an in-condition vector still leads the visible
+    counts, so the decode is determined once the visible lead exceeds
+    the number of missing entries.
+    """
+
+    def contains(vector: Tuple[object, ...]) -> bool:
+        counts = Counter(vector).most_common()
+        if len(counts) == 1:
+            return counts[0][1] > t
+        return counts[0][1] - counts[1][1] > t
+
+    def decide_from_view(view: Sequence[Optional[object]], tt: int) -> Optional[object]:
+        visible = [v for v in view if v is not None]
+        if not visible:
+            return None
+        missing = len(view) - len(visible)
+        counts = Counter(visible).most_common()
+        best = max(
+            (count, value) for value, count in Counter(visible).items()
+        )
+        lead = counts[0][1] - (counts[1][1] if len(counts) > 1 else 0)
+        if lead > missing:
+            return best[1]
+        if missing == 0:
+            return best[1]
+        return None
+
+    def decide_trusted(view: Sequence[Optional[object]]) -> Optional[object]:
+        visible = [v for v in view if v is not None]
+        if not visible:
+            return None
+        best = max((count, value) for value, count in Counter(visible).items())
+        return best[1]
+
+    return Condition(f"C_freq[t={t}]", contains, decide_from_view, decide_trusted)
+
+
+class ConditionConsensusProcess(AsyncProcess):
+    """Condition-based consensus participant.
+
+    Broadcasts its input once; decides as soon as its partial view
+    determines the condition's decode function.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        input_value: object,
+        condition: Condition,
+        assume_condition: bool = False,
+    ) -> None:
+        if not 0 <= t < n:
+            raise ConfigurationError(f"need 0 <= t < n, got t={t}, n={n}")
+        if assume_condition and condition.decide_trusted is None:
+            raise ConfigurationError(
+                f"{condition.name} has no trusted decode function"
+            )
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.input_value = input_value
+        self.condition = condition
+        self.assume_condition = assume_condition
+        self.view: List[Optional[object]] = [None] * n
+        self.received = 0
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(("cond", self.pid, self.input_value))
+
+    def on_message(self, ctx: Context, src: int, message: object) -> None:
+        if ctx.decided:
+            return
+        if not (isinstance(message, tuple) and message and message[0] == "cond"):
+            return
+        _, origin, value = message
+        if self.view[origin] is None:
+            self.view[origin] = value
+            self.received += 1
+        if self.received >= self.n - self.t:
+            if self.assume_condition:
+                decision = self.condition.decide_trusted(self.view)
+            else:
+                decision = self.condition.decide_from_view(self.view, self.t)
+            if decision is not None:
+                ctx.decide(decision)
+                ctx.halt()
+
+
+def make_condition_consensus(
+    n: int,
+    t: int,
+    inputs: Sequence[object],
+    condition: Condition,
+    assume_condition: bool = False,
+) -> List[ConditionConsensusProcess]:
+    """One condition-based consensus participant per process."""
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    return [
+        ConditionConsensusProcess(
+            pid, n, t, inputs[pid], condition, assume_condition
+        )
+        for pid in range(n)
+    ]

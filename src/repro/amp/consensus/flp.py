@@ -1,0 +1,325 @@
+"""FLP in message passing, executed exhaustively (paper §2.4, §5.1, [23]).
+
+Fischer–Lynch–Paterson: no deterministic algorithm solves consensus in
+``AMP_{n,1}`` — one potential crash suffices.  As in the shared-memory
+case (:mod:`repro.shm.bivalence`), the proof's machinery is
+finite-branching for a concrete protocol: the adversary's moves are
+*which in-transit message to deliver next* and *whom to crash* (within
+the resilience budget ``t``).
+
+:class:`MessageProtocolExplorer` walks the complete configuration graph
+of a :class:`MessageProtocol` and reports:
+
+* agreement/validity violations in any reachable configuration;
+* **stuck configurations** — some live process undecided while no
+  message to any live process is in transit (a fair execution that ends
+  undecided: the termination failure mode of "wait for everyone"
+  protocols under a crash);
+* initial bivalence and per-configuration valence.
+
+Concrete protocols exhibiting the FLP dichotomy:
+
+* :class:`EagerMinConsensus` — decide min of the first ``n − t`` values:
+  always terminates, *violates agreement* (found by the explorer);
+* :class:`UnanimityConsensus` — decide only on a unanimous quorum:
+  always safe, but the explorer finds reachable stuck/livelocked
+  configurations — with one crash it cannot terminate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ...core.exceptions import ConfigurationError, SimulationLimitExceeded
+
+#: Sentinel: a process that has not decided.
+NOT_DECIDED = object()
+
+Transit = Tuple[Tuple[int, int, object], ...]  # sorted (src, dst, payload)
+Config = Tuple[Tuple[object, ...], FrozenSet[int], Transit]
+
+
+class MessageProtocol:
+    """A deterministic message-driven protocol for exhaustive checking."""
+
+    name = "message-protocol"
+
+    def initial_state(self, pid: int, input_value: object) -> object:
+        raise NotImplementedError
+
+    def initial_messages(self, pid: int, state: object) -> List[Tuple[int, object]]:
+        """Messages sent spontaneously at startup."""
+        return []
+
+    def on_message(
+        self, pid: int, state: object, src: int, payload: object
+    ) -> Tuple[object, List[Tuple[int, object]]]:
+        """Handle a delivery; return (new state, messages to send)."""
+        raise NotImplementedError
+
+    def decision(self, pid: int, state: object) -> object:
+        """The decided value, or :data:`NOT_DECIDED`."""
+        return NOT_DECIDED
+
+
+@dataclass
+class MessageExplorationReport:
+    """Verdicts of the exhaustive message-passing exploration."""
+
+    configurations: int
+    decision_values: FrozenSet[object]
+    agreement_violation: Optional[Tuple[object, object]]
+    validity_violation: Optional[object]
+    stuck_configurations: int
+    initial_bivalent: bool
+    truncated: bool
+
+    @property
+    def safe(self) -> bool:
+        return self.agreement_violation is None and self.validity_violation is None
+
+    @property
+    def always_terminates(self) -> bool:
+        """No fair execution ends with a live process undecided."""
+        return self.stuck_configurations == 0 and not self.truncated
+
+
+class MessageProtocolExplorer:
+    """Exhaustive exploration over delivery orders and ≤ t crashes."""
+
+    def __init__(
+        self,
+        protocol: MessageProtocol,
+        inputs: Sequence[object],
+        t: int = 1,
+        max_configurations: int = 300_000,
+    ) -> None:
+        if not 0 <= t <= len(inputs):
+            raise ConfigurationError(f"need 0 <= t <= n, got t={t}")
+        self.protocol = protocol
+        self.inputs = tuple(inputs)
+        self.n = len(inputs)
+        self.t = t
+        self.max_configurations = max_configurations
+
+    # -- configuration mechanics ------------------------------------------
+
+    def initial_configuration(self) -> Config:
+        states = tuple(
+            self.protocol.initial_state(pid, self.inputs[pid])
+            for pid in range(self.n)
+        )
+        transit: List[Tuple[int, int, object]] = []
+        for pid in range(self.n):
+            for dst, payload in self.protocol.initial_messages(pid, states[pid]):
+                transit.append((pid, dst, payload))
+        return (states, frozenset(), tuple(sorted(transit, key=repr)))
+
+    def successors(self, config: Config) -> List[Config]:
+        states, crashed, transit = config
+        out: List[Config] = []
+        # Deliveries: each distinct in-transit message may arrive next.
+        seen_moves: Set[int] = set()
+        for index, (src, dst, payload) in enumerate(transit):
+            if (src, dst, payload) in (transit[i] for i in seen_moves):
+                continue
+            seen_moves.add(index)
+            remaining = transit[:index] + transit[index + 1 :]
+            if dst in crashed:
+                out.append((states, crashed, remaining))
+                continue
+            new_state, sends = self.protocol.on_message(
+                dst, states[dst], src, payload
+            )
+            new_states = states[:dst] + (new_state,) + states[dst + 1 :]
+            new_transit = list(remaining)
+            for to, msg in sends:
+                new_transit.append((dst, to, msg))
+            out.append(
+                (new_states, crashed, tuple(sorted(new_transit, key=repr)))
+            )
+        # Crashes: any live process, while the budget lasts.  Two variants
+        # per victim: the crash happens after its sends completed (its
+        # in-transit messages survive) or mid-send (they are lost) — the
+        # latter is the classic "crashed during a broadcast" case.
+        if len(crashed) < self.t:
+            for pid in range(self.n):
+                if pid not in crashed:
+                    out.append((states, crashed | {pid}, transit))
+                    without = tuple(
+                        entry for entry in transit if entry[0] != pid
+                    )
+                    if without != transit:
+                        out.append((states, crashed | {pid}, without))
+        return out
+
+    def decisions(self, config: Config) -> Dict[int, object]:
+        states, crashed, _ = config
+        out: Dict[int, object] = {}
+        for pid in range(self.n):
+            value = self.protocol.decision(pid, states[pid])
+            if value is not NOT_DECIDED:
+                out[pid] = value
+        return out
+
+    def is_stuck(self, config: Config) -> bool:
+        """Live undecided process + nothing deliverable to live processes."""
+        states, crashed, transit = config
+        live_undecided = [
+            pid
+            for pid in range(self.n)
+            if pid not in crashed
+            and self.protocol.decision(pid, states[pid]) is NOT_DECIDED
+        ]
+        if not live_undecided:
+            return False
+        deliverable = any(dst not in crashed for (_, dst, _) in transit)
+        return not deliverable
+
+    # -- exploration ---------------------------------------------------------
+
+    def explore(self) -> MessageExplorationReport:
+        initial = self.initial_configuration()
+        graph: Dict[Config, List[Config]] = {}
+        frontier = [initial]
+        truncated = False
+        while frontier:
+            config = frontier.pop()
+            if config in graph:
+                continue
+            if len(graph) >= self.max_configurations:
+                truncated = True
+                break
+            succ = self.successors(config)
+            graph[config] = succ
+            for nxt in succ:
+                if nxt not in graph:
+                    frontier.append(nxt)
+
+        all_values: Set[object] = set()
+        agreement_violation: Optional[Tuple[object, object]] = None
+        validity_violation: Optional[object] = None
+        stuck = 0
+        input_set = set(self.inputs)
+        for config in graph:
+            decided = self.decisions(config)
+            all_values |= set(decided.values())
+            distinct = set(decided.values())
+            if len(distinct) > 1 and agreement_violation is None:
+                pair = sorted(distinct, key=repr)[:2]
+                agreement_violation = (pair[0], pair[1])
+            for value in distinct:
+                if value not in input_set and validity_violation is None:
+                    validity_violation = value
+            if self.is_stuck(config):
+                stuck += 1
+
+        # Initial valence: reachable decision values per initial branch.
+        valence = self._initial_valence(graph, initial)
+        return MessageExplorationReport(
+            configurations=len(graph),
+            decision_values=frozenset(all_values),
+            agreement_violation=agreement_violation,
+            validity_violation=validity_violation,
+            stuck_configurations=stuck,
+            initial_bivalent=len(valence) > 1,
+            truncated=truncated,
+        )
+
+    def _initial_valence(
+        self, graph: Dict[Config, List[Config]], initial: Config
+    ) -> FrozenSet[object]:
+        values: Dict[Config, Set[object]] = {
+            config: set(self.decisions(config).values()) for config in graph
+        }
+        changed = True
+        while changed:
+            changed = False
+            for config, successors in graph.items():
+                bucket = values[config]
+                before = len(bucket)
+                for nxt in successors:
+                    if nxt in values:
+                        bucket |= values[nxt]
+                if len(bucket) != before:
+                    changed = True
+        return frozenset(values.get(initial, set()))
+
+
+# ---------------------------------------------------------------------------
+# The dichotomy protocols
+# ---------------------------------------------------------------------------
+
+
+class EagerMinConsensus(MessageProtocol):
+    """Decide min of the first ``n − t`` values heard (own included).
+
+    Terminates in every fair execution with ≤ t crashes — and the
+    explorer finds the agreement violation FLP promises a terminating
+    protocol must have.
+    """
+
+    name = "eager-min-consensus"
+
+    def __init__(self, n: int, t: int) -> None:
+        self.n = n
+        self.t = t
+
+    def initial_state(self, pid: int, input_value: object):
+        # (own value, frozenset of (src, value) heard, decision)
+        heard = frozenset([(pid, input_value)])
+        decision = None
+        if len(heard) >= self.n - self.t:
+            decision = input_value
+        return (input_value, heard, decision)
+
+    def initial_messages(self, pid: int, state):
+        value, _, _ = state
+        return [(dst, value) for dst in range(self.n) if dst != pid]
+
+    def on_message(self, pid: int, state, src: int, payload):
+        value, heard, decision = state
+        if decision is not None:
+            return state, []
+        heard = heard | {(src, payload)}
+        if len(heard) >= self.n - self.t:
+            decision = min(v for _, v in heard)
+        return (value, heard, decision), []
+
+    def decision(self, pid: int, state):
+        return state[2] if state[2] is not None else NOT_DECIDED
+
+
+class UnanimityConsensus(MessageProtocol):
+    """Decide only when ALL ``n`` values are known and equal-safe.
+
+    Waits for every process's value and decides the minimum — trivially
+    safe, but a single crash leaves everyone waiting forever: the
+    explorer counts the stuck configurations.
+    """
+
+    name = "unanimity-consensus"
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def initial_state(self, pid: int, input_value: object):
+        return (input_value, frozenset([(pid, input_value)]), None)
+
+    def initial_messages(self, pid: int, state):
+        value, _, _ = state
+        return [(dst, value) for dst in range(self.n) if dst != pid]
+
+    def on_message(self, pid: int, state, src: int, payload):
+        value, heard, decision = state
+        if decision is not None:
+            return state, []
+        heard = heard | {(src, payload)}
+        if len(heard) == self.n:
+            decision = min(v for _, v in heard)
+        return (value, heard, decision), []
+
+    def decision(self, pid: int, state):
+        return state[2] if state[2] is not None else NOT_DECIDED

@@ -1,0 +1,213 @@
+"""Ω-based indulgent consensus (paper §5.3; Chandra–Toueg/Mostéfaoui–Raynal).
+
+The fourth route around FLP: enrich ``AMP_{n,t}[t<n/2]`` with the
+*weakest* failure detector for consensus, the eventual leader Ω.  The
+algorithm is **indulgent** [28, 29]: if the Ω implementation never meets
+its specification, the algorithm may not terminate, but any value it
+ever decides is correct — safety does not rest on the detector.
+
+Round-based structure (coordinator ``c_r = r mod n``, quorums of
+``n − t``):
+
+1. at round ``r``, the coordinator broadcasts its estimate as the
+   round's proposal;
+2. every process waits until it receives the proposal **or** its Ω
+   module stops trusting ``c_r`` (re-polled on a timer); it then
+   broadcasts an AUX value — the proposal, or ⊥ if it gave up on ``c_r``;
+3. on collecting ``n − t`` AUX values: all equal to ``v ≠ ⊥`` → decide
+   ``v``; any ``v ≠ ⊥`` present → adopt ``v``; next round.
+
+Safety: all non-⊥ AUX values of a round carry the single coordinator
+proposal, and two ``(n−t)``-quorums intersect (``t < n/2``), so a decided
+value infects every estimate.  Termination: once Ω stabilizes on a
+correct leader ℓ, the first round with ``c_r = ℓ`` after stabilization
+decides.  ``DECIDE`` is flooded so halted deciders cannot block others.
+
+:class:`OmegaConsensusComponent` is embeddable (tag-multiplexed) so
+TO-broadcast (:mod:`repro.amp.tobroadcast`) can run a sequence of
+instances; :class:`OmegaConsensusProcess` wraps one instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ...core.exceptions import ConfigurationError
+from ..network import AsyncProcess, Context
+
+BOT = "<⊥>"
+
+
+class OmegaConsensusComponent:
+    """One consensus instance, multiplexed by ``tag``.
+
+    Drive it with ``start``, feed it every incoming message via
+    ``handle`` and every timer via ``on_timer``; ``on_decide`` fires
+    exactly once with the decided value.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        tag: str,
+        on_decide: Callable[[Context, object], None],
+        poll_interval: float = 0.5,
+    ) -> None:
+        if not 0 <= t < (n + 1) // 2:
+            raise ConfigurationError(f"needs t < n/2, got t={t}, n={n}")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.tag = tag
+        self.on_decide = on_decide
+        self.poll_interval = poll_interval
+        self.est: object = None
+        self.round = 0
+        self.waiting_proposal = False
+        self.proposals: Dict[int, object] = {}
+        self.aux: Dict[int, Dict[int, object]] = {}
+        self.aux_sent: Set[int] = set()
+        self.decided = False
+        self.decision: object = None
+        self.rounds_executed = 0
+        self.started = False
+
+    # -- round machinery ---------------------------------------------------
+
+    def _coordinator(self, round_no: int) -> int:
+        return round_no % self.n
+
+    def start(self, ctx: Context, value: object) -> None:
+        """Propose ``value`` and begin round 0."""
+        if self.started:
+            raise ConfigurationError(f"{self.tag}: start called twice")
+        self.started = True
+        self.est = value
+        self._begin_round(ctx, 0)
+
+    def _begin_round(self, ctx: Context, round_no: int) -> None:
+        self.round = round_no
+        self.rounds_executed += 1
+        self.waiting_proposal = True
+        if self._coordinator(round_no) == self.pid:
+            ctx.broadcast((self.tag, "prop", round_no, self.est))
+        self._check_proposal(ctx)
+        ctx.set_timer(self.poll_interval, (self.tag, "poll", round_no))
+
+    def _check_proposal(self, ctx: Context) -> None:
+        if self.decided or not self.waiting_proposal:
+            return
+        if self.round in self.proposals:
+            self.waiting_proposal = False
+            self._send_aux(ctx, self.proposals[self.round])
+
+    def _send_aux(self, ctx: Context, value: object) -> None:
+        if self.round in self.aux_sent:
+            return
+        self.aux_sent.add(self.round)
+        ctx.broadcast((self.tag, "aux", self.round, value))
+
+    def _check_aux(self, ctx: Context) -> None:
+        if self.decided or self.waiting_proposal:
+            return
+        bucket = self.aux.get(self.round, {})
+        if len(bucket) < self.n - self.t:
+            return
+        values = list(bucket.values())
+        non_bot = [v for v in values if v != BOT]
+        if non_bot:
+            self.est = non_bot[0]
+            if len(non_bot) == len(values):
+                self._decide(ctx, non_bot[0])
+                return
+        self._begin_round(ctx, self.round + 1)
+
+    def _decide(self, ctx: Context, value: object) -> None:
+        if self.decided:
+            return
+        self.decided = True
+        self.decision = value
+        ctx.broadcast((self.tag, "decide", value), include_self=False)
+        self.on_decide(ctx, value)
+
+    # -- event entry points --------------------------------------------------
+
+    def handle(self, ctx: Context, src: int, message: object) -> bool:
+        """Returns True when the message belonged to this instance."""
+        if not (isinstance(message, tuple) and message and message[0] == self.tag):
+            return False
+        kind = message[1]
+        if kind == "prop":
+            _, _, round_no, value = message
+            self.proposals.setdefault(round_no, value)
+            self._check_proposal(ctx)
+        elif kind == "aux":
+            _, _, round_no, value = message
+            self.aux.setdefault(round_no, {}).setdefault(src, value)
+            self._check_aux(ctx)
+        elif kind == "decide":
+            _, _, value = message
+            if not self.decided:
+                self._decide(ctx, value)
+        return True
+
+    def on_timer(self, ctx: Context, name: object) -> bool:
+        """Feed timers; returns True when the timer belonged to us."""
+        if not (isinstance(name, tuple) and name and name[0] == self.tag):
+            return False
+        _, kind, round_no = name
+        if kind == "poll" and not self.decided and round_no == self.round:
+            if self.waiting_proposal:
+                leader = ctx.failure_detector()
+                if leader != self._coordinator(self.round):
+                    self.waiting_proposal = False
+                    self._send_aux(ctx, BOT)
+                    self._check_aux(ctx)
+                else:
+                    ctx.set_timer(self.poll_interval, (self.tag, "poll", round_no))
+        return True
+
+
+class OmegaConsensusProcess(AsyncProcess):
+    """A standalone process running one Ω-based consensus instance."""
+
+    def __init__(
+        self, pid: int, n: int, t: int, input_value: object, poll_interval: float = 0.5
+    ) -> None:
+        self.input_value = input_value
+        self.component = OmegaConsensusComponent(
+            pid,
+            n,
+            t,
+            tag="omega-consensus",
+            on_decide=self._record,
+            poll_interval=poll_interval,
+        )
+
+    def _record(self, ctx: Context, value: object) -> None:
+        ctx.decide(value)
+        ctx.halt()
+
+    def on_start(self, ctx: Context) -> None:
+        self.component.start(ctx, self.input_value)
+
+    def on_message(self, ctx: Context, src: int, message: object) -> None:
+        self.component.handle(ctx, src, message)
+
+    def on_timer(self, ctx: Context, name: object) -> None:
+        self.component.on_timer(ctx, name)
+
+
+def make_omega_consensus(
+    n: int, t: int, inputs, poll_interval: float = 0.5
+) -> List[OmegaConsensusProcess]:
+    """One Ω-consensus participant per process."""
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    return [
+        OmegaConsensusProcess(pid, n, t, inputs[pid], poll_interval)
+        for pid in range(n)
+    ]

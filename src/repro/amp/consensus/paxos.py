@@ -1,0 +1,198 @@
+"""Single-decree Paxos with Ω as the leader service (paper §5.3, [42]).
+
+The paper: *"Ω can be seen as a formal definition of the leader service
+used in Paxos"*.  Here is that sentence as code — the synod protocol
+with every node playing proposer, acceptor, and learner, where a node
+*campaigns* exactly while its Ω module names it leader:
+
+* **proposer** — on a leadership poll, if ``Ω == me`` and no decision is
+  known, start a ballot ``(attempt, pid)``: PREPARE to all; on a majority
+  of PROMISEs, ACCEPT the highest-ballot accepted value (or its own
+  input); preempted ballots (NACK) back off and retry while still leader;
+* **acceptor** — the standard promise/accept state machine: never go
+  back on a promise, never accept below the promised ballot;
+* **learner** — a value accepted by a majority at one ballot is chosen;
+  the observer floods DECIDE.
+
+Indulgence, Paxos-style: with a lying Ω several nodes campaign at once
+and ballots preempt each other — possibly forever — but the
+promise/accept quorum logic keeps any chosen value unique.  Once Ω
+stabilizes, the single leader's ballot goes through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...core.exceptions import ConfigurationError
+from ..network import AsyncProcess, Context
+
+Ballot = Tuple[int, int]  # (attempt, pid): totally ordered, proposer-unique
+
+ZERO_BALLOT: Ballot = (0, -1)
+
+
+class PaxosNode(AsyncProcess):
+    """Proposer + acceptor + learner in one node."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        input_value: object,
+        poll_interval: float = 0.5,
+        backoff: float = 0.7,
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self.input_value = input_value
+        self.poll_interval = poll_interval
+        self.backoff = backoff
+        # Acceptor state.
+        self.promised: Ballot = ZERO_BALLOT
+        self.accepted_ballot: Ballot = ZERO_BALLOT
+        self.accepted_value: object = None
+        # Proposer state.
+        self.attempt = 0
+        self.current_ballot: Optional[Ballot] = None
+        self.promises: Dict[Ballot, List[Tuple[Ballot, object]]] = {}
+        self.accept_acks: Dict[Ballot, Set[int]] = {}
+        self._accept_value: Dict[Ballot, object] = {}
+        self.campaigning = False
+        self.ballots_started = 0
+        # Learner state.
+        self.decided_value: object = None
+
+    @property
+    def majority(self) -> int:
+        return self.n // 2 + 1
+
+    # -- leadership -------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.set_timer(0.0, ("paxos", "poll"))
+
+    def on_timer(self, ctx: Context, name: object) -> None:
+        if not (isinstance(name, tuple) and name and name[0] == "paxos"):
+            return
+        if ctx.decided:
+            return
+        kind = name[1]
+        if kind == "poll":
+            leader = ctx.failure_detector()
+            if leader == self.pid and not self.campaigning:
+                self._start_ballot(ctx)
+            ctx.set_timer(self.poll_interval, ("paxos", "poll"))
+        elif kind == "retry":
+            if not self.campaigning and ctx.failure_detector() == self.pid:
+                self._start_ballot(ctx)
+
+    def _start_ballot(self, ctx: Context) -> None:
+        self.attempt += 1
+        self.ballots_started += 1
+        ballot: Ballot = (self.attempt, self.pid)
+        self.current_ballot = ballot
+        self.campaigning = True
+        self.promises[ballot] = []
+        ctx.broadcast(("paxos", "prepare", ballot))
+
+    def _preempted(self, ctx: Context, seen_ballot: Ballot) -> None:
+        """Another proposer holds a higher ballot; back off and retry."""
+        self.campaigning = False
+        self.current_ballot = None
+        self.attempt = max(self.attempt, seen_ballot[0])
+        ctx.set_timer(self.backoff, ("paxos", "retry"))
+
+    # -- message handling --------------------------------------------------------
+
+    def on_message(self, ctx: Context, src: int, message: object) -> None:
+        if not (isinstance(message, tuple) and message and message[0] == "paxos"):
+            return
+        kind = message[1]
+        handler = {
+            "prepare": self._on_prepare,
+            "promise": self._on_promise,
+            "nack": self._on_nack,
+            "accept": self._on_accept,
+            "accepted": self._on_accepted,
+            "decide": self._on_decide,
+        }.get(kind)
+        if handler is not None:
+            handler(ctx, src, message)
+
+    # acceptor --------------------------------------------------------------
+
+    def _on_prepare(self, ctx: Context, src: int, message: object) -> None:
+        _, _, ballot = message
+        if ballot > self.promised:
+            self.promised = ballot
+            ctx.send(
+                src,
+                ("paxos", "promise", ballot, self.accepted_ballot, self.accepted_value),
+            )
+        else:
+            ctx.send(src, ("paxos", "nack", ballot, self.promised))
+
+    def _on_accept(self, ctx: Context, src: int, message: object) -> None:
+        _, _, ballot, value = message
+        if ballot >= self.promised:
+            self.promised = ballot
+            self.accepted_ballot = ballot
+            self.accepted_value = value
+            ctx.send(src, ("paxos", "accepted", ballot))
+        else:
+            ctx.send(src, ("paxos", "nack", ballot, self.promised))
+
+    # proposer ----------------------------------------------------------------
+
+    def _on_promise(self, ctx: Context, src: int, message: object) -> None:
+        _, _, ballot, accepted_ballot, accepted_value = message
+        if ballot != self.current_ballot:
+            return
+        bucket = self.promises[ballot]
+        bucket.append((accepted_ballot, accepted_value))
+        if len(bucket) != self.majority:
+            return
+        best_ballot, best_value = max(bucket, key=lambda pair: pair[0])
+        value = best_value if best_ballot > ZERO_BALLOT else self.input_value
+        self.accept_acks[ballot] = set()
+        self._accept_value[ballot] = value
+        ctx.broadcast(("paxos", "accept", ballot, value))
+
+    def _on_nack(self, ctx: Context, src: int, message: object) -> None:
+        _, _, ballot, promised = message
+        if ballot == self.current_ballot:
+            self._preempted(ctx, promised)
+
+    def _on_accepted(self, ctx: Context, src: int, message: object) -> None:
+        _, _, ballot = message
+        if ballot != self.current_ballot or ballot not in self.accept_acks:
+            return
+        acks = self.accept_acks[ballot]
+        acks.add(src)
+        if len(acks) == self.majority:
+            # Chosen: learn and flood the exact value this ballot proposed.
+            value = self._accept_value[ballot]
+            ctx.broadcast(("paxos", "decide", value))
+
+    # learner -------------------------------------------------------------------
+
+    def _on_decide(self, ctx: Context, src: int, message: object) -> None:
+        _, _, value = message
+        if not ctx.decided:
+            self.decided_value = value
+            ctx.broadcast(("paxos", "decide", value), include_self=False)
+            ctx.decide(value)
+            ctx.halt()
+
+
+def make_paxos(
+    n: int, inputs, poll_interval: float = 0.5, backoff: float = 0.7
+) -> List[PaxosNode]:
+    """One Paxos node per process."""
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    return [
+        PaxosNode(pid, n, inputs[pid], poll_interval, backoff) for pid in range(n)
+    ]

@@ -1,0 +1,196 @@
+"""Failure detectors (paper §5.3; Chandra–Toueg [15], CHT [14]).
+
+A failure detector is an oracle that gives each process (possibly wrong)
+information about crashes.  Classes differ in the quality of that
+information; the paper highlights:
+
+* **P** (perfect) — suspects exactly the crashed processes;
+* **◇P** (eventually perfect) — arbitrary mistakes until an unknown
+  stabilization time τ, perfect afterwards;
+* **◇S** (eventually strong) — eventually some correct process is never
+  suspected by anyone (weaker than ◇P);
+* **Ω** (eventual leader) — each query returns one process id; after τ
+  every correct process gets the *same correct* id forever.  Ω is the
+  *weakest* failure detector for consensus, and the formal face of the
+  Paxos leader service.
+
+Oracles here are driven by the simulator: they see the true crash state
+at query time and a configured stabilization time ``tau``.  Before
+``tau`` their output is adversarial (seeded arbitrary noise, or a
+caller-supplied script); at/after ``tau`` it honors the class contract.
+:class:`AdversarialOmega` *never* stabilizes — the tool for indulgence
+experiments (§5.3): an Ω-based algorithm fed garbage forever must never
+violate safety, though it may not terminate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..core.exceptions import ConfigurationError
+
+
+class FailureDetector:
+    """Oracle interface: ``query(pid, now, crashed)`` → class-specific output."""
+
+    def attach(self, runtime) -> None:
+        """Called by the runtime before the run starts (optional hook)."""
+        self._runtime = runtime
+
+    def query(self, pid: int, now: float, crashed: FrozenSet[int]) -> object:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class PerfectFD(FailureDetector):
+    """P: the suspected set is exactly the crashed set, immediately."""
+
+    def query(self, pid, now, crashed):
+        return frozenset(crashed)
+
+
+class EventuallyPerfectFD(FailureDetector):
+    """◇P: noisy suspicions before ``tau``, exact afterwards.
+
+    Pre-τ behavior: each query independently suspects a random subset
+    (seeded), so wrong suspicions of correct processes and missed crashes
+    both occur — the full spectrum of ◇P mistakes.
+    """
+
+    def __init__(self, n: int, tau: float, seed: int = 0) -> None:
+        if tau < 0:
+            raise ConfigurationError("tau must be >= 0")
+        self.n = n
+        self.tau = tau
+        self._rng = random.Random(seed)
+
+    def query(self, pid, now, crashed):
+        if now >= self.tau:
+            return frozenset(crashed)
+        return frozenset(
+            q for q in range(self.n) if q != pid and self._rng.random() < 0.3
+        )
+
+
+class EventuallyStrongFD(FailureDetector):
+    """◇S: eventually some correct process is never suspected by anyone.
+
+    Realized as: after ``tau`` nobody suspects the smallest non-crashed
+    id (the eventual trusted process); other suspicions may stay noisy.
+    """
+
+    def __init__(self, n: int, tau: float, seed: int = 0) -> None:
+        if tau < 0:
+            raise ConfigurationError("tau must be >= 0")
+        self.n = n
+        self.tau = tau
+        self._rng = random.Random(seed)
+
+    def query(self, pid, now, crashed):
+        noisy = {
+            q for q in range(self.n) if q != pid and self._rng.random() < 0.3
+        }
+        if now >= self.tau:
+            alive = [q for q in range(self.n) if q not in crashed]
+            if alive:
+                noisy.discard(min(alive))
+            noisy |= set(crashed)
+        return frozenset(noisy)
+
+
+class OmegaFD(FailureDetector):
+    """Ω: eventual leader election (the weakest FD for consensus).
+
+    Before ``tau`` each query returns an arbitrary (seeded) id — possibly
+    crashed, possibly different at different processes.  From ``tau`` on,
+    every query returns the smallest non-crashed id.  With all crashes
+    scheduled before ``tau`` this realizes the paper's contract exactly:
+    one common correct leader, forever, from some unknown time on.
+    """
+
+    def __init__(self, n: int, tau: float, seed: int = 0) -> None:
+        if tau < 0:
+            raise ConfigurationError("tau must be >= 0")
+        self.n = n
+        self.tau = tau
+        self._rng = random.Random(seed)
+
+    def query(self, pid, now, crashed):
+        if now >= self.tau:
+            alive = [q for q in range(self.n) if q not in crashed]
+            return min(alive) if alive else 0
+        return self._rng.randrange(self.n)
+
+
+class AdversarialOmega(FailureDetector):
+    """An Ω implementation that never satisfies its specification.
+
+    Each query returns a rotating leader (different processes may
+    disagree at the same instant).  Indulgent algorithms (§5.3) must
+    remain safe under it — that property is what the indulgence tests
+    check — while termination is forfeited.
+    """
+
+    def __init__(self, n: int, period: float = 1.0) -> None:
+        if period <= 0:
+            raise ConfigurationError("period must be > 0")
+        self.n = n
+        self.period = period
+
+    def query(self, pid, now, crashed):
+        return (int(now / self.period) + pid) % self.n
+
+
+class ScriptedFD(FailureDetector):
+    """Replay a caller-supplied function — for targeted regression tests."""
+
+    def __init__(self, script: Callable[[int, float, FrozenSet[int]], object]) -> None:
+        self.script = script
+
+    def query(self, pid, now, crashed):
+        return self.script(pid, now, crashed)
+
+
+class HeartbeatOmega(FailureDetector):
+    """Ω *implemented* from partial synchrony rather than decreed.
+
+    The oracle versions above state Ω's spec; this class shows how Ω is
+    built in practice (paper: "failure detectors can be seen as objects
+    that abstract underlying synchrony assumptions").  It watches the
+    runtime's delivery activity: a process is trusted if a message from
+    it was delivered within ``timeout`` of virtual time; the leader is
+    the smallest trusted id.  Under a :class:`PartialSynchronyDelay`
+    network this stabilizes to a single correct leader after GST.
+    """
+
+    def __init__(self, n: int, timeout: float) -> None:
+        if timeout <= 0:
+            raise ConfigurationError("timeout must be > 0")
+        self.n = n
+        self.timeout = timeout
+        self.last_heard: Dict[int, float] = {pid: 0.0 for pid in range(n)}
+        self._runtime = None
+
+    def attach(self, runtime) -> None:
+        self._runtime = runtime
+        original = runtime._handle_delivery
+
+        def wrapped(event_id, src, dst, payload):
+            self.last_heard[src] = max(self.last_heard[src], runtime.now)
+            return original(event_id, src, dst, payload)
+
+        runtime._handle_delivery = wrapped
+
+    def query(self, pid, now, crashed):
+        # No access to the true crash set: trust is purely timing-based,
+        # as in a real deployment.  Crashed processes stop sending, so
+        # they age out of the trusted set after ``timeout``.
+        trusted = [
+            q
+            for q in range(self.n)
+            if q == pid or now - self.last_heard[q] <= self.timeout
+        ]
+        return min(trusted)

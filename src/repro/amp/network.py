@@ -1,0 +1,444 @@
+"""Event-driven asynchronous message-passing simulator (paper §5.1).
+
+``AMP_{n,t}``: ``n`` sequential processes, every pair connected by a
+reliable asynchronous bidirectional channel — no loss, duplication,
+creation, or corruption; transfer delays are arbitrary, time-varying,
+but finite.  Up to ``t`` processes may crash.
+
+The simulator is a discrete-event loop over virtual time:
+
+* **delay models** decide each message's transfer delay — fixed ``Δ``
+  (the unit used by the paper's ABD cost claims), seeded-uniform, or
+  adversarial (e.g. partition-until-GST for partial synchrony);
+* **crashes** are scheduled at a virtual time; a crash may additionally
+  drop a subset of the crashed process's *in-flight* messages — that is
+  exactly the "crash in the middle of a broadcast" scenario motivating
+  reliable broadcast (§5.1);
+* **timers** give processes local alarms (heartbeats, retransmission);
+* **failure detectors** are oracles attached to the run and queried
+  through the context (see :mod:`repro.amp.failure_detectors`).
+
+Processes subclass :class:`AsyncProcess` with ``on_start``,
+``on_message``, ``on_timer`` handlers; each handler runs atomically at
+one instant of virtual time (local processing is free, as in the model).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import (
+    ConfigurationError,
+    ModelViolation,
+    SimulationLimitExceeded,
+)
+
+# ---------------------------------------------------------------------------
+# Delay models
+# ---------------------------------------------------------------------------
+
+
+class DelayModel:
+    """Decides the transfer delay of each message."""
+
+    def delay(self, src: int, dst: int, send_time: float, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``delta`` — the paper's Δ accounting."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ConfigurationError("delay must be > 0")
+        self.delta = delta
+
+    def delay(self, src, dst, send_time, rng):
+        return self.delta
+
+
+class UniformDelay(DelayModel):
+    """Seeded uniform delay in [low, high] — benign asynchrony."""
+
+    def __init__(self, low: float = 0.1, high: float = 1.0) -> None:
+        if not 0 < low <= high:
+            raise ConfigurationError("need 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def delay(self, src, dst, send_time, rng):
+        return rng.uniform(self.low, self.high)
+
+
+class PartialSynchronyDelay(DelayModel):
+    """Arbitrary delays before GST, bounded by ``delta`` afterwards.
+
+    The Dwork–Lynch–Stockmeyer partial-synchrony behavior [22] that makes
+    eventual failure detectors implementable: before the (unknown) global
+    stabilization time the network may delay messages up to
+    ``chaos_max``; at/after GST every message takes ≤ ``delta``.
+    """
+
+    def __init__(self, gst: float, delta: float = 1.0, chaos_max: float = 50.0) -> None:
+        if gst < 0 or delta <= 0 or chaos_max < delta:
+            raise ConfigurationError("need gst >= 0, 0 < delta <= chaos_max")
+        self.gst = gst
+        self.delta = delta
+        self.chaos_max = chaos_max
+
+    def delay(self, src, dst, send_time, rng):
+        if send_time >= self.gst:
+            return rng.uniform(self.delta * 0.5, self.delta)
+        raw = rng.uniform(self.delta, self.chaos_max)
+        # A pre-GST message is still delivered by GST + delta at the latest.
+        return min(raw, (self.gst + self.delta) - send_time + self.delta)
+
+
+class TargetedDelay(DelayModel):
+    """Per-(src, dst) overrides on top of a base model — for adversarial
+    scenarios like starving one reader or simulating a slow link."""
+
+    def __init__(
+        self,
+        base: DelayModel,
+        overrides: Mapping[Tuple[int, int], float],
+    ) -> None:
+        self.base = base
+        self.overrides = dict(overrides)
+
+    def delay(self, src, dst, send_time, rng):
+        if (src, dst) in self.overrides:
+            return self.overrides[(src, dst)]
+        return self.base.delay(src, dst, send_time, rng)
+
+
+# ---------------------------------------------------------------------------
+# Crash schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """Crash ``pid`` at virtual time ``time``.
+
+    ``drop_in_flight``: fraction of the process's undelivered outgoing
+    messages to drop, newest first (1.0 = drop all — the process "died
+    mid-send"; 0.0 = all already-sent messages still arrive).  This is
+    how a crashed broadcaster reaches only a subset of processes.
+    """
+
+    pid: int
+    time: float
+    drop_in_flight: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Process API
+# ---------------------------------------------------------------------------
+
+
+class Context:
+    """Per-process handle into the simulation (the model's API surface)."""
+
+    def __init__(self, runtime: "AsyncRuntime", pid: int) -> None:
+        self._runtime = runtime
+        self.pid = pid
+        self.n = runtime.n
+        self.decided = False
+        self.output: object = None
+        self.halted = False
+
+    # -- communication ----------------------------------------------------
+
+    def send(self, dst: int, payload: object) -> None:
+        """Send one message on the reliable channel to ``dst``."""
+        self._runtime._send(self.pid, dst, payload)
+
+    def broadcast(self, payload: object, include_self: bool = True) -> None:
+        """Send to every process (n sends; NOT reliable broadcast)."""
+        for dst in range(self.n):
+            if dst == self.pid and not include_self:
+                continue
+            self.send(dst, payload)
+
+    def set_timer(self, delay: float, name: object = None) -> None:
+        """Schedule ``on_timer(name)`` after ``delay`` time units."""
+        self._runtime._set_timer(self.pid, delay, name)
+
+    # -- oracles ---------------------------------------------------------------
+
+    def failure_detector(self) -> object:
+        """Query the attached failure detector at the current time."""
+        return self._runtime.query_failure_detector(self.pid)
+
+    def random(self) -> random.Random:
+        """The process's private seeded RNG (for randomized protocols)."""
+        return self._runtime._process_rng(self.pid)
+
+    @property
+    def time(self) -> float:
+        return self._runtime.now
+
+    # -- termination ---------------------------------------------------------------
+
+    def decide(self, value: object) -> None:
+        if self.decided:
+            raise ModelViolation(f"process {self.pid} decided twice")
+        self.decided = True
+        self.output = value
+        self._runtime._note_decision(self.pid, value)
+
+    def halt(self) -> None:
+        self.halted = True
+
+
+class AsyncProcess:
+    """Base class for message-passing protocol processes."""
+
+    def on_start(self, ctx: Context) -> None:
+        """Called once at time 0."""
+
+    def on_message(self, ctx: Context, src: int, payload: object) -> None:
+        """Called at each message delivery."""
+
+    def on_timer(self, ctx: Context, name: object) -> None:
+        """Called when a timer set via ``ctx.set_timer`` fires."""
+
+
+# ---------------------------------------------------------------------------
+# The runtime
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AmpRunResult:
+    """Observable outcome of one asynchronous message-passing run."""
+
+    outputs: List[object]
+    decided: List[bool]
+    crashed: FrozenSet[int]
+    final_time: float
+    messages_sent: int
+    messages_delivered: int
+    decision_times: Dict[int, float] = field(default_factory=dict)
+
+    def output_vector(self) -> Tuple[object, ...]:
+        from ..core.task import NO_OUTPUT
+
+        return tuple(
+            o if d else NO_OUTPUT for o, d in zip(self.outputs, self.decided)
+        )
+
+    def correct(self) -> List[int]:
+        return [pid for pid in range(len(self.outputs)) if pid not in self.crashed]
+
+
+class AsyncRuntime:
+    """Discrete-event executor for ``AMP_{n,t}``.
+
+    Parameters
+    ----------
+    processes:
+        One :class:`AsyncProcess` per pid.
+    delay_model:
+        Message transfer delays.
+    crashes:
+        Crash schedule (checked against ``max_crashes``).
+    max_crashes:
+        The model's ``t``.
+    failure_detector:
+        Optional oracle (see :mod:`repro.amp.failure_detectors`); it is
+        given the runtime before the run starts.
+    seed:
+        Root seed for delays and per-process RNGs.
+    max_events:
+        Event budget: exceeded → :class:`SimulationLimitExceeded` when
+        ``strict_budget`` else a truncated result.
+    quiesce_when_decided:
+        Stop early once every non-crashed process decided (and optionally
+        halted) — keeps round-based protocols from chattering forever.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[AsyncProcess],
+        delay_model: Optional[DelayModel] = None,
+        crashes: Sequence[CrashAt] = (),
+        max_crashes: Optional[int] = None,
+        failure_detector: Optional[object] = None,
+        seed: int = 0,
+        max_events: int = 500_000,
+        strict_budget: bool = False,
+        quiesce_when_decided: bool = True,
+    ) -> None:
+        self.n = len(processes)
+        if self.n < 1:
+            raise ConfigurationError("need n >= 1 processes")
+        self.processes = list(processes)
+        self.delay_model = delay_model or FixedDelay(1.0)
+        self.max_crashes = max_crashes
+        if max_crashes is not None and len(crashes) > max_crashes:
+            raise ConfigurationError(
+                f"{len(crashes)} crashes scheduled but t={max_crashes}"
+            )
+        seen = set()
+        for crash in crashes:
+            if crash.pid in seen:
+                raise ConfigurationError(f"process {crash.pid} crashes twice")
+            seen.add(crash.pid)
+        self.failure_detector = failure_detector
+        self._rng = random.Random(seed)
+        self._proc_rngs: Dict[int, random.Random] = {}
+        self._seed = seed
+        self.max_events = max_events
+        self.strict_budget = strict_budget
+        self.quiesce_when_decided = quiesce_when_decided
+
+        self.now = 0.0
+        self._started = False
+        self._event_seq = itertools.count()
+        self._queue: List[Tuple[float, int, str, tuple]] = []
+        self.contexts = [Context(self, pid) for pid in range(self.n)]
+        self.crashed: Set[int] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.decision_times: Dict[int, float] = {}
+        #: event ids of undelivered messages per sender (for crash drops)
+        self._in_flight: Dict[int, List[int]] = {pid: [] for pid in range(self.n)}
+        self._cancelled: Set[int] = set()
+
+        for crash in crashes:
+            self._push(crash.time, "crash", (crash.pid, crash.drop_in_flight))
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _push(self, time: float, kind: str, data: tuple) -> int:
+        event_id = next(self._event_seq)
+        heapq.heappush(self._queue, (time, event_id, kind, data))
+        return event_id
+
+    def _send(self, src: int, dst: int, payload: object) -> None:
+        if not 0 <= dst < self.n:
+            raise ModelViolation(f"process {src} sent to unknown process {dst}")
+        if src in self.crashed:
+            return  # a crashed process sends nothing
+        delay = self.delay_model.delay(src, dst, self.now, self._rng)
+        if delay <= 0:
+            raise ConfigurationError("delay model produced non-positive delay")
+        event_id = self._push(self.now + delay, "deliver", (src, dst, payload))
+        self._in_flight[src].append(event_id)
+        self.messages_sent += 1
+
+    def _set_timer(self, pid: int, delay: float, name: object) -> None:
+        if delay < 0:
+            raise ConfigurationError("timer delay must be >= 0")
+        self._push(self.now + delay, "timer", (pid, name))
+
+    def _process_rng(self, pid: int) -> random.Random:
+        if pid not in self._proc_rngs:
+            self._proc_rngs[pid] = random.Random((self._seed, pid).__hash__())
+        return self._proc_rngs[pid]
+
+    def _note_decision(self, pid: int, value: object) -> None:
+        self.decision_times[pid] = self.now
+
+    def query_failure_detector(self, pid: int) -> object:
+        if self.failure_detector is None:
+            raise ConfigurationError("no failure detector attached to this run")
+        return self.failure_detector.query(pid, self.now, frozenset(self.crashed))
+
+    # -- execution ------------------------------------------------------------
+
+    def _all_settled(self) -> bool:
+        for pid in range(self.n):
+            if pid in self.crashed:
+                continue
+            ctx = self.contexts[pid]
+            if not (ctx.decided or ctx.halted):
+                return False
+        return True
+
+    def run(self, until: Optional[float] = None) -> AmpRunResult:
+        """Run the event loop to quiescence, budget, or the ``until`` time."""
+        if not self._started:
+            self._started = True
+            if self.failure_detector is not None and hasattr(
+                self.failure_detector, "attach"
+            ):
+                self.failure_detector.attach(self)
+            for pid in range(self.n):
+                if pid not in self.crashed:
+                    self.processes[pid].on_start(self.contexts[pid])
+        events = 0
+        while self._queue:
+            if self.quiesce_when_decided and self._all_settled():
+                break
+            events += 1
+            if events > self.max_events:
+                if self.strict_budget:
+                    raise SimulationLimitExceeded(
+                        f"run exceeded {self.max_events} events"
+                    )
+                break
+            time, event_id, kind, data = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                # Leave the event for a later run() call.
+                heapq.heappush(self._queue, (time, event_id, kind, data))
+                self.now = until
+                break
+            if event_id in self._cancelled:
+                continue
+            self.now = max(self.now, time)
+            if kind == "crash":
+                self._handle_crash(*data)
+            elif kind == "deliver":
+                self._handle_delivery(event_id, *data)
+            elif kind == "timer":
+                pid, name = data
+                if pid not in self.crashed and not self.contexts[pid].halted:
+                    self.processes[pid].on_timer(self.contexts[pid], name)
+        return self.result()
+
+    def _handle_crash(self, pid: int, drop_fraction: float) -> None:
+        if pid in self.crashed:
+            return
+        if self.max_crashes is not None and len(self.crashed) >= self.max_crashes:
+            raise ModelViolation(f"crash budget t={self.max_crashes} exhausted")
+        self.crashed.add(pid)
+        pending = [e for e in self._in_flight[pid] if e not in self._cancelled]
+        drop_count = int(round(drop_fraction * len(pending)))
+        # Newest sends are dropped first: the crash interrupted the tail
+        # of the process's final broadcast.
+        for event_id in list(reversed(pending))[:drop_count]:
+            self._cancelled.add(event_id)
+
+    def _handle_delivery(self, event_id: int, src: int, dst: int, payload: object) -> None:
+        if event_id in self._in_flight[src]:
+            self._in_flight[src].remove(event_id)
+        if dst in self.crashed or self.contexts[dst].halted:
+            return
+        self.messages_delivered += 1
+        self.processes[dst].on_message(self.contexts[dst], src, payload)
+
+    def result(self) -> AmpRunResult:
+        return AmpRunResult(
+            outputs=[ctx.output for ctx in self.contexts],
+            decided=[ctx.decided for ctx in self.contexts],
+            crashed=frozenset(self.crashed),
+            final_time=self.now,
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            decision_times=dict(self.decision_times),
+        )
+
+
+def run_processes(
+    processes: Sequence[AsyncProcess],
+    **kwargs,
+) -> AmpRunResult:
+    """Convenience: build a runtime and run it."""
+    return AsyncRuntime(processes, **kwargs).run()

@@ -1,0 +1,157 @@
+"""Generalized quorum systems: registers under process adversaries
+(§5.1 × §5.4 — the paper's "quorums vs anti-quorums" remark, executed).
+
+ABD uses *majority* quorums because it assumes the uniform ``t < n/2``
+adversary.  Under a non-uniform process adversary (§5.4) the right
+generalization is a **quorum system**: a family of sets such that
+
+* **liveness**  — every survivor set of the adversary contains a quorum
+  (so some quorum always answers);
+* **safety**    — any two quorums intersect (so a reader's quorum meets
+  the latest writer's quorum).
+
+The cores/survivor-sets duality provides canonical candidates: the
+adversary's survivor sets themselves are live by construction, and they
+form a *safe* quorum system exactly when they pairwise intersect.
+
+:class:`QuorumAbdNode` is ABD parameterized by an explicit quorum family
+instead of a count.  :func:`is_safe_quorum_system` /
+:func:`is_live_quorum_system` check the two conditions, and the tests
+show both directions: intersecting families give linearizable registers
+under every adversary scenario; non-intersecting ones stay live but
+split-brain — found by the checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.history import History
+from ..core.model import ProcessAdversarySpec
+from .abd import AbdNode, Timestamp
+from .network import Context
+
+QuorumFamily = FrozenSet[FrozenSet[int]]
+
+
+def normalize_family(family: Iterable[Iterable[int]]) -> QuorumFamily:
+    """Freeze a quorum family into a canonical frozenset-of-frozensets."""
+    return frozenset(frozenset(q) for q in family)
+
+
+def is_safe_quorum_system(family: Iterable[Iterable[int]]) -> bool:
+    """Safety: every pair of quorums intersects."""
+    quorums = list(normalize_family(family))
+    if not quorums:
+        return False
+    for i, a in enumerate(quorums):
+        for b in quorums[i + 1 :]:
+            if not a & b:
+                return False
+    return True
+
+
+def is_live_quorum_system(
+    family: Iterable[Iterable[int]], adversary: ProcessAdversarySpec
+) -> bool:
+    """Liveness under the adversary: every survivor set contains a quorum."""
+    quorums = normalize_family(family)
+    if not quorums:
+        return False
+    for survivors in adversary.survivor_sets:
+        if not any(quorum <= survivors for quorum in quorums):
+            return False
+    return True
+
+
+def majority_family(n: int) -> QuorumFamily:
+    """All minimal majorities — recovers classical ABD."""
+    import itertools
+
+    size = n // 2 + 1
+    return frozenset(
+        frozenset(c) for c in itertools.combinations(range(n), size)
+    )
+
+
+class QuorumAbdNode(AbdNode):
+    """ABD with an explicit quorum family.
+
+    A phase completes when the responder set contains a full quorum of
+    the family (instead of reaching a count).  With a safe family this
+    preserves atomicity; with a live family it preserves termination
+    under the corresponding adversary.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        quorum_family: Iterable[Iterable[int]],
+        script: Sequence = (),
+        history: Optional[History] = None,
+        multi_writer: bool = False,
+        register_name: str = "R",
+    ) -> None:
+        super().__init__(
+            pid,
+            n,
+            script,
+            quorum_size=1,  # unused; completion is family-based
+            history=history,
+            multi_writer=multi_writer,
+            register_name=register_name,
+        )
+        self.family = normalize_family(quorum_family)
+        if not self.family:
+            raise ConfigurationError("quorum family must be non-empty")
+        for quorum in self.family:
+            if any(not 0 <= member < n for member in quorum):
+                raise ConfigurationError(
+                    f"quorum {sorted(quorum)} names processes outside 0..{n - 1}"
+                )
+        self._reply_senders: Dict[Tuple[int, str], Set[int]] = {}
+
+    def _covered(self, responders: Set[int]) -> bool:
+        return any(quorum <= responders for quorum in self.family)
+
+    # -- override the two collection points -------------------------------
+
+    def _handle_reply(self, ctx: Context, message: object) -> None:
+        _, _, server, seq, ts, value = message
+        if seq != self._op_seq or not (self._phase or "").startswith("query"):
+            return
+        key = (seq, "query")
+        senders = self._reply_senders.setdefault(key, set())
+        if server in senders:
+            return
+        senders.add(server)
+        self._replies.setdefault(key, []).append((ts, value))
+        if not self._covered(senders):
+            return
+        purpose = self._phase.split(":")[1]
+        max_ts, max_value = max(self._replies[key], key=lambda pair: pair[0])
+        if purpose == "read":
+            self._after_read_query(ctx, max_ts, max_value, self._replies[key])
+        else:
+            new_ts = (max_ts[0] + 1, self.pid)
+            self._start_store(ctx, new_ts, self._pending_write_value, purpose="write")
+
+    def _handle_ack(self, ctx: Context, message: object) -> None:
+        _, _, server, seq = message
+        if seq != self._op_seq or not (self._phase or "").startswith("store"):
+            return
+        key = (seq, "store")
+        senders = self._reply_senders.setdefault(key, set())
+        if server in senders:
+            return
+        senders.add(server)
+        if not self._covered(senders):
+            return
+        purpose = self._phase.split(":")[1]
+        self._phase = None
+        if purpose == "write":
+            self._complete(ctx, "write", (self._pending_write_value,), None)
+        else:
+            self._complete(ctx, "read", (), self._read_result)

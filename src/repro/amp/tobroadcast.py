@@ -1,0 +1,191 @@
+"""Total-order reliable broadcast from consensus (paper §5.1).
+
+Universality in ``AMP_{n,t}[t<n/2]`` = state-machine replication =
+TO-reliable broadcast: all processes must deliver the same messages *in
+the same order*.  The paper's point: TO-broadcast **is** consensus in
+disguise — the processes repeatedly agree on "the next batch" — hence it
+inherits both FLP impossibility (``t > 0`` bare) and the Ω escape route.
+
+:class:`TOBroadcastNode` composes the library's layers exactly as the
+theory stacks them:
+
+* :class:`~repro.amp.broadcast.UniformReliableBroadcast` disseminates
+  payloads (so every correct process eventually has every message
+  *pending*);
+* a growing sequence of
+  :class:`~repro.amp.consensus.omega.OmegaConsensusComponent` instances
+  (tag-multiplexed) decides batch ``k``; batches are appended in
+  instance order, deduplicated — every replica sees the identical log;
+* a process joins instance ``k`` lazily: when it has pending messages,
+  or when it first sees instance-``k`` traffic (its proposal may be the
+  empty batch; an empty decision just advances to ``k + 1``).
+
+``on_deliver`` fires in total order — plug a state machine in
+(:mod:`repro.amp.smr`) and replicas stay mutually consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .broadcast import Delivery, UniformReliableBroadcast
+from .consensus.omega import OmegaConsensusComponent
+from .network import AsyncProcess, Context
+
+MessageId = Tuple[int, int]
+Batch = Tuple[Tuple[MessageId, object], ...]
+
+
+class TOBroadcastNode(AsyncProcess):
+    """One participant of consensus-based total-order broadcast.
+
+    Parameters
+    ----------
+    pid, n, t:
+        Identity, size, resilience (``t < n/2``).
+    to_broadcast:
+        Payloads this node injects at start (each TO-broadcast once).
+    on_deliver:
+        Optional callback ``(ctx, origin, payload)`` fired in total order.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        to_broadcast: Sequence[object] = (),
+        on_deliver: Optional[Callable[[Context, int, object], None]] = None,
+        poll_interval: float = 0.5,
+    ) -> None:
+        if not 0 <= t < (n + 1) // 2:
+            raise ConfigurationError(f"TO-broadcast needs t < n/2, got t={t}, n={n}")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.payloads = list(to_broadcast)
+        self.on_deliver = on_deliver
+        self.poll_interval = poll_interval
+        self.urb = UniformReliableBroadcast(pid, n, tag="to-urb")
+        self.pending: Dict[MessageId, object] = {}
+        self.ordered_ids: Set[MessageId] = set()
+        self.log: List[Tuple[MessageId, object]] = []
+        self.instances: Dict[int, OmegaConsensusComponent] = {}
+        self.decided_batches: Dict[int, Batch] = {}
+        self.next_instance = 0
+        self.instances_started: Set[int] = set()
+        self.expected_count: Optional[int] = None
+
+    # -- consensus instance plumbing -----------------------------------------
+
+    def _instance(self, k: int) -> OmegaConsensusComponent:
+        if k not in self.instances:
+            self.instances[k] = OmegaConsensusComponent(
+                self.pid,
+                self.n,
+                self.t,
+                tag=f"to-cons-{k}",
+                on_decide=lambda ctx, batch, k=k: self._on_batch_decided(
+                    ctx, k, batch
+                ),
+                poll_interval=self.poll_interval,
+            )
+        return self.instances[k]
+
+    def _maybe_start(self, ctx: Context, k: int, force: bool = False) -> None:
+        """Join instance ``k`` if it is the next one and we have a reason."""
+        if k != self.next_instance or k in self.instances_started:
+            return
+        unordered = {
+            mid: payload
+            for mid, payload in self.pending.items()
+            if mid not in self.ordered_ids
+        }
+        if not unordered and not force:
+            return
+        proposal: Batch = tuple(sorted(unordered.items()))
+        self.instances_started.add(k)
+        self._instance(k).start(ctx, proposal)
+
+    def _on_batch_decided(self, ctx: Context, k: int, batch: Batch) -> None:
+        self.decided_batches[k] = batch
+        while self.next_instance in self.decided_batches:
+            decided = self.decided_batches[self.next_instance]
+            for mid, payload in decided:
+                if mid in self.ordered_ids:
+                    continue
+                self.ordered_ids.add(mid)
+                self.log.append((mid, payload))
+                if self.on_deliver is not None:
+                    self.on_deliver(ctx, mid[0], payload)
+            self.next_instance += 1
+        self._maybe_start(ctx, self.next_instance)
+        self._maybe_settle(ctx)
+
+    def _maybe_settle(self, ctx: Context) -> None:
+        """Decide (for the harness) once the expected log length is reached."""
+        if (
+            self.expected_count is not None
+            and len(self.log) >= self.expected_count
+            and not ctx.decided
+        ):
+            ctx.decide(list(self.log))
+
+    # -- network events ------------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        for payload in self.payloads:
+            self.urb.broadcast(ctx, payload)
+
+    def on_message(self, ctx: Context, src: int, message: object) -> None:
+        for delivery in self.urb.handle(ctx, src, message):
+            self.pending[delivery.message_id] = delivery.payload
+        self._maybe_start(ctx, self.next_instance)
+
+        if isinstance(message, tuple) and message and isinstance(message[0], str):
+            tag = message[0]
+            if tag.startswith("to-cons-"):
+                k = int(tag.rsplit("-", 1)[1])
+                if k == self.next_instance and k not in self.instances_started:
+                    # Traffic for the current instance: join (maybe empty).
+                    self._maybe_start(ctx, k, force=True)
+                self._instance(k).handle(ctx, src, message)
+
+    def on_timer(self, ctx: Context, name: object) -> None:
+        if isinstance(name, tuple) and name and isinstance(name[0], str):
+            tag = name[0]
+            if tag.startswith("to-cons-"):
+                k = int(tag.rsplit("-", 1)[1])
+                if k in self.instances:
+                    self.instances[k].on_timer(ctx, name)
+
+
+def make_to_broadcast(
+    n: int,
+    t: int,
+    payload_lists: Sequence[Sequence[object]],
+    expected_total: Optional[int] = None,
+    poll_interval: float = 0.5,
+) -> List[TOBroadcastNode]:
+    """One node per pid, each injecting its payload list.
+
+    ``expected_total`` (default: all payloads) lets nodes ``decide``
+    once their log reaches that length, so runs quiesce.
+    """
+    if len(payload_lists) != n:
+        raise ConfigurationError(f"need {n} payload lists, got {len(payload_lists)}")
+    total = (
+        expected_total
+        if expected_total is not None
+        else sum(len(p) for p in payload_lists)
+    )
+    nodes = []
+    for pid in range(n):
+        node = TOBroadcastNode(
+            pid, n, t, payload_lists[pid], poll_interval=poll_interval
+        )
+        node.expected_count = total
+        nodes.append(node)
+    return nodes

@@ -1,0 +1,141 @@
+"""Cores and survivor sets (paper §5.4, Junqueira & Marzullo [37]).
+
+A *process adversary* generalizes ``t``-resilience: instead of "any subset
+of size ≤ t may crash", the adversary is an explicit set of *survivor
+sets* — the possible sets of non-faulty processes.  Two dual notions
+describe the same information:
+
+* a **core** is a minimal set of processes such that in every execution
+  at least one member stays correct;
+* a **survivor set** is a minimal set of processes such that some
+  execution leaves exactly its members correct.
+
+Cores are exactly the minimal transversals (hitting sets) of the survivor
+sets, and vice versa — the duality the paper notes ("any of them can be
+obtained from the other one", quorums vs anti-quorums).  This module
+materializes the duality and the paper's worked 4-process example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from .exceptions import ConfigurationError
+from .model import ProcessAdversarySpec
+
+SetFamily = FrozenSet[FrozenSet[int]]
+
+
+def _normalize(family: Iterable[Iterable[int]]) -> SetFamily:
+    return frozenset(frozenset(s) for s in family)
+
+
+def minimal_sets(family: Iterable[Iterable[int]]) -> SetFamily:
+    """Drop every set that strictly contains another set of the family."""
+    sets = _normalize(family)
+    return frozenset(
+        s for s in sets if not any(other < s for other in sets)
+    )
+
+
+def minimal_transversals(family: Iterable[Iterable[int]], universe: int) -> SetFamily:
+    """All minimal hitting sets of ``family`` over processes ``0..universe-1``.
+
+    A transversal intersects every member of the family.  Exponential in
+    the worst case, as expected for this NP-hard problem; adversary
+    specifications in practice (and in the paper) are tiny.
+    """
+    sets = [frozenset(s) for s in family]
+    if not sets:
+        return frozenset()
+    for s in sets:
+        if any(not 0 <= p < universe for p in s):
+            raise ConfigurationError(
+                f"set {sorted(s)} names processes outside 0..{universe - 1}"
+            )
+    hitting: Set[FrozenSet[int]] = set()
+    processes = range(universe)
+    for size in range(1, universe + 1):
+        for candidate in itertools.combinations(processes, size):
+            cset = frozenset(candidate)
+            if any(h <= cset for h in hitting):
+                continue  # not minimal
+            if all(cset & s for s in sets):
+                hitting.add(cset)
+        # Can't stop early: minimal transversals may have mixed sizes.
+    return frozenset(hitting)
+
+
+def cores_from_survivor_sets(
+    survivor_sets: Iterable[Iterable[int]], n: int
+) -> SetFamily:
+    """Derive the cores of an adversary from its survivor sets.
+
+    A core must contain a correct process in *every* execution, i.e. it
+    must intersect every survivor set; minimality makes it a core.
+    """
+    return minimal_transversals(minimal_sets(survivor_sets), n)
+
+
+def survivor_sets_from_cores(cores: Iterable[Iterable[int]], n: int) -> SetFamily:
+    """Derive the survivor sets of an adversary from its cores (dual map).
+
+    A survivor set must intersect every core (some core member is correct,
+    and that member lies in the survivor set); minimality closes the loop.
+    """
+    return minimal_transversals(minimal_sets(cores), n)
+
+
+def t_resilient_survivor_sets(n: int, t: int) -> SetFamily:
+    """The classical ``t``-resilient adversary: all sets of ≥ n−t processes.
+
+    Expressed minimally: exactly the sets of size ``n − t``.
+    """
+    if not 0 <= t < n:
+        raise ConfigurationError(f"t-resilience needs 0 <= t < n, got t={t}, n={n}")
+    return frozenset(
+        frozenset(c) for c in itertools.combinations(range(n), n - t)
+    )
+
+
+def adversary_from_survivor_sets(
+    n: int, survivor_sets: Iterable[Iterable[int]]
+) -> ProcessAdversarySpec:
+    """Build a :class:`~repro.core.model.ProcessAdversarySpec`."""
+    return ProcessAdversarySpec(n=n, survivor_sets=_normalize(survivor_sets))
+
+
+def adversary_from_cores(n: int, cores: Iterable[Iterable[int]]) -> ProcessAdversarySpec:
+    """Build an adversary spec from cores via the duality."""
+    return ProcessAdversarySpec(
+        n=n, survivor_sets=survivor_sets_from_cores(cores, n)
+    )
+
+
+def paper_example_adversary() -> ProcessAdversarySpec:
+    """The paper's §5.4 example: A = {{p1,p2},{p1,p4},{p1,p3,p4}} (0-based)."""
+    return adversary_from_survivor_sets(4, [{0, 1}, {0, 3}, {0, 2, 3}])
+
+
+def paper_example_cores() -> Tuple[SetFamily, SetFamily]:
+    """The paper's cores example: cores {p1,p2},{p3,p4} → 4 survivor sets.
+
+    Returns (cores, survivor_sets), 0-based, for the 4-process system.
+    The paper lists the survivor sets as {p1,p3},{p1,p4},{p2,p3},{p2,p4}.
+    """
+    cores = _normalize([{0, 1}, {2, 3}])
+    return cores, survivor_sets_from_cores(cores, 4)
+
+
+def is_core(candidate: Iterable[int], survivor_sets: Iterable[Iterable[int]], n: int) -> bool:
+    """True when ``candidate`` is a (minimal) core of the adversary."""
+    return frozenset(candidate) in cores_from_survivor_sets(survivor_sets, n)
+
+
+def max_failures(survivor_sets: Iterable[Iterable[int]], n: int) -> int:
+    """Largest number of simultaneous crashes the adversary can inflict."""
+    sets = _normalize(survivor_sets)
+    if not sets:
+        raise ConfigurationError("adversary has no survivor sets")
+    return n - min(len(s) for s in sets)

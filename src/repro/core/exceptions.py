@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing model violations (bugs in an algorithm under test)
+from usage errors (bad arguments to the library itself).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """The caller configured a model, topology, or run inconsistently.
+
+    Examples: a ring of one vertex, ``t >= n``, an adversary applied to a
+    topology it is not defined on.
+    """
+
+
+class ModelViolation(ReproError):
+    """An algorithm violated the rules of the computation model.
+
+    Examples: sending to a non-neighbor in the LOCAL model, invoking a
+    one-shot object twice, a crashed process taking a step.
+    """
+
+
+class SafetyViolation(ReproError):
+    """A safety property of a task or object was violated.
+
+    Raised by checkers (agreement/validity/linearizability) when a run
+    produced an output that no correct execution may produce.  A test that
+    sees this exception has found a real bug in the algorithm under test.
+    """
+
+
+class LivenessViolation(ReproError):
+    """A liveness property failed within the bounded horizon of a run.
+
+    Since runs are finite, liveness verdicts are "did not happen within
+    the budget".  Checkers raise this only when the budget provably
+    suffices (e.g. a synchronous algorithm exceeding its round bound).
+    """
+
+
+class ProtocolAbort(ReproError):
+    """An abortable object invocation aborted due to contention.
+
+    This is *not* a failure: abortable objects (paper §4.3) are specified
+    to abort under contention without modifying the object state.  The
+    exception carries no state change.
+    """
+
+
+class SimulationLimitExceeded(ReproError):
+    """A simulation exceeded its configured step/round/time budget."""

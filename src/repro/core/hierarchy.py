@@ -1,0 +1,198 @@
+"""Model relationships surveyed by the paper, as a queryable registry.
+
+The paper's guided tour is held together by *relations between models*:
+
+* ``SMP_n[adv:∅]`` is the strongest synchronous model, ``SMP_n[adv:∞]``
+  the weakest; constraining the adversary strengthens the model (§3.3);
+* ``SMP_n[adv:TOUR] ≃_T ARW_{n,n-1}[fd:∅]`` (Afek–Gafni, §3.3);
+* ``ASM_{n,t}`` models form a strict hierarchy in ``t`` (§4.1);
+* registers are implementable in ``AMP_{n,t}`` iff ``t < n/2`` (§5.1);
+* consensus is impossible in ``ASM_{n,n-1}[∅]`` and ``AMP_{n,t}[t>0]``
+  but possible given objects of consensus number ≥ n, randomization,
+  partial synchrony, input restrictions, or Ω (§4.2, §5.3).
+
+This module records those facts as data so examples, tests, and docs can
+query them, and so the benchmark suite can assert that the *measured*
+behavior of the implementations agrees with the recorded theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from .exceptions import ConfigurationError
+
+
+class Solvability(Enum):
+    """Whether a task is solvable in a model."""
+
+    SOLVABLE = "solvable"
+    IMPOSSIBLE = "impossible"
+
+
+@dataclass(frozen=True)
+class TheoremRecord:
+    """One surveyed result: task × model → verdict, with provenance."""
+
+    task: str
+    model: str
+    verdict: Solvability
+    source: str
+    note: str = ""
+
+
+#: The paper's headline solvability facts, keyed by (task, model) strings.
+THEOREMS: Tuple[TheoremRecord, ...] = (
+    TheoremRecord(
+        "consensus",
+        "ASM_{n,n-1}[∅]",
+        Solvability.IMPOSSIBLE,
+        "FLP85 / Herlihy91 / Loui-AbuAmara87",
+        "read/write registers have consensus number 1",
+    ),
+    TheoremRecord(
+        "consensus",
+        "AMP_{n,t}[t>0]",
+        Solvability.IMPOSSIBLE,
+        "FLP85",
+        "even a single crash defeats deterministic consensus",
+    ),
+    TheoremRecord(
+        "consensus",
+        "ASM_{n,n-1}[compare&swap]",
+        Solvability.SOLVABLE,
+        "Herlihy91",
+        "compare&swap has consensus number ∞",
+    ),
+    TheoremRecord(
+        "consensus",
+        "AMP_{n,t}[t<n/2; fd:Ω]",
+        Solvability.SOLVABLE,
+        "Chandra-Hadzilacos-Toueg96",
+        "Ω is the weakest failure detector for consensus",
+    ),
+    TheoremRecord(
+        "consensus",
+        "AMP_{n,t}[t<n/2; randomized]",
+        Solvability.SOLVABLE,
+        "Ben-Or83",
+        "termination with probability 1",
+    ),
+    TheoremRecord(
+        "atomic-register",
+        "AMP_{n,t}[t<n/2]",
+        Solvability.SOLVABLE,
+        "ABD95",
+        "majority quorums; write 2Δ, read 4Δ",
+    ),
+    TheoremRecord(
+        "atomic-register",
+        "AMP_{n,t}[t>=n/2]",
+        Solvability.IMPOSSIBLE,
+        "ABD95",
+        "partition argument: two disjoint halves can't both be quorums",
+    ),
+    TheoremRecord(
+        "TO-broadcast",
+        "AMP_{n,t}[t>0]",
+        Solvability.IMPOSSIBLE,
+        "reduction to consensus + FLP85",
+        "TO-broadcast and consensus are equivalent",
+    ),
+    TheoremRecord(
+        "vector-learning",
+        "SMP_n[adv:TREE]",
+        Solvability.SOLVABLE,
+        "Kuhn-Lynch-Oshman10",
+        "any computable function; dissemination in ≤ n-1 rounds",
+    ),
+    TheoremRecord(
+        "k-set-agreement(k<=n-1)",
+        "ASM_{n,n-1}[∅]",
+        Solvability.IMPOSSIBLE,
+        "Borowsky-Gafni / Herlihy-Shavit / Saks-Zaharoglou",
+        "wait-free k-set agreement impossible; obstruction-free variant solvable",
+    ),
+    TheoremRecord(
+        "ring-3-coloring",
+        "SMP_n[adv:∅]",
+        Solvability.SOLVABLE,
+        "Cole-Vishkin86",
+        "log* n + 3 rounds; Ω(log* n) lower bound (Linial92)",
+    ),
+)
+
+
+#: Consensus numbers of the base object types (Herlihy's hierarchy, §4.2).
+#: ``None`` encodes +∞.
+CONSENSUS_NUMBERS: Dict[str, Optional[int]] = {
+    "register": 1,
+    "snapshot": 1,
+    "test&set": 2,
+    "fetch&add": 2,
+    "swap": 2,
+    "queue": 2,
+    "stack": 2,
+    "compare&swap": None,
+    "LL/SC": None,
+    "sticky-bit": None,
+}
+
+
+def consensus_number(object_type: str) -> Optional[int]:
+    """Herlihy consensus number of a base type (``None`` = +∞)."""
+    try:
+        return CONSENSUS_NUMBERS[object_type]
+    except KeyError:
+        raise ConfigurationError(f"unknown object type {object_type!r}")
+
+
+def solves_consensus(object_type: str, n: int) -> bool:
+    """Can ``n``-process wait-free consensus be built from this type + registers?"""
+    number = consensus_number(object_type)
+    return number is None or number >= n
+
+
+def theorems_for_task(task: str) -> List[TheoremRecord]:
+    """All recorded results about a task."""
+    return [t for t in THEOREMS if t.task == task]
+
+
+def lookup(task: str, model: str) -> Optional[TheoremRecord]:
+    """Exact (task, model) lookup; ``None`` when the paper doesn't state it."""
+    for theorem in THEOREMS:
+        if theorem.task == task and theorem.model == model:
+            return theorem
+    return None
+
+
+@dataclass(frozen=True)
+class Equivalence:
+    """A task-computability equivalence ``A ≃_T B`` between two models."""
+
+    model_a: str
+    model_b: str
+    source: str
+
+
+#: Model equivalences the paper highlights.
+EQUIVALENCES: Tuple[Equivalence, ...] = (
+    Equivalence("SMP_n[adv:TOUR]", "ARW_{n,n-1}[fd:∅]", "Afek-Gafni15"),
+    Equivalence(
+        "k-simultaneous-consensus", "k-set-agreement", "Afek-Gafni-Rajsbaum-Raynal-Travers10"
+    ),
+    Equivalence("TO-broadcast", "consensus", "Chandra-Toueg96"),
+)
+
+
+def equivalent_models(model: str) -> List[str]:
+    """Models recorded as task-equivalent to ``model``."""
+    out: List[str] = []
+    for eq in EQUIVALENCES:
+        if eq.model_a == model:
+            out.append(eq.model_b)
+        elif eq.model_b == model:
+            out.append(eq.model_a)
+    return out

@@ -1,0 +1,130 @@
+"""Operation histories for concurrent objects.
+
+A *history* is a sequence of invocation and response events produced by a
+concurrent run.  Histories are the raw material of the linearizability
+checker (:mod:`repro.core.linearizability`) — the correctness condition
+the paper cites from Herlihy & Wing for atomic objects (§4.3, [36]).
+
+Events carry the invoking process, the object name, the operation name,
+its arguments, and (for responses) the returned value.  A pending
+invocation (crashed before responding) simply has no matching response.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed (or pending) operation in a history.
+
+    ``response`` is ``None`` for pending operations; use ``completed`` to
+    disambiguate from operations that legitimately return ``None``.
+    """
+
+    process: int
+    obj: str
+    op: str
+    args: Tuple[object, ...]
+    response: Optional[object]
+    completed: bool
+    invoke_index: int
+    response_index: Optional[int]
+
+    def overlaps(self, other: "Operation") -> bool:
+        """True when neither operation strictly precedes the other."""
+        return not (self.precedes(other) or other.precedes(self))
+
+    def precedes(self, other: "Operation") -> bool:
+        """True when this operation's response precedes the other's invocation."""
+        if self.response_index is None:
+            return False
+        return self.response_index < other.invoke_index
+
+
+class History:
+    """An append-only recording of invocations and responses.
+
+    The recorder hands out *tickets* at invocation time; the matching
+    response is filed against the ticket.  Event indices give the global
+    real-time order used by the linearizability checker.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._invocations: Dict[int, Tuple[int, str, str, Tuple[object, ...], int]] = {}
+        self._responses: Dict[int, Tuple[object, int]] = {}
+        self._next_ticket = itertools.count()
+
+    def invoke(self, process: int, obj: str, op: str, *args: object) -> int:
+        """Record an invocation; returns the ticket for the response."""
+        ticket = next(self._next_ticket)
+        self._invocations[ticket] = (process, obj, op, tuple(args), next(self._counter))
+        return ticket
+
+    def respond(self, ticket: int, response: object) -> None:
+        """Record the response for a previously issued ticket."""
+        if ticket not in self._invocations:
+            raise ConfigurationError(f"unknown history ticket {ticket}")
+        if ticket in self._responses:
+            raise ConfigurationError(f"ticket {ticket} already has a response")
+        self._responses[ticket] = (response, next(self._counter))
+
+    def operations(self, obj: Optional[str] = None) -> List[Operation]:
+        """All operations, optionally filtered to one object, in invocation order."""
+        result: List[Operation] = []
+        for ticket in sorted(self._invocations):
+            process, obj_name, op, args, invoke_index = self._invocations[ticket]
+            if obj is not None and obj_name != obj:
+                continue
+            if ticket in self._responses:
+                response, response_index = self._responses[ticket]
+                result.append(
+                    Operation(
+                        process,
+                        obj_name,
+                        op,
+                        args,
+                        response,
+                        True,
+                        invoke_index,
+                        response_index,
+                    )
+                )
+            else:
+                result.append(
+                    Operation(process, obj_name, op, args, None, False, invoke_index, None)
+                )
+        return result
+
+    def objects(self) -> List[str]:
+        """Names of all objects appearing in the history."""
+        seen: List[str] = []
+        for ticket in sorted(self._invocations):
+            name = self._invocations[ticket][1]
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._invocations)
+
+
+def sequential_history(
+    ops: Sequence[Tuple[int, str, str, Tuple[object, ...], object]]
+) -> History:
+    """Build a history in which operations run strictly one after another.
+
+    Convenience for tests: each element is
+    ``(process, obj, op, args, response)``.
+    """
+    history = History()
+    for process, obj, op, args, response in ops:
+        ticket = history.invoke(process, obj, op, *args)
+        history.respond(ticket, response)
+    return history

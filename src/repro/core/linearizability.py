@@ -1,0 +1,133 @@
+"""Linearizability checking (Herlihy & Wing, paper §4.3 [36]).
+
+Linearizability is the correctness condition for the atomic objects the
+whole paper builds on: every operation must appear to take effect at one
+instant between its invocation and its response, consistently with the
+object's sequential specification.
+
+This module implements the Wing–Gong search with two standard refinements:
+
+* *minimal-operation* branching — only operations not preceded (in real
+  time) by another remaining operation may be linearized next;
+* *memoization* on (remaining-operation set, sequential state) — sound
+  because states are hashable values (see :mod:`repro.core.seqspec`).
+
+Pending operations (invoked, never responded — e.g. the caller crashed)
+may be linearized with any response the spec yields, or dropped entirely;
+both are allowed by the definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .exceptions import ConfigurationError
+from .history import History, Operation
+from .seqspec import SequentialSpec
+
+
+@dataclass(frozen=True)
+class LinearizationResult:
+    """Verdict of a linearizability check.
+
+    ``witness`` is a legal sequential order (list of operations) when the
+    history is linearizable, ``None`` otherwise.
+    """
+
+    linearizable: bool
+    witness: Optional[Tuple[Operation, ...]] = None
+    explored: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.linearizable
+
+
+class _Searcher:
+    """One linearizability search over a single object's operations."""
+
+    def __init__(self, spec: SequentialSpec, operations: Sequence[Operation]) -> None:
+        self.spec = spec
+        self.ops: List[Operation] = list(operations)
+        self.explored = 0
+        self._memo: Dict[Tuple[FrozenSet[int], object], bool] = {}
+        # Precompute, for every op, the set of ops that must come before it
+        # in any linearization (real-time predecessors).
+        self._predecessors: List[FrozenSet[int]] = []
+        for i, op in enumerate(self.ops):
+            preds = frozenset(
+                j for j, other in enumerate(self.ops) if other.precedes(op)
+            )
+            self._predecessors.append(preds)
+
+    def search(self) -> LinearizationResult:
+        witness: List[Operation] = []
+        found = self._extend(frozenset(range(len(self.ops))), self.spec.initial, witness)
+        if found:
+            return LinearizationResult(True, tuple(witness), self.explored)
+        return LinearizationResult(False, None, self.explored)
+
+    def _extend(
+        self,
+        remaining: FrozenSet[int],
+        state: object,
+        witness: List[Operation],
+    ) -> bool:
+        if not any(self.ops[i].completed for i in remaining):
+            # Only pending ops remain: they may all be dropped.
+            return True
+        key = (remaining, state)
+        if key in self._memo:
+            # Memo stores only failures; successes return immediately.
+            return False
+        self.explored += 1
+        for i in sorted(remaining):
+            if self._predecessors[i] & remaining:
+                continue  # some real-time predecessor not yet linearized
+            op = self.ops[i]
+            new_state, response = self.spec.apply(state, op.op, op.args)
+            if op.completed and response != op.response:
+                continue  # spec disagrees with the observed response
+            witness.append(op)
+            if self._extend(remaining - {i}, new_state, witness):
+                return True
+            witness.pop()
+            if not op.completed:
+                # A pending op may also be dropped; handled by the base
+                # case / by never selecting it.  Nothing extra to do here:
+                # skipping it is covered by iterating other candidates,
+                # and the all-pending base case drops leftovers.
+                pass
+        self._memo[key] = False
+        return False
+
+
+def check_object(
+    spec: SequentialSpec,
+    operations: Sequence[Operation],
+) -> LinearizationResult:
+    """Check one object's operations against its sequential spec."""
+    return _Searcher(spec, operations).search()
+
+
+def check_history(
+    history: History,
+    specs: Dict[str, SequentialSpec],
+) -> Dict[str, LinearizationResult]:
+    """Check every object in a history; returns per-object verdicts.
+
+    Linearizability is *local* (Herlihy & Wing): a history is linearizable
+    iff each per-object subhistory is, so checking objects independently
+    is complete.
+    """
+    results: Dict[str, LinearizationResult] = {}
+    for obj in history.objects():
+        if obj not in specs:
+            raise ConfigurationError(f"no sequential spec supplied for object {obj!r}")
+        results[obj] = check_object(specs[obj], history.operations(obj))
+    return results
+
+
+def is_linearizable(history: History, specs: Dict[str, SequentialSpec]) -> bool:
+    """True when every object's subhistory is linearizable."""
+    return all(r.linearizable for r in check_history(history, specs).values())

@@ -1,0 +1,165 @@
+"""Model descriptors (paper notation, §3–§5).
+
+The paper names computation models with a compact bracket notation:
+
+* ``SMP_n[adv:AD]``       — synchronous message passing under adversary AD;
+* ``ASM_{n,t}[X]``        — asynchronous shared memory, up to ``t`` crashes,
+  enriched with objects of type ``X`` (``∅`` = registers only);
+* ``AMP_{n,t}[C]``        — asynchronous message passing, up to ``t``
+  crashes, under constraint ``C`` (e.g. ``t < n/2``) and/or enriched with a
+  failure detector (``fd:Ω``).
+
+These descriptors are *names with structure*: they let harnesses and the
+hierarchy registry (:mod:`repro.core.hierarchy`) talk about models as
+values, compare their strength, and attach simulation results to pairs of
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from .exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ModelDescriptor:
+    """Common shape of all model descriptors."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"models need n >= 1 processes, got {self.n}")
+
+
+@dataclass(frozen=True)
+class SynchronousModel(ModelDescriptor):
+    """``SMP_n[adv:AD]`` — synchronous rounds, reliable processes.
+
+    ``adversary`` names the message adversary constraining which messages
+    may be suppressed each round (paper §3.3).  ``"none"`` is the
+    full-power synchronous system ``SMP_n[adv:∅]``; ``"unrestricted"`` is
+    ``SMP_n[adv:∞]`` where every message may be suppressed.
+    """
+
+    adversary: str = "none"
+
+    def __str__(self) -> str:
+        symbol = {"none": "∅", "unrestricted": "∞"}.get(self.adversary, self.adversary)
+        return f"SMP_{self.n}[adv:{symbol}]"
+
+
+@dataclass(frozen=True)
+class SharedMemoryModel(ModelDescriptor):
+    """``ASM_{n,t}[T1,...]`` — asynchronous shared memory with crash failures.
+
+    ``t`` is the resilience (max crashes); ``t = n - 1`` is the wait-free
+    model.  ``object_types`` lists the base object types beyond read/write
+    registers (empty = ``ASM_{n,t}[∅]``).
+    """
+
+    t: int = 0
+    object_types: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.t <= self.n - 1:
+            raise ConfigurationError(
+                f"shared-memory resilience needs 0 <= t <= n-1, got t={self.t}, n={self.n}"
+            )
+
+    @property
+    def wait_free(self) -> bool:
+        """True for the wait-free model ``ASM_{n,n-1}``."""
+        return self.t == self.n - 1
+
+    def __str__(self) -> str:
+        enrichment = ",".join(self.object_types) if self.object_types else "∅"
+        return f"ASM_{{{self.n},{self.t}}}[{enrichment}]"
+
+
+@dataclass(frozen=True)
+class MessagePassingModel(ModelDescriptor):
+    """``AMP_{n,t}[constraint; fd:D]`` — asynchronous message passing.
+
+    ``t`` is the crash resilience; ``constraint`` records side conditions
+    such as ``t < n/2``; ``failure_detector`` names an oracle class from
+    :mod:`repro.amp.failure_detectors` (e.g. ``"omega"``).
+    """
+
+    t: int = 0
+    constraint: str = ""
+    failure_detector: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.t <= self.n:
+            raise ConfigurationError(
+                f"message-passing resilience needs 0 <= t <= n, got t={self.t}, n={self.n}"
+            )
+
+    @property
+    def majority_correct(self) -> bool:
+        """True when the model guarantees ``t < n/2`` (ABD's condition)."""
+        return 2 * self.t < self.n
+
+    def __str__(self) -> str:
+        parts = []
+        if self.constraint:
+            parts.append(self.constraint)
+        if self.failure_detector:
+            parts.append(f"fd:{self.failure_detector}")
+        inner = "; ".join(parts) if parts else "∅"
+        return f"AMP_{{{self.n},{self.t}}}[{inner}]"
+
+
+def smp(n: int, adversary: str = "none") -> SynchronousModel:
+    """Shorthand constructor for ``SMP_n[adv:…]``."""
+    return SynchronousModel(n=n, adversary=adversary)
+
+
+def asm(n: int, t: Optional[int] = None, *object_types: str) -> SharedMemoryModel:
+    """Shorthand constructor for ``ASM_{n,t}[…]``; default ``t`` is wait-free."""
+    resilience = n - 1 if t is None else t
+    return SharedMemoryModel(n=n, t=resilience, object_types=tuple(object_types))
+
+
+def amp(
+    n: int,
+    t: int,
+    constraint: str = "",
+    failure_detector: Optional[str] = None,
+) -> MessagePassingModel:
+    """Shorthand constructor for ``AMP_{n,t}[…]``."""
+    return MessagePassingModel(
+        n=n, t=t, constraint=constraint, failure_detector=failure_detector
+    )
+
+
+@dataclass(frozen=True)
+class ProcessAdversarySpec:
+    """A process adversary ``A`` = a set of survivor sets (paper §5.4).
+
+    An algorithm is ``A``-resilient when it terminates in every execution
+    whose set of non-faulty processes is *exactly* an element of ``A``.
+    """
+
+    n: int
+    survivor_sets: FrozenSet[FrozenSet[int]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError("process adversary needs n >= 1")
+        for s in self.survivor_sets:
+            if not s:
+                raise ConfigurationError("survivor sets must be non-empty")
+            if any(not 0 <= p < self.n for p in s):
+                raise ConfigurationError(
+                    f"survivor set {sorted(s)} names processes outside 0..{self.n - 1}"
+                )
+
+    def permits(self, alive: FrozenSet[int]) -> bool:
+        """True when ``alive`` is one of the adversary's survivor sets."""
+        return frozenset(alive) in self.survivor_sets

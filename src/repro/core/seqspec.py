@@ -1,0 +1,273 @@
+"""Sequential specifications (the set ``SeqSpec``, paper §4.2).
+
+The paper defines universality relative to the class of objects that have
+a *sequential specification*: an object whose behavior is fully described
+by how its operations act on a state when applied one at a time (stacks,
+queues, sets, registers, counters...).
+
+A :class:`SequentialSpec` is a pure description: an initial state plus an
+``apply(state, op, args) -> (new_state, response)`` function.  The same
+spec is used in three roles:
+
+* as the *oracle* for the linearizability checker;
+* as the *replica state machine* inside universal constructions
+  (:mod:`repro.shm.universal`) and state-machine replication
+  (:mod:`repro.amp.smr`);
+* as a *reference implementation* in tests.
+
+States must be hashable values (tuples, frozensets, scalars) so that the
+checker can memoize; the helpers below follow that convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from .exceptions import ConfigurationError
+
+ApplyFn = Callable[[object, str, Tuple[object, ...]], Tuple[object, object]]
+
+
+@dataclass(frozen=True)
+class SequentialSpec:
+    """A sequential object specification.
+
+    Attributes
+    ----------
+    name:
+        Spec name (``"queue"``, ``"register"``, ...).
+    initial:
+        The initial (hashable) state.
+    apply:
+        Pure transition function mapping ``(state, op, args)`` to
+        ``(new_state, response)``.  Must raise
+        :class:`~repro.core.exceptions.ConfigurationError` on unknown ops.
+    """
+
+    name: str
+    initial: object
+    apply: ApplyFn
+
+    def run(self, ops):
+        """Apply a sequence of ``(op, args)`` pairs; return responses list."""
+        state = self.initial
+        responses = []
+        for op, args in ops:
+            state, response = self.apply(state, op, tuple(args))
+            responses.append(response)
+        return responses
+
+
+def _unknown(spec: str, op: str) -> ConfigurationError:
+    return ConfigurationError(f"{spec}: unknown operation {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Register
+# ---------------------------------------------------------------------------
+
+
+def register_spec(initial: object = None) -> SequentialSpec:
+    """Atomic read/write register: ``read() -> value``, ``write(v) -> None``."""
+
+    def apply(state, op, args):
+        if op == "read":
+            return state, state
+        if op == "write":
+            (value,) = args
+            return value, None
+        raise _unknown("register", op)
+
+    return SequentialSpec("register", initial, apply)
+
+
+# ---------------------------------------------------------------------------
+# FIFO queue
+# ---------------------------------------------------------------------------
+
+
+def queue_spec() -> SequentialSpec:
+    """FIFO queue: ``enqueue(v) -> None``, ``dequeue() -> v | None`` (empty)."""
+
+    def apply(state, op, args):
+        items: Tuple[object, ...] = state
+        if op == "enqueue":
+            (value,) = args
+            return items + (value,), None
+        if op == "dequeue":
+            if not items:
+                return items, None
+            return items[1:], items[0]
+        raise _unknown("queue", op)
+
+    return SequentialSpec("queue", (), apply)
+
+
+# ---------------------------------------------------------------------------
+# LIFO stack
+# ---------------------------------------------------------------------------
+
+
+def stack_spec() -> SequentialSpec:
+    """LIFO stack: ``push(v) -> None``, ``pop() -> v | None`` (empty)."""
+
+    def apply(state, op, args):
+        items: Tuple[object, ...] = state
+        if op == "push":
+            (value,) = args
+            return items + (value,), None
+        if op == "pop":
+            if not items:
+                return items, None
+            return items[:-1], items[-1]
+        raise _unknown("stack", op)
+
+    return SequentialSpec("stack", (), apply)
+
+
+# ---------------------------------------------------------------------------
+# Counter
+# ---------------------------------------------------------------------------
+
+
+def counter_spec(initial: int = 0) -> SequentialSpec:
+    """Counter: ``increment(d=1) -> old``, ``read() -> value``."""
+
+    def apply(state, op, args):
+        if op == "increment":
+            delta = args[0] if args else 1
+            return state + delta, state
+        if op == "read":
+            return state, state
+        raise _unknown("counter", op)
+
+    return SequentialSpec("counter", initial, apply)
+
+
+# ---------------------------------------------------------------------------
+# Set
+# ---------------------------------------------------------------------------
+
+
+def set_spec() -> SequentialSpec:
+    """Set: ``add(v) -> bool`` (newly added?), ``contains(v) -> bool``,
+    ``remove(v) -> bool`` (was present?)."""
+
+    def apply(state, op, args):
+        members: frozenset = state
+        if op == "add":
+            (value,) = args
+            return members | {value}, value not in members
+        if op == "contains":
+            (value,) = args
+            return members, value in members
+        if op == "remove":
+            (value,) = args
+            return members - {value}, value in members
+        raise _unknown("set", op)
+
+    return SequentialSpec("set", frozenset(), apply)
+
+
+# ---------------------------------------------------------------------------
+# Synchronization primitives as sequential specs (for linearizability checks)
+# ---------------------------------------------------------------------------
+
+
+def test_and_set_spec() -> SequentialSpec:
+    """One-shot test&set bit: ``test_and_set() -> old`` (0 for the winner)."""
+
+    def apply(state, op, args):
+        if op == "test_and_set":
+            return 1, state
+        if op == "read":
+            return state, state
+        raise _unknown("test&set", op)
+
+    return SequentialSpec("test&set", 0, apply)
+
+
+def fetch_and_add_spec(initial: int = 0) -> SequentialSpec:
+    """fetch&add register: ``fetch_and_add(d) -> old``, ``read() -> value``."""
+
+    def apply(state, op, args):
+        if op == "fetch_and_add":
+            delta = args[0] if args else 1
+            return state + delta, state
+        if op == "read":
+            return state, state
+        raise _unknown("fetch&add", op)
+
+    return SequentialSpec("fetch&add", initial, apply)
+
+
+def swap_spec(initial: object = None) -> SequentialSpec:
+    """swap register: ``swap(v) -> old``, ``read() -> value``."""
+
+    def apply(state, op, args):
+        if op == "swap":
+            (value,) = args
+            return value, state
+        if op == "read":
+            return state, state
+        raise _unknown("swap", op)
+
+    return SequentialSpec("swap", initial, apply)
+
+
+def compare_and_swap_spec(initial: object = None) -> SequentialSpec:
+    """compare&swap register: ``compare_and_swap(old, new) -> bool``."""
+
+    def apply(state, op, args):
+        if op == "compare_and_swap":
+            expected, new = args
+            if state == expected:
+                return new, True
+            return state, False
+        if op == "read":
+            return state, state
+        raise _unknown("compare&swap", op)
+
+    return SequentialSpec("compare&swap", initial, apply)
+
+
+def sticky_bit_spec() -> SequentialSpec:
+    """Sticky bit: first ``write(v)`` wins and sticks; ``read`` returns it.
+
+    ``write`` returns the stuck value (so every writer learns the winner).
+    """
+
+    def apply(state, op, args):
+        if op == "write":
+            (value,) = args
+            if state is None:
+                return value, value
+            return state, state
+        if op == "read":
+            return state, state
+        raise _unknown("sticky-bit", op)
+
+    return SequentialSpec("sticky-bit", None, apply)
+
+
+SPEC_FACTORIES = {
+    "register": register_spec,
+    "queue": queue_spec,
+    "stack": stack_spec,
+    "counter": counter_spec,
+    "set": set_spec,
+    "test&set": test_and_set_spec,
+    "fetch&add": fetch_and_add_spec,
+    "swap": swap_spec,
+    "compare&swap": compare_and_swap_spec,
+    "sticky-bit": sticky_bit_spec,
+}
+
+
+def spec_by_name(name: str) -> SequentialSpec:
+    """Look up a spec factory by name and instantiate it with defaults."""
+    try:
+        return SPEC_FACTORIES[name]()
+    except KeyError:
+        raise _unknown("SeqSpec registry", name)

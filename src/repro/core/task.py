@@ -1,0 +1,345 @@
+"""Distributed tasks (paper §2.2, Figure 1).
+
+A *task* is the distributed analogue of a mathematical function: ``n``
+processes each hold a private input ``in_i`` and must each produce a
+private output ``out_i`` such that the output vector is related to the
+input vector by the task's relation ``T``.  The case ``n = 1`` degenerates
+to sequential computing.
+
+This module provides:
+
+* :class:`Task` — an explicit finite task given by enumerating the allowed
+  output vectors per input vector;
+* :class:`RelationTask` — a task given by a predicate over
+  (input vector, output vector) pairs, for tasks too large to enumerate;
+* constructors for the canonical tasks the paper leans on: consensus,
+  ``k``-set agreement, leader election, and the full-information
+  vector-learning task used by the TREE-adversary dissemination result.
+
+Partial output vectors (some processes crashed before deciding) use
+:data:`NO_OUTPUT` in the undecided slots; a partial vector is acceptable
+when it can be extended to an allowed full vector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .exceptions import ConfigurationError, SafetyViolation
+
+#: Sentinel marking the slot of a process that produced no output (crashed
+#: before deciding).  Distinct from ``None`` so tasks over option-valued
+#: domains remain expressible.
+NO_OUTPUT = object()
+
+
+def _freeze(vector: Sequence[object]) -> Tuple[object, ...]:
+    return tuple(vector)
+
+
+@dataclass(frozen=True)
+class TaskCheckResult:
+    """Outcome of checking one run's output vector against a task."""
+
+    ok: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.ok
+
+
+class Task:
+    """A finite distributed task ``T : I -> 2^O`` (paper Figure 1, right).
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    mapping:
+        Maps each allowed input vector (a tuple of length ``n``) to the
+        collection of allowed output vectors (tuples of length ``n``).
+    name:
+        Human-readable task name used in error messages.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        mapping: Dict[Tuple[object, ...], Iterable[Tuple[object, ...]]],
+        name: str = "task",
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"a task needs n >= 1 processes, got {n}")
+        self.n = n
+        self.name = name
+        self._mapping: Dict[Tuple[object, ...], FrozenSet[Tuple[object, ...]]] = {}
+        for input_vector, outputs in mapping.items():
+            key = _freeze(input_vector)
+            if len(key) != n:
+                raise ConfigurationError(
+                    f"{name}: input vector {key!r} has length {len(key)}, expected {n}"
+                )
+            frozen_outputs = frozenset(_freeze(o) for o in outputs)
+            for out in frozen_outputs:
+                if len(out) != n:
+                    raise ConfigurationError(
+                        f"{name}: output vector {out!r} has length {len(out)}, "
+                        f"expected {n}"
+                    )
+            self._mapping[key] = frozen_outputs
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def input_vectors(self) -> FrozenSet[Tuple[object, ...]]:
+        """The set ``I`` of allowed input vectors."""
+        return frozenset(self._mapping)
+
+    def outputs_for(self, input_vector: Sequence[object]) -> FrozenSet[Tuple[object, ...]]:
+        """The set ``T(I)`` of allowed output vectors for ``input_vector``."""
+        key = _freeze(input_vector)
+        if key not in self._mapping:
+            raise ConfigurationError(
+                f"{self.name}: {key!r} is not an allowed input vector"
+            )
+        return self._mapping[key]
+
+    # -- checking ----------------------------------------------------------
+
+    def allows(
+        self,
+        input_vector: Sequence[object],
+        output_vector: Sequence[object],
+    ) -> bool:
+        """True when ``output_vector`` (possibly partial) is acceptable.
+
+        A partial vector — one containing :data:`NO_OUTPUT` — is accepted
+        when some allowed full output vector agrees with it on every
+        decided slot.
+        """
+        out = _freeze(output_vector)
+        if len(out) != self.n:
+            return False
+        for allowed in self.outputs_for(input_vector):
+            if all(o is NO_OUTPUT or o == a for o, a in zip(out, allowed)):
+                return True
+        return False
+
+    def check(
+        self,
+        input_vector: Sequence[object],
+        output_vector: Sequence[object],
+    ) -> TaskCheckResult:
+        """Check a run's outputs; describe the violation if any."""
+        if self.allows(input_vector, output_vector):
+            return TaskCheckResult(True)
+        return TaskCheckResult(
+            False,
+            f"{self.name}: output {tuple(output_vector)!r} not allowed for "
+            f"input {tuple(input_vector)!r}",
+        )
+
+    def require(
+        self,
+        input_vector: Sequence[object],
+        output_vector: Sequence[object],
+    ) -> None:
+        """Like :meth:`check` but raises :class:`SafetyViolation` on failure."""
+        result = self.check(input_vector, output_vector)
+        if not result.ok:
+            raise SafetyViolation(result.reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.name!r}, n={self.n}, |I|={len(self._mapping)})"
+
+
+class RelationTask:
+    """A task given by a predicate rather than an enumeration.
+
+    Useful for tasks whose input space is unbounded (e.g. consensus over
+    arbitrary values).  The predicate receives a *full* candidate output
+    vector; partial vectors are handled by trying every completion drawn
+    from ``completions(input_vector)``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        predicate: Callable[[Tuple[object, ...], Tuple[object, ...]], bool],
+        completions: Optional[
+            Callable[[Tuple[object, ...]], Iterable[object]]
+        ] = None,
+        name: str = "relation-task",
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"a task needs n >= 1 processes, got {n}")
+        self.n = n
+        self.name = name
+        self._predicate = predicate
+        self._completions = completions
+
+    def allows(
+        self,
+        input_vector: Sequence[object],
+        output_vector: Sequence[object],
+    ) -> bool:
+        inp = _freeze(input_vector)
+        out = _freeze(output_vector)
+        if len(inp) != self.n or len(out) != self.n:
+            return False
+        undecided = [i for i, o in enumerate(out) if o is NO_OUTPUT]
+        if not undecided:
+            return self._predicate(inp, out)
+        if self._completions is None:
+            # Without a completion domain, accept iff the decided prefix is
+            # consistent with *some* completion drawn from decided outputs
+            # and inputs (a reasonable default for agreement-style tasks).
+            domain: List[object] = [o for o in out if o is not NO_OUTPUT]
+            domain.extend(inp)
+        else:
+            domain = list(self._completions(inp))
+        if not domain:
+            return False
+        for fill in itertools.product(domain, repeat=len(undecided)):
+            candidate = list(out)
+            for slot, value in zip(undecided, fill):
+                candidate[slot] = value
+            if self._predicate(inp, tuple(candidate)):
+                return True
+        return False
+
+    def check(
+        self,
+        input_vector: Sequence[object],
+        output_vector: Sequence[object],
+    ) -> TaskCheckResult:
+        if self.allows(input_vector, output_vector):
+            return TaskCheckResult(True)
+        return TaskCheckResult(
+            False,
+            f"{self.name}: output {tuple(output_vector)!r} not allowed for "
+            f"input {tuple(input_vector)!r}",
+        )
+
+    def require(
+        self,
+        input_vector: Sequence[object],
+        output_vector: Sequence[object],
+    ) -> None:
+        result = self.check(input_vector, output_vector)
+        if not result.ok:
+            raise SafetyViolation(result.reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelationTask({self.name!r}, n={self.n})"
+
+
+# ---------------------------------------------------------------------------
+# Canonical tasks (paper §4.2, §5.3)
+# ---------------------------------------------------------------------------
+
+
+def consensus_task(n: int, values: Optional[Iterable[object]] = None) -> RelationTask:
+    """Consensus (paper §4.2): validity + agreement over the output vector.
+
+    Validity: every decided value is some process's input.  Agreement: all
+    decided values are equal.  (Integrity and termination are run
+    properties checked by the harnesses, not by the task relation.)
+    """
+
+    allowed = None if values is None else frozenset(values)
+
+    def predicate(inp: Tuple[object, ...], out: Tuple[object, ...]) -> bool:
+        decided = set(out)
+        if len(decided) != 1:
+            return False
+        value = next(iter(decided))
+        return value in inp
+
+    def completions(inp: Tuple[object, ...]) -> Iterable[object]:
+        if allowed is None:
+            return inp
+        return [v for v in inp if v in allowed]
+
+    return RelationTask(n, predicate, completions, name=f"consensus[n={n}]")
+
+
+def k_set_agreement_task(n: int, k: int) -> RelationTask:
+    """``k``-set agreement (paper §4.2): at most ``k`` distinct decisions.
+
+    ``k = 1`` is consensus; ``k = n`` is trivial.
+    """
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"k-set agreement needs 1 <= k <= n, got k={k}, n={n}")
+
+    def predicate(inp: Tuple[object, ...], out: Tuple[object, ...]) -> bool:
+        if any(o not in inp for o in out):
+            return False
+        return len(set(out)) <= k
+
+    return RelationTask(
+        n, predicate, lambda inp: inp, name=f"{k}-set-agreement[n={n}]"
+    )
+
+
+def binary_consensus_task(n: int) -> RelationTask:
+    """Consensus restricted to inputs in {0, 1}."""
+    return consensus_task(n, values=(0, 1))
+
+
+def leader_election_task(n: int) -> Task:
+    """Each process outputs the identity of a common leader in ``0..n-1``.
+
+    Inputs are irrelevant (modelled as the all-zero vector); outputs must
+    be a constant vector naming one process.
+    """
+    inputs = ((0,) * n,)
+    outputs = [tuple([leader] * n) for leader in range(n)]
+    return Task(n, {inputs[0]: outputs}, name=f"leader-election[n={n}]")
+
+
+def vector_learning_task(input_vector: Sequence[object]) -> Task:
+    """Every process learns the full input vector (paper §3.3, TREE result).
+
+    The only allowed output for each process is the input vector itself;
+    this is the strongest task (any function of the inputs reduces to it).
+    """
+    frozen = _freeze(input_vector)
+    n = len(frozen)
+    return Task(
+        n,
+        {frozen: [tuple([frozen] * n)]},
+        name=f"vector-learning[n={n}]",
+    )
+
+
+@dataclass
+class RunOutcome:
+    """Bundle of one run's observable outcome, for task checking.
+
+    Attributes
+    ----------
+    input_vector:
+        The private inputs, indexed by process.
+    output_vector:
+        The decisions, with :data:`NO_OUTPUT` where a process never decided.
+    crashed:
+        Indices of processes that crashed during the run.
+    rounds:
+        Number of synchronous rounds or scheduler steps consumed.
+    """
+
+    input_vector: Tuple[object, ...]
+    output_vector: Tuple[object, ...]
+    crashed: FrozenSet[int] = field(default_factory=frozenset)
+    rounds: int = 0
+
+    def decided(self) -> List[int]:
+        """Indices of processes that produced an output."""
+        return [i for i, o in enumerate(self.output_vector) if o is not NO_OUTPUT]
+
+    def correct_processes(self) -> List[int]:
+        """Indices of processes that did not crash."""
+        return [i for i in range(len(self.input_vector)) if i not in self.crashed]

@@ -1,0 +1,195 @@
+"""Asynchronous shared memory: wait-freedom and universality (paper §4).
+
+* :mod:`repro.shm.runtime` — the step-level execution model;
+* :mod:`repro.shm.schedulers` — asynchrony/crash adversaries;
+* :mod:`repro.shm.objects` — the base-object zoo of Herlihy's hierarchy;
+* :mod:`repro.shm.consensus_number` — the hierarchy, constructively;
+* :mod:`repro.shm.bivalence` — FLP executed (exhaustive exploration);
+* :mod:`repro.shm.snapshot` — wait-free atomic snapshot;
+* :mod:`repro.shm.adoptcommit` / :mod:`repro.shm.kset` —
+  obstruction-free agreement (§4.3);
+* :mod:`repro.shm.universal` / :mod:`repro.shm.k_universal` —
+  universal constructions (§4.2);
+* :mod:`repro.shm.progress` — progress-condition test batteries;
+* :mod:`repro.shm.abortable` — abortable objects (§4.3);
+* :mod:`repro.shm.approximate` — wait-free approximate agreement.
+"""
+
+from .abortable import ABORTED, AbortableObject
+from .adoptcommit import ADOPT, COMMIT, AdoptCommit
+from .approximate import ApproximateAgreement, check_epsilon_agreement, rounds_needed
+from .bivalence import ConfigurationExplorer, ExplorationReport
+from .consensus_number import (
+    EMPTY,
+    CautiousRegisterConsensus,
+    CompareAndSwapConsensus,
+    EagerRegisterConsensus,
+    LLSCConsensus,
+    StickyConsensus,
+    TwoProcessRaceConsensus,
+    measured_hierarchy,
+    protocol_for,
+    verify_protocol_exhaustively,
+)
+from .k_universal import KLSimultaneousConsensus, KUniversalConstruction
+from .kset import (
+    ObstructionFreeConsensus,
+    ObstructionFreeKSetAgreement,
+    brs_register_bound,
+    verify_k_set_outputs,
+)
+from .objects import (
+    ConsensusObject,
+    KSimultaneousConsensusObject,
+    LLSCObject,
+    new_compare_and_swap,
+    new_counter,
+    new_fetch_and_add,
+    new_queue,
+    new_register,
+    new_stack,
+    new_sticky,
+    new_swap,
+    new_test_and_set,
+    propose,
+)
+from .register_constructions import (
+    AtomicFromRegular,
+    MRSWAtomicFromSWSR,
+    RegularFromSafe,
+    SafeBitRegister,
+    check_regular,
+)
+from .iis import (
+    ImpossibilityCertificate,
+    ProtocolComplex,
+    consensus_impossibility_certificate,
+    exhaustive_decision_map_check,
+    ordered_set_partitions,
+)
+from .immediate_snapshot import ImmediateSnapshot
+from .renaming import Renaming
+from .progress import (
+    ProgressVerdict,
+    check_non_blocking,
+    check_obstruction_free,
+    check_wait_free,
+)
+from .runtime import (
+    Invocation,
+    Program,
+    RunReport,
+    Runtime,
+    Scheduler,
+    SharedObject,
+    collect,
+    invoke,
+    make_registers,
+    read,
+    run_protocol,
+    write,
+)
+from .schedulers import (
+    CrashAfterScheduler,
+    ListScheduler,
+    ObstructionScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    StarveScheduler,
+    exhaustive_schedules,
+)
+from .snapshot import AtomicSnapshot, snapshot_spec
+from .statemachine import (
+    NOT_DECIDED,
+    ProtocolStateMachine,
+    as_program,
+    build_objects,
+)
+from .universal import UniversalObject, client_program
+
+__all__ = [
+    "ABORTED",
+    "AbortableObject",
+    "ADOPT",
+    "COMMIT",
+    "AdoptCommit",
+    "ApproximateAgreement",
+    "check_epsilon_agreement",
+    "rounds_needed",
+    "ConfigurationExplorer",
+    "ExplorationReport",
+    "EMPTY",
+    "CautiousRegisterConsensus",
+    "CompareAndSwapConsensus",
+    "EagerRegisterConsensus",
+    "LLSCConsensus",
+    "StickyConsensus",
+    "TwoProcessRaceConsensus",
+    "measured_hierarchy",
+    "protocol_for",
+    "verify_protocol_exhaustively",
+    "KLSimultaneousConsensus",
+    "KUniversalConstruction",
+    "ObstructionFreeConsensus",
+    "ObstructionFreeKSetAgreement",
+    "brs_register_bound",
+    "verify_k_set_outputs",
+    "ConsensusObject",
+    "KSimultaneousConsensusObject",
+    "LLSCObject",
+    "new_compare_and_swap",
+    "new_counter",
+    "new_fetch_and_add",
+    "new_queue",
+    "new_register",
+    "new_stack",
+    "new_sticky",
+    "new_swap",
+    "new_test_and_set",
+    "propose",
+    "AtomicFromRegular",
+    "MRSWAtomicFromSWSR",
+    "RegularFromSafe",
+    "SafeBitRegister",
+    "check_regular",
+    "ImpossibilityCertificate",
+    "ProtocolComplex",
+    "consensus_impossibility_certificate",
+    "exhaustive_decision_map_check",
+    "ordered_set_partitions",
+    "ImmediateSnapshot",
+    "Renaming",
+    "ProgressVerdict",
+    "check_non_blocking",
+    "check_obstruction_free",
+    "check_wait_free",
+    "Invocation",
+    "Program",
+    "RunReport",
+    "Runtime",
+    "Scheduler",
+    "SharedObject",
+    "collect",
+    "invoke",
+    "make_registers",
+    "read",
+    "run_protocol",
+    "write",
+    "CrashAfterScheduler",
+    "ListScheduler",
+    "ObstructionScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "SoloScheduler",
+    "StarveScheduler",
+    "exhaustive_schedules",
+    "AtomicSnapshot",
+    "snapshot_spec",
+    "NOT_DECIDED",
+    "ProtocolStateMachine",
+    "as_program",
+    "build_objects",
+    "UniversalObject",
+    "client_program",
+]

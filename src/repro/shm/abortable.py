@@ -1,0 +1,133 @@
+"""Abortable objects (paper §4.3, [11], [31], [60]).
+
+An *abortable* object relaxes operation semantics to buy efficiency:
+
+* an invocation executed in a **concurrency-free pattern** must terminate
+  normally (if the invoker doesn't crash);
+* under contention an invocation may **abort** — returning a distinguished
+  ``ABORTED`` outcome *without modifying the object state*.
+
+Combined with non-blocking progress, abortable objects give cheap
+implementations where contention is rare, with a clean fallback.
+
+:class:`AbortableObject` wraps any sequential spec.  The implementation
+is a doorway + validated apply:
+
+1. announce presence (doorway register), check for other announcers —
+   contention seen here may abort;
+2. re-validate the doorway after tentatively computing the operation; a
+   concurrent doorway change aborts (state untouched);
+3. otherwise commit the state transition with one compare&swap on a
+   versioned cell (the commit point) — registers alone on the solo path,
+   a stronger primitive only at the commit, the "solo-fast" discipline
+   of Capdevielle–Johnen–Milani [11].
+
+Solo invocations always pass both checks: the concurrency-free guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.seqspec import SequentialSpec, compare_and_swap_spec, register_spec
+from .runtime import Invocation, Program, SharedObject
+
+#: Distinguished response for aborted invocations.
+ABORTED = "<aborted>"
+
+
+@dataclass
+class AbortStats:
+    """Counts kept by an abortable object (for the efficiency benches)."""
+
+    attempts: int = 0
+    commits: int = 0
+    aborts: int = 0
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborts / self.attempts if self.attempts else 0.0
+
+
+class AbortableObject:
+    """Abortable wrapper around a sequential specification.
+
+    ``invoke`` is a generator protocol.  On success it returns the
+    operation's response; on contention it returns :data:`ABORTED` and
+    the object state is guaranteed unchanged.
+    """
+
+    def __init__(self, name: str, n: int, spec: SequentialSpec) -> None:
+        if n < 1:
+            raise ConfigurationError("abortable object needs n >= 1 clients")
+        self.name = name
+        self.n = n
+        self.spec = spec
+        # Versioned state cell: (version, state); commits go through CAS.
+        self.cell = SharedObject(
+            f"{name}.cell", compare_and_swap_spec((0, spec.initial))
+        )
+        self.doorway: List[SharedObject] = [
+            SharedObject(f"{name}.door[{i}]", register_spec(0)) for i in range(n)
+        ]
+        self.stats = AbortStats()
+
+    def invoke(self, pid: int, op: str, *args: object) -> Program:
+        """Attempt one operation; returns the response or ``ABORTED``."""
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.n - 1}")
+        self.stats.attempts += 1
+
+        # Doorway: announce, then look around.
+        my_stamp = yield Invocation(self.doorway[pid], "read", ())
+        yield Invocation(self.doorway[pid], "write", (my_stamp + 1,))
+        others_before: Dict[int, object] = {}
+        for other in range(self.n):
+            if other == pid:
+                continue
+            others_before[other] = yield Invocation(self.doorway[other], "read", ())
+
+        version, state = yield Invocation(self.cell, "read", ())
+        new_state, response = self.spec.apply(state, op, tuple(args))
+
+        # Validate: any doorway movement means contention — abort without
+        # touching the state cell.
+        for other in range(self.n):
+            if other == pid:
+                continue
+            now = yield Invocation(self.doorway[other], "read", ())
+            if now != others_before[other]:
+                self.stats.aborts += 1
+                return ABORTED
+
+        # Commit: one atomic compare&swap on the versioned cell.  A
+        # concurrent commit bumps the version, so exactly one of any set
+        # of racing invocations can land — the rest abort untouched.
+        # (Registers suffice on the solo path; the CAS is consulted only
+        # at the commit point — the "solo-fast" discipline of [11].)
+        committed = yield Invocation(
+            self.cell,
+            "compare_and_swap",
+            ((version, state), (version + 1, new_state)),
+        )
+        if not committed:
+            self.stats.aborts += 1
+            return ABORTED
+        self.stats.commits += 1
+        return response
+
+    def invoke_until_success(
+        self, pid: int, op: str, *args: object, max_attempts: int = 1_000
+    ) -> Program:
+        """Retry an abortable invocation until it commits (non-blocking use)."""
+        for _ in range(max_attempts):
+            response = yield from self.invoke(pid, op, *args)
+            if response != ABORTED:
+                return response
+        return ABORTED
+
+    def current_state(self) -> object:
+        """Debug view of the committed state."""
+        return self.cell.peek()[1]

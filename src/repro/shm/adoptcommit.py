@@ -1,0 +1,86 @@
+"""Adopt-commit objects from registers (Gafni; substrate for §4.3).
+
+An adopt-commit object is the strongest agreement primitive registers can
+give wait-free: ``adopt_commit(v)`` returns ``(COMMIT, w)`` or
+``(ADOPT, w)`` such that
+
+* **validity** — ``w`` was some process's input;
+* **coherence** — if anyone gets ``(COMMIT, w)``, everyone gets
+  ``(·, w)`` (same ``w``!);
+* **convergence** — if all inputs are equal to ``v``, everyone gets
+  ``(COMMIT, v)``;
+* **wait-freedom** — a constant number of register steps.
+
+It cannot *be* consensus (FLP): a process may be told ADOPT forever
+across a chain of adopt-commit objects.  But it is exactly the safety
+half of consensus, which is why obstruction-free consensus
+(:mod:`repro.shm.kset`) and indulgent round-based consensus are built on
+it.
+
+Implementation: the classic two-phase collect protocol over two SWMR
+register arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.seqspec import register_spec
+from .runtime import Invocation, Program, SharedObject
+
+COMMIT = "commit"
+ADOPT = "adopt"
+
+#: Register content meaning "not written yet".
+_EMPTY = ("<unset>",)
+
+
+class AdoptCommit:
+    """A one-shot n-process adopt-commit object over 2n registers."""
+
+    def __init__(self, name: str, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError("adopt-commit needs n >= 1")
+        self.name = name
+        self.n = n
+        self.phase1: List[SharedObject] = [
+            SharedObject(f"{name}.A[{i}]", register_spec(_EMPTY)) for i in range(n)
+        ]
+        self.phase2: List[SharedObject] = [
+            SharedObject(f"{name}.B[{i}]", register_spec(_EMPTY)) for i in range(n)
+        ]
+
+    def adopt_commit(self, pid: int, value: object) -> Program:
+        """``(verdict, value) = yield from ac.adopt_commit(pid, v)``."""
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.n - 1}")
+        # Phase 1: publish the proposal, look for disagreement.
+        yield Invocation(self.phase1[pid], "write", (value,))
+        seen = []
+        for register in self.phase1:
+            entry = yield Invocation(register, "read", ())
+            if entry != _EMPTY:
+                seen.append(entry)
+        if all(entry == value for entry in seen):
+            proposal = (True, value)
+        else:
+            proposal = (False, min(seen, key=repr))
+        # Phase 2: publish the phase-1 verdict, combine everyone's.
+        yield Invocation(self.phase2[pid], "write", (proposal,))
+        verdicts = []
+        for register in self.phase2:
+            entry = yield Invocation(register, "read", ())
+            if entry != _EMPTY:
+                verdicts.append(entry)
+        clean = [entry for entry in verdicts if entry[0]]
+        if clean and len(verdicts) == len(clean):
+            # Everyone (seen so far) had a clean phase 1.  Coherence of
+            # phase 1 guarantees all clean verdicts carry the same value.
+            return (COMMIT, clean[0][1])
+        if clean:
+            return (ADOPT, clean[0][1])
+        return (ADOPT, min((entry[1] for entry in verdicts), key=repr))
+
+    def total_register_operations(self) -> int:
+        return sum(r.operation_count for r in self.phase1 + self.phase2)

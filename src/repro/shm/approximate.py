@@ -1,0 +1,102 @@
+"""Wait-free approximate agreement (the solvable side of FLP's frontier).
+
+Exact consensus is impossible in ``ASM_{n,n-1}[∅]`` (§4.2) — but its
+ε-relaxation is wait-free solvable with registers only, which makes it
+the canonical witness that the impossibility is about *exactness*, not
+about agreement per se.  It is also the task this library uses to
+demonstrate the ``SMP_n[adv:TOUR] ≃_T ARW_{n,n-1}[fd:∅]`` equivalence
+(§3.3): the same protocol runs in both models.
+
+Task: each process starts with a real ``x_i`` and outputs ``y_i`` with
+
+* **ε-agreement** — ``|y_i − y_j| ≤ ε``;
+* **validity** — every output lies in ``[min x, max x]``.
+
+Protocol (classic rounds of averaging): each round, publish
+``(round, value)``; collect; adopt the midpoint of the values seen at
+the maximal round ≥ own.  Each round at least halves the diameter of the
+surviving values, so ``ceil(log2(spread / ε))`` rounds suffice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.seqspec import register_spec
+from .runtime import Invocation, Program, SharedObject
+
+
+def rounds_needed(spread: float, epsilon: float) -> int:
+    """Rounds of halving to bring ``spread`` under ``epsilon``."""
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be > 0")
+    if spread <= epsilon:
+        return 1
+    return max(1, math.ceil(math.log2(spread / epsilon)))
+
+
+class ApproximateAgreement:
+    """Shared structure for one ε-agreement instance over n processes."""
+
+    def __init__(self, name: str, n: int, epsilon: float, spread_bound: float) -> None:
+        if n < 1:
+            raise ConfigurationError("approximate agreement needs n >= 1")
+        if epsilon <= 0 or spread_bound <= 0:
+            raise ConfigurationError("epsilon and spread_bound must be > 0")
+        self.name = name
+        self.n = n
+        self.epsilon = epsilon
+        self.rounds = rounds_needed(spread_bound, epsilon)
+        # registers[r][i] = value published by process i at round r.
+        self.registers: List[List[SharedObject]] = [
+            [
+                SharedObject(f"{name}.r{r}[{i}]", register_spec(None))
+                for i in range(n)
+            ]
+            for r in range(self.rounds + 1)
+        ]
+
+    def propose(self, pid: int, value: float) -> Program:
+        """``y = yield from aa.propose(pid, x)`` — wait-free."""
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.n - 1}")
+        estimate = float(value)
+        for round_index in range(1, self.rounds + 1):
+            yield Invocation(
+                self.registers[round_index][pid], "write", (estimate,)
+            )
+            seen: List[float] = []
+            for other in range(self.n):
+                entry = yield Invocation(
+                    self.registers[round_index][other], "read", ()
+                )
+                if entry is not None:
+                    seen.append(entry)
+            # ``seen`` includes our own value, so it is never empty.
+            estimate = (min(seen) + max(seen)) / 2.0
+        return estimate
+
+
+def check_epsilon_agreement(
+    inputs: Sequence[float],
+    outputs: Sequence[Optional[float]],
+    epsilon: float,
+) -> None:
+    """Raise on any ε-agreement or validity violation (None = no output)."""
+    from ..core.exceptions import SafetyViolation
+
+    decided = [value for value in outputs if value is not None]
+    low, high = min(inputs), max(inputs)
+    for value in decided:
+        if not (low - 1e-12 <= value <= high + 1e-12):
+            raise SafetyViolation(
+                f"output {value} outside input range [{low}, {high}]"
+            )
+    for a in decided:
+        for b in decided:
+            if abs(a - b) > epsilon + 1e-12:
+                raise SafetyViolation(
+                    f"outputs {a} and {b} differ by more than ε={epsilon}"
+                )

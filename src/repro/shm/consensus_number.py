@@ -1,0 +1,467 @@
+"""Herlihy's consensus hierarchy, constructively (paper §4.2).
+
+For each base object type the paper lists, this module implements the
+wait-free consensus protocol that realizes its consensus number:
+
+* **registers** (number 1): no protocol exists — instead we provide the
+  two canonical *failed attempts* whose exhaustive exploration
+  (:mod:`repro.shm.bivalence`) exhibits the FLP dichotomy: an eager
+  protocol that violates agreement, and a careful protocol that is safe
+  but admits a non-deciding schedule;
+* **test&set, fetch&add, swap, queue, stack** (number 2): the classic
+  2-process "winner takes all" race;
+* **compare&swap, LL/SC, sticky bit** (number ∞): n-process protocols.
+
+All protocols are :class:`~repro.shm.statemachine.ProtocolStateMachine`
+instances, so they run both in the step-level runtime (any scheduler)
+and under the exhaustive explorer (every schedule, machine-checked
+safety and wait-freedom for small ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.seqspec import (
+    SequentialSpec,
+    fetch_and_add_spec,
+    queue_spec,
+    register_spec,
+    stack_spec,
+    sticky_bit_spec,
+    swap_spec,
+    test_and_set_spec,
+)
+from .statemachine import NOT_DECIDED, OpRequest, ProtocolStateMachine
+
+#: Sentinel for "no value yet" distinct from every legal input.
+EMPTY = "<⊥>"
+
+#: Token pre-loaded into queue/stack so the first dequeuer/popper wins.
+WIN_TOKEN = "<win>"
+
+
+def llsc_spec(initial: object = EMPTY) -> SequentialSpec:
+    """LL/SC as a *pid-aware* sequential spec.
+
+    The link set lives in the object state; ``ll``/``sc`` take the caller
+    pid as an explicit argument so the spec stays a pure function (which
+    is what the exhaustive explorer needs).
+    """
+
+    def apply(state, op, args):
+        value, linked = state
+        if op == "ll":
+            (pid,) = args
+            return (value, linked | frozenset([pid])), value
+        if op == "sc":
+            pid, new_value = args
+            if pid in linked:
+                return (new_value, frozenset()), True
+            return state, False
+        if op == "read":
+            return state, value
+        raise ConfigurationError(f"LL/SC spec: unknown operation {op!r}")
+
+    return SequentialSpec("LL/SC", (initial, frozenset()), apply)
+
+
+def _with_initial(spec: SequentialSpec, initial: object) -> SequentialSpec:
+    """A copy of ``spec`` with a different initial state."""
+    return SequentialSpec(spec.name, initial, spec.apply)
+
+
+# ---------------------------------------------------------------------------
+# Consensus number 2: the winner-takes-all race
+# ---------------------------------------------------------------------------
+
+#: kind → (spec factory, race operation request, "did I win?" predicate)
+_RACE_RULES = {
+    "test&set": (
+        lambda: test_and_set_spec(),
+        lambda pid: ("winner", "test_and_set", ()),
+        lambda response: response == 0,
+    ),
+    "fetch&add": (
+        lambda: fetch_and_add_spec(0),
+        lambda pid: ("winner", "fetch_and_add", (1,)),
+        lambda response: response == 0,
+    ),
+    "swap": (
+        lambda: swap_spec(EMPTY),
+        lambda pid: ("winner", "swap", (pid,)),
+        lambda response: response == EMPTY,
+    ),
+    "queue": (
+        lambda: _with_initial(queue_spec(), (WIN_TOKEN,)),
+        lambda pid: ("winner", "dequeue", ()),
+        lambda response: response == WIN_TOKEN,
+    ),
+    "stack": (
+        lambda: _with_initial(stack_spec(), (WIN_TOKEN,)),
+        lambda pid: ("winner", "pop", ()),
+        lambda response: response == WIN_TOKEN,
+    ),
+}
+
+
+class TwoProcessRaceConsensus(ProtocolStateMachine):
+    """2-process consensus from any consensus-number-2 object.
+
+    Each process publishes its input in a register, races on the object,
+    and the loser adopts the winner's published value.  Wait-free: three
+    steps per process, unconditionally.
+    """
+
+    def __init__(self, kind: str) -> None:
+        if kind not in _RACE_RULES:
+            raise ConfigurationError(
+                f"no 2-process race rule for {kind!r}; "
+                f"choose from {sorted(_RACE_RULES)}"
+            )
+        self.kind = kind
+        self.name = f"race-consensus[{kind}]"
+        self._spec_factory, self._race_op, self._won = _RACE_RULES[kind]
+
+    def shared_objects(self) -> Dict[str, SequentialSpec]:
+        return {
+            "prefer0": register_spec(EMPTY),
+            "prefer1": register_spec(EMPTY),
+            "winner": self._spec_factory(),
+        }
+
+    def initial_state(self, pid: int, input_value: object):
+        return ("publish", input_value, NOT_DECIDED)
+
+    def next_op(self, pid: int, state) -> Optional[OpRequest]:
+        phase, value, _ = state
+        if phase == "publish":
+            return (f"prefer{pid}", "write", (value,))
+        if phase == "race":
+            return self._race_op(pid)
+        if phase == "adopt":
+            return (f"prefer{1 - pid}", "read", ())
+        return None  # decided
+
+    def apply_response(self, pid: int, state, response):
+        phase, value, decision = state
+        if phase == "publish":
+            return ("race", value, decision)
+        if phase == "race":
+            if self._won(response):
+                return ("done", value, value)
+            return ("adopt", value, decision)
+        if phase == "adopt":
+            return ("done", value, response)
+        raise ConfigurationError(f"unexpected response in phase {phase!r}")
+
+    def decision(self, pid: int, state):
+        return state[2]
+
+
+# ---------------------------------------------------------------------------
+# Consensus number ∞
+# ---------------------------------------------------------------------------
+
+
+class CompareAndSwapConsensus(ProtocolStateMachine):
+    """n-process consensus from compare&swap: CAS(⊥ → input), read on failure."""
+
+    name = "cas-consensus"
+
+    def shared_objects(self) -> Dict[str, SequentialSpec]:
+        from ..core.seqspec import compare_and_swap_spec
+
+        return {"decision": compare_and_swap_spec(EMPTY)}
+
+    def initial_state(self, pid: int, input_value: object):
+        return ("cas", input_value, NOT_DECIDED)
+
+    def next_op(self, pid: int, state) -> Optional[OpRequest]:
+        phase, value, _ = state
+        if phase == "cas":
+            return ("decision", "compare_and_swap", (EMPTY, value))
+        if phase == "read":
+            return ("decision", "read", ())
+        return None
+
+    def apply_response(self, pid: int, state, response):
+        phase, value, decision = state
+        if phase == "cas":
+            if response is True:
+                return ("done", value, value)
+            return ("read", value, decision)
+        if phase == "read":
+            return ("done", value, response)
+        raise ConfigurationError(f"unexpected response in phase {phase!r}")
+
+    def decision(self, pid: int, state):
+        return state[2]
+
+
+class StickyConsensus(ProtocolStateMachine):
+    """n-process consensus from a sticky register: one write suffices."""
+
+    name = "sticky-consensus"
+
+    def shared_objects(self) -> Dict[str, SequentialSpec]:
+        return {"decision": sticky_bit_spec()}
+
+    def initial_state(self, pid: int, input_value: object):
+        return ("write", input_value, NOT_DECIDED)
+
+    def next_op(self, pid: int, state) -> Optional[OpRequest]:
+        phase, value, _ = state
+        if phase == "write":
+            return ("decision", "write", (value,))
+        return None
+
+    def apply_response(self, pid: int, state, response):
+        phase, value, _ = state
+        return ("done", value, response)
+
+    def decision(self, pid: int, state):
+        return state[2]
+
+
+class LLSCConsensus(ProtocolStateMachine):
+    """n-process consensus from LL/SC.
+
+    ``ll``; if empty, try ``sc(input)``; on success decide input, else the
+    value is now set — ``read`` and decide it.  At most one ``sc``
+    succeeds, after which the value never changes.
+    """
+
+    name = "llsc-consensus"
+
+    def shared_objects(self) -> Dict[str, SequentialSpec]:
+        return {"decision": llsc_spec(EMPTY)}
+
+    def initial_state(self, pid: int, input_value: object):
+        return ("ll", input_value, NOT_DECIDED)
+
+    def next_op(self, pid: int, state) -> Optional[OpRequest]:
+        phase, value, _ = state
+        if phase == "ll":
+            return ("decision", "ll", (pid,))
+        if phase == "sc":
+            return ("decision", "sc", (pid, value))
+        if phase == "read":
+            return ("decision", "read", ())
+        return None
+
+    def apply_response(self, pid: int, state, response):
+        phase, value, decision = state
+        if phase == "ll":
+            if response == EMPTY:
+                return ("sc", value, decision)
+            return ("done", value, response)
+        if phase == "sc":
+            if response is True:
+                return ("done", value, value)
+            return ("read", value, decision)
+        if phase == "read":
+            return ("done", value, response)
+        raise ConfigurationError(f"unexpected response in phase {phase!r}")
+
+    def decision(self, pid: int, state):
+        return state[2]
+
+
+# ---------------------------------------------------------------------------
+# Register-only attempts — the FLP dichotomy material
+# ---------------------------------------------------------------------------
+
+
+class EagerRegisterConsensus(ProtocolStateMachine):
+    """The natural *wrong* 2-process register protocol.
+
+    Write input, read the other register; decide own value if the other
+    slot is still empty, else decide the minimum.  Wait-free — and
+    exhaustive exploration finds the agreement violation (one process
+    runs solo, decides its own value; the other later sees both and
+    decides the minimum).
+    """
+
+    name = "eager-register-consensus"
+
+    def shared_objects(self) -> Dict[str, SequentialSpec]:
+        return {"r0": register_spec(EMPTY), "r1": register_spec(EMPTY)}
+
+    def initial_state(self, pid: int, input_value: object):
+        return ("write", input_value, NOT_DECIDED)
+
+    def next_op(self, pid: int, state) -> Optional[OpRequest]:
+        phase, value, _ = state
+        if phase == "write":
+            return (f"r{pid}", "write", (value,))
+        if phase == "read":
+            return (f"r{1 - pid}", "read", ())
+        return None
+
+    def apply_response(self, pid: int, state, response):
+        phase, value, decision = state
+        if phase == "write":
+            return ("read", value, decision)
+        if phase == "read":
+            if response == EMPTY:
+                return ("done", value, value)
+            return ("done", value, min(value, response))
+        raise ConfigurationError(f"unexpected response in phase {phase!r}")
+
+    def decision(self, pid: int, state):
+        return state[2]
+
+
+class CautiousRegisterConsensus(ProtocolStateMachine):
+    """A *safe* 2-process register protocol — which therefore cannot be live.
+
+    Loop: publish current estimate; read the other register; decide only
+    upon seeing the other process hold the *same* estimate; otherwise
+    adopt the minimum and retry.  Exploration certifies agreement and
+    validity hold in every reachable configuration, and finds the
+    non-deciding cycle FLP promises (e.g. a process re-publishing forever
+    while the other is withheld).
+    """
+
+    name = "cautious-register-consensus"
+
+    def shared_objects(self) -> Dict[str, SequentialSpec]:
+        return {"r0": register_spec(EMPTY), "r1": register_spec(EMPTY)}
+
+    def initial_state(self, pid: int, input_value: object):
+        return ("write", input_value, NOT_DECIDED)
+
+    def next_op(self, pid: int, state) -> Optional[OpRequest]:
+        phase, value, _ = state
+        if phase == "write":
+            return (f"r{pid}", "write", (value,))
+        if phase == "read":
+            return (f"r{1 - pid}", "read", ())
+        return None
+
+    def apply_response(self, pid: int, state, response):
+        phase, value, decision = state
+        if phase == "write":
+            return ("read", value, decision)
+        if phase == "read":
+            if response == value:
+                return ("done", value, value)
+            if response == EMPTY:
+                return ("write", value, decision)  # retry unchanged
+            return ("write", min(value, response), decision)  # adopt and retry
+        raise ConfigurationError(f"unexpected response in phase {phase!r}")
+
+    def decision(self, pid: int, state):
+        return state[2]
+
+
+# ---------------------------------------------------------------------------
+# The hierarchy, as a harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HierarchyCell:
+    """One (object type, n) cell of the measured hierarchy table."""
+
+    object_type: str
+    n: int
+    theory_solvable: bool
+    verified: Optional[bool]  # None = not mechanically verified here
+    note: str = ""
+
+
+def protocol_for(object_type: str, n: int) -> Optional[ProtocolStateMachine]:
+    """The consensus protocol this library provides for (type, n), if any."""
+    if object_type in _RACE_RULES:
+        return TwoProcessRaceConsensus(object_type) if n == 2 else None
+    if object_type == "compare&swap":
+        return CompareAndSwapConsensus()
+    if object_type == "sticky-bit":
+        return StickyConsensus()
+    if object_type == "LL/SC":
+        return LLSCConsensus()
+    if object_type == "register":
+        return None
+    raise ConfigurationError(f"unknown object type {object_type!r}")
+
+
+def verify_protocol_exhaustively(
+    machine: ProtocolStateMachine,
+    inputs: Sequence[object],
+    max_configurations: int = 500_000,
+):
+    """Explore every schedule; return the full report (safety + liveness)."""
+    from .bivalence import ConfigurationExplorer
+
+    return ConfigurationExplorer(machine, inputs, max_configurations).explore()
+
+
+def measured_hierarchy(
+    ns: Sequence[int] = (2, 3),
+    object_types: Sequence[str] = (
+        "register",
+        "test&set",
+        "fetch&add",
+        "swap",
+        "queue",
+        "stack",
+        "compare&swap",
+        "LL/SC",
+        "sticky-bit",
+    ),
+    input_values: Sequence[object] = (0, 1),
+) -> List[HierarchyCell]:
+    """Reproduce Herlihy's hierarchy table with machine-checked cells.
+
+    Solvable cells are verified by exhaustively checking the protocol
+    (safe + wait-free under *every* schedule).  The register row's
+    impossibility is verified via the FLP dichotomy on the two register
+    attempts (see the module docstring); other impossible cells carry
+    the theory verdict (their proofs are valency arguments over *all*
+    protocols, beyond per-protocol checking).
+    """
+    from ..core.hierarchy import solves_consensus
+    from .bivalence import ConfigurationExplorer
+
+    import itertools
+
+    cells: List[HierarchyCell] = []
+    for object_type in object_types:
+        for n in ns:
+            theory = solves_consensus(object_type, n)
+            machine = protocol_for(object_type, n)
+            verified: Optional[bool] = None
+            note = ""
+            if theory and machine is not None:
+                ok = True
+                for inputs in itertools.product(input_values, repeat=n):
+                    report = ConfigurationExplorer(machine, inputs).explore()
+                    if not (report.safe and report.always_terminates):
+                        ok = False
+                        note = "protocol failed exhaustive check"
+                        break
+                verified = ok
+                if ok:
+                    note = "exhaustively verified (all schedules)"
+            elif not theory and object_type == "register" and n == 2:
+                # Machine-check the dichotomy on the two canonical
+                # attempts: the eager one must violate agreement, the
+                # cautious one must admit a non-deciding schedule.
+                eager = ConfigurationExplorer(
+                    EagerRegisterConsensus(), (0, 1)
+                ).explore()
+                cautious = ConfigurationExplorer(
+                    CautiousRegisterConsensus(), (0, 1)
+                ).explore()
+                verified = (not eager.safe) and (
+                    cautious.safe and not cautious.always_terminates
+                )
+                note = "FLP dichotomy machine-checked on register attempts"
+            else:
+                note = "impossible by valency argument (cited)"
+            cells.append(HierarchyCell(object_type, n, theory, verified, note))
+    return cells

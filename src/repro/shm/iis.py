@@ -1,0 +1,253 @@
+"""The iterated immediate snapshot model and the protocol complex
+(paper §4.2's topology citations [34], [35], made executable).
+
+Herlihy–Shavit's topological characterization of wait-free computability
+works in the *iterated immediate snapshot* (IIS) model: processes go
+through a sequence of fresh one-shot immediate-snapshot objects, and the
+set of reachable view configurations after ``r`` rounds forms a
+simplicial complex — the ``r``-th chromatic subdivision of the input
+simplex.  The model is computationally equivalent to wait-free
+read/write memory, so facts about the complex are facts about
+``ASM_{n,n-1}[∅]``.
+
+This module builds that complex *exactly* (no sampling):
+
+* :func:`ordered_set_partitions` — the combinatorial type of one IS
+  round's view profiles (13 of them for n = 3 — as the sampled runs in
+  the test suite also discover);
+* :class:`ProtocolComplex` — vertices are (process, view-history) pairs,
+  simplexes are reachable r-round executions; built by exact recursion,
+  one subdivision per round;
+* :func:`consensus_impossibility_certificate` — the FLP-class result by
+  the topological argument, machine-checked **over every IIS protocol
+  with r rounds** (not per-candidate!): any agreement-respecting
+  decision map must be constant on a connected component; the complex is
+  connected; solo corners are validity-pinned to different values —
+  contradiction.  The function verifies each ingredient on the actual
+  complex and returns the certificate data.
+
+This is the strongest impossibility artifact in the library: the
+per-protocol explorers (:mod:`repro.shm.bivalence`) refute *given*
+protocols; this refutes *all* bounded-round IIS protocols at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+
+#: A full-information IIS state: after round k, a process's state is the
+#: frozenset of (pid, round-(k−1) state) pairs it saw — nested views all
+#: the way down to the initial ("init", pid) states.  Distinct executions
+#: that a process CAN distinguish yield distinct states, which is what
+#: makes the complex exactly the chromatic subdivision (a coarser view
+#: encoding would quotient the complex and break the impossibility
+#: argument's direction).
+State = object  # nested frozensets; kept opaque for typing simplicity
+
+#: A vertex of the protocol complex: (process, its full-information state).
+Vertex = Tuple[int, State]
+
+
+def ordered_set_partitions(members: Sequence[int]) -> Iterator[List[Set[int]]]:
+    """All ordered partitions of ``members`` into non-empty blocks.
+
+    Each ordered partition is one schedule-type of an immediate-snapshot
+    round: processes in block ``i`` see blocks ``0..i`` (plus
+    themselves).  Counts: 1, 3, 13, 75, 541, … (the ordered Bell
+    numbers).
+    """
+    members = list(members)
+    if not members:
+        yield []
+        return
+    first, rest = members[0], members[1:]
+    for partition in ordered_set_partitions(rest):
+        # Insert `first` into an existing block or as a new block at any
+        # position.
+        for index in range(len(partition)):
+            copied = [set(block) for block in partition]
+            copied[index].add(first)
+            yield copied
+        for index in range(len(partition) + 1):
+            copied = [set(block) for block in partition]
+            copied.insert(index, {first})
+            yield copied
+
+
+def one_round_updates(states: Tuple[State, ...]) -> Iterator[Tuple[State, ...]]:
+    """All full-information IS updates of one round.
+
+    ``states[pid]`` is each process's pre-round state; each ordered set
+    partition yields the post-round state vector: a process in block
+    ``i`` sees the (pid, state) pairs of blocks ``0..i``.
+    """
+    n = len(states)
+    for partition in ordered_set_partitions(list(range(n))):
+        new_states: List[State] = [None] * n
+        seen: Set[Tuple[int, State]] = set()
+        for block in partition:
+            seen |= {(pid, states[pid]) for pid in block}
+            snapshot = frozenset(seen)
+            for pid in block:
+                new_states[pid] = snapshot
+        yield tuple(new_states)
+
+
+@dataclass(frozen=True)
+class Simplex:
+    """One reachable r-round execution: per participant, its final state."""
+
+    histories: Tuple[Vertex, ...]
+
+    def vertices(self) -> Tuple[Vertex, ...]:
+        return self.histories
+
+
+class ProtocolComplex:
+    """The exact r-round IIS protocol complex on ``n`` processes.
+
+    Only *full-participation* executions are generated round by round
+    (every process takes its IS in every round), which suffices for the
+    connectivity argument: the solo-looking corners appear as the
+    ordered partitions that isolate a process first.
+    """
+
+    def __init__(self, n: int, rounds: int) -> None:
+        if n < 2:
+            raise ConfigurationError("protocol complexes need n >= 2")
+        if rounds < 1:
+            raise ConfigurationError("need rounds >= 1")
+        self.n = n
+        self.rounds = rounds
+        self.simplexes: List[Simplex] = []
+        self._build()
+
+    def _build(self) -> None:
+        frontier: List[Tuple[State, ...]] = [
+            tuple(("init", pid) for pid in range(self.n))
+        ]
+        for _ in range(self.rounds):
+            next_frontier: List[Tuple[State, ...]] = []
+            for states in frontier:
+                next_frontier.extend(one_round_updates(states))
+            frontier = next_frontier
+        seen: Set[Tuple[Vertex, ...]] = set()
+        for states in frontier:
+            vertices = tuple((pid, states[pid]) for pid in range(self.n))
+            if vertices not in seen:
+                seen.add(vertices)
+                self.simplexes.append(Simplex(vertices))
+
+    # -- structure queries -------------------------------------------------
+
+    def vertex_set(self) -> Set[Vertex]:
+        out: Set[Vertex] = set()
+        for simplex in self.simplexes:
+            out.update(simplex.vertices())
+        return out
+
+    def is_connected(self) -> bool:
+        """Connectivity of the complex's vertex-adjacency graph
+        (vertices adjacent when they share a simplex)."""
+        vertices = list(self.vertex_set())
+        if not vertices:
+            return True
+        adjacency: Dict[Vertex, Set[Vertex]] = {v: set() for v in vertices}
+        for simplex in self.simplexes:
+            vs = simplex.vertices()
+            for a in vs:
+                for b in vs:
+                    if a != b:
+                        adjacency[a].add(b)
+        seen = {vertices[0]}
+        frontier = [vertices[0]]
+        while frontier:
+            v = frontier.pop()
+            for w in adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return len(seen) == len(vertices)
+
+    def solo_corner(self, pid: int) -> Vertex:
+        """The vertex where ``pid`` ran "first" every round: it saw only
+        itself at every level — indistinguishable (to ``pid``) from a
+        solo execution, so validity pins its decision to its own input."""
+        state: State = ("init", pid)
+        for _ in range(self.rounds):
+            state = frozenset({(pid, state)})
+        vertex = (pid, state)
+        if vertex not in self.vertex_set():  # pragma: no cover - structural
+            raise ConfigurationError("solo corner missing — complex malformed")
+        return vertex
+
+
+@dataclass(frozen=True)
+class ImpossibilityCertificate:
+    """Machine-checked ingredients of the topological argument."""
+
+    n: int
+    rounds: int
+    simplex_count: int
+    vertex_count: int
+    connected: bool
+    corners_distinctly_pinned: bool
+
+    @property
+    def consensus_impossible(self) -> bool:
+        """Connected + distinctly-pinned corners ⟹ no decision map.
+
+        Any map δ respecting agreement is constant per simplex, hence
+        constant on connected components; the pinned corners force two
+        different constants in one component — no such δ exists, for ANY
+        r-round IIS protocol (the complex is protocol-independent).
+        """
+        return self.connected and self.corners_distinctly_pinned
+
+
+def consensus_impossibility_certificate(
+    n: int, rounds: int
+) -> ImpossibilityCertificate:
+    """Build the complex and machine-check the impossibility argument."""
+    complex_ = ProtocolComplex(n, rounds)
+    connected = complex_.is_connected()
+    corner_zero = complex_.solo_corner(0)
+    corner_one = complex_.solo_corner(1)
+    return ImpossibilityCertificate(
+        n=n,
+        rounds=rounds,
+        simplex_count=len(complex_.simplexes),
+        vertex_count=len(complex_.vertex_set()),
+        connected=connected,
+        corners_distinctly_pinned=corner_zero != corner_one,
+    )
+
+
+def exhaustive_decision_map_check(rounds: int) -> bool:
+    """For n = 2, brute-force the theorem: enumerate EVERY binary
+    decision map over the complex's vertices and verify each violates
+    validity or agreement (feasible for small r; complements the
+    connectivity argument with a zero-trust enumeration).
+    """
+    import itertools
+
+    complex_ = ProtocolComplex(2, rounds)
+    vertices = sorted(complex_.vertex_set())
+    index = {v: i for i, v in enumerate(vertices)}
+    corner0 = complex_.solo_corner(0)
+    corner1 = complex_.solo_corner(1)
+    # Inputs: process 0 holds 0, process 1 holds 1.
+    for bits in itertools.product((0, 1), repeat=len(vertices)):
+        # Validity pins the solo corners to the owner's input.
+        if bits[index[corner0]] != 0 or bits[index[corner1]] != 1:
+            continue  # violates validity: this map is already illegal
+        agreement_ok = all(
+            len({bits[index[v]] for v in simplex.vertices()}) == 1
+            for simplex in complex_.simplexes
+        )
+        if agreement_ok:
+            return False  # found a legal consensus map — theorem refuted!
+    return True

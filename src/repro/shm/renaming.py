@@ -1,0 +1,91 @@
+"""Wait-free (2n−1)-renaming from registers (§4 companion task).
+
+Renaming is the classic wait-free-solvable *symmetry-breaking* task the
+topology literature the paper cites ([34], [35]) revolves around:
+``n`` processes with large distinct ids must acquire distinct names in a
+small namespace.  ``2n − 1`` names are achievable wait-free from
+registers; ``2n − 2`` is impossible (for most ``n``) — renaming sits
+just on the solvable side of the wait-free frontier, complementing
+consensus on the impossible side.
+
+Implementation — the classic Attiya et al. snapshot-based algorithm:
+
+* each process publishes ``(id, current proposal)`` in a snapshot object;
+* repeatedly: scan; if its proposal collides with a proposal of another
+  process, pick the ``r``-th *free* name, where ``r`` is the rank of its
+  id among the participants it sees; otherwise the proposal becomes its
+  name.
+
+Wait-free: at most ``n`` participants are ever seen, so ranks are ≤ n
+and proposals range over at most ``2n − 1`` names; every collision
+strictly increases the collided process's knowledge, so proposals
+stabilize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError, SafetyViolation
+from .runtime import Program
+from .snapshot import AtomicSnapshot
+
+
+class Renaming:
+    """One (2n−1)-renaming instance over an n-segment snapshot."""
+
+    def __init__(self, name: str, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError("renaming needs n >= 1")
+        self.name = name
+        self.n = n
+        self.snapshot = AtomicSnapshot(f"{name}.snap", n, initial=None)
+        self.names_taken: Dict[int, int] = {}
+
+    @property
+    def namespace_size(self) -> int:
+        """The guaranteed namespace: 2n − 1."""
+        return 2 * self.n - 1
+
+    def acquire(self, pid: int, original_id: object) -> Program:
+        """``new_name = yield from renaming.acquire(pid, my_id)``.
+
+        ``pid`` indexes the snapshot segment (the runtime slot);
+        ``original_id`` is the process's large distinct name — ranks are
+        computed on original ids, as the task demands.
+        """
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.n - 1}")
+        proposal = 0  # names are 0-based: 0..2n-2
+        while True:
+            yield from self.snapshot.update(pid, (original_id, proposal))
+            view = yield from self.snapshot.scan(pid)
+            others = [
+                entry
+                for segment, entry in enumerate(view)
+                if entry is not None and segment != pid
+            ]
+            taken = {entry[1] for entry in others}
+            if proposal not in taken:
+                self.names_taken[pid] = proposal
+                return proposal
+            # Collision: take the r-th free name, r = rank of my id.
+            participants = sorted([entry[0] for entry in others] + [original_id], key=repr)
+            rank = participants.index(original_id)
+            free = [
+                candidate
+                for candidate in range(self.namespace_size)
+                if candidate not in taken
+            ]
+            proposal = free[rank] if rank < len(free) else free[-1]
+
+    def verify(self) -> None:
+        """Raise unless acquired names are distinct and in 0..2n−2."""
+        names = list(self.names_taken.values())
+        if len(set(names)) != len(names):
+            raise SafetyViolation(f"duplicate names acquired: {sorted(names)}")
+        for name in names:
+            if not 0 <= name < self.namespace_size:
+                raise SafetyViolation(
+                    f"name {name} outside 0..{self.namespace_size - 1}"
+                )

@@ -1,0 +1,344 @@
+"""Asynchronous shared-memory runtime (paper §4.1).
+
+The model ``ASM_{n,t}``: ``n`` sequential asynchronous processes
+communicating through atomic base objects, up to ``t`` of which may
+crash.  The runtime realizes the model exactly:
+
+* a **process** is a Python generator; every ``yield`` of an
+  :class:`Invocation` is *one atomic step* on a base object, and the
+  yielded-to value is the operation's response;
+* a **scheduler** (see :mod:`repro.shm.schedulers`) picks which process
+  takes the next step — asynchrony *is* the scheduler's freedom, and an
+  adversarial scheduler ranges over every interleaving the real model
+  allows;
+* a **crash** is simply the scheduler never running a process again.
+
+Because each base-object operation occupies exactly one scheduler step,
+base objects are trivially atomic; compound objects (snapshots, universal
+constructions) are built *in protocol code* from many steps and are
+checked for linearizability via the recorded histories.
+
+Helper generators (``read()``, ``write()`` …) make protocol code read
+naturally with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generator,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.exceptions import (
+    ConfigurationError,
+    ModelViolation,
+    SimulationLimitExceeded,
+)
+from ..core.history import History
+from ..core.seqspec import SequentialSpec, register_spec
+
+
+class SharedObject:
+    """A base object with atomic operations, driven by a sequential spec.
+
+    One :meth:`apply` call is one atomic step; the runtime guarantees no
+    two steps overlap, which is what makes the object atomic.
+    """
+
+    def __init__(self, name: str, spec: SequentialSpec) -> None:
+        self.name = name
+        self.spec = spec
+        self.state = spec.initial
+        self.operation_count = 0
+
+    def apply(self, pid: int, op: str, args: Tuple[object, ...]) -> object:
+        """Execute one atomic operation; returns its response."""
+        self.state, response = self.spec.apply(self.state, op, args)
+        self.operation_count += 1
+        return response
+
+    def peek(self) -> object:
+        """Read the state without counting as a model step (debug only)."""
+        return self.state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedObject({self.name!r}, spec={self.spec.name})"
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One atomic step request, yielded by protocol generators."""
+
+    obj: SharedObject
+    op: str
+    args: Tuple[object, ...] = ()
+
+
+Program = Generator[Invocation, object, object]
+
+
+# -- protocol-code helpers (use with ``yield from``) -------------------------
+
+
+def invoke(obj: SharedObject, op: str, *args: object) -> Program:
+    """``result = yield from invoke(obj, op, ...)`` — one atomic step."""
+    result = yield Invocation(obj, op, tuple(args))
+    return result
+
+
+def read(register: SharedObject) -> Program:
+    """Atomic register read."""
+    return (yield Invocation(register, "read", ()))
+
+
+def write(register: SharedObject, value: object) -> Program:
+    """Atomic register write."""
+    return (yield Invocation(register, "write", (value,)))
+
+
+def collect(registers: Sequence[SharedObject]) -> Program:
+    """Read a register array one step at a time (a *collect*, not a snapshot)."""
+    values = []
+    for register in registers:
+        values.append((yield Invocation(register, "read", ())))
+    return values
+
+
+def make_registers(
+    prefix: str, count: int, initial: object = None
+) -> List[SharedObject]:
+    """An array of ``count`` MWMR atomic registers."""
+    return [
+        SharedObject(f"{prefix}[{i}]", register_spec(initial)) for i in range(count)
+    ]
+
+
+class ProcessStatus:
+    """Lifecycle states of a runtime process."""
+
+    RUNNING = "running"
+    DONE = "done"
+    CRASHED = "crashed"
+
+
+@dataclass
+class _ProcessRecord:
+    pid: int
+    program: Program
+    status: str = ProcessStatus.RUNNING
+    output: object = None
+    steps: int = 0
+    pending_response: object = None
+    started: bool = False
+
+
+@dataclass
+class RunReport:
+    """Observable outcome of a shared-memory run."""
+
+    outputs: Dict[int, object]
+    statuses: Dict[int, str]
+    crashed: FrozenSet[int]
+    total_steps: int
+    per_process_steps: Dict[int, int]
+    stopped_reason: str
+
+    def completed(self) -> List[int]:
+        return [p for p, s in self.statuses.items() if s == ProcessStatus.DONE]
+
+    def still_running(self) -> List[int]:
+        return [p for p, s in self.statuses.items() if s == ProcessStatus.RUNNING]
+
+    def output_vector(self, n: int) -> Tuple[object, ...]:
+        from ..core.task import NO_OUTPUT
+
+        return tuple(
+            self.outputs.get(pid, NO_OUTPUT)
+            if self.statuses.get(pid) == ProcessStatus.DONE
+            else NO_OUTPUT
+            for pid in range(n)
+        )
+
+
+class Scheduler:
+    """Chooses which process steps next; asynchrony personified.
+
+    ``choose`` receives the global step number and the (sorted) list of
+    runnable pids and must return one of them.  Returning a pid not in
+    the list is a bug and raises.  ``crash_now`` may name processes to
+    crash *before* the step is chosen (adaptive crashes).
+    """
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def crash_now(self, step_no: int, runnable: Sequence[int]) -> Iterable[int]:
+        return ()
+
+
+class Runtime:
+    """Executes a set of protocol generators under a scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        The asynchrony adversary.
+    max_steps:
+        Global step budget.  Exceeding it stops the run with reason
+        ``"budget"`` (useful for obstruction-freedom experiments where
+        non-termination is expected) or raises when ``strict_budget``.
+    max_crashes:
+        Upper bound ``t`` on crashes; the runtime enforces the model's
+        resilience by refusing further crashes.
+    history:
+        Optional :class:`~repro.core.history.History` shared with the
+        protocols (they record high-level operations on it directly;
+        the runtime just holds it so harness code can retrieve it).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        max_steps: int = 200_000,
+        max_crashes: Optional[int] = None,
+        history: Optional[History] = None,
+        strict_budget: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.max_steps = max_steps
+        self.max_crashes = max_crashes
+        self.history = history if history is not None else History()
+        self.strict_budget = strict_budget
+        self._processes: Dict[int, _ProcessRecord] = {}
+        self.step_no = 0
+
+    # -- setup ---------------------------------------------------------------
+
+    def spawn(self, pid: int, program: Program) -> None:
+        """Register a process's protocol generator."""
+        if pid in self._processes:
+            raise ConfigurationError(f"process {pid} spawned twice")
+        self._processes[pid] = _ProcessRecord(pid=pid, program=program)
+
+    def spawn_all(self, programs: Mapping[int, Program]) -> None:
+        for pid, program in programs.items():
+            self.spawn(pid, program)
+
+    @property
+    def n(self) -> int:
+        return len(self._processes)
+
+    # -- execution -------------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        """Crash a process immediately (counts against ``max_crashes``)."""
+        record = self._processes.get(pid)
+        if record is None:
+            raise ConfigurationError(f"unknown process {pid}")
+        if record.status != ProcessStatus.RUNNING:
+            return
+        crashed = sum(
+            1 for r in self._processes.values() if r.status == ProcessStatus.CRASHED
+        )
+        if self.max_crashes is not None and crashed >= self.max_crashes:
+            raise ModelViolation(
+                f"crash budget t={self.max_crashes} exhausted; cannot crash {pid}"
+            )
+        record.status = ProcessStatus.CRASHED
+        record.program.close()
+
+    def run(self) -> RunReport:
+        """Step processes until all finish/crash or the budget runs out."""
+        reason = "all-done"
+        while True:
+            runnable = sorted(
+                pid
+                for pid, record in self._processes.items()
+                if record.status == ProcessStatus.RUNNING
+            )
+            if not runnable:
+                break
+            if self.step_no >= self.max_steps:
+                if self.strict_budget:
+                    raise SimulationLimitExceeded(
+                        f"run exceeded {self.max_steps} steps"
+                    )
+                reason = "budget"
+                break
+            for victim in self.scheduler.crash_now(self.step_no, runnable):
+                self.crash(victim)
+            runnable = sorted(
+                pid
+                for pid, record in self._processes.items()
+                if record.status == ProcessStatus.RUNNING
+            )
+            if not runnable:
+                break
+            pid = self.scheduler.choose(self.step_no, runnable)
+            if pid not in runnable:
+                raise ConfigurationError(
+                    f"scheduler chose {pid}, not in runnable {runnable}"
+                )
+            self._step(pid)
+            self.step_no += 1
+        return self._report(reason)
+
+    def _step(self, pid: int) -> None:
+        record = self._processes[pid]
+        try:
+            if not record.started:
+                record.started = True
+                request = record.program.send(None)
+            else:
+                request = record.program.send(record.pending_response)
+        except StopIteration as stop:
+            record.status = ProcessStatus.DONE
+            record.output = stop.value
+            return
+        if not isinstance(request, Invocation):
+            raise ModelViolation(
+                f"process {pid} yielded {request!r}; protocols must yield "
+                f"Invocation objects (one atomic step each)"
+            )
+        record.pending_response = request.obj.apply(pid, request.op, request.args)
+        record.steps += 1
+
+    def _report(self, reason: str) -> RunReport:
+        return RunReport(
+            outputs={
+                pid: r.output
+                for pid, r in self._processes.items()
+                if r.status == ProcessStatus.DONE
+            },
+            statuses={pid: r.status for pid, r in self._processes.items()},
+            crashed=frozenset(
+                pid
+                for pid, r in self._processes.items()
+                if r.status == ProcessStatus.CRASHED
+            ),
+            total_steps=self.step_no,
+            per_process_steps={pid: r.steps for pid, r in self._processes.items()},
+            stopped_reason=reason,
+        )
+
+
+def run_protocol(
+    programs: Mapping[int, Program],
+    scheduler: Scheduler,
+    **kwargs,
+) -> RunReport:
+    """Convenience: spawn all programs and run to completion."""
+    runtime = Runtime(scheduler, **kwargs)
+    runtime.spawn_all(programs)
+    return runtime.run()

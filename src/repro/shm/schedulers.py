@@ -1,0 +1,192 @@
+"""Schedulers: the asynchrony-and-crash adversary of ``ASM_{n,t}`` (§4.1).
+
+In the shared-memory model, the environment's power is exactly the
+freedom to interleave process steps and crash processes.  Each scheduler
+here embodies one adversary style used by the tests and benchmarks:
+
+* :class:`RoundRobinScheduler` — fair, deterministic baseline;
+* :class:`RandomScheduler` — seeded random interleavings (property tests
+  sample the schedule space through it);
+* :class:`SoloScheduler` — runs processes to completion one at a time,
+  in a given order (the extreme "sequential" schedules of FLP arguments);
+* :class:`CrashAfterScheduler` — wraps another scheduler, crashing given
+  processes after their k-th step (mid-protocol crash injection);
+* :class:`ObstructionScheduler` — alternates contention bursts with
+  "isolation windows" in which a single process runs alone — the exact
+  premise of obstruction-freedom (§4.3);
+* :class:`StarveScheduler` — never schedules a victim set (crash-like
+  starvation without removing them: wait-freedom must still let others
+  finish);
+* :class:`ListScheduler` — replays an explicit schedule (for regression
+  tests and adversarial counter-examples found by exploration).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .runtime import Scheduler
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through runnable processes fairly."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        for pid in runnable:
+            if pid > self._last:
+                self._last = pid
+                return pid
+        self._last = runnable[0]
+        return runnable[0]
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random runnable process each step (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        return runnable[self._rng.randrange(len(runnable))]
+
+
+class SoloScheduler(Scheduler):
+    """Run each process to completion in ``order`` (defaults to pid order)."""
+
+    def __init__(self, order: Optional[Sequence[int]] = None) -> None:
+        self.order = list(order) if order is not None else None
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        if self.order is None:
+            return runnable[0]
+        for pid in self.order:
+            if pid in runnable:
+                return pid
+        return runnable[0]
+
+
+class ListScheduler(Scheduler):
+    """Replay an explicit pid sequence; falls back to round-robin after."""
+
+    def __init__(self, schedule: Sequence[int]) -> None:
+        self.schedule = list(schedule)
+        self._fallback = RoundRobinScheduler()
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        while self.schedule:
+            pid = self.schedule.pop(0)
+            if pid in runnable:
+                return pid
+        return self._fallback.choose(step_no, runnable)
+
+
+class CrashAfterScheduler(Scheduler):
+    """Wraps ``base``; crashes each pid in ``crash_after`` once it has
+    taken the mapped number of steps.
+
+    ``crash_after[pid] = k`` crashes ``pid`` after its ``k``-th step
+    (``k = 0`` crashes it before it ever runs — the initially-dead case).
+    """
+
+    def __init__(self, base: Scheduler, crash_after: Mapping[int, int]) -> None:
+        for pid, k in crash_after.items():
+            if k < 0:
+                raise ConfigurationError(f"crash_after[{pid}] must be >= 0")
+        self.base = base
+        self.crash_after = dict(crash_after)
+        self._steps_taken: Dict[int, int] = {}
+
+    def crash_now(self, step_no: int, runnable: Sequence[int]) -> Iterable[int]:
+        victims = []
+        for pid, limit in self.crash_after.items():
+            if pid in runnable and self._steps_taken.get(pid, 0) >= limit:
+                victims.append(pid)
+        for pid in victims:
+            del self.crash_after[pid]
+        return victims
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        pid = self.base.choose(step_no, runnable)
+        self._steps_taken[pid] = self._steps_taken.get(pid, 0) + 1
+        return pid
+
+
+class ObstructionScheduler(Scheduler):
+    """Contention bursts, then one process runs in isolation.
+
+    For ``contention_steps`` steps, schedules randomly among all runnable
+    processes; then gives ``solo_pid`` (or each runnable pid in turn) an
+    isolation window of ``solo_steps`` steps.  Obstruction-free algorithms
+    must complete the solo process's operation inside a long enough
+    window (§4.3); livelock under pure contention is allowed.
+    """
+
+    def __init__(
+        self,
+        contention_steps: int = 50,
+        solo_steps: int = 200,
+        solo_pid: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if contention_steps < 0 or solo_steps < 1:
+            raise ConfigurationError("need contention_steps >= 0, solo_steps >= 1")
+        self.contention_steps = contention_steps
+        self.solo_steps = solo_steps
+        self.solo_pid = solo_pid
+        self._rng = random.Random(seed)
+        self._phase_step = 0
+        self._in_solo = False
+        self._current_solo: Optional[int] = None
+        self._solo_rotation = 0
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        if not self._in_solo:
+            if self._phase_step >= self.contention_steps:
+                self._in_solo = True
+                self._phase_step = 0
+                if self.solo_pid is not None and self.solo_pid in runnable:
+                    self._current_solo = self.solo_pid
+                else:
+                    self._current_solo = runnable[self._solo_rotation % len(runnable)]
+                    self._solo_rotation += 1
+            else:
+                self._phase_step += 1
+                return runnable[self._rng.randrange(len(runnable))]
+        # solo window
+        if self._current_solo not in runnable:
+            self._current_solo = runnable[0]
+        self._phase_step += 1
+        if self._phase_step >= self.solo_steps:
+            self._in_solo = False
+            self._phase_step = 0
+        return self._current_solo  # type: ignore[return-value]
+
+
+class StarveScheduler(Scheduler):
+    """Never schedules ``starved`` while anyone else is runnable.
+
+    Starvation is indistinguishable (to the others) from a crash — the
+    fundamental reason locks are useless under wait-freedom (§4.3).
+    """
+
+    def __init__(self, starved: Iterable[int], base: Optional[Scheduler] = None) -> None:
+        self.starved = set(starved)
+        self.base = base if base is not None else RoundRobinScheduler()
+
+    def choose(self, step_no: int, runnable: Sequence[int]) -> int:
+        preferred = [pid for pid in runnable if pid not in self.starved]
+        if preferred:
+            return self.base.choose(step_no, preferred)
+        return self.base.choose(step_no, runnable)
+
+
+def exhaustive_schedules(n: int, length: int) -> Iterable[Tuple[int, ...]]:
+    """All pid sequences of the given length — for tiny exhaustive tests."""
+    import itertools
+
+    return itertools.product(range(n), repeat=length)

@@ -1,0 +1,124 @@
+"""Wait-free atomic snapshot from registers (Afek et al.; paper §4 substrate).
+
+A snapshot object holds one segment per process; ``update`` writes the
+caller's segment, ``scan`` returns an instantaneous view of all segments.
+Snapshots are the workhorse of wait-free computability (they have
+consensus number 1 yet make protocols like approximate agreement and the
+universal constructions' helping mechanisms expressible).
+
+Implementation — the classic double-collect with embedded-scan helping:
+
+* each segment holds ``(value, seqno, embedded_scan)``;
+* ``scan`` repeatedly collects all segments; two identical consecutive
+  collects are a *clean* scan (nothing moved, so the collect is an
+  instantaneous view);
+* if some segment moved **twice** during a scan, its writer performed a
+  complete ``update`` inside the scan's interval; that update embeds a
+  scan that lies inside our interval too — borrow it.  By pigeonhole a
+  scan finishes after at most ``n + 1`` collects: wait-free.
+* ``update`` first scans, then writes the new value with the embedded
+  scan — the helping that makes the borrowing sound.
+
+The naive scan (single collect) is also provided as
+:func:`unsafe_collect_view` for the ablation benchmark: it is cheaper but
+*not* linearizable, and the test suite exhibits the violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.seqspec import SequentialSpec, register_spec
+from .runtime import Invocation, Program, SharedObject
+
+
+def snapshot_spec(n: int, initial: object = None) -> SequentialSpec:
+    """Sequential specification of a snapshot object (for checking).
+
+    State: tuple of ``n`` values.  Ops: ``update(i, v)``, ``scan()``.
+    """
+
+    def apply(state, op, args):
+        if op == "update":
+            index, value = args
+            new_state = state[:index] + (value,) + state[index + 1 :]
+            return new_state, None
+        if op == "scan":
+            return state, state
+        raise ConfigurationError(f"snapshot: unknown operation {op!r}")
+
+    return SequentialSpec("snapshot", (initial,) * n, apply)
+
+
+class AtomicSnapshot:
+    """A wait-free n-segment atomic snapshot built from atomic registers.
+
+    All methods are generator protocols: drive them with ``yield from``
+    inside runtime programs.  Each process must use its own ``pid`` for
+    updates (single-writer segments).
+    """
+
+    def __init__(self, name: str, n: int, initial: object = None) -> None:
+        if n < 1:
+            raise ConfigurationError("snapshot needs n >= 1 segments")
+        self.name = name
+        self.n = n
+        self.initial = initial
+        # Segment = (value, seqno, embedded_scan or None)
+        self.segments: List[SharedObject] = [
+            SharedObject(f"{name}.seg[{i}]", register_spec((initial, 0, None)))
+            for i in range(n)
+        ]
+        self._local_seqno: Dict[int, int] = {}
+
+    # -- protocol generators -------------------------------------------------
+
+    def _collect(self) -> Program:
+        values = []
+        for segment in self.segments:
+            values.append((yield Invocation(segment, "read", ())))
+        return tuple(values)
+
+    def scan(self, pid: int) -> Program:
+        """Wait-free linearizable scan; returns a tuple of n values."""
+        moved: Dict[int, int] = {}
+        previous = yield from self._collect()
+        while True:
+            current = yield from self._collect()
+            if all(p[1] == c[1] for p, c in zip(previous, current)):
+                return tuple(entry[0] for entry in current)
+            for i in range(self.n):
+                if previous[i][1] != current[i][1]:
+                    moved[i] = moved.get(i, 0) + 1
+                    if moved[i] >= 2:
+                        embedded = current[i][2]
+                        if embedded is None:  # pragma: no cover - by construction
+                            raise ConfigurationError(
+                                "segment moved twice without embedded scan"
+                            )
+                        return embedded
+            previous = current
+
+    def update(self, pid: int, value: object) -> Program:
+        """Wait-free update of the caller's segment (embeds a fresh scan)."""
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.n - 1}")
+        embedded = yield from self.scan(pid)
+        seqno = self._local_seqno.get(pid, 0) + 1
+        self._local_seqno[pid] = seqno
+        yield Invocation(self.segments[pid], "write", ((value, seqno, embedded),))
+        return None
+
+    def unsafe_collect_view(self, pid: int) -> Program:
+        """A single collect — cheap, but **not** an atomic snapshot.
+
+        Provided as the ablation baseline: under contention a collect can
+        return a view that no instant of the execution ever exhibited.
+        """
+        collected = yield from self._collect()
+        return tuple(entry[0] for entry in collected)
+
+    def total_register_operations(self) -> int:
+        """Base-register operations performed so far (cost metric)."""
+        return sum(segment.operation_count for segment in self.segments)

@@ -1,0 +1,94 @@
+"""Protocols as explicit state machines, for exhaustive model checking.
+
+Generator-based protocols (:mod:`repro.shm.runtime`) are ergonomic but
+cannot be forked, so exhaustive exploration of *all* schedules — the tool
+behind the FLP/bivalence results (§2.4, §4.2) — needs protocols in an
+explicit form: hashable per-process states, a ``next_op`` function, and a
+transition on the operation's response.
+
+A :class:`ProtocolStateMachine` can be both:
+
+* exhaustively explored by :mod:`repro.shm.bivalence` (every schedule);
+* executed in the normal runtime via :func:`as_program` (one schedule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.seqspec import SequentialSpec
+from .runtime import Invocation, Program, SharedObject
+
+#: Returned by :meth:`ProtocolStateMachine.decision` while undecided.
+NOT_DECIDED = object()
+
+OpRequest = Tuple[str, str, Tuple[object, ...]]  # (object name, op, args)
+
+
+class ProtocolStateMachine:
+    """A deterministic per-process protocol over named shared objects.
+
+    Subclasses define:
+
+    * :meth:`shared_objects` — name → :class:`SequentialSpec` (the
+      initial shared memory);
+    * :meth:`initial_state` — the (hashable) start state of a process;
+    * :meth:`next_op` — the operation a process performs from a state,
+      or ``None`` when the process has decided and halts;
+    * :meth:`apply_response` — the state transition on the response;
+    * :meth:`decision` — the decided value of a halted state.
+    """
+
+    name = "protocol"
+
+    def shared_objects(self) -> Dict[str, SequentialSpec]:
+        raise NotImplementedError
+
+    def initial_state(self, pid: int, input_value: object) -> object:
+        raise NotImplementedError
+
+    def next_op(self, pid: int, state: object) -> Optional[OpRequest]:
+        raise NotImplementedError
+
+    def apply_response(self, pid: int, state: object, response: object) -> object:
+        raise NotImplementedError
+
+    def decision(self, pid: int, state: object) -> object:
+        raise NotImplementedError
+
+
+def as_program(
+    machine: ProtocolStateMachine,
+    pid: int,
+    input_value: object,
+    objects: Mapping[str, SharedObject],
+) -> Program:
+    """Adapt a state machine to a runtime generator program.
+
+    ``objects`` must contain a live :class:`SharedObject` per name in
+    :meth:`ProtocolStateMachine.shared_objects` (share one mapping across
+    all processes of the protocol).
+    """
+    state = machine.initial_state(pid, input_value)
+    while True:
+        request = machine.next_op(pid, state)
+        if request is None:
+            return machine.decision(pid, state)
+        obj_name, op, args = request
+        if obj_name not in objects:
+            raise ConfigurationError(
+                f"{machine.name}: protocol references unknown object {obj_name!r}"
+            )
+        response = yield Invocation(objects[obj_name], op, tuple(args))
+        state = machine.apply_response(pid, state, response)
+
+
+def build_objects(
+    machine: ProtocolStateMachine, name_prefix: str = ""
+) -> Dict[str, SharedObject]:
+    """Instantiate the protocol's shared objects for a runtime run."""
+    return {
+        name: SharedObject(name_prefix + name, spec)
+        for name, spec in machine.shared_objects().items()
+    }

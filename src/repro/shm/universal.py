@@ -1,0 +1,185 @@
+"""Herlihy's universal construction (paper §4.2, [32]).
+
+*The consensus object is universal*: with atomic registers and consensus
+objects, **any** object with a sequential specification can be
+implemented wait-free, for any number of process crashes.  This module
+implements the classic construction:
+
+* every process *announces* its pending operation in a SWMR register;
+* a lazily-grown chain of consensus objects decides the order in which
+  announced operations enter the shared log — slot by slot;
+* **helping** makes it wait-free: for log slot ``k`` every process first
+  tries to push the announced operation of process ``k mod n``, so each
+  announced operation is decided within ``n`` slots of being announced
+  no matter how the scheduler behaves;
+* every process replays the decided log through the object's
+  :class:`~repro.core.seqspec.SequentialSpec` — all replicas stay
+  identical because the log is identical.
+
+``perform`` is a generator protocol; responses are linearizable (tests
+check recorded histories with the Wing–Gong checker) and the operation
+completes within a bounded number of the caller's own steps
+(wait-freedom; tests verify under starvation schedulers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.history import History
+from ..core.seqspec import SequentialSpec, register_spec
+from .objects import ConsensusObject
+from .runtime import Invocation, Program, SharedObject
+
+#: An announced but not yet applied operation.
+OpRecord = Tuple[int, int, str, Tuple[object, ...]]  # (pid, count, op, args)
+
+
+class UniversalObject:
+    """A wait-free shared object of any sequential type.
+
+    Parameters
+    ----------
+    name:
+        Object name (used for sub-object naming and histories).
+    n:
+        Number of client processes.
+    spec:
+        The sequential type to implement.
+    history:
+        Optional history recorder; when given, every ``perform`` is
+        recorded as one high-level operation for linearizability checks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        spec: SequentialSpec,
+        history: Optional[History] = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError("universal object needs n >= 1 clients")
+        self.name = name
+        self.n = n
+        self.spec = spec
+        self.history = history
+        self.announce: List[SharedObject] = [
+            SharedObject(f"{name}.announce[{i}]", register_spec(None))
+            for i in range(n)
+        ]
+        self._chain: List[ConsensusObject] = []
+        # Per-process replica: (applied log length, object state, responses).
+        self._log_length: Dict[int, int] = {}
+        self._replica: Dict[int, object] = {}
+        self._responses: Dict[int, Dict[Tuple[int, int], object]] = {}
+        self._applied: Dict[int, set] = {}
+        self._op_counter: Dict[int, int] = {}
+        self.consensus_instances_used = 0
+
+    # -- shared structure ----------------------------------------------------
+
+    def _slot(self, index: int) -> ConsensusObject:
+        while len(self._chain) <= index:
+            self._chain.append(
+                ConsensusObject(f"{self.name}.cons[{len(self._chain)}]")
+            )
+            self.consensus_instances_used += 1
+        return self._chain[index]
+
+    # -- local replica ---------------------------------------------------------
+
+    def _local(self, pid: int) -> None:
+        if pid not in self._replica:
+            self._replica[pid] = self.spec.initial
+            self._log_length[pid] = 0
+            self._responses[pid] = {}
+            self._applied[pid] = set()
+
+    def _apply_locally(self, pid: int, record: OpRecord) -> None:
+        author, count, op, args = record
+        key = (author, count)
+        self._log_length[pid] += 1
+        if key in self._applied[pid]:
+            return  # duplicate decision of an already-applied operation
+        self._applied[pid].add(key)
+        self._replica[pid], response = self.spec.apply(
+            self._replica[pid], op, tuple(args)
+        )
+        self._responses[pid][key] = response
+
+    # -- the construction --------------------------------------------------------
+
+    def perform(self, pid: int, op: str, *args: object) -> Program:
+        """Wait-free linearizable operation: drive with ``yield from``."""
+        if not 0 <= pid < self.n:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.n - 1}")
+        self._local(pid)
+        count = self._op_counter.get(pid, 0) + 1
+        self._op_counter[pid] = count
+        my_record: OpRecord = (pid, count, op, tuple(args))
+        ticket = None
+        if self.history is not None:
+            ticket = self.history.invoke(pid, self.name, op, *args)
+        yield Invocation(self.announce[pid], "write", (my_record,))
+
+        my_key = (pid, count)
+        while my_key not in self._responses[pid]:
+            slot_index = self._log_length[pid]
+            slot = self._slot(slot_index)
+            # Catch up if this slot is already decided.
+            decided = yield Invocation(slot, "read", ())
+            if decided is None:
+                proposal = yield from self._choose_proposal(
+                    pid, slot_index, my_record
+                )
+                decided = yield Invocation(slot, "propose", (proposal,))
+            self._apply_locally(pid, decided)
+        response = self._responses[pid][my_key]
+        if self.history is not None and ticket is not None:
+            self.history.respond(ticket, response)
+        return response
+
+    def _choose_proposal(
+        self, pid: int, slot_index: int, my_record: OpRecord
+    ) -> Program:
+        """Helping rule: prefer the announced op of process ``slot mod n``.
+
+        Falls back to the next announced-but-unapplied operation in
+        round-robin order, then to the caller's own operation.
+        """
+        for offset in range(self.n):
+            candidate_pid = (slot_index + offset) % self.n
+            announced = yield Invocation(self.announce[candidate_pid], "read", ())
+            if announced is None:
+                continue
+            key = (announced[0], announced[1])
+            if key not in self._applied[pid]:
+                return announced
+        return my_record
+
+    # -- introspection -----------------------------------------------------------
+
+    def replica_state(self, pid: int) -> object:
+        """The caller's current replica state (debug/verification)."""
+        self._local(pid)
+        return self._replica[pid]
+
+    def log_length(self, pid: int) -> int:
+        self._local(pid)
+        return self._log_length[pid]
+
+
+def client_program(
+    obj: UniversalObject, pid: int, script: Sequence[Tuple[str, Tuple[object, ...]]]
+) -> Program:
+    """A runtime program performing ``script`` operations in sequence.
+
+    Returns the list of responses (the process's local outputs).
+    """
+    responses = []
+    for op, args in script:
+        response = yield from obj.perform(pid, op, *args)
+        responses.append(response)
+    return responses

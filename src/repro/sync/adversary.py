@@ -1,0 +1,295 @@
+"""Message adversaries (paper §3.3; Santoro–Widmayer [63], Afek–Gafni [1]).
+
+A message adversary is a daemon that, at each round, may *suppress* sent
+messages (never corrupt or create them).  It may read the local states of
+all processes before choosing.  Constraining the adversary strengthens
+the model: ``SMP_n[adv:∅]`` (no power) is strongest, ``SMP_n[adv:∞]``
+(may suppress everything) is weakest.
+
+Implemented adversaries:
+
+* :class:`NoAdversary` — ``adv:∅``;
+* :class:`DropAllAdversary` — ``adv:∞``;
+* :class:`TreeAdversary` — each round's delivered graph contains a
+  spanning tree whose edges keep **both** directions (the paper's TREE);
+  tree choice per round is random or worst-case;
+* :class:`TourAdversary` — on a complete graph, suppresses at most one
+  direction per pair (a tournament survives) — the paper's TOUR;
+* :class:`BoundedDropAdversary` — at most ``k`` suppressions per round;
+* :class:`AdaptiveAdversary` — wraps a user strategy with legality checks.
+
+All adversaries receive the full send set and must return a subset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .topology import Edge, Topology, random_spanning_tree
+
+DirectedEdge = Tuple[int, int]
+SendSet = FrozenSet[DirectedEdge]
+
+
+class MessageAdversary:
+    """Base class: a per-round message-suppression daemon."""
+
+    def filter(
+        self,
+        round_no: int,
+        sends: SendSet,
+        states: Sequence[object],
+        topology: Topology,
+    ) -> SendSet:
+        """Return the subset of ``sends`` that is actually delivered."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoAdversary(MessageAdversary):
+    """``adv:∅`` — the adversary can suppress no message (strongest model)."""
+
+    def filter(self, round_no, sends, states, topology):
+        return sends
+
+
+class DropAllAdversary(MessageAdversary):
+    """``adv:∞`` — every message may be (and is) suppressed (weakest model)."""
+
+    def filter(self, round_no, sends, states, topology):
+        return frozenset()
+
+
+class BoundedDropAdversary(MessageAdversary):
+    """Suppresses up to ``max_drops`` messages per round (random victims)."""
+
+    def __init__(self, max_drops: int, seed: int = 0) -> None:
+        if max_drops < 0:
+            raise ConfigurationError("max_drops must be >= 0")
+        self.max_drops = max_drops
+        self._rng = random.Random(seed)
+
+    def filter(self, round_no, sends, states, topology):
+        victims = self._rng.sample(
+            sorted(sends), min(self.max_drops, len(sends))
+        )
+        return sends - frozenset(victims)
+
+
+class TreeAdversary(MessageAdversary):
+    """The paper's TREE adversary: ``G_r`` always contains a spanning tree.
+
+    Every round the adversary picks a spanning tree of the topology and
+    guarantees both directions on tree edges (when sent); every non-tree
+    message is suppressed.  Consecutive trees are unrelated — exactly the
+    dynamicity the paper emphasizes.
+
+    ``strategy``:
+
+    * ``"random"`` — a fresh random spanning tree per round;
+    * ``"worst"`` — an adaptive choice that *minimizes* dissemination
+      progress: given per-process knowledge states (sets of learned
+      inputs), it picks a tree crossing each knowledge frontier as few
+      times as possible, forcing the ≤ n−1 round worst case;
+    * ``"fixed"`` — one tree forever (sanity baseline).
+    """
+
+    def __init__(
+        self,
+        strategy: str = "random",
+        seed: int = 0,
+        track_pid: int = 0,
+    ) -> None:
+        if strategy not in ("random", "worst", "fixed"):
+            raise ConfigurationError(f"unknown TREE strategy {strategy!r}")
+        self.strategy = strategy
+        self.track_pid = track_pid
+        self._rng = random.Random(seed)
+        self._fixed_tree: Optional[FrozenSet[Edge]] = None
+        self.trees_used: List[FrozenSet[Edge]] = []
+
+    def _choose_tree(
+        self, states: Sequence[object], topology: Topology
+    ) -> FrozenSet[Edge]:
+        if self.strategy == "fixed":
+            if self._fixed_tree is None:
+                self._fixed_tree = topology.spanning_tree_edges()
+            return self._fixed_tree
+        if self.strategy == "random":
+            return random_spanning_tree(topology, self._rng)
+        return self._worst_tree(states, topology)
+
+    def _worst_tree(
+        self, states: Sequence[object], topology: Topology
+    ) -> FrozenSet[Edge]:
+        """Adaptive worst case for value dissemination of ``track_pid``.
+
+        The adversary reads which processes already know the tracked value
+        (the ``yes`` set in the paper's proof) and builds a spanning tree
+        with exactly one edge crossing the yes/no cut whenever possible —
+        by the paper's argument at least one crossing edge is unavoidable,
+        so this slows dissemination to one new process per round.
+        """
+        yes: Set[int] = set()
+        for pid, state in enumerate(states):
+            known = state if isinstance(state, (set, frozenset)) else set()
+            if self.track_pid in known:
+                yes.add(pid)
+        if not yes or len(yes) == topology.n:
+            return random_spanning_tree(topology, self._rng)
+        no = set(topology.vertices()) - yes
+        # Spanning forest inside each side first...
+        tree: Set[Edge] = set()
+        for side in (yes, no):
+            tree |= self._spanning_forest(side, topology)
+        # ...then connect components with as few crossing edges as needed.
+        components = self._components(tree, topology.n)
+        while len(components) > 1:
+            edge = self._bridging_edge(components, topology)
+            if edge is None:
+                raise ConfigurationError("topology is disconnected")
+            tree.add(edge)
+            components = self._components(tree, topology.n)
+        return frozenset(tree)
+
+    @staticmethod
+    def _spanning_forest(side: Set[int], topology: Topology) -> Set[Edge]:
+        forest: Set[Edge] = set()
+        seen: Set[int] = set()
+        for start in sorted(side):
+            if start in seen:
+                continue
+            seen.add(start)
+            frontier = [start]
+            while frontier:
+                u = frontier.pop()
+                for v in sorted(topology.neighbors(u)):
+                    if v in side and v not in seen:
+                        seen.add(v)
+                        forest.add((min(u, v), max(u, v)))
+                        frontier.append(v)
+        return forest
+
+    @staticmethod
+    def _components(edges: Set[Edge], n: int) -> List[Set[int]]:
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in edges:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+        groups: dict = {}
+        for x in range(n):
+            groups.setdefault(find(x), set()).add(x)
+        return list(groups.values())
+
+    @staticmethod
+    def _bridging_edge(
+        components: List[Set[int]], topology: Topology
+    ) -> Optional[Edge]:
+        first = components[0]
+        for u in sorted(first):
+            for v in sorted(topology.neighbors(u)):
+                if v not in first:
+                    return (min(u, v), max(u, v))
+        # first component had no outgoing edge; try others
+        for comp in components[1:]:
+            for u in sorted(comp):
+                for v in sorted(topology.neighbors(u)):
+                    if v not in comp:
+                        return (min(u, v), max(u, v))
+        return None
+
+    def filter(self, round_no, sends, states, topology):
+        tree = self._choose_tree(states, topology)
+        self.trees_used.append(tree)
+        delivered = set()
+        for (src, dst) in sends:
+            if (min(src, dst), max(src, dst)) in tree:
+                delivered.add((src, dst))
+        return frozenset(delivered)
+
+
+class TourAdversary(MessageAdversary):
+    """The paper's TOUR adversary (complete graphs only).
+
+    For each pair (p_i, p_j) the adversary may suppress the i→j message or
+    the j→i message, **but not both**.  A tournament (or more) always
+    survives.  ``SMP_n[adv:TOUR] ≃_T ARW_{n,n-1}[fd:∅]`` (Afek–Gafni).
+
+    ``orientation`` decides which direction survives per pair per round:
+
+    * ``"random"`` — coin flip per pair per round;
+    * ``"id"``     — lower id's message always survives (deterministic);
+    * a callable ``(round_no, i, j) -> bool`` returning True when the
+      i→j direction (i < j) survives.
+    """
+
+    def __init__(self, orientation: object = "random", seed: int = 0) -> None:
+        self.orientation = orientation
+        self._rng = random.Random(seed)
+
+    def _survives_low_to_high(self, round_no: int, i: int, j: int) -> bool:
+        if self.orientation == "random":
+            return self._rng.random() < 0.5
+        if self.orientation == "id":
+            return True
+        if callable(self.orientation):
+            return bool(self.orientation(round_no, i, j))
+        raise ConfigurationError(f"bad TOUR orientation {self.orientation!r}")
+
+    def filter(self, round_no, sends, states, topology):
+        if not topology.is_complete():
+            raise ConfigurationError("TOUR is defined on complete graphs only")
+        delivered: Set[DirectedEdge] = set()
+        pairs = {(min(s, d), max(s, d)) for (s, d) in sends}
+        for (i, j) in pairs:
+            low_high = (i, j) in sends
+            high_low = (j, i) in sends
+            keep_low_high = self._survives_low_to_high(round_no, i, j)
+            if low_high and high_low:
+                # Protected direction always delivered; the other one is
+                # suppressed (the adversary exercises its full power, the
+                # worst case for algorithms).
+                delivered.add((i, j) if keep_low_high else (j, i))
+            elif low_high:
+                # Only one direction was sent; the adversary may suppress
+                # it only if it protects the other — but the other wasn't
+                # sent, so suppressing this one would kill both. Keep it.
+                delivered.add((i, j))
+            elif high_low:
+                delivered.add((j, i))
+        return frozenset(delivered)
+
+
+class AdaptiveAdversary(MessageAdversary):
+    """Wraps an arbitrary strategy function with a legality check.
+
+    The strategy receives ``(round_no, sends, states, topology)`` and
+    returns the delivered subset; the kernel independently re-checks that
+    no message was fabricated.
+    """
+
+    def __init__(
+        self,
+        strategy: Callable[[int, SendSet, Sequence[object], Topology], SendSet],
+        name: str = "adaptive",
+    ) -> None:
+        self.strategy = strategy
+        self.name = name
+
+    def filter(self, round_no, sends, states, topology):
+        return frozenset(self.strategy(round_no, sends, states, topology)) & sends
+
+    def describe(self) -> str:
+        return f"AdaptiveAdversary({self.name})"

@@ -1,0 +1,51 @@
+"""Synchronous algorithms: flooding, coloring, MIS, locality, consensus."""
+
+from .coloring import (
+    ColeVishkinColoring,
+    cv_iterations,
+    expected_rounds,
+    log_star,
+    make_ring_colorers,
+    verify_proper_coloring,
+    verify_ring_coloring,
+)
+from .consensus import FloodSetConsensus, make_floodset
+from .early_stopping import EarlyStoppingConsensus, make_early_stopping
+from .flooding import FloodingAlgorithm, identity_vector, make_flooders
+from .leader import FloodMaxLeader, make_flood_max
+from .luby import LubyMIS, make_luby
+from .local import (
+    LocalityVerdict,
+    classify_algorithm,
+    classify_run,
+    ring_coloring_lower_bound,
+)
+from .mis import ColorToMIS, GreedyColorByID, verify_mis
+
+__all__ = [
+    "ColeVishkinColoring",
+    "cv_iterations",
+    "expected_rounds",
+    "log_star",
+    "make_ring_colorers",
+    "verify_proper_coloring",
+    "verify_ring_coloring",
+    "FloodSetConsensus",
+    "make_floodset",
+    "EarlyStoppingConsensus",
+    "make_early_stopping",
+    "FloodMaxLeader",
+    "make_flood_max",
+    "LubyMIS",
+    "make_luby",
+    "FloodingAlgorithm",
+    "identity_vector",
+    "make_flooders",
+    "LocalityVerdict",
+    "classify_algorithm",
+    "classify_run",
+    "ring_coloring_lower_bound",
+    "ColorToMIS",
+    "GreedyColorByID",
+    "verify_mis",
+]

@@ -1,0 +1,191 @@
+"""Cole–Vishkin ring 3-coloring (paper §3.2, [17]).
+
+The paper's flagship *local* algorithm: color the vertices of an oriented
+ring with 3 colors in ``log* n + O(1)`` rounds — asymptotically optimal by
+Linial's ``Ω(log* n)`` lower bound [43].
+
+Two phases, both fully deterministic and lock-step:
+
+1. **Deterministic coin tossing.**  Starting from the (distinct) ids as
+   colors, every round each process compares its color with its ring
+   predecessor's, finds the lowest bit position ``k`` where they differ,
+   and adopts the new color ``2k + own_bit_k``.  One step shrinks a
+   ``B``-bit palette to ``≈ log B`` bits; after ``log* n + O(1)`` steps
+   the palette is stuck at {0..5} (6 colors).  Properness is preserved:
+   two neighbors adopting the same ``2k + b`` would have to agree on bit
+   ``k``, contradicting the choice of ``k``.
+
+2. **Palette reduction 6 → 3.**  Three further rounds: in the round
+   dedicated to color ``c ∈ {5, 4, 3}``, every process of color ``c``
+   switches to the smallest color in {0,1,2} unused by its two neighbors
+   (one always exists).  Processes of different colors never move in the
+   same round, so properness is preserved.
+
+Every process can compute the phase schedule locally from ``n``, so no
+extra coordination rounds are needed — the whole run takes exactly
+``cv_iterations(n) + 3`` rounds, matching the paper's ``log* n + 3``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...core.exceptions import ConfigurationError, SafetyViolation
+from ..kernel import Context, Outbox, SyncAlgorithm
+from ..topology import Topology, ring
+
+
+def log_star(n: int) -> int:
+    """log* n: iterations of log2 needed to bring ``n`` to ≤ 1 (paper fn.3)."""
+    if n < 1:
+        raise ConfigurationError("log* needs n >= 1")
+    import math
+
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def cv_step(own: int, predecessor: int, bits: int) -> int:
+    """One deterministic-coin-tossing step on ``bits``-bit colors."""
+    if own == predecessor:
+        raise SafetyViolation(
+            f"CV step needs distinct neighbor colors, both are {own}"
+        )
+    diff = own ^ predecessor
+    k = (diff & -diff).bit_length() - 1  # lowest set bit position
+    own_bit = (own >> k) & 1
+    return 2 * k + own_bit
+
+
+def _bits_after(bits: int) -> int:
+    """Palette bit-width after one CV step on a ``bits``-bit palette."""
+    # New colors range over [0, 2*(bits-1)+1] = [0, 2*bits - 1].
+    return max((2 * bits - 1).bit_length(), 3)
+
+
+def cv_iterations(n: int) -> int:
+    """CV steps needed to shrink an id palette of size ``n`` to 6 colors.
+
+    This is the ``log* n`` term of the round complexity; the +3 palette
+    reduction is accounted separately.
+    """
+    if n < 1:
+        raise ConfigurationError("cv_iterations needs n >= 1")
+    bits = max((n - 1).bit_length(), 3)
+    steps = 0
+    while bits > 3:
+        bits = _bits_after(bits)
+        steps += 1
+    # One extra step maps 3-bit colors into the canonical {0..5} range
+    # (values 6,7 may survive when n <= 8 starts at exactly 3 bits).
+    return steps + 1
+
+
+class ColeVishkinColoring(SyncAlgorithm):
+    """Per-process Cole–Vishkin 3-coloring of an oriented ring.
+
+    Each process must be told its ring ``predecessor`` and ``successor``
+    (the orientation is part of the model: a ring is 2-regular, and the
+    algorithm needs to break the symmetry of the two neighbors).
+    Decides its final color ∈ {0, 1, 2} and halts.
+    """
+
+    def __init__(self, predecessor: int, successor: int) -> None:
+        self.predecessor = predecessor
+        self.successor = successor
+        self.color: Optional[int] = None
+        self._cv_rounds: Optional[int] = None
+
+    # -- schedule ----------------------------------------------------------
+
+    def _phase(self, ctx: Context) -> Tuple[str, int]:
+        """Return (phase, parameter) for the *current* round.
+
+        Rounds ``1..cv`` run CV steps; rounds ``cv+1..cv+3`` run the
+        palette reduction for colors 5, 4, 3 respectively.
+        """
+        assert self._cv_rounds is not None
+        if ctx.round <= self._cv_rounds:
+            return ("cv", ctx.round)
+        offset = ctx.round - self._cv_rounds
+        return ("reduce", 5 - (offset - 1))
+
+    def on_start(self, ctx: Context) -> Outbox:
+        if len(ctx.neighbors) != 2 and ctx.n > 2:
+            raise ConfigurationError("Cole–Vishkin runs on rings (degree 2)")
+        self.color = ctx.pid
+        self._cv_rounds = cv_iterations(ctx.n)
+        return ctx.broadcast(self.color)
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        assert self.color is not None and self._cv_rounds is not None
+        phase, parameter = self._phase(ctx)
+        if phase == "cv":
+            predecessor_color = received.get(self.predecessor)
+            if predecessor_color is None:
+                raise SafetyViolation(
+                    f"round {ctx.round}: predecessor message missing "
+                    f"(CV assumes the reliable synchronous model)"
+                )
+            bits = self._palette_bits(ctx, parameter)
+            self.color = cv_step(self.color, int(predecessor_color), bits)
+        else:
+            target = parameter
+            if self.color == target:
+                used = {int(received[p]) for p in received}
+                free = [c for c in (0, 1, 2) if c not in used]
+                self.color = free[0]
+            if target == 3:  # last reduction round
+                ctx.decide(self.color)
+                ctx.halt()
+                return {}
+        return ctx.broadcast(self.color)
+
+    def _palette_bits(self, ctx: Context, cv_round: int) -> int:
+        """Palette width entering CV round ``cv_round`` (same at all nodes)."""
+        bits = max((ctx.n - 1).bit_length(), 3)
+        for _ in range(cv_round - 1):
+            bits = _bits_after(bits)
+        return bits
+
+    def local_state(self) -> object:
+        return self.color
+
+
+def make_ring_colorers(n: int) -> List[ColeVishkinColoring]:
+    """One colorer per process for the standard oriented n-ring."""
+    if n < 3:
+        raise ConfigurationError("ring coloring needs n >= 3")
+    return [
+        ColeVishkinColoring(predecessor=(i - 1) % n, successor=(i + 1) % n)
+        for i in range(n)
+    ]
+
+
+def expected_rounds(n: int) -> int:
+    """Round complexity of this implementation: cv_iterations(n) + 3."""
+    return cv_iterations(n) + 3
+
+
+def verify_ring_coloring(colors: Sequence[int], n: int) -> None:
+    """Raise :class:`SafetyViolation` unless a proper 3-coloring of the ring."""
+    if len(colors) != n:
+        raise SafetyViolation(f"expected {n} colors, got {len(colors)}")
+    for i, c in enumerate(colors):
+        if c not in (0, 1, 2):
+            raise SafetyViolation(f"process {i} has color {c} outside {{0,1,2}}")
+        if c == colors[(i + 1) % n]:
+            raise SafetyViolation(
+                f"neighbors {i} and {(i + 1) % n} share color {c}"
+            )
+
+
+def verify_proper_coloring(topology: Topology, colors: Sequence[int]) -> None:
+    """Raise :class:`SafetyViolation` unless ``colors`` is proper on ``topology``."""
+    for (u, v) in topology.edges:
+        if colors[u] == colors[v]:
+            raise SafetyViolation(f"edge ({u},{v}) is monochromatic: {colors[u]}")

@@ -1,0 +1,61 @@
+"""Synchronous crash-tolerant consensus (the §6 bridge to agreement).
+
+The paper contrasts the synchronous reliable model (§3) with asynchronous
+crash-prone models (§4–§5) where consensus is impossible.  The classic
+counterpoint — consensus *is* solvable synchronously with crashes, in
+``t + 1`` rounds — makes the contrast concrete and exercises the kernel's
+mid-send crash machinery.
+
+:class:`FloodSetConsensus` is the textbook algorithm (Lynch [45] §6.2):
+for ``t + 1`` rounds, every process broadcasts every value it has seen;
+after round ``t + 1`` all correct processes have the same view (some
+round among the ``t + 1`` is crash-free, and a crash-free round
+synchronizes views), so deciding ``min(view)`` agrees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Set
+
+from ...core.exceptions import ConfigurationError
+from ..kernel import Context, Outbox, SyncAlgorithm
+
+
+class FloodSetConsensus(SyncAlgorithm):
+    """FloodSet: t+1-round synchronous consensus under ≤ t crashes.
+
+    Runs on the complete graph.  Decides ``min`` of the final view.
+    """
+
+    def __init__(self, t: int) -> None:
+        if t < 0:
+            raise ConfigurationError("resilience t must be >= 0")
+        self.t = t
+        self.view: Set[object] = set()
+
+    def on_start(self, ctx: Context) -> Outbox:
+        if self.t > ctx.n - 1:
+            raise ConfigurationError(
+                f"FloodSet needs t <= n-1, got t={self.t}, n={ctx.n}"
+            )
+        self.view = {ctx.input}
+        if self.t + 1 == 0:  # pragma: no cover - t >= 0 always
+            return {}
+        return ctx.broadcast(frozenset(self.view))
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        for values in received.values():
+            self.view |= set(values)
+        if ctx.round >= self.t + 1:
+            ctx.decide(min(self.view))
+            ctx.halt()
+            return {}
+        return ctx.broadcast(frozenset(self.view))
+
+    def local_state(self) -> object:
+        return frozenset(self.view)
+
+
+def make_floodset(n: int, t: int) -> List[FloodSetConsensus]:
+    """One FloodSet instance per process."""
+    return [FloodSetConsensus(t) for _ in range(n)]

@@ -1,0 +1,81 @@
+"""Early-stopping synchronous consensus (§3/§6 bridge; Raynal [54]).
+
+FloodSet always pays ``t + 1`` rounds — the *worst-case* bound.  The
+early-stopping refinement decides in ``min(f + 2, t + 1)`` rounds where
+``f`` is the number of crashes that *actually occur*: failure-free runs
+finish in 2 rounds regardless of ``t``.
+
+Mechanism: along with its value set, each process reports the set of
+processes it heard from.  If a process hears from the same set of
+processes in two consecutive rounds (no new failure manifested), its
+view is already stable — a crash-free round happened — so it can decide
+and announce.  Announcements carry the decided value so laggards decide
+one round later at the latest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set
+
+from ...core.exceptions import ConfigurationError
+from ..kernel import Context, Outbox, SyncAlgorithm
+
+
+class EarlyStoppingConsensus(SyncAlgorithm):
+    """min(f+2, t+1)-round uniform consensus on the complete graph."""
+
+    def __init__(self, t: int) -> None:
+        if t < 0:
+            raise ConfigurationError("resilience t must be >= 0")
+        self.t = t
+        self.view: Set[object] = set()
+        self._previous_senders: Optional[FrozenSet[int]] = None
+        self._decided_value: Optional[object] = None
+
+    def on_start(self, ctx: Context) -> Outbox:
+        if self.t > ctx.n - 1:
+            raise ConfigurationError(
+                f"early stopping needs t <= n-1, got t={self.t}, n={ctx.n}"
+            )
+        self.view = {ctx.input}
+        return ctx.broadcast(("est", frozenset(self.view)))
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        decided_seen: Optional[object] = None
+        senders: Set[int] = set()
+        for src, message in received.items():
+            kind, payload = message
+            if kind == "est":
+                senders.add(src)
+                self.view |= set(payload)
+            else:  # "decide"
+                decided_seen = payload
+        senders_now = frozenset(senders | {ctx.pid})
+
+        if decided_seen is not None:
+            # Someone decided after a stable round: adopt and re-announce.
+            ctx.decide(decided_seen)
+            ctx.halt()
+            return ctx.broadcast(("decide", decided_seen))
+
+        stable = (
+            self._previous_senders is not None
+            and senders_now >= self._previous_senders
+        )
+        self._previous_senders = senders_now
+
+        if stable or ctx.round >= self.t + 1:
+            value = min(self.view, key=repr)
+            ctx.decide(value)
+            ctx.halt()
+            # One final announcement so laggards catch up next round.
+            return ctx.broadcast(("decide", value))
+        return ctx.broadcast(("est", frozenset(self.view)))
+
+    def local_state(self) -> object:
+        return frozenset(self.view)
+
+
+def make_early_stopping(n: int, t: int) -> List[EarlyStoppingConsensus]:
+    """One early-stopping instance per process."""
+    return [EarlyStoppingConsensus(t) for _ in range(n)]

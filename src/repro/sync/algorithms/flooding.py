@@ -1,0 +1,95 @@
+"""Full-information flooding (paper §3.2).
+
+Round 1: every process sends ``(i, in_i)`` to its neighbors; thereafter it
+forwards every pair learned during previous rounds.  After ``x`` rounds a
+process knows the inputs of its entire ``x``-neighborhood, and after
+``D`` rounds (``D`` = diameter) it knows the whole input vector and can
+compute **any** function of it.
+
+:class:`FloodingAlgorithm` implements exactly that, parameterized by the
+function to evaluate and by the number of rounds to run (defaults to
+"until nothing new is learned", which self-stabilizes at ≤ D+1 rounds
+without knowing D).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ...core.exceptions import ConfigurationError
+from ..kernel import Context, Outbox, SyncAlgorithm
+
+#: A function of the full input vector, evaluated once it is known.
+VectorFunction = Callable[[Tuple[object, ...]], object]
+
+
+def identity_vector(vector: Tuple[object, ...]) -> Tuple[object, ...]:
+    """The vector-learning task: output the input vector itself."""
+    return vector
+
+
+class FloodingAlgorithm(SyncAlgorithm):
+    """Learn the input vector by flooding, then evaluate ``function``.
+
+    Parameters
+    ----------
+    function:
+        Function of the full input vector to decide on.
+    rounds:
+        Exact number of rounds to flood.  ``None`` lets the algorithm
+        stop one round after it stops learning new pairs *and* it has
+        ``n`` pairs (processes know ``n`` in the LOCAL model).
+    """
+
+    def __init__(
+        self,
+        function: VectorFunction = identity_vector,
+        rounds: Optional[int] = None,
+    ) -> None:
+        if rounds is not None and rounds < 0:
+            raise ConfigurationError("rounds must be >= 0")
+        self.function = function
+        self.rounds = rounds
+        self.known: Dict[int, object] = {}
+
+    def on_start(self, ctx: Context) -> Outbox:
+        self.known = {ctx.pid: ctx.input}
+        if self.rounds == 0:
+            self._finish(ctx)
+            return {}
+        return ctx.broadcast(dict(self.known))
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        before = len(self.known)
+        for pairs in received.values():
+            self.known.update(pairs)
+        learned_nothing = len(self.known) == before
+
+        if self.rounds is not None:
+            if ctx.round >= self.rounds:
+                self._finish(ctx)
+                return {}
+        elif len(self.known) == ctx.n and learned_nothing:
+            # Saturated and stable: everyone in range already heard us too.
+            self._finish(ctx)
+            return {}
+        return ctx.broadcast(dict(self.known))
+
+    def _finish(self, ctx: Context) -> None:
+        if len(self.known) == ctx.n:
+            vector = tuple(self.known[i] for i in range(ctx.n))
+            ctx.decide(self.function(vector))
+        ctx.halt()
+
+    def local_state(self) -> object:
+        """Expose learned pids to the adversary (TREE worst-case needs it)."""
+        return frozenset(self.known)
+
+
+def make_flooders(
+    n: int,
+    function: VectorFunction = identity_vector,
+    rounds: Optional[int] = None,
+) -> list:
+    """One flooding instance per process."""
+    return [FloodingAlgorithm(function, rounds) for _ in range(n)]

@@ -1,0 +1,58 @@
+"""Synchronous leader election (the "primus inter pares" of §5.2, done
+where it IS easy — the reliable synchronous model).
+
+The paper's §5.2 dilemma — symmetry breaking needs a leader, but
+asynchrony + crashes make electing one as hard as consensus — is thrown
+into relief by how trivial the problem is one model over: in the
+fault-free LOCAL model, flooding the maximum id for D rounds elects a
+leader on any connected graph.
+
+:class:`FloodMaxLeader` — each process floods the largest id heard;
+after ``rounds`` rounds (≥ diameter) all agree on max(id).  With
+``rounds < D`` the algorithm silently mis-elects on long graphs — the
+locality lower bound for leader election, which the tests exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from ...core.exceptions import ConfigurationError
+from ..kernel import Context, Outbox, SyncAlgorithm
+
+
+class FloodMaxLeader(SyncAlgorithm):
+    """Elect max-id by flooding for a fixed number of rounds.
+
+    Decides the leader id; every process also learns whether it is the
+    leader (``ctx.output == ctx.pid``).
+    """
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 1:
+            raise ConfigurationError("need rounds >= 1")
+        self.rounds = rounds
+        self.best: Optional[int] = None
+
+    def on_start(self, ctx: Context) -> Outbox:
+        self.best = ctx.pid
+        return ctx.broadcast(self.best)
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        assert self.best is not None
+        for candidate in received.values():
+            if candidate > self.best:
+                self.best = candidate
+        if ctx.round >= self.rounds:
+            ctx.decide(self.best)
+            ctx.halt()
+            return {}
+        return ctx.broadcast(self.best)
+
+    def local_state(self) -> object:
+        return self.best
+
+
+def make_flood_max(n: int, rounds: int) -> List[FloodMaxLeader]:
+    """One flood-max instance per process."""
+    return [FloodMaxLeader(rounds) for _ in range(n)]

@@ -1,0 +1,82 @@
+"""Locality of synchronous computations (paper §3.2, Linial [43]).
+
+A synchronous algorithm is *local* when its worst-case round complexity
+is smaller than the graph diameter — e.g. polylogarithmic in ``n`` or
+constant.  "Classifying problems as locally computable or not" is, per
+the paper, a fundamental issue of fault-free synchronous computing.
+
+This module turns that definition into code: run an algorithm, compare
+rounds against the diameter, and classify.  It also provides the
+``Ω(log* n)`` lower-bound companion fact for ring coloring so benchmarks
+can assert both sides of the claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ...core.exceptions import ConfigurationError
+from ..kernel import SyncAlgorithm, SyncRunResult, SynchronousRunner
+from ..topology import Topology
+from .coloring import log_star
+
+
+@dataclass(frozen=True)
+class LocalityVerdict:
+    """Outcome of a locality classification run."""
+
+    rounds: int
+    diameter: int
+    is_local: bool
+    ratio: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "LOCAL" if self.is_local else "not local"
+        return f"{kind}: {self.rounds} rounds vs diameter {self.diameter}"
+
+
+def classify_run(result: SyncRunResult, topology: Topology) -> LocalityVerdict:
+    """Classify a completed run as local or not (rounds < diameter)."""
+    diameter = topology.diameter()
+    rounds = result.rounds
+    return LocalityVerdict(
+        rounds=rounds,
+        diameter=diameter,
+        is_local=rounds < diameter,
+        ratio=rounds / diameter if diameter else math.inf,
+    )
+
+
+def classify_algorithm(
+    topology: Topology,
+    make_algorithms: Callable[[int], Sequence[SyncAlgorithm]],
+    inputs: Optional[Sequence[object]] = None,
+    max_rounds: int = 10_000,
+) -> LocalityVerdict:
+    """Run a freshly built algorithm family on ``topology`` and classify it."""
+    n = topology.n
+    algorithms = make_algorithms(n)
+    if len(algorithms) != n:
+        raise ConfigurationError(
+            f"make_algorithms({n}) returned {len(algorithms)} instances"
+        )
+    run_inputs = list(inputs) if inputs is not None else [None] * n
+    result = SynchronousRunner(
+        topology, algorithms, run_inputs, max_rounds=max_rounds
+    ).run()
+    return classify_run(result, topology)
+
+
+def ring_coloring_lower_bound(n: int) -> int:
+    """Linial's lower bound: 3-coloring an n-ring needs Ω(log* n) rounds.
+
+    Returns the concrete bound value ``(log*(n) - 3) // 2`` used in the
+    standard statement (any deterministic algorithm needs at least
+    ``(log* n - 3) / 2`` rounds); benchmarks check measured rounds of
+    Cole–Vishkin stay within a constant factor of it.
+    """
+    if n < 3:
+        raise ConfigurationError("ring lower bound needs n >= 3")
+    return max((log_star(n) - 3) // 2, 1)

@@ -1,0 +1,109 @@
+"""Luby's randomized MIS (§3.2 companion; the locality survey's staple).
+
+The locality survey the paper cites ([66]) pairs deterministic
+symmetry-breaking (Cole–Vishkin) with its randomized counterpart:
+Luby's algorithm computes a maximal independent set of *any* graph in
+``O(log n)`` rounds with high probability — no identifiers needed beyond
+distinctness, and no ring structure.
+
+Per phase (3 synchronous rounds):
+
+1. every undecided process draws a random number and sends it to its
+   undecided neighbors;
+2. a process whose draw beats every undecided neighbor's joins the MIS
+   and announces it;
+3. neighbors of joiners retire; the survivors start the next phase.
+
+Each phase removes, in expectation, a constant fraction of the remaining
+edges — hence the logarithmic round count the benchmarks chart.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Set
+
+from ...core.exceptions import ConfigurationError
+from ..kernel import Context, Outbox, SyncAlgorithm
+
+
+class LubyMIS(SyncAlgorithm):
+    """One process of Luby's randomized MIS."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self.status = "active"  # active | in-mis | retired
+        self._live_neighbors: Optional[Set[int]] = None
+        self._draw: float = 0.0
+        self._neighbor_draws: Dict[int, float] = {}
+        self.phases_used = 0
+
+    # Each phase = 3 rounds: draw, announce-join, announce-retire.
+    def _phase_step(self, round_no: int) -> int:
+        return (round_no - 1) % 3
+
+    def on_start(self, ctx: Context) -> Outbox:
+        self._live_neighbors = set(ctx.neighbors)
+        return self._send_draw(ctx)
+
+    def _send_draw(self, ctx: Context) -> Outbox:
+        if self.status != "active":
+            return {n: ("noop",) for n in []}
+        self.phases_used += 1
+        self._draw = self._rng.random()
+        self._neighbor_draws = {}
+        return {
+            neighbor: ("draw", self._draw)
+            for neighbor in self._live_neighbors or ()
+        }
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        assert self._live_neighbors is not None
+        step = self._phase_step(ctx.round)
+        if step == 0:  # draws arrived; winners join
+            for src, message in received.items():
+                if message[0] == "draw":
+                    self._neighbor_draws[src] = message[1]
+            if self.status == "active":
+                wins = all(
+                    self._draw > other
+                    for other in self._neighbor_draws.values()
+                )
+                if wins and len(self._neighbor_draws) == len(self._live_neighbors):
+                    self.status = "in-mis"
+                    return {
+                        neighbor: ("joined",)
+                        for neighbor in self._live_neighbors
+                    }
+            return {neighbor: ("nojoin",) for neighbor in self._live_neighbors}
+        if step == 1:  # join announcements arrived; neighbors retire
+            joined_neighbors = {
+                src for src, message in received.items() if message[0] == "joined"
+            }
+            if self.status == "active" and joined_neighbors:
+                self.status = "retired"
+            if self.status != "active":
+                # Tell surviving neighbors to forget us.
+                outbox = {
+                    neighbor: ("gone",) for neighbor in self._live_neighbors
+                }
+                return outbox
+            return {neighbor: ("stay",) for neighbor in self._live_neighbors}
+        # step == 2: membership updates arrived; survivors redraw
+        gone = {
+            src for src, message in received.items() if message[0] == "gone"
+        }
+        self._live_neighbors -= gone
+        if self.status != "active":
+            ctx.decide(self.status == "in-mis")
+            ctx.halt()
+            return {}
+        return self._send_draw(ctx)
+
+    def local_state(self) -> object:
+        return self.status
+
+
+def make_luby(n: int, seed: int = 0) -> List[LubyMIS]:
+    """One Luby instance per process, with per-process derived seeds."""
+    return [LubyMIS(seed * 10_007 + pid) for pid in range(n)]

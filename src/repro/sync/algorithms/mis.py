@@ -1,0 +1,123 @@
+"""Maximal independent set and (Δ+1)-coloring from a coloring (§3.2 context).
+
+The locality literature the paper surveys ([39], [43], [50], [66]) treats
+coloring and MIS as the canonical locally-computable symmetry-breaking
+problems.  These algorithms exercise the LOCAL kernel beyond rings:
+
+* :class:`ColorToMIS` — given a proper ``c``-coloring, compute an MIS in
+  ``c`` rounds: color classes join in increasing color order unless a
+  neighbor already joined.  (Classic reduction: coloring → MIS.)
+* :class:`GreedyColorByID` — a (Δ+1)-coloring in ``n`` rounds where
+  processes pick colors in id order; the *non-local* baseline against
+  which local algorithms are measured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Set
+
+from ...core.exceptions import ConfigurationError, SafetyViolation
+from ..kernel import Context, Outbox, SyncAlgorithm
+from ..topology import Topology
+
+
+class ColorToMIS(SyncAlgorithm):
+    """Turn a proper coloring into a maximal independent set.
+
+    Round ``r`` belongs to color ``r - 1``: every process of that color
+    that has no neighbor already in the MIS joins and announces it.
+    After ``num_colors`` rounds the chosen set is independent (two
+    neighbors never share a color, so never join in the same round) and
+    maximal (a process stays out only because a neighbor joined).
+    Decides ``True``/``False`` = membership.
+    """
+
+    def __init__(self, color: int, num_colors: int) -> None:
+        if color < 0 or num_colors < 1 or color >= num_colors:
+            raise ConfigurationError(
+                f"need 0 <= color < num_colors, got {color}/{num_colors}"
+            )
+        self.color = color
+        self.num_colors = num_colors
+        self.in_mis: Optional[bool] = None
+        self._neighbor_joined = False
+
+    def on_start(self, ctx: Context) -> Outbox:
+        return self._act(ctx, round_no=1)
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        if any(received.values()):
+            self._neighbor_joined = True
+        return self._act(ctx, round_no=ctx.round + 1)
+
+    def _act(self, ctx: Context, round_no: int) -> Outbox:
+        if self.in_mis is None and round_no == self.color + 1:
+            if not self._neighbor_joined:
+                self.in_mis = True
+                if round_no > self.num_colors:
+                    self._finish(ctx)
+                    return {}
+                return ctx.broadcast(True)
+            self.in_mis = False
+        if round_no > self.num_colors:
+            self._finish(ctx)
+            return {}
+        return ctx.broadcast(False) if round_no > 1 else ctx.broadcast(False)
+
+    def _finish(self, ctx: Context) -> None:
+        ctx.decide(bool(self.in_mis) if self.in_mis is not None else not self._neighbor_joined)
+        ctx.halt()
+
+    def local_state(self) -> object:
+        return self.in_mis
+
+
+class GreedyColorByID(SyncAlgorithm):
+    """Sequential-greedy (Δ+1)-coloring driven by ids — the non-local baseline.
+
+    Round ``r`` belongs to process ``r - 1``: it picks the smallest color
+    unused by its already-colored neighbors and announces it.  Takes
+    exactly ``n`` rounds — *not* local (n ≫ D on dense graphs), which is
+    the point: benchmarks compare it against truly local algorithms.
+    """
+
+    def __init__(self) -> None:
+        self.color: Optional[int] = None
+        self._neighbor_colors: Set[int] = set()
+
+    def on_start(self, ctx: Context) -> Outbox:
+        return self._act(ctx, round_no=1)
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        for value in received.values():
+            if value is not None:
+                self._neighbor_colors.add(int(value))
+        return self._act(ctx, round_no=ctx.round + 1)
+
+    def _act(self, ctx: Context, round_no: int) -> Outbox:
+        announce: Optional[int] = None
+        if round_no == ctx.pid + 1:
+            color = 0
+            while color in self._neighbor_colors:
+                color += 1
+            self.color = color
+            announce = color
+        if round_no > ctx.n:
+            ctx.decide(self.color)
+            ctx.halt()
+            return {}
+        return ctx.broadcast(announce)
+
+    def local_state(self) -> object:
+        return self.color
+
+
+def verify_mis(topology: Topology, membership: Sequence[bool]) -> None:
+    """Raise :class:`SafetyViolation` unless ``membership`` is an MIS."""
+    chosen = {v for v in topology.vertices() if membership[v]}
+    for (u, v) in topology.edges:
+        if u in chosen and v in chosen:
+            raise SafetyViolation(f"MIS not independent: edge ({u},{v}) inside")
+    for v in topology.vertices():
+        if v not in chosen and not (topology.neighbors(v) & chosen):
+            raise SafetyViolation(f"MIS not maximal: vertex {v} could join")

@@ -1,0 +1,148 @@
+"""Dissemination under the TREE adversary (paper §3.3, Kuhn–Lynch–Oshman).
+
+The paper's theorem: in ``SMP_n[adv:TREE]`` every input value reaches
+every process within ``n − 1`` rounds, hence any computable function of
+the input vector is computable.  The proof partitions processes into the
+``yes_i`` set (already received ``v_i``) and ``no_i`` set; since each
+round's graph is a spanning tree kept *undirected* by the adversary
+constraint, some tree edge crosses the cut, so ``yes_i`` grows by at
+least one process per round.
+
+This module runs full-information flooding under a TREE adversary,
+checks the theorem's bound, and *materializes the proof invariant*: at
+every round, the recorded delivered graph must contain a yes/no crossing
+edge until ``yes_i`` is everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError, SafetyViolation
+from .adversary import MessageAdversary, TreeAdversary
+from .algorithms.flooding import FloodingAlgorithm, make_flooders
+from .kernel import SynchronousRunner, SyncRunResult
+from .topology import Topology
+
+
+@dataclass
+class DisseminationReport:
+    """Result of one dissemination run under a message adversary."""
+
+    rounds: int
+    all_learned: bool
+    per_value_rounds: List[Optional[int]]
+    cut_invariant_held: bool
+    result: SyncRunResult
+
+    @property
+    def worst_value_rounds(self) -> int:
+        observed = [r for r in self.per_value_rounds if r is not None]
+        return max(observed) if observed else -1
+
+
+def run_dissemination(
+    topology: Topology,
+    adversary: MessageAdversary,
+    inputs: Optional[Sequence[object]] = None,
+    rounds: Optional[int] = None,
+) -> DisseminationReport:
+    """Flood all inputs for ``rounds`` rounds under ``adversary``.
+
+    ``rounds`` defaults to ``n − 1`` — the theorem's bound, so under any
+    TREE adversary the report must come back with ``all_learned=True``.
+
+    The per-round delivered graphs are recorded, and the yes/no cut
+    invariant is re-checked for value 0 (the value the worst-case TREE
+    adversary tracks).
+    """
+    n = topology.n
+    run_inputs = list(inputs) if inputs is not None else [f"v{i}" for i in range(n)]
+    if len(run_inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(run_inputs)}")
+    budget = (n - 1) if rounds is None else rounds
+    algorithms = make_flooders(n, rounds=budget)
+    runner = SynchronousRunner(
+        topology,
+        algorithms,
+        run_inputs,
+        adversary=adversary,
+        max_rounds=budget + 1,
+        record_graphs=True,
+    )
+    result = runner.run()
+
+    # How many rounds each value needed to reach everyone: replay the
+    # recorded graphs (knowledge spreads exactly along delivered edges).
+    per_value_rounds: List[Optional[int]] = []
+    for source in range(n):
+        per_value_rounds.append(
+            _rounds_to_full_coverage(source, n, result.communication_graphs)
+        )
+    all_learned = all(
+        isinstance(alg, FloodingAlgorithm) and len(alg.known) == n
+        for alg in algorithms
+    )
+    cut_ok = _check_cut_invariant(0, n, result.communication_graphs)
+    return DisseminationReport(
+        rounds=result.rounds,
+        all_learned=all_learned,
+        per_value_rounds=per_value_rounds,
+        cut_invariant_held=cut_ok,
+        result=result,
+    )
+
+
+def _rounds_to_full_coverage(
+    source: int, n: int, graphs: Sequence[FrozenSet[Tuple[int, int]]]
+) -> Optional[int]:
+    """Replay delivered graphs; rounds until ``source``'s value covers all."""
+    knows: Set[int] = {source}
+    for round_index, graph in enumerate(graphs, start=1):
+        newly = {dst for (src, dst) in graph if src in knows}
+        knows |= newly
+        if len(knows) == n:
+            return round_index
+    return None
+
+
+def _check_cut_invariant(
+    source: int, n: int, graphs: Sequence[FrozenSet[Tuple[int, int]]]
+) -> bool:
+    """The paper's proof invariant: while ``no_i`` is non-empty, some
+    delivered edge crosses from ``yes_i`` into ``no_i`` each round."""
+    knows: Set[int] = {source}
+    for graph in graphs:
+        if len(knows) == n:
+            return True
+        crossing = {
+            (src, dst) for (src, dst) in graph if src in knows and dst not in knows
+        }
+        if not crossing:
+            return False
+        knows |= {dst for (_, dst) in crossing}
+    return len(knows) == n
+
+
+def verify_tree_theorem(
+    topology: Topology,
+    strategy: str = "worst",
+    seed: int = 0,
+) -> DisseminationReport:
+    """Run the TREE theorem end-to-end and raise on any violated claim."""
+    adversary = TreeAdversary(strategy=strategy, seed=seed, track_pid=0)
+    report = run_dissemination(topology, adversary)
+    n = topology.n
+    if not report.all_learned:
+        raise SafetyViolation(
+            f"TREE theorem violated: some process missed a value after "
+            f"{n - 1} rounds on {topology.name}"
+        )
+    if not report.cut_invariant_held:
+        raise SafetyViolation("yes/no cut invariant failed — adversary illegal?")
+    if report.worst_value_rounds > n - 1:
+        raise SafetyViolation(
+            f"value took {report.worst_value_rounds} rounds > n-1 = {n - 1}"
+        )
+    return report

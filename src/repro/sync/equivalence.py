@@ -1,0 +1,370 @@
+"""``SMP_n[adv:TOUR] ≃_T ARW_{n,n−1}[fd:∅]`` (paper §3.3; Afek–Gafni [1]).
+
+The paper's "very strong relation" between a synchronous model with
+message loss and the asynchronous wait-free read/write model.  Both
+simulation directions are implemented operationally:
+
+**TOUR inside wait-free read/write** (:func:`run_tour_in_shared_memory`).
+One synchronous TOUR round is one write-then-collect exchange over SWMR
+registers holding the full send history: for any pair, whichever process
+writes its round-``r`` entry later *must* see the other's when it
+collects — so the per-round delivered graph contains a tournament, which
+is exactly the adversary's obligation.  Any
+:class:`~repro.sync.kernel.SyncAlgorithm` written for the complete graph
+runs unmodified; crashes of the host model surface as processes whose
+outgoing messages are suppressed from some round on (unobservable to the
+task's correct-process outputs).
+
+**Wait-free SWMR protocols inside TOUR**
+(:class:`SharedMemoryInTour`).  Every TOUR round, each process
+broadcasts its monotone knowledge (all register writes it has heard,
+sequence-numbered); the receive-merge happens before the round's local
+step.  A register read returns the latest heard value.  For any pair and
+any pair of writes, the first delivered direction after both writes
+informs its receiver — the tournament guarantee yields exactly the
+"at least one of the two sees the other" structure of wait-free collect
+protocols.  The library validates the direction by running wait-free
+approximate agreement (:mod:`repro.shm.approximate`) through the
+simulation and checking ε-agreement + validity.
+
+**Both models fail consensus** (:func:`refute_tour_consensus`): the
+one-directional suppression strategy starves one process of all
+information, forcing a solo decision — the synchronous face of the FLP
+bivalence argument.  Together with the machine-checked wait-free
+impossibility (:mod:`repro.shm.bivalence`), the equivalence is exercised
+from both sides: the same tasks succeed (approximate agreement) and the
+same task fails (consensus) in the two models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError, SafetyViolation
+from ..shm.runtime import Invocation, Program, Runtime, Scheduler, SharedObject
+from ..shm.runtime import make_registers
+from ..shm.schedulers import RandomScheduler
+from .adversary import TourAdversary
+from .kernel import Context as SyncContext
+from .kernel import SyncAlgorithm, SynchronousRunner
+from .topology import complete
+
+DirectedEdge = Tuple[int, int]
+
+
+# ---------------------------------------------------------------------------
+# Direction 1: TOUR rounds inside the wait-free read/write model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TourSimulationResult:
+    """Outcome of simulating TOUR rounds in shared memory."""
+
+    outputs: List[object]
+    decided: List[bool]
+    rounds_completed: Dict[int, int]
+    delivered: List[FrozenSet[DirectedEdge]]
+    crashed: FrozenSet[int]
+
+    def tournament_property_holds(self) -> bool:
+        """Per round: among processes that completed the round, at least
+        one direction per pair was delivered."""
+        for round_index, graph in enumerate(self.delivered, start=1):
+            participants = [
+                pid
+                for pid, completed in self.rounds_completed.items()
+                if completed >= round_index
+            ]
+            for i in participants:
+                for j in participants:
+                    if i < j and (i, j) not in graph and (j, i) not in graph:
+                        return False
+        return True
+
+
+def run_tour_in_shared_memory(
+    algorithms: Sequence[SyncAlgorithm],
+    inputs: Sequence[object],
+    rounds: int,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 500_000,
+) -> TourSimulationResult:
+    """Execute a TOUR-model synchronous algorithm in ``ARW_{n,n-1}``.
+
+    Each process, per simulated round: append its outbox to its SWMR
+    register (one atomic write), then read every other register (n−1
+    atomic reads).  A message ``i→j`` of round ``r`` is *delivered* when
+    ``j``'s collect saw ``i``'s round-``r`` entry.  Asynchrony is whatever
+    the ``scheduler`` does; crashes are the scheduler's to inflict.
+    """
+    n = len(algorithms)
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    if rounds < 1:
+        raise ConfigurationError("need rounds >= 1")
+    registers = make_registers("tour", n, initial=())
+    contexts = [
+        SyncContext(pid, inputs[pid], frozenset(range(n)) - {pid}, n)
+        for pid in range(n)
+    ]
+    delivered: List[Set[DirectedEdge]] = [set() for _ in range(rounds)]
+    rounds_completed: Dict[int, int] = {pid: 0 for pid in range(n)}
+
+    def program(pid: int) -> Program:
+        ctx = contexts[pid]
+        ctx.round = 1
+        outbox = algorithms[pid].on_start(ctx) or {}
+        for round_index in range(1, rounds + 1):
+            ctx.round = round_index
+            # Write: append (round, outbox) to my register history.
+            history = yield Invocation(registers[pid], "read", ())
+            yield Invocation(
+                registers[pid], "write", (history + ((round_index, dict(outbox)),),)
+            )
+            # Collect: read everyone, extract round-r messages sent to me.
+            received: Dict[int, object] = {}
+            for other in range(n):
+                if other == pid:
+                    continue
+                entries = yield Invocation(registers[other], "read", ())
+                for entry_round, entry_outbox in entries:
+                    if entry_round == round_index and pid in entry_outbox:
+                        received[other] = entry_outbox[pid]
+                        delivered[round_index - 1].add((other, pid))
+            rounds_completed[pid] = round_index
+            if ctx.halted:
+                break
+            outbox = algorithms[pid].on_round(ctx, received) or {}
+            if ctx.halted:
+                rounds_completed[pid] = round_index
+                break
+        return ctx.output
+
+    runtime = Runtime(scheduler or RandomScheduler(0), max_steps=max_steps)
+    for pid in range(n):
+        runtime.spawn(pid, program(pid))
+    report = runtime.run()
+    return TourSimulationResult(
+        outputs=[contexts[pid].output for pid in range(n)],
+        decided=[contexts[pid].decided for pid in range(n)],
+        rounds_completed=rounds_completed,
+        delivered=[frozenset(g) for g in delivered],
+        crashed=report.crashed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Direction 2: wait-free SWMR protocols inside SMP_n[adv:TOUR]
+# ---------------------------------------------------------------------------
+
+
+class _GossipState:
+    """Monotone per-process knowledge: (owner, register) → (seqno, value)."""
+
+    def __init__(self) -> None:
+        self.known: Dict[Tuple[int, str], Tuple[int, object]] = {}
+
+    def merge(self, other: Mapping[Tuple[int, str], Tuple[int, object]]) -> None:
+        for key, (seqno, value) in other.items():
+            if key not in self.known or self.known[key][0] < seqno:
+                self.known[key] = (seqno, value)
+
+
+class SharedMemoryInTour(SyncAlgorithm):
+    """Run one process of a SWMR-register protocol under TOUR.
+
+    The protocol is a generator (as in :mod:`repro.shm.runtime`) whose
+    invocations target registers from ``ownership``: a process may write
+    only registers it owns; reads are answered from gossip knowledge.
+    One protocol step executes per synchronous round, after merging the
+    round's received knowledge.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        program: Program,
+        ownership: Mapping[str, int],
+    ) -> None:
+        self.pid = pid
+        self.program = program
+        self.ownership = dict(ownership)
+        self.gossip = _GossipState()
+        self._seqno = 0
+        self._finished = False
+        self._pending_request: Optional[Invocation] = None
+        self.result: object = None
+
+    # -- protocol stepping ---------------------------------------------------
+
+    def _advance(self, ctx: SyncContext, response: object, first: bool) -> None:
+        """Feed ``response`` and run until the next register operation."""
+        try:
+            while True:
+                request = (
+                    self.program.send(None)
+                    if first
+                    else self.program.send(response)
+                )
+                first = False
+                if not isinstance(request, Invocation):
+                    raise ConfigurationError(
+                        "TOUR simulation supports register Invocations only"
+                    )
+                name = request.obj.name
+                if name not in self.ownership:
+                    raise ConfigurationError(f"register {name!r} has no owner")
+                if request.op == "write":
+                    if self.ownership[name] != self.pid:
+                        raise ConfigurationError(
+                            f"SWMR violation: {self.pid} writing {name!r} "
+                            f"owned by {self.ownership[name]}"
+                        )
+                    self._seqno += 1
+                    self.gossip.known[(self.pid, name)] = (
+                        self._seqno,
+                        request.args[0],
+                    )
+                    response = None
+                    continue
+                if request.op == "read":
+                    owner = self.ownership[name]
+                    entry = self.gossip.known.get((owner, name))
+                    # A value this process wrote itself is always visible;
+                    # others' values become visible through gossip.  One
+                    # read costs one round: park the request.
+                    self._pending_request = request
+                    return
+                raise ConfigurationError(
+                    f"unsupported register operation {request.op!r}"
+                )
+        except StopIteration as stop:
+            self._finished = True
+            self.result = stop.value
+            ctx.decide(stop.value)
+            ctx.halt()
+
+    def _answer_pending(self) -> object:
+        assert self._pending_request is not None
+        name = self._pending_request.obj.name
+        owner = self.ownership[name]
+        entry = self.gossip.known.get((owner, name))
+        self._pending_request = None
+        return entry[1] if entry is not None else None
+
+    # -- synchronous algorithm interface -----------------------------------------
+
+    def on_start(self, ctx: SyncContext) -> Dict[int, object]:
+        self._advance(ctx, None, first=True)
+        return {} if self._finished else ctx.broadcast(dict(self.gossip.known))
+
+    def on_round(self, ctx: SyncContext, received: Mapping[int, object]) -> Dict[int, object]:
+        for knowledge in received.values():
+            self.gossip.merge(knowledge)
+        if self._pending_request is not None:
+            self._advance(ctx, self._answer_pending(), first=False)
+        if self._finished:
+            return {}
+        return ctx.broadcast(dict(self.gossip.known))
+
+    def local_state(self) -> object:
+        return frozenset(self.gossip.known)
+
+
+def run_shared_memory_in_tour(
+    programs: Sequence[Program],
+    ownership: Mapping[str, int],
+    adversary: Optional[TourAdversary] = None,
+    max_rounds: int = 10_000,
+):
+    """Execute SWMR-register programs in ``SMP_n[adv:TOUR]``.
+
+    Returns the :class:`~repro.sync.kernel.SyncRunResult`; each process's
+    output is its program's return value.
+    """
+    n = len(programs)
+    algorithms = [
+        SharedMemoryInTour(pid, programs[pid], ownership) for pid in range(n)
+    ]
+    runner = SynchronousRunner(
+        complete(n),
+        algorithms,
+        [None] * n,
+        adversary=adversary or TourAdversary(orientation="random", seed=0),
+        max_rounds=max_rounds,
+    )
+    return runner.run()
+
+
+# ---------------------------------------------------------------------------
+# The negative side: consensus fails in SMP_n[adv:TOUR]
+# ---------------------------------------------------------------------------
+
+
+def starvation_orientation(victim: int):
+    """TOUR orientation that suppresses every message *to* ``victim``.
+
+    Legal for the adversary (one direction per pair survives) and it
+    starves ``victim`` of all information — the victim runs "solo",
+    which is how TOUR encodes the wait-free adversary's power.
+    """
+
+    def orientation(round_no: int, i: int, j: int) -> bool:
+        # True keeps i→j (i < j).  Keep the direction leaving the victim.
+        if i == victim:
+            return True
+        if j == victim:
+            return False
+        return True
+
+    return orientation
+
+
+def refute_tour_consensus(
+    algorithm_factory,
+    inputs: Sequence[object] = (1, 0),
+    rounds_budget: int = 64,
+) -> Optional[str]:
+    """Try to break a candidate TOUR-consensus algorithm.
+
+    Runs the candidate under each single-victim starvation strategy; a
+    correct TOUR algorithm would need all runs to agree and stay valid.
+    Returns a human-readable description of the violation found, or
+    ``None`` if the candidate survived (no claim of correctness — the
+    impossibility proof quantifies over all algorithms; this harness
+    only exhibits the standard counter-strategy).
+    """
+    n = len(inputs)
+    for victim in range(n):
+        algorithms = algorithm_factory(n)
+        adversary = TourAdversary(orientation=starvation_orientation(victim))
+        runner = SynchronousRunner(
+            complete(n),
+            algorithms,
+            list(inputs),
+            adversary=adversary,
+            max_rounds=rounds_budget,
+        )
+        try:
+            result = runner.run()
+        except Exception as exc:  # candidate blew up: that's a refutation
+            return f"victim={victim}: algorithm crashed: {exc}"
+        decisions = [
+            result.outputs[pid] for pid in range(n) if result.decided[pid]
+        ]
+        if len(set(map(repr, decisions))) > 1:
+            return (
+                f"victim={victim}: agreement violated, decisions={decisions}"
+            )
+        for value in decisions:
+            if value not in inputs:
+                return f"victim={victim}: validity violated, decided {value!r}"
+        if not all(result.decided):
+            return (
+                f"victim={victim}: termination violated "
+                f"(decided={result.decided}) — processes are reliable in "
+                f"SMP, so non-termination refutes the candidate"
+            )
+    return None

@@ -1,0 +1,297 @@
+"""Round-based synchronous kernel — the LOCAL model (paper §3.1).
+
+Processes advance in lock-step rounds, each round made of the paper's
+three phases:
+
+1. **send** — each process sends one message to any subset of neighbors;
+2. **receive** — messages sent in round ``r`` arrive in round ``r``
+   (the fundamental synchrony property), unless a message adversary
+   suppresses them (§3.3);
+3. **compute** — each process updates its local state from what arrived.
+
+The kernel also supports *crash schedules* (used by the §6-pointer
+synchronous consensus algorithm): a process may crash in the middle of
+its send phase, so only a prefix of its recipients get its message —
+the classic source of difficulty for synchronous agreement.
+
+Algorithms subclass :class:`SyncAlgorithm`; the kernel owns all timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import (
+    ConfigurationError,
+    ModelViolation,
+    SimulationLimitExceeded,
+)
+from .topology import Edge, Topology
+
+Outbox = Dict[int, object]
+DirectedEdge = Tuple[int, int]
+
+
+class Context:
+    """Per-process view handed to the algorithm on every call.
+
+    Exposes exactly what the LOCAL model grants a process: its identity,
+    its input, its neighborhood, the current round number, and the means
+    to decide an output and to halt.
+    """
+
+    def __init__(self, pid: int, input_value: object, neighbors: FrozenSet[int], n: int) -> None:
+        self.pid = pid
+        self.input = input_value
+        self.neighbors = neighbors
+        self.n = n
+        self.round = 0
+        self.output: object = None
+        self.decided = False
+        self.halted = False
+
+    def decide(self, value: object) -> None:
+        """Record this process's output (may be called once)."""
+        if self.decided:
+            raise ModelViolation(f"process {self.pid} decided twice")
+        self.decided = True
+        self.output = value
+
+    def halt(self) -> None:
+        """Stop participating: no further sends or computation."""
+        self.halted = True
+
+    def broadcast(self, message: object) -> Outbox:
+        """Outbox sending ``message`` to every neighbor."""
+        return {neighbor: message for neighbor in self.neighbors}
+
+
+class SyncAlgorithm:
+    """Base class for synchronous per-process algorithms.
+
+    Subclasses implement :meth:`on_start` (messages for round 1) and
+    :meth:`on_round` (handle round ``r``'s deliveries, emit round ``r+1``'s
+    messages).  Returning an empty dict sends nothing.
+    """
+
+    def on_start(self, ctx: Context) -> Outbox:
+        """Messages to send in round 1."""
+        return {}
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        """Handle round ``ctx.round`` deliveries; return next round's sends."""
+        return {}
+
+    def local_state(self) -> object:
+        """State exposed to the (omniscient) message adversary (§3.3)."""
+        return None
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash of ``pid`` during the send phase of round ``round``.
+
+    Only recipients in ``delivered_to`` (intersected with the actual
+    outbox) receive the round's message; afterwards the process is gone.
+    ``delivered_to=None`` means the crash happens after all sends.
+    """
+
+    pid: int
+    round: int
+    delivered_to: Optional[FrozenSet[int]] = None
+
+
+@dataclass
+class SyncRunResult:
+    """Everything observable about a completed synchronous run."""
+
+    outputs: List[object]
+    decided: List[bool]
+    rounds: int
+    halted: List[bool]
+    crashed: Set[int]
+    communication_graphs: List[FrozenSet[DirectedEdge]] = field(default_factory=list)
+    message_count: int = 0
+
+    def output_vector(self) -> Tuple[object, ...]:
+        from ..core.task import NO_OUTPUT
+
+        return tuple(
+            o if d else NO_OUTPUT for o, d in zip(self.outputs, self.decided)
+        )
+
+    def all_decided(self) -> bool:
+        return all(self.decided)
+
+
+class SynchronousRunner:
+    """Executes one synchronous run of an algorithm over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph ``G``.
+    algorithms:
+        One :class:`SyncAlgorithm` instance per process.
+    inputs:
+        Private inputs, one per process.
+    adversary:
+        Optional message adversary (see :mod:`repro.sync.adversary`).
+    crash_schedule:
+        Optional crash events (at most one per process).
+    max_rounds:
+        Safety budget; exceeding it raises
+        :class:`~repro.core.exceptions.SimulationLimitExceeded`.
+    record_graphs:
+        Record each round's delivered communication graph ``G_r`` (needed
+        by adversary tests; off by default to save memory).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithms: Sequence[SyncAlgorithm],
+        inputs: Sequence[object],
+        adversary: Optional["MessageAdversary"] = None,
+        crash_schedule: Sequence[CrashEvent] = (),
+        max_rounds: int = 10_000,
+        record_graphs: bool = False,
+    ) -> None:
+        n = topology.n
+        if len(algorithms) != n or len(inputs) != n:
+            raise ConfigurationError(
+                f"need exactly {n} algorithms and inputs, got "
+                f"{len(algorithms)} / {len(inputs)}"
+            )
+        seen_pids = set()
+        for event in crash_schedule:
+            if event.pid in seen_pids:
+                raise ConfigurationError(f"process {event.pid} crashes twice")
+            if event.round < 1:
+                raise ConfigurationError("crash rounds start at 1")
+            seen_pids.add(event.pid)
+        self.topology = topology
+        self.algorithms = list(algorithms)
+        self.adversary = adversary
+        self.crash_by_round: Dict[int, List[CrashEvent]] = {}
+        for event in crash_schedule:
+            self.crash_by_round.setdefault(event.round, []).append(event)
+        self.max_rounds = max_rounds
+        self.record_graphs = record_graphs
+        self.contexts = [
+            Context(pid, inputs[pid], topology.neighbors(pid), n) for pid in range(n)
+        ]
+
+    def run(self) -> SyncRunResult:
+        """Run rounds until every live process halts or decides-and-halts."""
+        n = self.topology.n
+        crashed: Set[int] = set()
+        graphs: List[FrozenSet[DirectedEdge]] = []
+        message_count = 0
+
+        outboxes: List[Outbox] = []
+        for pid in range(n):
+            outboxes.append(self._collect_outbox(pid, self.algorithms[pid].on_start))
+
+        round_no = 0
+        while True:
+            round_no += 1
+            if round_no > self.max_rounds:
+                raise SimulationLimitExceeded(
+                    f"synchronous run exceeded {self.max_rounds} rounds"
+                )
+            for ctx in self.contexts:
+                ctx.round = round_no
+
+            # --- send phase (with mid-send crashes) -----------------------
+            crashing_now = {e.pid: e for e in self.crash_by_round.get(round_no, [])}
+            sends: Dict[DirectedEdge, object] = {}
+            for pid in range(n):
+                # A process that halted during the previous round's compute
+                # still gets its final outbox delivered ("send, then halt");
+                # processes halted earlier have an empty outbox by now.
+                if pid in crashed:
+                    continue
+                outbox = outboxes[pid]
+                allowed: Optional[FrozenSet[int]] = None
+                if pid in crashing_now:
+                    allowed = crashing_now[pid].delivered_to
+                for target, message in outbox.items():
+                    if allowed is not None and target not in allowed:
+                        continue
+                    sends[(pid, target)] = message
+            for pid in crashing_now:
+                crashed.add(pid)
+
+            # --- adversary filtering (§3.3) -------------------------------
+            if self.adversary is not None:
+                states = [alg.local_state() for alg in self.algorithms]
+                delivered_edges = self.adversary.filter(
+                    round_no, frozenset(sends), states, self.topology
+                )
+                illegal = delivered_edges - frozenset(sends)
+                if illegal:
+                    raise ModelViolation(
+                        f"adversary created messages on {sorted(illegal)}"
+                    )
+            else:
+                delivered_edges = frozenset(sends)
+            message_count += len(delivered_edges)
+            if self.record_graphs:
+                graphs.append(delivered_edges)
+
+            # --- receive + compute phases ----------------------------------
+            inboxes: List[Dict[int, object]] = [dict() for _ in range(n)]
+            for (src, dst) in delivered_edges:
+                if dst not in crashed:
+                    inboxes[dst][src] = sends[(src, dst)]
+
+            any_live = False
+            for pid in range(n):
+                ctx = self.contexts[pid]
+                if pid in crashed or ctx.halted:
+                    outboxes[pid] = {}
+                    continue
+                outboxes[pid] = self._collect_outbox(
+                    pid, lambda c: self.algorithms[pid].on_round(c, inboxes[pid])
+                )
+                if not ctx.halted:
+                    any_live = True
+            if not any_live:
+                break
+
+        return SyncRunResult(
+            outputs=[ctx.output for ctx in self.contexts],
+            decided=[ctx.decided for ctx in self.contexts],
+            rounds=round_no,
+            halted=[ctx.halted for ctx in self.contexts],
+            crashed=crashed,
+            communication_graphs=graphs,
+            message_count=message_count,
+        )
+
+    def _collect_outbox(self, pid: int, produce) -> Outbox:
+        ctx = self.contexts[pid]
+        outbox = produce(ctx) or {}
+        for target in outbox:
+            if target not in ctx.neighbors:
+                raise ModelViolation(
+                    f"process {pid} sent to non-neighbor {target} "
+                    f"(LOCAL model forbids this)"
+                )
+        return dict(outbox)
+
+
+def run_synchronous(
+    topology: Topology,
+    algorithms: Sequence[SyncAlgorithm],
+    inputs: Sequence[object],
+    **kwargs,
+) -> SyncRunResult:
+    """Convenience wrapper: build a runner and run it."""
+    return SynchronousRunner(topology, algorithms, inputs, **kwargs).run()
+
+
+# Imported at the bottom to avoid a cycle (adversary needs Topology types).
+from .adversary import MessageAdversary  # noqa: E402  (re-export for typing)

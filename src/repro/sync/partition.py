@@ -1,0 +1,211 @@
+"""Partition message adversaries and the k-set connection (§3.3 extension).
+
+The paper presents message adversaries as a *spectrum* between
+``adv:∅`` and ``adv:∞``, with TREE and TOUR as landmark points, and
+notes the general link between adversary constraints and computability
+([61]: synchrony weakened by adversaries vs asynchrony restricted by
+failure detectors).  This module adds the natural landmark between them:
+
+**CLIQUE(c)** — each round's communication graph is a disjoint union of
+at most ``c`` complete components (the adversary may re-partition every
+round).  Intuition: a system that may split into ``c`` isolated groups.
+
+Computability landmarks, all executable here:
+
+* consensus is **impossible** under CLIQUE(c) for ``c ≥ 2``: the
+  adversary can freeze one partition forever, so two groups must decide
+  independently — :func:`refute_clique_consensus` breaks any candidate;
+* ``c``-set agreement **is solvable**: run ``n`` rounds of min-flooding;
+  in the final round each clique equalizes internally, so at most one
+  value per clique survives — :class:`MinFloodKSet`;
+* with ``c = 1`` the adversary still connects everyone each round, and
+  vector learning (hence consensus) is solvable again — the spectrum's
+  collapse back toward ``adv:∅``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .adversary import MessageAdversary
+from .kernel import Context, Outbox, SyncAlgorithm, SynchronousRunner
+from .topology import Topology, complete
+
+DirectedEdge = Tuple[int, int]
+
+
+class CliquePartitionAdversary(MessageAdversary):
+    """Each round: partition processes into ≤ c cliques; deliver inside.
+
+    ``strategy``:
+
+    * ``"random"`` — a fresh random partition into exactly ``c``
+      (non-empty where possible) groups per round;
+    * ``"fixed"``  — one partition forever (the consensus-killing freeze);
+    * a callable ``(round_no, n) -> list of process groups``.
+    """
+
+    def __init__(self, c: int, strategy: object = "random", seed: int = 0) -> None:
+        if c < 1:
+            raise ConfigurationError("need at least c = 1 component")
+        self.c = c
+        self.strategy = strategy
+        self._rng = random.Random(seed)
+        self._fixed: Optional[List[Set[int]]] = None
+        self.partitions_used: List[Tuple[FrozenSet[int], ...]] = []
+
+    def _partition(self, round_no: int, n: int) -> List[Set[int]]:
+        if callable(self.strategy):
+            groups = [set(g) for g in self.strategy(round_no, n)]
+        elif self.strategy == "fixed":
+            if self._fixed is None:
+                self._fixed = self._random_partition(n)
+            groups = self._fixed
+        elif self.strategy == "random":
+            groups = self._random_partition(n)
+        else:
+            raise ConfigurationError(f"unknown strategy {self.strategy!r}")
+        seen: Set[int] = set()
+        for group in groups:
+            if group & seen:
+                raise ConfigurationError("partition groups overlap")
+            seen |= group
+        if seen != set(range(n)):
+            raise ConfigurationError("partition must cover all processes")
+        if len(groups) > self.c:
+            raise ConfigurationError(
+                f"partition has {len(groups)} > c = {self.c} groups"
+            )
+        return groups
+
+    def _random_partition(self, n: int) -> List[Set[int]]:
+        groups: List[Set[int]] = [set() for _ in range(min(self.c, n))]
+        order = list(range(n))
+        self._rng.shuffle(order)
+        # Guarantee non-empty groups, then scatter the rest.
+        for index, pid in enumerate(order[: len(groups)]):
+            groups[index].add(pid)
+        for pid in order[len(groups) :]:
+            groups[self._rng.randrange(len(groups))].add(pid)
+        return groups
+
+    def filter(self, round_no, sends, states, topology):
+        groups = self._partition(round_no, topology.n)
+        self.partitions_used.append(tuple(frozenset(g) for g in groups))
+        group_of: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for pid in group:
+                group_of[pid] = index
+        return frozenset(
+            (src, dst) for (src, dst) in sends if group_of[src] == group_of[dst]
+        )
+
+
+class MinFloodKSet(SyncAlgorithm):
+    """c-set agreement under CLIQUE(c): n rounds of min-flooding.
+
+    Every round, broadcast the smallest value seen; after round ``n``
+    adopt the minimum of the *final* round's intake (which, inside a
+    clique, is identical for all members) and decide it.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 1:
+            raise ConfigurationError("need rounds >= 1")
+        self.rounds = rounds
+        self.best: object = None
+
+    def on_start(self, ctx: Context) -> Outbox:
+        self.best = ctx.input
+        return ctx.broadcast(self.best)
+
+    def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        # The decision after the final round must depend ONLY on what the
+        # final clique shares: everyone broadcast their `best`; the
+        # clique-wide min of round-r intakes is common knowledge inside
+        # the clique.
+        intake = set(received.values()) | {self.best}
+        self.best = min(intake, key=repr)
+        if ctx.round >= self.rounds:
+            ctx.decide(self.best)
+            ctx.halt()
+            return {}
+        return ctx.broadcast(self.best)
+
+    def local_state(self) -> object:
+        return self.best
+
+
+def run_clique_kset(
+    n: int,
+    c: int,
+    inputs: Sequence[object],
+    strategy: object = "random",
+    seed: int = 0,
+):
+    """Run min-flooding k-set agreement under CLIQUE(c); returns the result."""
+    if len(inputs) != n:
+        raise ConfigurationError(f"need {n} inputs, got {len(inputs)}")
+    adversary = CliquePartitionAdversary(c, strategy=strategy, seed=seed)
+    runner = SynchronousRunner(
+        complete(n),
+        [MinFloodKSet(rounds=n) for _ in range(n)],
+        list(inputs),
+        adversary=adversary,
+        max_rounds=n + 1,
+        record_graphs=True,
+    )
+    return runner.run(), adversary
+
+
+def distinct_decisions(result) -> int:
+    """Number of distinct decided values in a synchronous run result."""
+    return len({repr(result.outputs[i]) for i in range(len(result.outputs)) if result.decided[i]})
+
+
+def refute_clique_consensus(
+    algorithm_factory,
+    inputs: Sequence[object],
+    rounds_budget: int = 64,
+) -> Optional[str]:
+    """Break a candidate consensus algorithm under CLIQUE(2).
+
+    Strategy: freeze the partition {0..m} / {m+1..n-1} forever.  Each
+    side runs in total isolation, so (termination being mandatory in the
+    synchronous model) both sides decide on their own inputs; input
+    vectors with side-distinct values force disagreement.
+    """
+    n = len(inputs)
+    if n < 2:
+        raise ConfigurationError("need n >= 2")
+    split = n // 2
+    frozen = lambda round_no, count: [
+        set(range(split)), set(range(split, count))
+    ]
+    algorithms = algorithm_factory(n)
+    adversary = CliquePartitionAdversary(2, strategy=frozen)
+    runner = SynchronousRunner(
+        complete(n),
+        algorithms,
+        list(inputs),
+        adversary=adversary,
+        max_rounds=rounds_budget,
+    )
+    try:
+        result = runner.run()
+    except Exception as exc:
+        return f"candidate crashed under frozen partition: {exc}"
+    decisions = [result.outputs[i] for i in range(n) if result.decided[i]]
+    if len(set(map(repr, decisions))) > 1:
+        return f"agreement violated across the partition: {decisions}"
+    for value in decisions:
+        if value not in inputs:
+            return f"validity violated: decided {value!r}"
+    if not all(result.decided):
+        return (
+            f"termination violated (decided={result.decided}) — processes "
+            f"are reliable in SMP, so the candidate is refuted"
+        )
+    return None

@@ -1,0 +1,192 @@
+"""Tests for the ABD register emulation (paper §5.1, E10/E11)."""
+
+import pytest
+
+from repro.core import ConfigurationError, History, check_history
+from repro.core.seqspec import register_spec
+from repro.amp import (
+    AbdNode,
+    CrashAt,
+    FastReadAbdNode,
+    FixedDelay,
+    TargetedDelay,
+    UniformDelay,
+    run_processes,
+)
+
+
+def run_abd(scripts, n=None, node_cls=AbdNode, delay=None, crashes=(), **node_kwargs):
+    n = n if n is not None else len(scripts)
+    history = History()
+    nodes = [
+        node_cls(pid, n, scripts[pid] if pid < len(scripts) else [], history=history, **node_kwargs)
+        for pid in range(n)
+    ]
+    result = run_processes(
+        nodes,
+        delay_model=delay or FixedDelay(1.0),
+        crashes=list(crashes),
+        max_crashes=(n - 1) // 2,
+    )
+    return nodes, history, result
+
+
+class TestLatencies:
+    def test_write_costs_two_delta(self):
+        nodes, _, _ = run_abd([[("write", 1)], [], [], [], []])
+        assert nodes[0].op_log[0].latency == 2.0
+
+    def test_read_costs_four_delta(self):
+        nodes, _, _ = run_abd([[("read",)], [], [], [], []])
+        assert nodes[0].op_log[0].latency == 4.0
+
+    def test_mwmr_write_costs_four_delta(self):
+        nodes, _, _ = run_abd(
+            [[("write", 1)], [], [], [], []], multi_writer=True
+        )
+        assert nodes[0].op_log[0].latency == 4.0
+
+    def test_fast_read_costs_two_delta_without_contention(self):
+        scripts = [[("write", "v")], [("pause", 5.0), ("read",)], [], [], []]
+        nodes, _, _ = run_abd(scripts, node_cls=FastReadAbdNode)
+        read_record = nodes[1].op_log[0]
+        assert read_record.latency == 2.0
+        assert nodes[1].fast_reads == 1
+
+    def test_fast_read_falls_back_under_write_contention(self):
+        """A reader racing a writer sees mixed timestamps → 4Δ path."""
+        delay = TargetedDelay(FixedDelay(1.0), {(0, 1): 0.25, (0, 2): 0.25})
+        scripts = [
+            [("write", "old"), ("write", "new")],
+            [("pause", 2.4), ("read",)],
+            [],
+            [],
+            [],
+        ]
+        nodes, _, _ = run_abd(scripts, node_cls=FastReadAbdNode, delay=delay)
+        assert nodes[1].slow_reads + nodes[1].fast_reads == 1
+
+
+class TestAtomicity:
+    def test_read_after_write_returns_value(self):
+        scripts = [[("write", "x")], [("pause", 3.0), ("read",)], [], [], []]
+        nodes, _, _ = run_abd(scripts)
+        assert nodes[1].results == ["x"]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_linearizable_under_random_delays(self, seed):
+        scripts = [
+            [("write", f"a"), ("write", f"b")],
+            [("read",), ("read",)],
+            [("read",), ("pause", 1.0), ("read",)],
+            [],
+            [],
+        ]
+        history = History()
+        nodes = [
+            AbdNode(pid, 5, scripts[pid] if pid < len(scripts) else [], history=history)
+            for pid in range(5)
+        ]
+        run_processes(nodes, delay_model=UniformDelay(0.1, 2.5), seed=seed)
+        assert check_history(history, {"R": register_spec(None)})["R"].linearizable
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fast_read_variant_still_linearizable(self, seed):
+        scripts = [
+            [("write", 1), ("write", 2)],
+            [("read",), ("read",), ("read",)],
+            [("read",), ("read",)],
+            [],
+            [],
+        ]
+        history = History()
+        nodes = [
+            FastReadAbdNode(pid, 5, scripts[pid] if pid < len(scripts) else [], history=history)
+            for pid in range(5)
+        ]
+        run_processes(nodes, delay_model=UniformDelay(0.1, 2.5), seed=seed)
+        assert check_history(history, {"R": register_spec(None)})["R"].linearizable
+
+    def test_mwmr_two_writers_linearizable(self):
+        scripts = [
+            [("write", "from-0")],
+            [("write", "from-1")],
+            [("pause", 6.0), ("read",)],
+            [],
+            [],
+        ]
+        history = History()
+        nodes = [
+            AbdNode(pid, 5, scripts[pid] if pid < len(scripts) else [],
+                    history=history, multi_writer=True)
+            for pid in range(5)
+        ]
+        run_processes(nodes, delay_model=UniformDelay(0.2, 1.8), seed=3)
+        assert check_history(history, {"R": register_spec(None)})["R"].linearizable
+        assert nodes[2].results[0] in ("from-0", "from-1")
+
+
+class TestFaultTolerance:
+    def test_survives_minority_crashes(self):
+        """t < n/2: operations terminate despite t crashed servers."""
+        scripts = [[("write", "v"), ("read",)], [], [], [], []]
+        nodes, _, result = run_abd(
+            scripts, crashes=[CrashAt(3, 0.0), CrashAt(4, 0.0)]
+        )
+        assert result.decided[0]
+        assert nodes[0].results == [None, "v"]
+
+    def test_blocks_when_majority_crashes(self):
+        """The liveness half of t < n/2 necessity: no majority, no ops."""
+        scripts = [[("write", "v")], [], [], [], []]
+        history = History()
+        nodes = [
+            AbdNode(pid, 5, scripts[pid] if pid < len(scripts) else [], history=history)
+            for pid in range(5)
+        ]
+        result = run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(2, 0.0), CrashAt(3, 0.0), CrashAt(4, 0.0)],
+            max_crashes=3,
+            max_events=5_000,
+        )
+        assert not result.decided[0]  # the write never completes
+
+    def test_split_brain_with_sub_majority_quorums(self):
+        """The safety half (E11): quorum = n - t with t ≥ n/2 restores
+        liveness but two disjoint 'quorums' lose atomicity — exhibited as
+        a stale read the checker rejects."""
+        n = 4
+        history = History()
+        # Partition {0,1} vs {2,3}: cross-partition messages crawl.
+        slow = 1_000.0
+        overrides = {}
+        for a in (0, 1):
+            for b in (2, 3):
+                overrides[(a, b)] = slow
+                overrides[(b, a)] = slow
+        delay = TargetedDelay(FixedDelay(1.0), overrides)
+        scripts = {
+            0: [("write", "committed")],
+            2: [("pause", 10.0), ("read",)],
+        }
+        nodes = [
+            AbdNode(pid, n, scripts.get(pid, ()), quorum_size=2, history=history)
+            for pid in range(n)
+        ]
+        result = run_processes(nodes, delay_model=delay, max_events=20_000)
+        assert result.decided[0] and result.decided[2]
+        assert nodes[2].results == [None]  # stale read: write was lost
+        assert not check_history(history, {"R": register_spec(None)})["R"].linearizable
+
+
+class TestValidation:
+    def test_quorum_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AbdNode(0, 3, [], quorum_size=4)
+
+    def test_unknown_script_op(self):
+        node = AbdNode(0, 3, [("jump", 1)])
+        with pytest.raises(ConfigurationError):
+            run_processes([node, AbdNode(1, 3), AbdNode(2, 3)])

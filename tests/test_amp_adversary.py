@@ -1,0 +1,146 @@
+"""Tests for process adversaries and A-resilience (paper §5.4)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.core.cores import (
+    adversary_from_survivor_sets,
+    paper_example_adversary,
+    t_resilient_survivor_sets,
+)
+from repro.amp import (
+    AdversaryHarness,
+    FixedDelay,
+    OmegaFD,
+    crash_scenarios,
+    quorum_system,
+    required_quorum_for_liveness,
+)
+from repro.amp.consensus.omega import OmegaConsensusProcess
+
+
+class TestCrashScenarios:
+    def test_one_scenario_per_survivor_set(self):
+        adversary = paper_example_adversary()
+        scenarios = crash_scenarios(adversary)
+        assert len(scenarios) == 3
+
+    def test_victims_complement_survivors(self):
+        adversary = adversary_from_survivor_sets(4, [{0, 1}])
+        ((survivors, schedule),) = crash_scenarios(adversary)
+        assert survivors == frozenset({0, 1})
+        assert {crash.pid for crash in schedule} == {2, 3}
+
+    def test_crash_time_propagates(self):
+        adversary = adversary_from_survivor_sets(3, [{0}])
+        ((_, schedule),) = crash_scenarios(adversary, crash_time=7.5)
+        assert all(crash.time == 7.5 for crash in schedule)
+
+
+class TestQuorumSystem:
+    def test_paper_quorum_duality(self):
+        adversary = adversary_from_survivor_sets(
+            4, [{0, 2}, {0, 3}, {1, 2}, {1, 3}]
+        )
+        system = quorum_system(adversary)
+        assert frozenset({0, 1}) in system["cores"]
+        assert frozenset({2, 3}) in system["cores"]
+
+    def test_required_quorum_is_min_survivor_size(self):
+        adversary = paper_example_adversary()
+        assert required_quorum_for_liveness(adversary) == 2
+
+    def test_empty_adversary_rejected(self):
+        adversary = adversary_from_survivor_sets(3, [])
+        with pytest.raises(ConfigurationError):
+            required_quorum_for_liveness(adversary)
+
+
+def consensus_factory(n, t):
+    def factory(survivors):
+        return [
+            OmegaConsensusProcess(pid, n, t, f"input-{pid}") for pid in range(n)
+        ]
+
+    return factory
+
+
+class TestAResilienceHarness:
+    def test_t_resilient_adversary_with_matching_algorithm(self):
+        """Uniform majority adversary: Ω-consensus (t < n/2) terminates in
+        every survivor-set scenario."""
+        n, t = 4, 1
+        adversary = adversary_from_survivor_sets(
+            n, t_resilient_survivor_sets(n, t)
+        )
+        harness = AdversaryHarness(
+            adversary,
+            consensus_factory(n, t),
+            delay_model=FixedDelay(1.0),
+            failure_detector_factory=lambda survivors: OmegaFD(n, tau=3.0),
+        )
+        report = harness.run(crash_time=0.2)
+        assert report.resilient, report.failing_scenarios()
+
+    def test_algorithm_waiting_for_majority_fails_small_survivor_sets(self):
+        """An algorithm sized for t=1 (waits for n−1 = 3 processes) is NOT
+        A-resilient for an adversary that can leave only 2 alive."""
+        n = 4
+        adversary = adversary_from_survivor_sets(n, [{0, 1}, {0, 1, 2}])
+        harness = AdversaryHarness(
+            adversary,
+            consensus_factory(n, 1),
+            delay_model=FixedDelay(1.0),
+            failure_detector_factory=lambda survivors: OmegaFD(n, tau=3.0),
+            max_events=30_000,
+        )
+        report = harness.run(crash_time=0.2)
+        assert not report.resilient
+        assert frozenset({0, 1}) in report.failing_scenarios()
+        # The 3-survivor scenario is fine: quorum n-t=3 is reachable.
+        outcomes = {o.survivors: o.all_survivors_decided for o in report.outcomes}
+        assert outcomes[frozenset({0, 1, 2})]
+
+    def test_quorum_sized_to_the_adversary_succeeds(self):
+        """The §5.4 point: size waiting to the adversary's smallest
+        survivor set (not to a uniform majority) and liveness returns."""
+        from repro.amp import AsyncProcess
+
+        n = 4
+        adversary = adversary_from_survivor_sets(n, [{0, 1}, {0, 1, 2}])
+        quorum = required_quorum_for_liveness(adversary)
+        assert quorum == 2
+
+        class QuorumCollect(AsyncProcess):
+            def __init__(self, pid, q):
+                self.pid = pid
+                self.q = q
+                self.heard = {}
+
+            def on_start(self, ctx):
+                ctx.broadcast(("val", self.pid))
+
+            def on_message(self, ctx, src, payload):
+                self.heard[src] = payload
+                if len(self.heard) >= self.q and not ctx.decided:
+                    ctx.decide(frozenset(self.heard))
+                    ctx.halt()
+
+        harness = AdversaryHarness(
+            adversary,
+            lambda survivors: [QuorumCollect(pid, quorum) for pid in range(n)],
+            delay_model=FixedDelay(1.0),
+            max_events=30_000,
+        )
+        report = harness.run(crash_time=0.2)
+        assert report.resilient, report.failing_scenarios()
+
+    def test_factory_arity_checked(self):
+        adversary = adversary_from_survivor_sets(3, [{0}])
+        harness = AdversaryHarness(
+            adversary,
+            lambda survivors: [OmegaConsensusProcess(0, 3, 1, "x")],
+            failure_detector_factory=lambda survivors: OmegaFD(3, tau=1.0),
+        )
+        with pytest.raises(ConfigurationError):
+            harness.run()

@@ -1,0 +1,103 @@
+"""Tests for message-passing approximate agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.shm.approximate import check_epsilon_agreement
+from repro.amp import CrashAt, FixedDelay, UniformDelay, run_processes
+from repro.amp.approximate import (
+    ApproximateAgreementProcess,
+    make_approximate_agreement,
+    rounds_needed,
+)
+
+
+def run_aa(inputs, epsilon, t=None, seed=0, crashes=(), delay=None):
+    n = len(inputs)
+    resilience = t if t is not None else (n - 1) // 2
+    procs = make_approximate_agreement(n, resilience, inputs, epsilon)
+    result = run_processes(
+        procs,
+        delay_model=delay or UniformDelay(0.1, 1.5),
+        crashes=list(crashes),
+        max_crashes=resilience,
+        seed=seed,
+        max_events=300_000,
+    )
+    return procs, result
+
+
+class TestMessagePassingAA:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_epsilon_agreement(self, seed):
+        inputs = [0.0, 5.0, 12.0, 3.0, 9.0]
+        _, result = run_aa(inputs, 0.5, seed=seed)
+        outputs = [v if d else None for v, d in zip(result.outputs, result.decided)]
+        assert all(o is not None for o in outputs)
+        check_epsilon_agreement(inputs, outputs, 0.5)
+
+    def test_survives_crashes(self):
+        inputs = [0.0, 10.0, 20.0, 30.0, 40.0]
+        _, result = run_aa(
+            inputs, 1.0, seed=3, crashes=[CrashAt(0, 0.5), CrashAt(4, 1.5)]
+        )
+        outputs = [
+            v if d else None for v, d in zip(result.outputs, result.decided)
+        ]
+        check_epsilon_agreement(inputs, outputs, 1.0)
+        survivors = [pid for pid in range(5) if pid not in result.crashed]
+        assert all(result.decided[pid] for pid in survivors)
+
+    def test_equal_inputs_are_a_fixed_point(self):
+        inputs = [7.0] * 4
+        _, result = run_aa(inputs, 0.1, t=1)
+        assert {v for v, d in zip(result.outputs, result.decided) if d} == {7.0}
+
+    def test_validity_range(self):
+        inputs = [2.0, 8.0, 5.0]
+        _, result = run_aa(inputs, 0.5, t=1, seed=2)
+        for value, decided in zip(result.outputs, result.decided):
+            if decided:
+                assert 2.0 <= value <= 8.0
+
+    def test_rounds_budget_formula(self):
+        assert rounds_needed(8.0, 1.0) == 6  # 2 * log2(8)
+        assert rounds_needed(0.5, 1.0) == 1
+        with pytest.raises(ConfigurationError):
+            rounds_needed(1.0, 0)
+
+    def test_resilience_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_approximate_agreement(4, 2, [1.0] * 4, 0.5)
+
+    def test_no_oracle_needed(self):
+        """The whole point: a deterministic algorithm, no failure
+        detector attached, deciding despite a crash — legal because the
+        task is not exact consensus."""
+        inputs = [0.0, 4.0, 8.0, 12.0, 16.0]
+        procs = make_approximate_agreement(5, 2, inputs, 1.0)
+        result = run_processes(
+            procs,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(2, 0.5)],
+            max_crashes=2,
+        )
+        survivors = [pid for pid in range(5) if pid not in result.crashed]
+        assert all(result.decided[pid] for pid in survivors)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=3,
+        max_size=6,
+    ),
+)
+def test_amp_aa_property(seed, inputs):
+    epsilon = 1.0
+    _, result = run_aa(inputs, epsilon, seed=seed)
+    outputs = [v if d else None for v, d in zip(result.outputs, result.decided)]
+    check_epsilon_agreement(inputs, outputs, epsilon)

@@ -1,0 +1,218 @@
+"""Tests for broadcast abstractions (paper §5.1, Hadzilacos–Toueg)."""
+
+import pytest
+
+from repro.amp import (
+    AsyncProcess,
+    CausalOrder,
+    CrashAt,
+    FifoOrder,
+    FixedDelay,
+    ReliableBroadcast,
+    UniformDelay,
+    UniformReliableBroadcast,
+    run_processes,
+)
+
+
+class RBNode(AsyncProcess):
+    def __init__(self, pid, n, payloads=(), uniform=False, fifo=False, causal=False):
+        cls = UniformReliableBroadcast if uniform else ReliableBroadcast
+        self.bc = cls(pid, n)
+        self.payloads = list(payloads)
+        self.fifo = FifoOrder(n) if fifo else None
+        self.causal = CausalOrder(pid, n) if causal else None
+        self.delivered = []
+
+    def on_start(self, ctx):
+        for payload in self.payloads:
+            if self.causal is not None:
+                payload = self.causal.stamp(payload)
+            self.bc.broadcast(ctx, payload)
+
+    def on_message(self, ctx, src, message):
+        deliveries = self.bc.handle(ctx, src, message)
+        if self.fifo is not None:
+            deliveries = self.fifo.push(deliveries)
+        if self.causal is not None:
+            deliveries = self.causal.push(deliveries)
+        for delivery in deliveries:
+            self.delivered.append((delivery.origin, delivery.payload))
+
+
+def delivered_sets(nodes, exclude=()):
+    return [
+        {entry for entry in node.delivered}
+        for index, node in enumerate(nodes)
+        if index not in exclude
+    ]
+
+
+class TestReliableBroadcast:
+    def test_failure_free_all_deliver_everything(self):
+        n = 4
+        nodes = [RBNode(pid, n, payloads=[f"m{pid}"]) for pid in range(n)]
+        run_processes(nodes, delay_model=FixedDelay(1.0), quiesce_when_decided=False)
+        expected = {(pid, f"m{pid}") for pid in range(n)}
+        assert all(set(node.delivered) == expected for node in nodes)
+
+    def test_no_duplication(self):
+        n = 3
+        nodes = [RBNode(pid, n, payloads=["x"]) for pid in range(n)]
+        run_processes(nodes, delay_model=UniformDelay(0.1, 2.0), quiesce_when_decided=False)
+        for node in nodes:
+            assert len(node.delivered) == len(set(node.delivered))
+
+    def test_correct_processes_agree_despite_sender_crash(self):
+        """Sender crashes mid-broadcast; relaying equalizes the correct."""
+        n = 5
+        nodes = [RBNode(pid, n, payloads=["doomed"] if pid == 0 else []) for pid in range(n)]
+        result = run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(pid=0, time=0.5, drop_in_flight=0.6)],
+            max_crashes=1,
+            quiesce_when_decided=False,
+        )
+        sets = delivered_sets(nodes, exclude={0})
+        assert all(s == sets[0] for s in sets)
+
+    def test_uniformity_violation_deterministic(self):
+        """Flooding RB is not uniform: a relayer that delivers and then
+        crashes (its relays lost in flight) has delivered a message no
+        correct process ever delivers — the anomaly URB exists to fix."""
+        n = 4
+
+        class DirectSender(AsyncProcess):
+            def on_start(self, ctx):
+                # Raw send of an RB message to p1 only: models the crash
+                # that interrupted the broadcast loop after one send.
+                ctx.send(1, ("rb", (0, 0), "ghost"))
+
+        nodes = [DirectSender()] + [RBNode(pid, n) for pid in range(1, n)]
+        run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(pid=1, time=1.5, drop_in_flight=1.0)],
+            max_crashes=2,
+            quiesce_when_decided=False,
+        )
+        assert (0, "ghost") in nodes[1].delivered  # the faulty delivered...
+        assert (0, "ghost") not in nodes[2].delivered  # ...correct did not
+        assert (0, "ghost") not in nodes[3].delivered
+
+
+class TestUniformReliableBroadcast:
+    def test_failure_free_delivery(self):
+        n = 4
+        nodes = [RBNode(pid, n, payloads=[f"m{pid}"], uniform=True) for pid in range(n)]
+        run_processes(nodes, delay_model=FixedDelay(1.0), quiesce_when_decided=False)
+        expected = {(pid, f"m{pid}") for pid in range(n)}
+        assert all(set(node.delivered) == expected for node in nodes)
+
+    def test_uniformity_under_the_anomaly_scenario(self):
+        """Same adversarial scenario that breaks flooding RB: with echo
+        quorums nobody delivers a message the correct don't."""
+        n = 5
+
+        class DirectSender(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.send(1, ("urb", "msg", (0, 0), "ghost"))
+
+        nodes = [DirectSender()] + [
+            RBNode(pid, n, uniform=True) for pid in range(1, n)
+        ]
+        run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(pid=1, time=1.5, drop_in_flight=1.0)],
+            max_crashes=2,
+            quiesce_when_decided=False,
+        )
+        delivered_by_faulty = (0, "ghost") in nodes[1].delivered
+        delivered_by_correct = [
+            (0, "ghost") in nodes[i].delivered for i in range(2, n)
+        ]
+        # Uniformity: faulty delivered ⟹ all correct delivered.
+        if delivered_by_faulty:
+            assert all(delivered_by_correct)
+        # In this scenario the faulty process cannot assemble a quorum
+        # before crashing at 1.5 (echoes need a round trip), so nobody
+        # delivers:
+        assert not delivered_by_faulty
+
+    def test_majority_echo_completes_despite_crashes(self):
+        n = 5
+        nodes = [
+            RBNode(pid, n, payloads=["live"] if pid == 2 else [], uniform=True)
+            for pid in range(n)
+        ]
+        run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(pid=0, time=2.5), CrashAt(pid=1, time=2.5)],
+            max_crashes=2,
+            quiesce_when_decided=False,
+        )
+        for pid in (2, 3, 4):
+            assert (2, "live") in nodes[pid].delivered
+
+    def test_quorum_size(self):
+        assert UniformReliableBroadcast(0, 5).quorum == 3
+        assert UniformReliableBroadcast(0, 4).quorum == 3
+
+
+class TestOrderingLayers:
+    def test_fifo_order_preserved_per_sender(self):
+        n = 3
+        nodes = [
+            RBNode(pid, n, payloads=[f"{pid}-{i}" for i in range(4)], fifo=True)
+            for pid in range(n)
+        ]
+        run_processes(
+            nodes, delay_model=UniformDelay(0.1, 3.0), seed=5, quiesce_when_decided=False
+        )
+        for node in nodes:
+            for origin in range(n):
+                seq = [p for (o, p) in node.delivered if o == origin]
+                assert seq == [f"{origin}-{i}" for i in range(4)]
+
+    def test_fifo_buffers_out_of_order(self):
+        from repro.amp.broadcast import Delivery
+
+        fifo = FifoOrder(1)
+        assert fifo.push([Delivery(0, 1, "b")]) == []
+        released = fifo.push([Delivery(0, 0, "a")])
+        assert [d.payload for d in released] == ["a", "b"]
+
+    def test_causal_order_respects_happened_before(self):
+        """A reply never arrives (causally) before its trigger."""
+        n = 3
+
+        class CausalNode(RBNode):
+            def __init__(self, pid, n):
+                super().__init__(pid, n, causal=True)
+                self.pid = pid
+
+            def on_start(self, ctx):
+                if self.pid == 0:
+                    self.bc.broadcast(ctx, self.causal.stamp("question"))
+
+            def on_message(self, ctx, src, message):
+                deliveries = self.bc.handle(ctx, src, message)
+                for delivery in self.causal.push(deliveries):
+                    self.delivered.append((delivery.origin, delivery.payload))
+                    if delivery.payload == "question" and self.pid == 1:
+                        self.bc.broadcast(ctx, self.causal.stamp("answer"))
+
+        nodes = [CausalNode(pid, n) for pid in range(n)]
+        run_processes(
+            nodes,
+            delay_model=UniformDelay(0.1, 5.0),
+            seed=11,
+            quiesce_when_decided=False,
+        )
+        for node in nodes:
+            payloads = [p for _, p in node.delivered]
+            if "answer" in payloads and "question" in payloads:
+                assert payloads.index("question") < payloads.index("answer")

@@ -1,0 +1,115 @@
+"""Tests for Chandra–Toueg ◇S-based consensus (paper §5.3)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.amp import (
+    CrashAt,
+    EventuallyStrongFD,
+    FixedDelay,
+    PerfectFD,
+    ScriptedFD,
+    UniformDelay,
+    run_processes,
+)
+from repro.amp.consensus import make_chandra_toueg
+
+
+def decided_values(result):
+    return {v for v, d in zip(result.outputs, result.decided) if d}
+
+
+class TestChandraToueg:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_failure_free_agreement(self, seed):
+        n, t = 5, 2
+        result = run_processes(
+            make_chandra_toueg(n, t, list(range(10, 10 + n))),
+            delay_model=UniformDelay(0.2, 1.2),
+            failure_detector=EventuallyStrongFD(n, tau=3.0, seed=seed),
+            seed=seed,
+            max_events=200_000,
+        )
+        values = decided_values(result)
+        assert len(values) == 1
+        assert values <= set(range(10, 10 + n))
+        assert all(result.decided)
+
+    def test_first_coordinator_crash_is_circumvented(self):
+        n, t = 5, 2
+        result = run_processes(
+            make_chandra_toueg(n, t, list("abcde")),
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(0, 0.1, drop_in_flight=1.0)],
+            max_crashes=t,
+            failure_detector=EventuallyStrongFD(n, tau=4.0, seed=1),
+            max_events=200_000,
+        )
+        survivors = [pid for pid in range(n) if pid not in result.crashed]
+        values = {result.outputs[pid] for pid in survivors if result.decided[pid]}
+        assert len(values) == 1
+        assert all(result.decided[pid] for pid in survivors)
+
+    def test_two_crashes_tolerated(self):
+        n, t = 5, 2
+        result = run_processes(
+            make_chandra_toueg(n, t, [1, 2, 3, 4, 5]),
+            delay_model=UniformDelay(0.2, 1.0),
+            crashes=[CrashAt(0, 0.3), CrashAt(1, 1.0)],
+            max_crashes=t,
+            failure_detector=EventuallyStrongFD(n, tau=5.0, seed=2),
+            seed=3,
+            max_events=250_000,
+        )
+        survivors = [pid for pid in range(n) if pid not in result.crashed]
+        values = {result.outputs[pid] for pid in survivors if result.decided[pid]}
+        assert len(values) == 1
+
+    def test_works_with_perfect_detector(self):
+        """P ⊆ ◇S: the algorithm also runs on stronger detectors."""
+        n, t = 4, 1
+        result = run_processes(
+            make_chandra_toueg(n, t, ["w", "x", "y", "z"]),
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(2, 0.5)],
+            max_crashes=t,
+            failure_detector=PerfectFD(),
+            max_events=150_000,
+        )
+        survivors = [pid for pid in range(n) if pid not in result.crashed]
+        assert all(result.decided[pid] for pid in survivors)
+
+    def test_indulgence_under_hostile_suspicions(self):
+        """A detector that suspects everyone constantly: rounds churn,
+        but any decision made is safe."""
+        n, t = 4, 1
+        everyone = frozenset(range(n))
+        hostile = ScriptedFD(lambda pid, now, crashed: everyone - {pid})
+        for seed in range(4):
+            result = run_processes(
+                make_chandra_toueg(n, t, [1, 2, 3, 4]),
+                delay_model=UniformDelay(0.2, 1.2),
+                failure_detector=hostile,
+                seed=seed,
+                max_events=40_000,
+            )
+            values = decided_values(result)
+            assert len(values) <= 1
+            assert values <= {1, 2, 3, 4}
+
+    def test_resilience_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_chandra_toueg(4, 2, [0, 1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            make_chandra_toueg(3, 1, [0, 1])
+
+    def test_rounds_counted(self):
+        n, t = 3, 1
+        procs = make_chandra_toueg(n, t, [0, 1, 2])
+        run_processes(
+            procs,
+            delay_model=FixedDelay(1.0),
+            failure_detector=EventuallyStrongFD(n, tau=0.0, seed=0),
+            max_events=100_000,
+        )
+        assert all(p.rounds_executed >= 1 for p in procs)

@@ -1,0 +1,298 @@
+"""Tests for Ben-Or, Ω-consensus, Paxos, and condition-based consensus (§5.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.amp import (
+    AdversarialOmega,
+    CrashAt,
+    FixedDelay,
+    OmegaFD,
+    UniformDelay,
+    run_processes,
+)
+from repro.amp.consensus import (
+    c_frequency_condition,
+    c_max_condition,
+    make_benor,
+    make_condition_consensus,
+    make_omega_consensus,
+    make_paxos,
+)
+
+
+def decided_values(result):
+    return {v for v, d in zip(result.outputs, result.decided) if d}
+
+
+def check_consensus(result, inputs, allow_undecided=frozenset()):
+    values = decided_values(result)
+    assert len(values) == 1, f"agreement violated: {values}"
+    assert values <= set(inputs), f"validity violated: {values}"
+    for pid in range(len(result.outputs)):
+        if pid not in result.crashed and pid not in allow_undecided:
+            assert result.decided[pid], f"correct process {pid} undecided"
+
+
+class TestBenOr:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_inputs_agree(self, seed):
+        n, t = 5, 2
+        result = run_processes(
+            make_benor(n, t, [0, 1, 0, 1, 1]),
+            delay_model=UniformDelay(0.1, 2.0),
+            seed=seed,
+        )
+        check_consensus(result, (0, 1))
+
+    def test_unanimous_inputs_decide_that_value(self):
+        n, t = 4, 1
+        result = run_processes(
+            make_benor(n, t, [1, 1, 1, 1]), delay_model=FixedDelay(1.0)
+        )
+        assert decided_values(result) == {1}
+
+    @pytest.mark.parametrize("crash_pid", [0, 2, 4])
+    def test_survives_crashes(self, crash_pid):
+        n, t = 5, 2
+        result = run_processes(
+            make_benor(n, t, [0, 1, 1, 0, 1]),
+            delay_model=UniformDelay(0.2, 1.5),
+            crashes=[CrashAt(crash_pid, 1.0)],
+            max_crashes=t,
+            seed=7,
+        )
+        check_consensus(result, (0, 1))
+
+    def test_two_crashes(self):
+        n, t = 5, 2
+        result = run_processes(
+            make_benor(n, t, [0, 1, 0, 1, 0]),
+            delay_model=UniformDelay(0.2, 1.5),
+            crashes=[CrashAt(0, 0.5), CrashAt(1, 1.5)],
+            max_crashes=t,
+            seed=9,
+        )
+        check_consensus(result, (0, 1))
+
+    def test_binary_inputs_enforced(self):
+        with pytest.raises(ConfigurationError):
+            make_benor(3, 1, [0, 1, 2])
+
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            make_benor(4, 2, [0, 1, 0, 1])
+
+    def test_rounds_counted(self):
+        n, t = 5, 2
+        procs = make_benor(n, t, [0, 1, 0, 1, 0])
+        run_processes(procs, delay_model=UniformDelay(0.1, 2.0), seed=3)
+        assert any(p.rounds_executed >= 0 for p in procs)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_common_coin_variant_safe(self, seed):
+        n, t = 5, 2
+        result = run_processes(
+            make_benor(n, t, [0, 1, 0, 1, 1], common_coin=99),
+            delay_model=UniformDelay(0.1, 1.5),
+            seed=seed,
+        )
+        check_consensus(result, (0, 1))
+
+    def test_common_coin_is_common(self):
+        """All processes derive the same bit for the same round."""
+        procs = make_benor(3, 1, [0, 1, 0], common_coin=7)
+        bits = {p._flip_coin(None) for p in procs}
+        assert len(bits) == 1
+
+
+class TestOmegaConsensus:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_failure_free(self, seed):
+        n, t = 5, 2
+        result = run_processes(
+            make_omega_consensus(n, t, list(range(n))),
+            delay_model=UniformDelay(0.2, 1.2),
+            failure_detector=OmegaFD(n, tau=2.0),
+            seed=seed,
+        )
+        check_consensus(result, range(n))
+
+    def test_crashed_coordinator_is_circumvented(self):
+        """Round 0's coordinator (p0) crashes immediately; Ω eventually
+        points elsewhere and the run terminates."""
+        n, t = 5, 2
+        result = run_processes(
+            make_omega_consensus(n, t, list("abcde")),
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(0, 0.1, drop_in_flight=1.0)],
+            max_crashes=t,
+            failure_detector=OmegaFD(n, tau=5.0),
+        )
+        check_consensus(result, "abcde")
+
+    def test_two_crashes_tolerated(self):
+        n, t = 5, 2
+        result = run_processes(
+            make_omega_consensus(n, t, [1, 2, 3, 4, 5]),
+            delay_model=UniformDelay(0.2, 1.4),
+            crashes=[CrashAt(0, 0.3), CrashAt(1, 0.6)],
+            max_crashes=t,
+            failure_detector=OmegaFD(n, tau=4.0),
+            seed=2,
+        )
+        check_consensus(result, [1, 2, 3, 4, 5])
+
+    def test_indulgence_safety_under_lying_omega(self):
+        """§5.3: with an Ω that never stabilizes the algorithm may not
+        terminate, but whatever it decides must satisfy agreement and
+        validity — checked over several seeds."""
+        n, t = 4, 1
+        for seed in range(5):
+            result = run_processes(
+                make_omega_consensus(n, t, [10, 20, 30, 40], poll_interval=0.3),
+                delay_model=UniformDelay(0.2, 2.0),
+                failure_detector=AdversarialOmega(n, period=0.7),
+                seed=seed,
+                max_events=60_000,
+            )
+            values = decided_values(result)
+            assert len(values) <= 1
+            assert values <= {10, 20, 30, 40}
+
+    def test_resilience_enforced(self):
+        with pytest.raises(ConfigurationError):
+            make_omega_consensus(4, 2, [0, 1, 2, 3])
+
+
+class TestPaxos:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chooses_one_value(self, seed):
+        n = 5
+        result = run_processes(
+            make_paxos(n, [f"v{i}" for i in range(n)]),
+            delay_model=UniformDelay(0.2, 1.5),
+            failure_detector=OmegaFD(n, tau=1.0),
+            seed=seed,
+        )
+        check_consensus(result, [f"v{i}" for i in range(n)])
+
+    def test_minority_crash_tolerated(self):
+        n = 5
+        result = run_processes(
+            make_paxos(n, list(range(n))),
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(0, 0.2), CrashAt(4, 3.0)],
+            max_crashes=2,
+            failure_detector=OmegaFD(n, tau=2.0),
+        )
+        check_consensus(result, range(n))
+
+    def test_dueling_proposers_stay_safe(self):
+        """AdversarialOmega makes several nodes campaign at once; quorum
+        logic must keep any chosen value unique."""
+        n = 3
+        for seed in range(5):
+            result = run_processes(
+                make_paxos(n, ["x", "y", "z"], poll_interval=0.4, backoff=0.3),
+                delay_model=UniformDelay(0.1, 1.0),
+                failure_detector=AdversarialOmega(n, period=0.5),
+                seed=seed,
+                max_events=40_000,
+            )
+            values = decided_values(result)
+            assert len(values) <= 1
+
+    def test_ballots_are_retried_until_choice(self):
+        n = 3
+        procs = make_paxos(n, ["a", "b", "c"])
+        run_processes(
+            procs,
+            delay_model=FixedDelay(1.0),
+            failure_detector=OmegaFD(n, tau=0.0),
+        )
+        assert sum(p.ballots_started for p in procs) >= 1
+
+
+class TestConditionBased:
+    def test_c_max_membership(self):
+        cond = c_max_condition(2)
+        assert cond.contains((5, 5, 5, 1))
+        assert not cond.contains((5, 5, 1, 1))
+
+    def test_c_frequency_membership(self):
+        cond = c_frequency_condition(1)
+        assert cond.contains((3, 3, 3, 1))
+        assert not cond.contains((3, 3, 1, 1))
+
+    def test_decides_in_one_exchange_inside_condition(self):
+        n, t = 5, 2
+        cond = c_max_condition(t)
+        inputs = [9, 9, 9, 4, 2]
+        result = run_processes(
+            make_condition_consensus(n, t, inputs, cond),
+            delay_model=FixedDelay(1.0),
+        )
+        check_consensus(result, inputs)
+        assert decided_values(result) == {9}
+        assert all(t_ == 1.0 for t_ in result.decision_times.values())
+
+    def test_tolerates_t_crashes_inside_condition(self):
+        n, t = 5, 2
+        cond = c_max_condition(t)
+        inputs = [7, 7, 7, 1, 1]
+        result = run_processes(
+            make_condition_consensus(n, t, inputs, cond),
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(3, 0.0), CrashAt(4, 0.0)],
+            max_crashes=t,
+        )
+        check_consensus(result, inputs)
+        assert decided_values(result) == {7}
+
+    def test_outside_condition_crash_free_still_decides(self):
+        n, t = 4, 1
+        cond = c_max_condition(t)
+        inputs = [4, 3, 2, 1]  # max appears once: outside C
+        assert not cond.contains(tuple(inputs))
+        result = run_processes(
+            make_condition_consensus(n, t, inputs, cond),
+            delay_model=UniformDelay(0.3, 1.2),
+            seed=1,
+        )
+        # Full views eventually assemble (no crash), so safety + decision.
+        check_consensus(result, inputs)
+
+    def test_frequency_condition_end_to_end(self):
+        n, t = 5, 1
+        cond = c_frequency_condition(t)
+        inputs = ["a", "a", "a", "b", "a"]
+        result = run_processes(
+            make_condition_consensus(n, t, inputs, cond),
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(3, 0.0)],
+            max_crashes=t,
+        )
+        check_consensus(result, inputs)
+        assert decided_values(result) == {"a"}
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_condition_consensus(3, 3, [1, 2, 3], c_max_condition(1))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000), st.lists(st.integers(0, 1), min_size=4, max_size=6))
+def test_benor_agreement_property(seed, inputs):
+    n = len(inputs)
+    t = (n - 1) // 2
+    result = run_processes(
+        make_benor(n, t, inputs),
+        delay_model=UniformDelay(0.1, 1.5),
+        seed=seed,
+        max_events=150_000,
+    )
+    values = decided_values(result)
+    assert len(values) <= 1
+    assert values <= set(inputs)

@@ -1,0 +1,147 @@
+"""Tests for failure detectors (paper §5.3)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.amp import (
+    AdversarialOmega,
+    AsyncProcess,
+    CrashAt,
+    EventuallyPerfectFD,
+    EventuallyStrongFD,
+    FixedDelay,
+    HeartbeatOmega,
+    OmegaFD,
+    PartialSynchronyDelay,
+    PerfectFD,
+    ScriptedFD,
+    run_processes,
+)
+
+
+class TestPerfectFD:
+    def test_suspects_exactly_crashed(self):
+        fd = PerfectFD()
+        assert fd.query(0, 5.0, frozenset({1, 2})) == frozenset({1, 2})
+        assert fd.query(0, 0.0, frozenset()) == frozenset()
+
+
+class TestEventuallyPerfectFD:
+    def test_accurate_after_tau(self):
+        fd = EventuallyPerfectFD(4, tau=10.0)
+        assert fd.query(0, 10.0, frozenset({3})) == frozenset({3})
+        assert fd.query(1, 99.0, frozenset()) == frozenset()
+
+    def test_noisy_before_tau(self):
+        fd = EventuallyPerfectFD(6, tau=100.0, seed=1)
+        suspicions = [fd.query(0, 1.0, frozenset()) for _ in range(30)]
+        assert any(s for s in suspicions)  # wrongly suspects correct procs
+
+    def test_never_self_suspects_pre_tau(self):
+        fd = EventuallyPerfectFD(4, tau=100.0, seed=2)
+        for _ in range(50):
+            assert 1 not in fd.query(1, 0.0, frozenset())
+
+    def test_tau_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventuallyPerfectFD(3, tau=-1)
+
+
+class TestEventuallyStrongFD:
+    def test_smallest_alive_never_suspected_after_tau(self):
+        fd = EventuallyStrongFD(5, tau=10.0, seed=0)
+        for _ in range(50):
+            assert 1 not in fd.query(3, 20.0, frozenset({0}))
+
+    def test_crashed_always_suspected_after_tau(self):
+        fd = EventuallyStrongFD(5, tau=10.0, seed=0)
+        assert 0 in fd.query(3, 20.0, frozenset({0}))
+
+
+class TestOmegaFD:
+    def test_stable_leader_after_tau(self):
+        fd = OmegaFD(5, tau=7.0)
+        crashed = frozenset({0, 1})
+        leaders = {fd.query(pid, 8.0, crashed) for pid in range(5)}
+        assert leaders == {2}  # same correct leader for everyone
+
+    def test_arbitrary_before_tau(self):
+        fd = OmegaFD(5, tau=100.0, seed=3)
+        leaders = {fd.query(0, 1.0, frozenset()) for _ in range(40)}
+        assert len(leaders) > 1
+
+    def test_leader_is_never_crashed_after_tau(self):
+        fd = OmegaFD(3, tau=0.0)
+        assert fd.query(0, 1.0, frozenset({0})) == 1
+
+
+class TestAdversarialOmega:
+    def test_disagrees_across_processes(self):
+        fd = AdversarialOmega(4, period=1.0)
+        outputs = {fd.query(pid, 5.0, frozenset()) for pid in range(4)}
+        assert len(outputs) == 4  # everyone sees a different leader
+
+    def test_rotates_over_time(self):
+        fd = AdversarialOmega(4, period=1.0)
+        assert fd.query(0, 0.0, frozenset()) != fd.query(0, 1.0, frozenset())
+
+    def test_period_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdversarialOmega(3, period=0)
+
+
+class TestScriptedFD:
+    def test_replays_script(self):
+        fd = ScriptedFD(lambda pid, now, crashed: ("fd", pid, now))
+        assert fd.query(2, 3.0, frozenset()) == ("fd", 2, 3.0)
+
+
+class HeartbeatSender(AsyncProcess):
+    """Periodic heartbeats; samples Ω's output over time."""
+
+    def __init__(self):
+        self.samples = []
+
+    def on_start(self, ctx):
+        ctx.broadcast("hb", include_self=False)
+        ctx.set_timer(1.0, "beat")
+
+    def on_timer(self, ctx, name):
+        if ctx.time > 60.0:
+            ctx.decide(self.samples)
+            ctx.halt()
+            return
+        ctx.broadcast("hb", include_self=False)
+        self.samples.append((ctx.time, ctx.failure_detector()))
+        ctx.set_timer(1.0, "beat")
+
+    def on_message(self, ctx, src, payload):
+        pass
+
+
+class TestHeartbeatOmega:
+    def test_stabilizes_on_smallest_correct_after_gst(self):
+        """Ω *implemented* from heartbeats over partial synchrony:
+        after GST + timeout the leader samples become constant and name
+        a correct process."""
+        n = 4
+        fd = HeartbeatOmega(n, timeout=4.0)
+        procs = [HeartbeatSender() for _ in range(n)]
+        result = run_processes(
+            procs,
+            delay_model=PartialSynchronyDelay(gst=20.0, delta=1.0, chaos_max=15.0),
+            crashes=[CrashAt(pid=0, time=5.0)],
+            max_crashes=1,
+            failure_detector=fd,
+            seed=4,
+            quiesce_when_decided=True,
+        )
+        for pid in range(1, n):
+            samples = result.outputs[pid]
+            late = [leader for (time, leader) in samples if time > 30.0]
+            assert late, "no samples after stabilization window"
+            assert set(late) == {1}, late  # smallest correct id, forever
+
+    def test_timeout_validated(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatOmega(3, timeout=0)

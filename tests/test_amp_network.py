@@ -1,0 +1,236 @@
+"""Tests for the asynchronous message-passing simulator (paper §5.1)."""
+
+import pytest
+
+from repro.core import ConfigurationError, ModelViolation
+from repro.amp import (
+    AsyncProcess,
+    AsyncRuntime,
+    CrashAt,
+    FixedDelay,
+    PartialSynchronyDelay,
+    TargetedDelay,
+    UniformDelay,
+    run_processes,
+)
+
+
+class Ping(AsyncProcess):
+    def __init__(self, pid, n):
+        self.pid = pid
+        self.n = n
+        self.heard = []
+
+    def on_start(self, ctx):
+        if ctx.pid == 0:
+            ctx.broadcast("ping", include_self=False)
+
+    def on_message(self, ctx, src, payload):
+        self.heard.append((src, payload, ctx.time))
+        if payload == "ping":
+            ctx.send(src, "pong")
+        elif not ctx.decided:
+            ctx.decide(("got-pong", src))
+            ctx.halt()
+
+
+class TimerProcess(AsyncProcess):
+    def on_start(self, ctx):
+        ctx.set_timer(2.5, "wake")
+
+    def on_timer(self, ctx, name):
+        ctx.decide((name, ctx.time))
+        ctx.halt()
+
+
+class TestEventLoop:
+    def test_ping_pong_round_trip(self):
+        n = 3
+        procs = [Ping(pid, n) for pid in range(n)]
+        result = run_processes(procs, delay_model=FixedDelay(1.0))
+        assert result.decided[0]
+        assert result.outputs[0][0] == "got-pong"
+        assert result.decision_times[0] == 2.0  # exactly 2Δ round trip
+
+    def test_messages_counted(self):
+        n = 3
+        procs = [Ping(pid, n) for pid in range(n)]
+        result = run_processes(procs, delay_model=FixedDelay(1.0))
+        assert result.messages_sent >= 3
+
+    def test_timers_fire_at_virtual_time(self):
+        result = run_processes([TimerProcess()])
+        assert result.outputs[0] == ("wake", 2.5)
+
+    def test_send_to_unknown_process_rejected(self):
+        class Bad(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.send(99, "hi")
+
+        with pytest.raises(ModelViolation):
+            run_processes([Bad(), Bad()])
+
+    def test_double_decide_rejected(self):
+        class Bad(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.decide(1)
+                ctx.decide(2)
+
+        with pytest.raises(ModelViolation):
+            run_processes([Bad()])
+
+    def test_budget_truncates(self):
+        class Chatter(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.broadcast("x")
+
+            def on_message(self, ctx, src, payload):
+                ctx.broadcast("x")
+
+        result = run_processes(
+            [Chatter(), Chatter()], max_events=100, quiesce_when_decided=False
+        )
+        assert result.messages_delivered <= 101
+
+    def test_run_until_preserves_future_events(self):
+        """Stopping at a deadline must not swallow the event after it."""
+        from repro.amp import AsyncRuntime
+
+        runtime = AsyncRuntime([TimerProcess()])
+        result = runtime.run(until=1.0)
+        assert not result.decided[0]
+        # Resume: the 2.5s timer must still fire.
+        result = runtime.run()
+        assert result.outputs[0] == ("wake", 2.5)
+
+    def test_seeded_runs_are_reproducible(self):
+        def run_once():
+            procs = [Ping(pid, 3) for pid in range(3)]
+            return run_processes(
+                procs, delay_model=UniformDelay(0.1, 2.0), seed=42
+            ).final_time
+
+        assert run_once() == run_once()
+
+
+class TestDelayModels:
+    def test_fixed_delay_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedDelay(0)
+
+    def test_uniform_delay_bounds(self):
+        import random
+
+        model = UniformDelay(0.5, 1.5)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.5 <= model.delay(0, 1, 0.0, rng) <= 1.5
+
+    def test_uniform_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(2.0, 1.0)
+
+    def test_partial_synchrony_bounded_after_gst(self):
+        import random
+
+        model = PartialSynchronyDelay(gst=10.0, delta=1.0, chaos_max=20.0)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert model.delay(0, 1, 12.0, rng) <= 1.0
+
+    def test_partial_synchrony_chaos_before_gst(self):
+        import random
+
+        model = PartialSynchronyDelay(gst=10.0, delta=1.0, chaos_max=20.0)
+        rng = random.Random(1)
+        delays = [model.delay(0, 1, 0.0, rng) for _ in range(50)]
+        assert max(delays) > 1.0
+
+    def test_targeted_overrides(self):
+        import random
+
+        model = TargetedDelay(FixedDelay(1.0), {(0, 1): 9.0})
+        rng = random.Random(0)
+        assert model.delay(0, 1, 0.0, rng) == 9.0
+        assert model.delay(1, 0, 0.0, rng) == 1.0
+
+
+class Gossip(AsyncProcess):
+    """Everyone broadcasts its id once; records everything heard."""
+
+    def __init__(self):
+        self.heard = set()
+
+    def on_start(self, ctx):
+        ctx.broadcast(("id", ctx.pid), include_self=False)
+
+    def on_message(self, ctx, src, payload):
+        self.heard.add(src)
+
+
+class TestCrashes:
+    def test_crashed_process_stops_sending_and_receiving(self):
+        procs = [Gossip() for _ in range(3)]
+
+        class LateGossip(Gossip):
+            def on_start(self, ctx):
+                ctx.set_timer(5.0, "later")
+
+            def on_timer(self, ctx, name):
+                ctx.broadcast(("id", ctx.pid), include_self=False)
+
+        procs[2] = LateGossip()
+        result = run_processes(
+            procs,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(pid=0, time=3.0)],
+            max_crashes=1,
+            quiesce_when_decided=False,
+        )
+        assert 0 in result.crashed
+        # p0's initial broadcast (t=0) arrived before the crash...
+        assert 0 in procs[1].heard
+        # ...but p2's late broadcast (t=5) never reaches the crashed p0,
+        # and p0 heard nothing after crashing.
+        assert procs[0].heard <= {1, 2}
+
+    def test_crash_mid_broadcast_drops_in_flight(self):
+        class WideBroadcast(AsyncProcess):
+            def on_start(self, ctx):
+                if ctx.pid == 0:
+                    ctx.broadcast("data", include_self=False)
+
+        receivers = [Gossip() for _ in range(5)]
+        procs = [WideBroadcast()] + receivers[1:]
+        result = run_processes(
+            procs,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(pid=0, time=0.5, drop_in_flight=0.5)],
+            max_crashes=1,
+            quiesce_when_decided=False,
+        )
+        heard = [0 in p.heard for p in procs[1:]]
+        assert any(heard) and not all(heard)  # a strict subset received
+
+    def test_crash_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            AsyncRuntime(
+                [Gossip(), Gossip()],
+                crashes=[CrashAt(0, 1.0), CrashAt(1, 1.0)],
+                max_crashes=1,
+            )
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsyncRuntime(
+                [Gossip(), Gossip()],
+                crashes=[CrashAt(0, 1.0), CrashAt(0, 2.0)],
+            )
+
+    def test_no_failure_detector_raises_on_query(self):
+        class Query(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.failure_detector()
+
+        with pytest.raises(ConfigurationError):
+            run_processes([Query()])

@@ -1,0 +1,176 @@
+"""Tests for generalized quorum systems (§5.1 × §5.4)."""
+
+import pytest
+
+from repro.core import ConfigurationError, History, check_history
+from repro.core.cores import (
+    adversary_from_survivor_sets,
+    t_resilient_survivor_sets,
+)
+from repro.core.seqspec import register_spec
+from repro.amp import CrashAt, FixedDelay, TargetedDelay, UniformDelay, run_processes
+from repro.amp.quorums import (
+    QuorumAbdNode,
+    is_live_quorum_system,
+    is_safe_quorum_system,
+    majority_family,
+    normalize_family,
+)
+
+
+class TestQuorumPredicates:
+    def test_majorities_are_safe(self):
+        assert is_safe_quorum_system(majority_family(5))
+        assert is_safe_quorum_system(majority_family(4))
+
+    def test_disjoint_family_unsafe(self):
+        assert not is_safe_quorum_system([{0, 1}, {2, 3}])
+
+    def test_empty_family_neither(self):
+        adversary = adversary_from_survivor_sets(3, [{0, 1}])
+        assert not is_safe_quorum_system([])
+        assert not is_live_quorum_system([], adversary)
+
+    def test_liveness_against_adversary(self):
+        adversary = adversary_from_survivor_sets(
+            4, t_resilient_survivor_sets(4, 1)
+        )
+        assert is_live_quorum_system(majority_family(4), adversary)
+        # Quorums of size 4 can't fit in 3-process survivor sets.
+        assert not is_live_quorum_system([{0, 1, 2, 3}], adversary)
+
+    def test_nonuniform_adversary_needs_nonmajority_quorums(self):
+        """The §5.4 payoff: an adversary leaving only {0,1} alive makes
+        majorities dead, but the survivor-set family itself is live —
+        and safe iff survivor sets pairwise intersect."""
+        adversary = adversary_from_survivor_sets(
+            4, [{0, 1}, {0, 2, 3}, {0, 1, 3}]
+        )
+        majorities = majority_family(4)
+        assert not is_live_quorum_system(majorities, adversary)
+        survivor_family = adversary.survivor_sets
+        assert is_live_quorum_system(survivor_family, adversary)
+        assert is_safe_quorum_system(survivor_family)  # all contain 0
+
+
+def run_quorum_abd(n, family, scripts, crashes=(), delay=None, multi_writer=False):
+    history = History()
+    nodes = [
+        QuorumAbdNode(
+            pid,
+            n,
+            family,
+            scripts[pid] if pid < len(scripts) else (),
+            history=history,
+            multi_writer=multi_writer,
+        )
+        for pid in range(n)
+    ]
+    result = run_processes(
+        nodes,
+        delay_model=delay or FixedDelay(1.0),
+        crashes=list(crashes),
+        max_crashes=n - 1,
+        max_events=50_000,
+    )
+    return nodes, history, result
+
+
+class TestQuorumAbd:
+    def test_recovers_classical_abd_latencies(self):
+        n = 5
+        nodes, history, result = run_quorum_abd(
+            n, majority_family(n), [[("write", "v"), ("read",)]]
+        )
+        assert nodes[0].op_log[0].latency == 2.0
+        assert nodes[0].op_log[1].latency == 4.0
+        assert check_history(history, {"R": register_spec(None)})["R"].linearizable
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_safe_family_linearizable(self, seed):
+        n = 4
+        family = [{0, 1}, {0, 2, 3}, {0, 1, 3}]  # all share process 0
+        assert is_safe_quorum_system(family)
+        scripts = [
+            [("write", 1), ("write", 2)],
+            [("read",), ("read",)],
+            [("read",)],
+            [],
+        ]
+        nodes, history, result = run_quorum_abd(
+            n, family, scripts, delay=UniformDelay(0.2, 1.5)
+        )
+        assert all(result.decided[pid] for pid in range(3))
+        assert check_history(history, {"R": register_spec(None)})["R"].linearizable
+
+    def test_live_under_matching_adversary_crashes(self):
+        """Crash everyone outside a survivor set; the survivor-set family
+        keeps the register available."""
+        n = 4
+        family = [{0, 1}, {0, 2, 3}]
+        scripts = [[("write", "ok"), ("read",)], [], [], []]
+        nodes, history, result = run_quorum_abd(
+            n,
+            family,
+            scripts,
+            crashes=[CrashAt(2, 0.0), CrashAt(3, 0.0)],  # survivors {0,1}
+        )
+        assert result.decided[0]
+        assert nodes[0].results == [None, "ok"]
+
+    def test_majorities_block_under_nonuniform_crashes(self):
+        n = 4
+        scripts = [[("write", "stuck")], [], [], []]
+        nodes, history, result = run_quorum_abd(
+            n,
+            majority_family(n),
+            scripts,
+            crashes=[CrashAt(2, 0.0), CrashAt(3, 0.0)],
+        )
+        assert not result.decided[0]  # no majority alive
+
+    def test_unsafe_family_split_brain(self):
+        """Disjoint quorums: live on both sides of a partition, and the
+        checker finds the atomicity violation."""
+        n = 4
+        family = [{0, 1}, {2, 3}]
+        assert not is_safe_quorum_system(family)
+        slow = 1_000.0
+        overrides = {}
+        for a in (0, 1):
+            for b in (2, 3):
+                overrides[(a, b)] = slow
+                overrides[(b, a)] = slow
+        scripts = [[("write", "w")], [], [("pause", 10.0), ("read",)], []]
+        nodes, history, result = run_quorum_abd(
+            n,
+            family,
+            scripts,
+            delay=TargetedDelay(FixedDelay(1.0), overrides),
+        )
+        assert result.decided[0] and result.decided[2]
+        assert nodes[2].results == [None]  # the write is invisible
+        assert not check_history(history, {"R": register_spec(None)})[
+            "R"
+        ].linearizable
+
+    def test_family_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuorumAbdNode(0, 3, [])
+        with pytest.raises(ConfigurationError):
+            QuorumAbdNode(0, 3, [{0, 9}])
+
+    def test_mwmr_with_quorum_family(self):
+        n = 4
+        family = majority_family(n)
+        scripts = [
+            [("write", "a")],
+            [("write", "b")],
+            [("pause", 8.0), ("read",)],
+            [],
+        ]
+        nodes, history, result = run_quorum_abd(
+            n, family, scripts, delay=UniformDelay(0.2, 1.0), multi_writer=True
+        )
+        assert nodes[2].results[0] in ("a", "b")
+        assert check_history(history, {"R": register_spec(None)})["R"].linearizable

@@ -1,0 +1,129 @@
+"""Metamorphic tests for the linearizability checker itself.
+
+The checker validates every object in the library, so it deserves its
+own adversarial testing: generate ground-truth-correct concurrent
+histories (by construction) and assert acceptance; corrupt them in ways
+that provably break linearizability and assert rejection.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import History, check_object
+from repro.core.seqspec import counter_spec, queue_spec, register_spec
+
+
+def build_concurrent_history(spec, ops, overlap_rng):
+    """Run ``ops`` sequentially through ``spec`` for ground truth, then
+    present them with randomized (but order-preserving) overlap.
+
+    Each op i occupies logical slot i; we invoke it somewhere in slot
+    ``i - overlap`` (overlap ≥ 0) so that consecutive ops may overlap
+    while the witness order stays legal — the result must always be
+    linearizable.
+    """
+    state = spec.initial
+    responses = []
+    for op, args in ops:
+        state, response = spec.apply(state, op, tuple(args))
+        responses.append(response)
+
+    history = History()
+    tickets = []
+    pending = []
+    for index, (op, args) in enumerate(ops):
+        # Invoke this op (possibly "early" relative to responses).
+        tickets.append(history.invoke(index % 3, "obj", op, *args))
+        pending.append(index)
+        # Respond to some prefix of pending ops, keeping response order.
+        while pending and (
+            len(pending) > overlap_rng.randint(0, 2) or index == len(ops) - 1
+        ):
+            j = pending.pop(0)
+            history.respond(tickets[j], responses[j])
+    # Respond leftovers in order.
+    for j in pending:
+        history.respond(tickets[j], responses[j])
+    return history
+
+
+OPS_POOL = {
+    "counter": (counter_spec, [("increment", (1,)), ("increment", (2,)), ("read", ())]),
+    "queue": (queue_spec, [("enqueue", (1,)), ("enqueue", (2,)), ("dequeue", ())]),
+    "register": (register_spec, [("write", (1,)), ("write", (2,)), ("read", ())]),
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(sorted(OPS_POOL)),
+    st.lists(st.integers(0, 2), min_size=1, max_size=8),
+    st.integers(0, 10_000),
+)
+def test_overlapped_sequential_runs_always_accepted(kind, picks, seed):
+    spec_factory, pool = OPS_POOL[kind]
+    ops = [pool[i] for i in picks]
+    spec = spec_factory()
+    history = build_concurrent_history(spec, ops, random.Random(seed))
+    result = check_object(spec_factory(), history.operations("obj"))
+    assert result.linearizable
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(1, 50), min_size=2, max_size=6, unique=True),
+    st.integers(0, 10_000),
+)
+def test_corrupted_counter_totals_rejected(increments, seed):
+    """A counter history whose final read over-reports must be rejected:
+    reads can under-report (linearized early) but never exceed the sum."""
+    spec = counter_spec()
+    ops = [("increment", (v,)) for v in increments] + [("read", ())]
+    history = build_concurrent_history(spec, ops, random.Random(seed))
+    operations = history.operations("obj")
+    # Corrupt: rebuild the history with the final read over-reporting.
+    total = sum(increments)
+    bad = History()
+    for op in operations:
+        ticket = bad.invoke(op.process, op.obj, op.op, *op.args)
+        response = op.response
+        if op.op == "read":
+            response = total + 1
+        bad.respond(ticket, response)
+    result = check_object(counter_spec(), bad.operations("obj"))
+    assert not result.linearizable
+
+
+def test_swapped_queue_responses_rejected():
+    """Two sequential dequeues with swapped responses break FIFO."""
+    spec = queue_spec()
+    history = History()
+    script = [
+        ("enqueue", ("a",), None),
+        ("enqueue", ("b",), None),
+        ("dequeue", (), "b"),  # swapped
+        ("dequeue", (), "a"),  # swapped
+    ]
+    for op, args, response in script:
+        ticket = history.invoke(0, "q", op, *args)
+        history.respond(ticket, response)
+    assert not check_object(queue_spec(), history.operations("q")).linearizable
+
+
+def test_checker_explores_bounded_states():
+    """Memoization keeps the search tractable on adversarial histories."""
+    spec = register_spec(0)
+    history = History()
+    tickets = []
+    # 6 concurrent writes + 1 read: factorial orderings, polynomial memo.
+    for i in range(6):
+        tickets.append(history.invoke(i, "r", "write", i))
+    read_ticket = history.invoke(6, "r", "read")
+    for i, ticket in enumerate(tickets):
+        history.respond(ticket, None)
+    history.respond(read_ticket, 3)
+    result = check_object(register_spec(0), history.operations("r"))
+    assert result.linearizable
+    assert result.explored < 5_000

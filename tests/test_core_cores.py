@@ -1,0 +1,147 @@
+"""Tests for cores & survivor sets (paper §5.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.core.cores import (
+    adversary_from_cores,
+    adversary_from_survivor_sets,
+    cores_from_survivor_sets,
+    is_core,
+    max_failures,
+    minimal_sets,
+    minimal_transversals,
+    paper_example_adversary,
+    paper_example_cores,
+    survivor_sets_from_cores,
+    t_resilient_survivor_sets,
+)
+
+
+def fs(*sets):
+    return frozenset(frozenset(s) for s in sets)
+
+
+class TestMinimalSets:
+    def test_drops_supersets(self):
+        assert minimal_sets([{0}, {0, 1}, {2}]) == fs({0}, {2})
+
+    def test_keeps_incomparable(self):
+        assert minimal_sets([{0, 1}, {1, 2}]) == fs({0, 1}, {1, 2})
+
+    def test_empty(self):
+        assert minimal_sets([]) == frozenset()
+
+
+class TestTransversals:
+    def test_simple(self):
+        # Family {{0,1},{2,3}}: minimal hitting sets are all pairs (x,y),
+        # x from the first, y from the second.
+        result = minimal_transversals([{0, 1}, {2, 3}], 4)
+        assert result == fs({0, 2}, {0, 3}, {1, 2}, {1, 3})
+
+    def test_overlapping_family(self):
+        result = minimal_transversals([{0, 1}, {1, 2}], 3)
+        assert result == fs({1}, {0, 2})
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            minimal_transversals([{5}], 3)
+
+
+class TestPaperExamples:
+    def test_section_5_4_cores_example(self):
+        """Paper: cores {p1,p2},{p3,p4} ⇒ survivor sets {p1,p3},{p1,p4},
+        {p2,p3},{p2,p4} (0-based here)."""
+        cores, survivors = paper_example_cores()
+        assert cores == fs({0, 1}, {2, 3})
+        assert survivors == fs({0, 2}, {0, 3}, {1, 2}, {1, 3})
+
+    def test_duality_round_trip_on_paper_example(self):
+        cores, survivors = paper_example_cores()
+        assert cores_from_survivor_sets(survivors, 4) == cores
+        assert survivor_sets_from_cores(cores, 4) == survivors
+
+    def test_paper_adversary_permits_exactly_listed_sets(self):
+        adversary = paper_example_adversary()
+        assert adversary.permits(frozenset({0, 1}))
+        assert adversary.permits(frozenset({0, 3}))
+        assert adversary.permits(frozenset({0, 2, 3}))
+        # Paper: NOT required to terminate for {p3,p4} or {p1,p2,p3}.
+        assert not adversary.permits(frozenset({2, 3}))
+        assert not adversary.permits(frozenset({0, 1, 2}))
+
+
+class TestTResilience:
+    def test_t_resilient_sets_have_size_n_minus_t(self):
+        sets = t_resilient_survivor_sets(4, 1)
+        assert all(len(s) == 3 for s in sets)
+        assert len(sets) == 4
+
+    def test_t_zero_single_survivor_set(self):
+        assert t_resilient_survivor_sets(3, 0) == fs({0, 1, 2})
+
+    def test_invalid_t(self):
+        with pytest.raises(ConfigurationError):
+            t_resilient_survivor_sets(3, 3)
+
+    def test_t_resilient_cores_are_t_plus_1_subsets(self):
+        """For the uniform adversary, cores = all (t+1)-subsets."""
+        cores = cores_from_survivor_sets(t_resilient_survivor_sets(4, 1), 4)
+        assert all(len(c) == 2 for c in cores)
+        assert len(cores) == 6
+
+    def test_max_failures(self):
+        assert max_failures(t_resilient_survivor_sets(5, 2), 5) == 2
+        assert max_failures([{0}], 4) == 3
+
+
+class TestHelpers:
+    def test_is_core(self):
+        _, survivors = paper_example_cores()
+        assert is_core({0, 1}, survivors, 4)
+        assert not is_core({0}, survivors, 4)
+
+    def test_adversary_from_cores_matches_manual(self):
+        adversary = adversary_from_cores(4, [{0, 1}, {2, 3}])
+        assert adversary.permits(frozenset({0, 2}))
+        assert not adversary.permits(frozenset({0, 1}))
+
+    def test_adversary_from_survivor_sets(self):
+        adversary = adversary_from_survivor_sets(3, [{0, 1}])
+        assert adversary.permits(frozenset({0, 1}))
+        assert not adversary.permits(frozenset({0}))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(
+        st.frozensets(st.integers(0, 4), min_size=1, max_size=5),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_duality_is_an_involution(survivor_sets):
+    """cores(cores(S)) == minimal(S): the duality is self-inverse."""
+    n = 5
+    normalized = minimal_sets(survivor_sets)
+    cores = cores_from_survivor_sets(normalized, n)
+    back = survivor_sets_from_cores(cores, n)
+    assert back == normalized
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(
+        st.frozensets(st.integers(0, 4), min_size=1, max_size=5),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_every_core_hits_every_survivor_set(survivor_sets):
+    n = 5
+    cores = cores_from_survivor_sets(survivor_sets, n)
+    for core in cores:
+        for survivors in minimal_sets(survivor_sets):
+            assert core & survivors, (core, survivors)

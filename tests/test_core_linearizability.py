@@ -1,0 +1,227 @@
+"""Tests for histories and the Wing–Gong linearizability checker (§4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    History,
+    check_history,
+    check_object,
+    is_linearizable,
+    sequential_history,
+)
+from repro.core.seqspec import counter_spec, queue_spec, register_spec
+
+
+def make_history(events):
+    """events: list of ('i', key, pid, obj, op, args) / ('r', key, response)."""
+    history = History()
+    tickets = {}
+    for event in events:
+        if event[0] == "i":
+            _, key, pid, obj, op, args = event
+            tickets[key] = history.invoke(pid, obj, op, *args)
+        else:
+            _, key, response = event
+            history.respond(tickets[key], response)
+    return history
+
+
+class TestHistoryRecording:
+    def test_sequential_helper(self):
+        history = sequential_history(
+            [(0, "r", "write", (1,), None), (1, "r", "read", (), 1)]
+        )
+        ops = history.operations()
+        assert len(ops) == 2
+        assert ops[0].precedes(ops[1])
+        assert not ops[1].precedes(ops[0])
+
+    def test_overlap_detection(self):
+        history = make_history(
+            [
+                ("i", "a", 0, "r", "write", (1,)),
+                ("i", "b", 1, "r", "read", ()),
+                ("r", "a", None),
+                ("r", "b", 1),
+            ]
+        )
+        a, b = history.operations()
+        assert a.overlaps(b)
+
+    def test_pending_operation(self):
+        history = make_history([("i", "a", 0, "r", "write", (1,))])
+        (op,) = history.operations()
+        assert not op.completed
+
+    def test_double_response_rejected(self):
+        history = History()
+        ticket = history.invoke(0, "r", "read")
+        history.respond(ticket, 1)
+        with pytest.raises(ConfigurationError):
+            history.respond(ticket, 2)
+
+    def test_unknown_ticket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            History().respond(99, None)
+
+    def test_objects_listing(self):
+        history = sequential_history(
+            [(0, "a", "read", (), None), (0, "b", "read", (), None)]
+        )
+        assert history.objects() == ["a", "b"]
+
+
+class TestCheckerPositive:
+    def test_sequential_register_history(self):
+        history = sequential_history(
+            [(0, "r", "write", (5,), None), (1, "r", "read", (), 5)]
+        )
+        assert is_linearizable(history, {"r": register_spec(None)})
+
+    def test_concurrent_reads_may_reorder(self):
+        # write(1) overlaps read→None and read→1: both linearizable.
+        history = make_history(
+            [
+                ("i", "w", 0, "r", "write", (1,)),
+                ("i", "r1", 1, "r", "read", ()),
+                ("r", "r1", None),
+                ("i", "r2", 1, "r", "read", ()),
+                ("r", "r2", 1),
+                ("r", "w", None),
+            ]
+        )
+        assert is_linearizable(history, {"r": register_spec(None)})
+
+    def test_pending_op_may_be_included(self):
+        # A crashed writer whose value was read: the pending write must
+        # be linearized before the read.
+        history = make_history(
+            [
+                ("i", "w", 0, "r", "write", (7,)),
+                ("i", "r", 1, "r", "read", ()),
+                ("r", "r", 7),
+            ]
+        )
+        assert is_linearizable(history, {"r": register_spec(None)})
+
+    def test_pending_op_may_be_dropped(self):
+        history = make_history(
+            [
+                ("i", "w", 0, "r", "write", (7,)),
+                ("i", "r", 1, "r", "read", ()),
+                ("r", "r", None),
+            ]
+        )
+        assert is_linearizable(history, {"r": register_spec(None)})
+
+    def test_queue_concurrent_enqueues(self):
+        history = make_history(
+            [
+                ("i", "e1", 0, "q", "enqueue", (1,)),
+                ("i", "e2", 1, "q", "enqueue", (2,)),
+                ("r", "e1", None),
+                ("r", "e2", None),
+                ("i", "d1", 0, "q", "dequeue", ()),
+                ("r", "d1", 2),
+                ("i", "d2", 0, "q", "dequeue", ()),
+                ("r", "d2", 1),
+            ]
+        )
+        # Concurrent enqueues may linearize in either order.
+        assert is_linearizable(history, {"q": queue_spec()})
+
+    def test_empty_history(self):
+        assert check_history(History(), {}) == {}
+
+
+class TestCheckerNegative:
+    def test_stale_read_after_write_completes(self):
+        history = sequential_history(
+            [(0, "r", "write", (1,), None), (1, "r", "read", (), None)]
+        )
+        assert not is_linearizable(history, {"r": register_spec(None)})
+
+    def test_new_old_inversion(self):
+        # read→1 completes before read→0 starts, after write(1): illegal.
+        history = make_history(
+            [
+                ("i", "w0", 0, "r", "write", (0,)),
+                ("r", "w0", None),
+                ("i", "w1", 0, "r", "write", (1,)),
+                ("r", "w1", None),
+                ("i", "ra", 1, "r", "read", ()),
+                ("r", "ra", 1),
+                ("i", "rb", 2, "r", "read", ()),
+                ("r", "rb", 0),
+            ]
+        )
+        assert not is_linearizable(history, {"r": register_spec(None)})
+
+    def test_queue_wrong_fifo_order(self):
+        history = sequential_history(
+            [
+                (0, "q", "enqueue", (1,), None),
+                (0, "q", "enqueue", (2,), None),
+                (0, "q", "dequeue", (), 2),
+            ]
+        )
+        assert not is_linearizable(history, {"q": queue_spec()})
+
+    def test_value_from_nowhere(self):
+        history = sequential_history([(0, "r", "read", (), 42)])
+        assert not is_linearizable(history, {"r": register_spec(None)})
+
+    def test_missing_spec_raises(self):
+        history = sequential_history([(0, "mystery", "read", (), 1)])
+        with pytest.raises(ConfigurationError):
+            check_history(history, {})
+
+
+class TestCheckerLocality:
+    def test_objects_checked_independently(self):
+        history = sequential_history(
+            [
+                (0, "good", "write", (1,), None),
+                (0, "good", "read", (), 1),
+                (0, "bad", "write", (1,), None),
+                (0, "bad", "read", (), 99),
+            ]
+        )
+        verdicts = check_history(
+            history, {"good": register_spec(None), "bad": register_spec(None)}
+        )
+        assert verdicts["good"].linearizable
+        assert not verdicts["bad"].linearizable
+
+    def test_witness_is_a_legal_sequential_run(self):
+        history = make_history(
+            [
+                ("i", "w", 0, "r", "write", (1,)),
+                ("i", "r1", 1, "r", "read", ()),
+                ("r", "r1", 1),
+                ("r", "w", None),
+            ]
+        )
+        result = check_object(register_spec(None), history.operations("r"))
+        assert result.linearizable
+        witness_ops = [(op.op, op.args) for op in result.witness]
+        spec = register_spec(None)
+        responses = spec.run(witness_ops)
+        observed = [op.response for op in result.witness]
+        assert responses == observed
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["inc", "read"]), min_size=1, max_size=6))
+def test_sequential_counter_histories_always_linearizable(ops):
+    """Any honestly-generated sequential history is linearizable."""
+    spec = counter_spec()
+    state = spec.initial
+    events = []
+    for index, kind in enumerate(ops):
+        op = "increment" if kind == "inc" else "read"
+        state, response = spec.apply(state, op, ())
+        events.append((index % 3, "c", op, (), response))
+    assert is_linearizable(sequential_history(events), {"c": counter_spec()})

@@ -1,0 +1,121 @@
+"""Tests for model descriptors and the theorem registry (§3–§5 notation)."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    MessagePassingModel,
+    ProcessAdversarySpec,
+    SharedMemoryModel,
+    SynchronousModel,
+    amp,
+    asm,
+    smp,
+)
+from repro.core.hierarchy import (
+    EQUIVALENCES,
+    Solvability,
+    consensus_number,
+    equivalent_models,
+    lookup,
+    solves_consensus,
+    theorems_for_task,
+)
+
+
+class TestDescriptors:
+    def test_smp_str_uses_paper_notation(self):
+        assert str(smp(5)) == "SMP_5[adv:∅]"
+        assert str(smp(5, "unrestricted")) == "SMP_5[adv:∞]"
+        assert str(smp(5, "TREE")) == "SMP_5[adv:TREE]"
+
+    def test_asm_wait_free_default(self):
+        model = asm(4)
+        assert model.t == 3
+        assert model.wait_free
+
+    def test_asm_str(self):
+        assert str(asm(4, 3)) == "ASM_{4,3}[∅]"
+        assert str(asm(4, 1, "compare&swap")) == "ASM_{4,1}[compare&swap]"
+
+    def test_asm_resilience_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SharedMemoryModel(n=3, t=3)
+        with pytest.raises(ConfigurationError):
+            SharedMemoryModel(n=3, t=-1)
+
+    def test_amp_majority(self):
+        assert amp(5, 2).majority_correct
+        assert not amp(4, 2).majority_correct
+
+    def test_amp_str(self):
+        model = amp(5, 2, constraint="t<n/2", failure_detector="omega")
+        assert str(model) == "AMP_{5,2}[t<n/2; fd:omega]"
+        assert str(amp(5, 2)) == "AMP_{5,2}[∅]"
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            smp(0)
+
+
+class TestProcessAdversarySpec:
+    def test_permits_exact_survivor_set(self):
+        spec = ProcessAdversarySpec(
+            n=4, survivor_sets=frozenset({frozenset({0, 1})})
+        )
+        assert spec.permits(frozenset({0, 1}))
+        assert not spec.permits(frozenset({0, 1, 2}))
+
+    def test_rejects_empty_survivor_set(self):
+        with pytest.raises(ConfigurationError):
+            ProcessAdversarySpec(n=2, survivor_sets=frozenset({frozenset()}))
+
+    def test_rejects_out_of_range_pid(self):
+        with pytest.raises(ConfigurationError):
+            ProcessAdversarySpec(n=2, survivor_sets=frozenset({frozenset({5})}))
+
+
+class TestHierarchyRegistry:
+    def test_consensus_numbers_match_paper(self):
+        assert consensus_number("register") == 1
+        for kind in ("test&set", "fetch&add", "queue", "stack", "swap"):
+            assert consensus_number(kind) == 2
+        for kind in ("compare&swap", "LL/SC", "sticky-bit"):
+            assert consensus_number(kind) is None  # +∞
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            consensus_number("teleporter")
+
+    def test_solves_consensus_threshold(self):
+        assert solves_consensus("test&set", 2)
+        assert not solves_consensus("test&set", 3)
+        assert solves_consensus("compare&swap", 100)
+        assert solves_consensus("register", 1)
+        assert not solves_consensus("register", 2)
+
+    def test_flp_recorded(self):
+        record = lookup("consensus", "ASM_{n,n-1}[∅]")
+        assert record is not None
+        assert record.verdict is Solvability.IMPOSSIBLE
+        assert "FLP" in record.source
+
+    def test_abd_both_directions_recorded(self):
+        assert (
+            lookup("atomic-register", "AMP_{n,t}[t<n/2]").verdict
+            is Solvability.SOLVABLE
+        )
+        assert (
+            lookup("atomic-register", "AMP_{n,t}[t>=n/2]").verdict
+            is Solvability.IMPOSSIBLE
+        )
+
+    def test_theorems_for_task_nonempty(self):
+        assert len(theorems_for_task("consensus")) >= 4
+
+    def test_tour_equivalence_recorded(self):
+        assert "ARW_{n,n-1}[fd:∅]" in equivalent_models("SMP_n[adv:TOUR]")
+        assert "SMP_n[adv:TOUR]" in equivalent_models("ARW_{n,n-1}[fd:∅]")
+
+    def test_unknown_model_has_no_equivalents(self):
+        assert equivalent_models("made-up-model") == []

@@ -1,0 +1,159 @@
+"""Tests for sequential specifications (the SeqSpec class of §4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ConfigurationError
+from repro.core.seqspec import (
+    compare_and_swap_spec,
+    counter_spec,
+    fetch_and_add_spec,
+    queue_spec,
+    register_spec,
+    set_spec,
+    spec_by_name,
+    stack_spec,
+    sticky_bit_spec,
+    swap_spec,
+    test_and_set_spec as tas_spec,
+)
+
+
+class TestRegister:
+    def test_initial_read(self):
+        spec = register_spec("init")
+        assert spec.run([("read", ())]) == ["init"]
+
+    def test_write_then_read(self):
+        spec = register_spec()
+        assert spec.run([("write", (42,)), ("read", ())]) == [None, 42]
+
+    def test_unknown_op(self):
+        with pytest.raises(ConfigurationError):
+            register_spec().apply(None, "frobnicate", ())
+
+
+class TestQueueStack:
+    def test_queue_fifo(self):
+        spec = queue_spec()
+        ops = [("enqueue", (1,)), ("enqueue", (2,)), ("dequeue", ()), ("dequeue", ())]
+        assert spec.run(ops) == [None, None, 1, 2]
+
+    def test_queue_empty_dequeue(self):
+        assert queue_spec().run([("dequeue", ())]) == [None]
+
+    def test_stack_lifo(self):
+        spec = stack_spec()
+        ops = [("push", (1,)), ("push", (2,)), ("pop", ()), ("pop", ())]
+        assert spec.run(ops) == [None, None, 2, 1]
+
+    def test_stack_empty_pop(self):
+        assert stack_spec().run([("pop", ())]) == [None]
+
+    @given(st.lists(st.integers(), max_size=30))
+    def test_queue_matches_list_semantics(self, items):
+        spec = queue_spec()
+        state = spec.initial
+        for item in items:
+            state, _ = spec.apply(state, "enqueue", (item,))
+        out = []
+        for _ in items:
+            state, v = spec.apply(state, "dequeue", ())
+            out.append(v)
+        assert out == items
+
+    @given(st.lists(st.integers(), max_size=30))
+    def test_stack_matches_reversed_list(self, items):
+        spec = stack_spec()
+        state = spec.initial
+        for item in items:
+            state, _ = spec.apply(state, "push", (item,))
+        out = []
+        for _ in items:
+            state, v = spec.apply(state, "pop", ())
+            out.append(v)
+        assert out == list(reversed(items))
+
+
+class TestCounterAndSet:
+    def test_counter_returns_old_value(self):
+        spec = counter_spec(10)
+        assert spec.run([("increment", (5,)), ("read", ())]) == [10, 15]
+
+    def test_counter_default_increment(self):
+        spec = counter_spec()
+        assert spec.run([("increment", ()), ("read", ())]) == [0, 1]
+
+    def test_set_add_contains_remove(self):
+        spec = set_spec()
+        ops = [
+            ("add", (1,)),
+            ("add", (1,)),
+            ("contains", (1,)),
+            ("remove", (1,)),
+            ("contains", (1,)),
+            ("remove", (1,)),
+        ]
+        assert spec.run(ops) == [True, False, True, True, False, False]
+
+
+class TestSynchronizationPrimitives:
+    def test_test_and_set_single_winner(self):
+        spec = tas_spec()
+        assert spec.run([("test_and_set", ()), ("test_and_set", ())]) == [0, 1]
+
+    def test_fetch_and_add(self):
+        spec = fetch_and_add_spec()
+        assert spec.run([("fetch_and_add", (1,)), ("fetch_and_add", (2,)), ("read", ())]) == [0, 1, 3]
+
+    def test_swap(self):
+        spec = swap_spec("a")
+        assert spec.run([("swap", ("b",)), ("swap", ("c",)), ("read", ())]) == ["a", "b", "c"]
+
+    def test_compare_and_swap_success_and_failure(self):
+        spec = compare_and_swap_spec(0)
+        results = spec.run(
+            [
+                ("compare_and_swap", (0, 1)),
+                ("compare_and_swap", (0, 2)),
+                ("read", ()),
+            ]
+        )
+        assert results == [True, False, 1]
+
+    def test_sticky_first_write_wins(self):
+        spec = sticky_bit_spec()
+        assert spec.run([("write", ("x",)), ("write", ("y",)), ("read", ())]) == ["x", "x", "x"]
+
+    def test_sticky_write_returns_stuck_value(self):
+        spec = sticky_bit_spec()
+        state, response = spec.apply(spec.initial, "write", (3,))
+        state, response2 = spec.apply(state, "write", (9,))
+        assert response == 3 and response2 == 3
+
+
+class TestRegistry:
+    def test_every_registered_spec_instantiates(self):
+        for name in (
+            "register",
+            "queue",
+            "stack",
+            "counter",
+            "set",
+            "test&set",
+            "fetch&add",
+            "swap",
+            "compare&swap",
+            "sticky-bit",
+        ):
+            spec = spec_by_name(name)
+            assert spec.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            spec_by_name("flux-capacitor")
+
+    def test_states_are_hashable(self):
+        """The explorer and checker memoize on states — they must hash."""
+        for name in ("register", "queue", "stack", "counter", "set", "sticky-bit"):
+            hash(spec_by_name(name).initial)

@@ -1,0 +1,174 @@
+"""Tests for the task formalism (paper §2.2)."""
+
+import pytest
+
+from repro.core import (
+    NO_OUTPUT,
+    ConfigurationError,
+    RelationTask,
+    RunOutcome,
+    SafetyViolation,
+    Task,
+    binary_consensus_task,
+    consensus_task,
+    k_set_agreement_task,
+    leader_election_task,
+    vector_learning_task,
+)
+
+
+class TestTask:
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            Task(0, {})
+
+    def test_rejects_wrong_length_input_vector(self):
+        with pytest.raises(ConfigurationError):
+            Task(2, {(1,): [(1, 1)]})
+
+    def test_rejects_wrong_length_output_vector(self):
+        with pytest.raises(ConfigurationError):
+            Task(2, {(1, 2): [(1,)]})
+
+    def test_allows_listed_output(self):
+        task = Task(2, {(0, 1): [(0, 0), (1, 1)]})
+        assert task.allows((0, 1), (0, 0))
+        assert task.allows((0, 1), (1, 1))
+
+    def test_rejects_unlisted_output(self):
+        task = Task(2, {(0, 1): [(0, 0)]})
+        assert not task.allows((0, 1), (1, 1))
+
+    def test_unknown_input_vector_raises(self):
+        task = Task(2, {(0, 1): [(0, 0)]})
+        with pytest.raises(ConfigurationError):
+            task.allows((9, 9), (0, 0))
+
+    def test_partial_output_accepted_when_extendable(self):
+        task = Task(2, {(0, 1): [(0, 0)]})
+        assert task.allows((0, 1), (0, NO_OUTPUT))
+        assert task.allows((0, 1), (NO_OUTPUT, NO_OUTPUT))
+
+    def test_partial_output_rejected_when_not_extendable(self):
+        task = Task(2, {(0, 1): [(0, 0)]})
+        assert not task.allows((0, 1), (1, NO_OUTPUT))
+
+    def test_require_raises_on_violation(self):
+        task = Task(2, {(0, 1): [(0, 0)]})
+        with pytest.raises(SafetyViolation):
+            task.require((0, 1), (1, 1))
+
+    def test_check_reports_reason(self):
+        task = Task(1, {(5,): [(5,)]}, name="echo")
+        result = task.check((5,), (6,))
+        assert not result.ok
+        assert "echo" in result.reason
+
+    def test_input_vectors_and_outputs_for(self):
+        task = Task(2, {(0, 1): [(0, 0)], (1, 0): [(1, 1)]})
+        assert task.input_vectors == {(0, 1), (1, 0)}
+        assert task.outputs_for((1, 0)) == {(1, 1)}
+
+    def test_n_equals_one_is_sequential_computing(self):
+        """Paper §2.2: the case n = 1 corresponds to sequential computing."""
+        square = Task(1, {(x,): [(x * x,)] for x in range(10)}, name="square")
+        for x in range(10):
+            assert square.allows((x,), (x * x,))
+            assert not square.allows((x,), (x * x + 1,))
+
+
+class TestConsensusTask:
+    def test_agreement_enforced(self):
+        task = consensus_task(3)
+        assert not task.allows((1, 2, 3), (1, 2, 1))
+
+    def test_validity_enforced(self):
+        task = consensus_task(3)
+        assert not task.allows((1, 2, 3), (7, 7, 7))
+
+    def test_valid_decision_accepted(self):
+        task = consensus_task(3)
+        for v in (1, 2, 3):
+            assert task.allows((1, 2, 3), (v, v, v))
+
+    def test_partial_decisions_accepted(self):
+        task = consensus_task(3)
+        assert task.allows((1, 2, 3), (2, NO_OUTPUT, 2))
+
+    def test_partial_disagreement_rejected(self):
+        task = consensus_task(3)
+        assert not task.allows((1, 2, 3), (2, NO_OUTPUT, 3))
+
+    def test_binary_consensus_restricts_values(self):
+        task = binary_consensus_task(2)
+        assert task.allows((0, 1), (1, 1))
+        assert not task.allows((0, 1), (2, 2))
+
+
+class TestKSetAgreement:
+    def test_k_must_be_in_range(self):
+        with pytest.raises(ConfigurationError):
+            k_set_agreement_task(3, 0)
+        with pytest.raises(ConfigurationError):
+            k_set_agreement_task(3, 4)
+
+    def test_at_most_k_values(self):
+        task = k_set_agreement_task(4, 2)
+        assert task.allows((1, 2, 3, 4), (1, 1, 2, 2))
+        assert not task.allows((1, 2, 3, 4), (1, 2, 3, 3))
+
+    def test_k_equals_one_is_consensus(self):
+        task = k_set_agreement_task(3, 1)
+        assert task.allows((1, 2, 3), (2, 2, 2))
+        assert not task.allows((1, 2, 3), (1, 2, 2))
+
+    def test_validity(self):
+        task = k_set_agreement_task(3, 2)
+        assert not task.allows((1, 2, 3), (9, 9, 9))
+
+    def test_k_equals_n_trivial(self):
+        task = k_set_agreement_task(3, 3)
+        assert task.allows((1, 2, 3), (1, 2, 3))
+
+
+class TestOtherTasks:
+    def test_leader_election_constant_vectors_only(self):
+        task = leader_election_task(3)
+        assert task.allows((0, 0, 0), (2, 2, 2))
+        assert not task.allows((0, 0, 0), (1, 2, 2))
+
+    def test_vector_learning_requires_full_vector(self):
+        task = vector_learning_task(("a", "b"))
+        full = ("a", "b")
+        assert task.allows(full, (full, full))
+        assert not task.allows(full, (full, ("a",)))
+
+
+class TestRelationTask:
+    def test_custom_predicate(self):
+        task = RelationTask(
+            2, lambda i, o: o[0] == o[1] == sum(i), completions=lambda i: [sum(i)]
+        )
+        assert task.allows((1, 2), (3, 3))
+        assert not task.allows((1, 2), (3, 4))
+        assert task.allows((1, 2), (3, NO_OUTPUT))
+
+    def test_empty_completion_domain_rejects_partial(self):
+        task = RelationTask(2, lambda i, o: True, completions=lambda i: [])
+        assert not task.allows((1, 2), (1, NO_OUTPUT))
+
+    def test_wrong_arity_rejected(self):
+        task = RelationTask(2, lambda i, o: True)
+        assert not task.allows((1,), (1, 1))
+        assert not task.allows((1, 2), (1,))
+
+
+class TestRunOutcome:
+    def test_decided_and_correct(self):
+        outcome = RunOutcome(
+            input_vector=(1, 2, 3),
+            output_vector=(1, NO_OUTPUT, 1),
+            crashed=frozenset({1}),
+        )
+        assert outcome.decided() == [0, 2]
+        assert outcome.correct_processes() == [0, 2]

@@ -1,0 +1,177 @@
+"""Edge cases across the three substrates: minimal sizes, empty runs,
+and boundary parameters."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.core.seqspec import counter_spec
+
+
+class TestSyncEdges:
+    def test_single_process_graph(self):
+        from repro.sync import Topology, SyncAlgorithm, run_synchronous
+
+        class Lonely(SyncAlgorithm):
+            def on_start(self, ctx):
+                ctx.decide(ctx.input * 2)
+                ctx.halt()
+                return {}
+
+        topo = Topology(1, [])
+        result = run_synchronous(topo, [Lonely()], [21])
+        assert result.outputs[0] == 42
+
+    def test_two_process_flooding(self):
+        from repro.sync import path, run_synchronous
+        from repro.sync.algorithms import make_flooders
+
+        result = run_synchronous(path(2), make_flooders(2, rounds=1), ["a", "b"])
+        assert result.outputs[0] == ("a", "b")
+        assert result.outputs[1] == ("a", "b")
+
+    def test_floodset_t_zero_single_round(self):
+        from repro.sync import complete, run_synchronous
+        from repro.sync.algorithms import make_floodset
+
+        result = run_synchronous(complete(3), make_floodset(3, 0), [3, 1, 2])
+        assert result.rounds == 1
+        assert {result.outputs[i] for i in range(3)} == {1}
+
+    def test_all_processes_crash(self):
+        from repro.sync import CrashEvent, complete, run_synchronous
+        from repro.sync.algorithms import make_floodset
+
+        result = run_synchronous(
+            complete(3),
+            make_floodset(3, 2),
+            [1, 2, 3],
+            crash_schedule=[CrashEvent(pid, 1) for pid in range(3)],
+        )
+        assert result.crashed == {0, 1, 2}
+        assert not any(result.decided)
+
+
+class TestShmEdges:
+    def test_runtime_with_no_processes(self):
+        from repro.shm import RoundRobinScheduler, Runtime
+
+        report = Runtime(RoundRobinScheduler()).run()
+        assert report.total_steps == 0
+        assert report.stopped_reason == "all-done"
+
+    def test_program_with_no_steps(self):
+        from repro.shm import RoundRobinScheduler, run_protocol
+
+        def instant():
+            return "done"
+            yield  # pragma: no cover - makes it a generator
+
+        report = run_protocol({0: instant()}, RoundRobinScheduler())
+        assert report.outputs[0] == "done"
+        assert report.per_process_steps[0] == 0
+
+    def test_single_process_universal_object(self):
+        from repro.shm import RoundRobinScheduler, UniversalObject, client_program, run_protocol
+
+        obj = UniversalObject("c", 1, counter_spec())
+        report = run_protocol(
+            {0: client_program(obj, 0, [("increment", (5,)), ("read", ())])},
+            RoundRobinScheduler(),
+        )
+        assert report.outputs[0] == [0, 5]
+
+    def test_snapshot_single_segment(self):
+        from repro.shm import AtomicSnapshot, RoundRobinScheduler, run_protocol
+
+        snap = AtomicSnapshot("s", 1)
+
+        def program():
+            yield from snap.update(0, "x")
+            return (yield from snap.scan(0))
+
+        report = run_protocol({0: program()}, RoundRobinScheduler())
+        assert report.outputs[0] == ("x",)
+
+    def test_kset_k_equals_n(self):
+        from repro.shm import (
+            ObstructionFreeKSetAgreement,
+            RandomScheduler,
+            run_protocol,
+        )
+
+        kset = ObstructionFreeKSetAgreement("ks", 3, 3)
+
+        def proposer(pid):
+            return (yield from kset.propose(pid, pid))
+
+        report = run_protocol(
+            {pid: proposer(pid) for pid in range(3)},
+            RandomScheduler(0),
+            max_steps=100_000,
+        )
+        assert len(report.completed()) == 3
+
+
+class TestAmpEdges:
+    def test_single_process_network(self):
+        from repro.amp import AsyncProcess, run_processes
+
+        class Solo(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.send(0, "self-message")
+
+            def on_message(self, ctx, src, payload):
+                ctx.decide((src, payload))
+                ctx.halt()
+
+        result = run_processes([Solo()])
+        assert result.outputs[0] == (0, "self-message")
+
+    def test_zero_resilience_benor(self):
+        from repro.amp import FixedDelay, run_processes
+        from repro.amp.consensus import make_benor
+
+        result = run_processes(
+            make_benor(3, 0, [1, 1, 0]), delay_model=FixedDelay(1.0), seed=4
+        )
+        values = {v for v, d in zip(result.outputs, result.decided) if d}
+        assert len(values) == 1
+
+    def test_abd_three_processes_minimum_majority(self):
+        from repro.amp import AbdNode, CrashAt, FixedDelay, run_processes
+
+        nodes = [
+            AbdNode(pid, 3, [("write", 9), ("read",)] if pid == 0 else [])
+            for pid in range(3)
+        ]
+        result = run_processes(
+            nodes,
+            delay_model=FixedDelay(1.0),
+            crashes=[CrashAt(2, 0.0)],
+            max_crashes=1,
+        )
+        assert nodes[0].results == [None, 9]
+
+    def test_timer_at_zero_delay(self):
+        from repro.amp import AsyncProcess, run_processes
+
+        class Immediate(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.set_timer(0.0, "now")
+
+            def on_timer(self, ctx, name):
+                ctx.decide(ctx.time)
+                ctx.halt()
+
+        result = run_processes([Immediate()])
+        assert result.outputs[0] == 0.0
+
+    def test_negative_timer_rejected(self):
+        from repro.amp import AsyncProcess, run_processes
+
+        class Bad(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.set_timer(-1.0, "oops")
+
+        with pytest.raises(ConfigurationError):
+            run_processes([Bad()])

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest
+as the library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(SCRIPTS) >= 3, SCRIPTS
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_expected_facts():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    out = result.stdout
+    assert "proper 3-coloring" in out
+    assert "write = 2.0Δ, read = 4.0Δ" in out
+    assert "All quickstart demos passed." in out

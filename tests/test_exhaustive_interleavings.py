@@ -1,0 +1,132 @@
+"""Exhaustive interleaving tests for generator-based shm objects.
+
+The state-machine explorer covers protocols written as explicit state
+machines; generator-based objects (snapshot, adopt-commit) are verified
+here by brute force instead: enumerate EVERY interleaving of two fixed
+client programs (replayed via ListScheduler) and check the object's
+contract in each.  This is feasible for two clients with short programs
+(a few thousand schedules) and turns "passed under sampled schedules"
+into "passed under all schedules" at that size.
+"""
+
+import pytest
+
+from repro.core import History, check_history
+from repro.shm import (
+    ADOPT,
+    COMMIT,
+    AdoptCommit,
+    AtomicSnapshot,
+    ListScheduler,
+    run_protocol,
+    snapshot_spec,
+)
+
+
+def distinct_interleavings(counts):
+    """Multiset permutations without materializing duplicates."""
+
+    def rec(remaining, prefix):
+        if not any(remaining):
+            yield list(prefix)
+            return
+        for pid, count in enumerate(remaining):
+            if count:
+                remaining[pid] -= 1
+                prefix.append(pid)
+                yield from rec(remaining, prefix)
+                prefix.pop()
+                remaining[pid] += 1
+
+    yield from rec(list(counts), [])
+
+
+def count_steps(make_programs):
+    """Run once under a fixed schedule to learn each program's length."""
+    programs = make_programs()
+    report = run_protocol(
+        programs, ListScheduler([0] * 500 + [1] * 500), max_steps=2_000
+    )
+    assert sorted(report.completed()) == [0, 1]
+    return [report.per_process_steps[0], report.per_process_steps[1]]
+
+
+class TestSnapshotExhaustive:
+    def make(self):
+        history = History()
+        snap = AtomicSnapshot("s", 2)
+
+        def client(pid):
+            ticket = history.invoke(pid, "s", "update", pid, f"v{pid}")
+            yield from snap.update(pid, f"v{pid}")
+            history.respond(ticket, None)
+            ticket = history.invoke(pid, "s", "scan")
+            view = yield from snap.scan(pid)
+            history.respond(ticket, view)
+            return view
+
+        return history, {0: client(0), 1: client(1)}
+
+    def test_all_interleavings_linearizable(self):
+        _, programs = self.make()
+        counts = count_steps(lambda: self.make()[1])
+        total = 0
+        for schedule in distinct_interleavings(counts):
+            history, programs = self.make()
+            report = run_protocol(
+                programs, ListScheduler(schedule), max_steps=5_000
+            )
+            assert sorted(report.completed()) == [0, 1]
+            verdict = check_history(history, {"s": snapshot_spec(2)})
+            assert verdict["s"].linearizable, schedule
+            total += 1
+        # Sanity: the enumeration really was exhaustive-scale.
+        assert total >= 1_000, total
+
+
+class TestAdoptCommitExhaustive:
+    def make(self, inputs):
+        ac = AdoptCommit("ac", 2)
+        results = {}
+
+        def client(pid):
+            verdict = yield from ac.adopt_commit(pid, inputs[pid])
+            results[pid] = verdict
+            return verdict
+
+        return results, {0: client(0), 1: client(1)}
+
+    @pytest.mark.parametrize("inputs", [(0, 1), (1, 1)])
+    def test_all_interleavings_safe(self, inputs):
+        counts = count_steps(lambda: self.make(inputs)[1])
+        total = 0
+        for schedule in distinct_interleavings(counts):
+            results, programs = self.make(inputs)
+            report = run_protocol(
+                programs, ListScheduler(schedule), max_steps=5_000
+            )
+            assert sorted(report.completed()) == [0, 1]
+            committed = {
+                value for verdict, value in results.values() if verdict == COMMIT
+            }
+            # Coherence: a commit forces everyone onto that value.
+            assert len(committed) <= 1
+            if committed:
+                value = committed.pop()
+                assert all(v == value for _, v in results.values())
+            # Validity.
+            for _, value in results.values():
+                assert value in inputs
+            # Convergence: equal inputs must commit.
+            if len(set(inputs)) == 1:
+                assert all(
+                    verdict == COMMIT for verdict, _ in results.values()
+                )
+            total += 1
+        # C(12, 6) = 924 distinct interleavings of two 6-step programs.
+        assert total == 924, total
+
+    def test_step_counts_are_schedule_independent(self):
+        """Adopt-commit is straight-line: 2 writes + 2 collects of 2."""
+        counts = count_steps(lambda: self.make((0, 1))[1])
+        assert counts == [6, 6]

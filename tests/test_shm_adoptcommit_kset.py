@@ -1,0 +1,225 @@
+"""Tests for adopt-commit and obstruction-free (k-set) agreement (§4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.shm import (
+    ADOPT,
+    COMMIT,
+    AdoptCommit,
+    ObstructionFreeConsensus,
+    ObstructionFreeKSetAgreement,
+    ObstructionScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    StarveScheduler,
+    brs_register_bound,
+    run_protocol,
+    verify_k_set_outputs,
+)
+from repro.core.exceptions import SafetyViolation
+
+
+def ac_client(ac, pid, value, results):
+    def program():
+        verdict = yield from ac.adopt_commit(pid, value)
+        results[pid] = verdict
+        return verdict
+
+    return program()
+
+
+class TestAdoptCommit:
+    def test_convergence_all_same_input_commits(self):
+        for seed in range(5):
+            ac = AdoptCommit("ac", 3)
+            results = {}
+            run_protocol(
+                {pid: ac_client(ac, pid, "v", results) for pid in range(3)},
+                RandomScheduler(seed),
+            )
+            assert all(verdict == (COMMIT, "v") for verdict in results.values())
+
+    def test_solo_invocation_commits(self):
+        ac = AdoptCommit("ac", 3)
+        results = {}
+        run_protocol({1: ac_client(ac, 1, "solo", results)}, RoundRobinScheduler())
+        assert results[1] == (COMMIT, "solo")
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_coherence_commit_forces_same_value_everywhere(self, seed):
+        ac = AdoptCommit("ac", 4)
+        results = {}
+        run_protocol(
+            {pid: ac_client(ac, pid, pid % 2, results) for pid in range(4)},
+            RandomScheduler(seed),
+        )
+        committed = {v for verdict, v in results.values() if verdict == COMMIT}
+        assert len(committed) <= 1
+        if committed:
+            value = committed.pop()
+            assert all(v == value for _, v in results.values())
+
+    def test_validity_output_was_an_input(self):
+        for seed in range(6):
+            ac = AdoptCommit("ac", 3)
+            results = {}
+            inputs = {0: "a", 1: "b", 2: "c"}
+            run_protocol(
+                {pid: ac_client(ac, pid, inputs[pid], results) for pid in range(3)},
+                RandomScheduler(seed),
+            )
+            for _, value in results.values():
+                assert value in inputs.values()
+
+    def test_wait_free_constant_steps(self):
+        ac = AdoptCommit("ac", 3)
+        results = {}
+        report = run_protocol(
+            {pid: ac_client(ac, pid, pid, results) for pid in range(3)},
+            StarveScheduler([2]),
+        )
+        # 2 writes + 2 collects of 3 = 8 steps each, unconditionally.
+        assert all(steps == 8 for steps in report.per_process_steps.values())
+
+    def test_pid_validated(self):
+        ac = AdoptCommit("ac", 2)
+        with pytest.raises(ConfigurationError):
+            list(ac.adopt_commit(5, "x"))
+
+    def test_n_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdoptCommit("ac", 0)
+
+
+class TestObstructionFreeConsensus:
+    def test_solo_run_decides_immediately(self):
+        cons = ObstructionFreeConsensus("c", 3)
+
+        def proposer(pid, v):
+            return (yield from cons.propose(pid, v))
+
+        report = run_protocol(
+            {pid: proposer(pid, pid * 10) for pid in range(3)},
+            SoloScheduler(order=[2, 0, 1]),
+        )
+        assert set(report.outputs.values()) == {20}
+        # First solo proposer commits in round 0; later ones adopt its
+        # value there and commit in round 1 at the latest.
+        assert cons.rounds_allocated() <= 2
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_validity_random_schedules(self, seed):
+        cons = ObstructionFreeConsensus("c", 4)
+
+        def proposer(pid, v):
+            return (yield from cons.propose(pid, v))
+
+        report = run_protocol(
+            {pid: proposer(pid, pid) for pid in range(4)},
+            RandomScheduler(seed),
+            max_steps=100_000,
+        )
+        decisions = {v for v in report.outputs.values() if v is not None}
+        assert len(decisions) == 1
+        assert decisions.pop() in range(4)
+
+    def test_obstruction_windows_terminate(self):
+        cons = ObstructionFreeConsensus("c", 4)
+
+        def proposer(pid, v):
+            return (yield from cons.propose(pid, v))
+
+        scheduler = ObstructionScheduler(contention_steps=30, solo_steps=1_500, seed=2)
+        report = run_protocol(
+            {pid: proposer(pid, pid) for pid in range(4)},
+            scheduler,
+            max_steps=200_000,
+        )
+        assert len(report.completed()) == 4
+
+    def test_round_budget_returns_none(self):
+        cons = ObstructionFreeConsensus("c", 2, max_rounds=0)
+
+        def proposer(pid):
+            return (yield from cons.propose(pid, pid))
+
+        report = run_protocol({0: proposer(0)}, RoundRobinScheduler())
+        assert report.outputs[0] is None
+
+
+class TestKSetAgreement:
+    def test_register_bound_formula(self):
+        assert brs_register_bound(10, 3) == 8
+        assert brs_register_bound(5, 1) == 5
+        with pytest.raises(ConfigurationError):
+            brs_register_bound(3, 4)
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (5, 1), (6, 5)])
+    def test_at_most_k_values_decided(self, n, k):
+        for seed in range(4):
+            kset = ObstructionFreeKSetAgreement("ks", n, k)
+
+            def proposer(pid):
+                return (yield from kset.propose(pid, f"v{pid}"))
+
+            run_protocol(
+                {pid: proposer(pid) for pid in range(n)},
+                RandomScheduler(seed),
+                max_steps=300_000,
+            )
+            verify_k_set_outputs([f"v{i}" for i in range(n)], kset.decisions, k)
+
+    def test_same_slot_processes_agree(self):
+        n, k = 6, 2
+        kset = ObstructionFreeKSetAgreement("ks", n, k)
+
+        def proposer(pid):
+            return (yield from kset.propose(pid, pid))
+
+        run_protocol(
+            {pid: proposer(pid) for pid in range(n)},
+            RandomScheduler(1),
+            max_steps=300_000,
+        )
+        for pid in range(n):
+            for qid in range(n):
+                if pid % k == qid % k and pid in kset.decisions and qid in kset.decisions:
+                    assert kset.decisions[pid] == kset.decisions[qid]
+
+    def test_verify_rejects_too_many_values(self):
+        with pytest.raises(SafetyViolation):
+            verify_k_set_outputs([1, 2, 3], {0: 1, 1: 2, 2: 3}, k=2)
+
+    def test_verify_rejects_non_input(self):
+        with pytest.raises(SafetyViolation):
+            verify_k_set_outputs([1, 2], {0: 9}, k=1)
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            ObstructionFreeKSetAgreement("ks", 3, 0)
+        kset = ObstructionFreeKSetAgreement("ks", 3, 2)
+        with pytest.raises(ConfigurationError):
+            list(kset.propose(7, "x"))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000), st.lists(st.integers(0, 3), min_size=2, max_size=4))
+def test_adopt_commit_safety_property(seed, inputs):
+    """Hypothesis sweep: coherence + validity over random schedules/inputs."""
+    n = len(inputs)
+    ac = AdoptCommit("ac", n)
+    results = {}
+    run_protocol(
+        {pid: ac_client(ac, pid, inputs[pid], results) for pid in range(n)},
+        RandomScheduler(seed),
+    )
+    committed = {v for verdict, v in results.values() if verdict == COMMIT}
+    assert len(committed) <= 1
+    if committed:
+        value = committed.pop()
+        assert all(v == value for _, v in results.values())
+    for _, value in results.values():
+        assert value in inputs

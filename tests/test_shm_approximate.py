@@ -1,0 +1,116 @@
+"""Tests for wait-free approximate agreement (ε-consensus)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, SafetyViolation
+from repro.shm import (
+    ApproximateAgreement,
+    CrashAfterScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    StarveScheduler,
+    check_epsilon_agreement,
+    rounds_needed,
+    run_protocol,
+)
+
+
+def run_aa(inputs, epsilon, scheduler, spread=None):
+    n = len(inputs)
+    spread_bound = spread if spread is not None else max(
+        max(inputs) - min(inputs), epsilon
+    )
+    aa = ApproximateAgreement("aa", n, epsilon, spread_bound)
+    programs = {pid: aa.propose(pid, inputs[pid]) for pid in range(n)}
+    report = run_protocol(programs, scheduler)
+    return aa, report
+
+
+class TestRoundsNeeded:
+    def test_halving_count(self):
+        assert rounds_needed(8.0, 1.0) == 3
+        assert rounds_needed(1.0, 1.0) == 1
+        assert rounds_needed(100.0, 0.1) == 10
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ConfigurationError):
+            rounds_needed(1.0, 0)
+
+
+class TestApproximateAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_epsilon_agreement_random_schedules(self, seed):
+        inputs = [0.0, 3.0, 10.0]
+        aa, report = run_aa(inputs, 0.5, RandomScheduler(seed))
+        outputs = [report.outputs.get(pid) for pid in range(3)]
+        assert all(o is not None for o in outputs)
+        check_epsilon_agreement(inputs, outputs, 0.5)
+
+    def test_solo_process_outputs_own_value(self):
+        inputs = [4.0, 8.0]
+        aa, report = run_aa(inputs, 1.0, SoloScheduler(order=[0, 1]))
+        assert report.outputs[0] == 4.0  # saw only itself every round
+
+    def test_wait_free_under_starvation(self):
+        inputs = [0.0, 10.0, 20.0]
+        aa, report = run_aa(inputs, 1.0, StarveScheduler([2]))
+        assert len(report.completed()) == 3
+
+    def test_survives_crashes(self):
+        inputs = [0.0, 10.0, 20.0, 30.0]
+        aa, report = run_aa(
+            inputs, 1.0, CrashAfterScheduler(RandomScheduler(1), {0: 3})
+        )
+        outputs = [report.outputs.get(pid) for pid in range(1, 4)]
+        check_epsilon_agreement(inputs, outputs + [None], 1.0)
+
+    def test_validity_range(self):
+        inputs = [5.0, 7.0]
+        aa, report = run_aa(inputs, 0.5, RandomScheduler(2))
+        for output in report.outputs.values():
+            assert 5.0 <= output <= 7.0
+
+    def test_equal_inputs_fixed_point(self):
+        inputs = [3.0, 3.0, 3.0]
+        aa, report = run_aa(inputs, 0.1, RandomScheduler(0))
+        assert all(v == 3.0 for v in report.outputs.values())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ApproximateAgreement("aa", 0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ApproximateAgreement("aa", 2, -1.0, 1.0)
+        aa = ApproximateAgreement("aa", 2, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            list(aa.propose(5, 1.0))
+
+
+class TestChecker:
+    def test_detects_range_violation(self):
+        with pytest.raises(SafetyViolation):
+            check_epsilon_agreement([0.0, 1.0], [2.0, 0.5], 1.0)
+
+    def test_detects_epsilon_violation(self):
+        with pytest.raises(SafetyViolation):
+            check_epsilon_agreement([0.0, 10.0], [0.0, 10.0], 1.0)
+
+    def test_ignores_missing_outputs(self):
+        check_epsilon_agreement([0.0, 10.0], [5.0, None], 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 100_000),
+    st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        min_size=2,
+        max_size=5,
+    ),
+)
+def test_epsilon_agreement_property(seed, inputs):
+    epsilon = 0.75
+    aa, report = run_aa(inputs, epsilon, RandomScheduler(seed))
+    outputs = [report.outputs.get(pid) for pid in range(len(inputs))]
+    check_epsilon_agreement(inputs, outputs, epsilon)

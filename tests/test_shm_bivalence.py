@@ -1,0 +1,167 @@
+"""Tests for the exhaustive explorer and the FLP dichotomy (§2.4, §4.2)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.shm import (
+    CautiousRegisterConsensus,
+    ConfigurationExplorer,
+    EagerRegisterConsensus,
+    TwoProcessRaceConsensus,
+)
+from repro.shm.bivalence import find_bivalent_initial_input
+from repro.shm.consensus_number import (
+    CompareAndSwapConsensus,
+    LLSCConsensus,
+    StickyConsensus,
+)
+from repro.shm.statemachine import as_program, build_objects
+from repro.shm.runtime import run_protocol
+from repro.shm.schedulers import RandomScheduler
+
+
+class TestExplorerMechanics:
+    def test_counts_configurations(self):
+        report = ConfigurationExplorer(
+            TwoProcessRaceConsensus("test&set"), (0, 1)
+        ).explore()
+        assert report.configurations > 1
+        assert report.terminal_configurations >= 1
+
+    def test_equal_inputs_are_univalent(self):
+        report = ConfigurationExplorer(
+            TwoProcessRaceConsensus("test&set"), (1, 1)
+        ).explore()
+        assert not report.initial_bivalent
+        assert report.decision_values == {1}
+
+    def test_different_inputs_are_bivalent(self):
+        """FLP Lemma-2 flavor: some initial configuration is bivalent."""
+        report = ConfigurationExplorer(
+            TwoProcessRaceConsensus("test&set"), (0, 1)
+        ).explore()
+        assert report.initial_bivalent
+
+    def test_find_bivalent_initial_input(self):
+        found = find_bivalent_initial_input(
+            lambda: TwoProcessRaceConsensus("fetch&add"),
+            [(0, 0), (1, 1), (0, 1)],
+        )
+        assert found == (0, 1)
+
+    def test_step_on_halted_process_rejected(self):
+        explorer = ConfigurationExplorer(StickyConsensus(), (1,))
+        config = explorer.initial_configuration()
+        config = explorer.step(config, 0)
+        with pytest.raises(ConfigurationError):
+            explorer.step(config, 0)  # already decided
+
+
+class TestFLPDichotomy:
+    """Every register-only consensus protocol is unsafe or non-live; both
+    canonical attempts are machine-checked, and the test&set protocol
+    shows the dichotomy disappears one level up the hierarchy."""
+
+    def test_eager_attempt_terminates_but_is_unsafe(self):
+        report = ConfigurationExplorer(EagerRegisterConsensus(), (0, 1)).explore()
+        assert report.always_terminates
+        assert not report.safe
+        assert report.agreement_violation == (0, 1)
+
+    def test_eager_attempt_safe_on_equal_inputs(self):
+        report = ConfigurationExplorer(EagerRegisterConsensus(), (1, 1)).explore()
+        assert report.safe
+
+    def test_cautious_attempt_is_safe_but_not_live(self):
+        report = ConfigurationExplorer(CautiousRegisterConsensus(), (0, 1)).explore()
+        assert report.safe
+        assert not report.always_terminates
+        # The adversary can starve EITHER process forever.
+        assert report.nondeciding_cycle[0]
+        assert report.nondeciding_cycle[1]
+
+    def test_cautious_attempt_decides_under_fair_schedules(self):
+        """Non-liveness is adversarial: real random schedules decide."""
+        machine = CautiousRegisterConsensus()
+        for seed in range(5):
+            objects = build_objects(machine)
+            programs = {
+                pid: as_program(machine, pid, pid % 2, objects) for pid in range(2)
+            }
+            report = run_protocol(programs, RandomScheduler(seed))
+            assert len(report.completed()) == 2
+            assert len(set(report.outputs.values())) == 1
+
+    def test_test_and_set_escapes_the_dichotomy(self):
+        """Consensus number 2: safe AND wait-free for n=2, every schedule."""
+        report = ConfigurationExplorer(
+            TwoProcessRaceConsensus("test&set"), (0, 1)
+        ).explore()
+        assert report.safe
+        assert report.always_terminates
+
+    @pytest.mark.parametrize("kind", ["fetch&add", "swap", "queue", "stack"])
+    def test_all_level_two_objects_escape(self, kind):
+        report = ConfigurationExplorer(
+            TwoProcessRaceConsensus(kind), (0, 1)
+        ).explore()
+        assert report.safe and report.always_terminates
+
+    @pytest.mark.parametrize(
+        "machine_factory", [CompareAndSwapConsensus, StickyConsensus, LLSCConsensus]
+    )
+    def test_infinite_level_objects_work_for_three_processes(self, machine_factory):
+        report = ConfigurationExplorer(machine_factory(), (0, 1, 1)).explore()
+        assert report.safe and report.always_terminates
+
+    def test_exact_worst_case_step_bounds(self):
+        """Quantitative wait-freedom: the exact worst-case own-step
+        count to decision, over ALL schedules, per protocol."""
+        expectations = [
+            (TwoProcessRaceConsensus("test&set"), (0, 1), 3),  # publish+race+adopt
+            (TwoProcessRaceConsensus("queue"), (0, 1), 3),
+            (CompareAndSwapConsensus(), (0, 1, 1), 2),  # cas + read
+            (StickyConsensus(), (0, 1, 1), 1),  # one write
+            (LLSCConsensus(), (0, 1, 1), 3),  # ll + sc + read
+            (EagerRegisterConsensus(), (0, 1), 2),  # write + read
+        ]
+        for machine, inputs, bound in expectations:
+            explorer = ConfigurationExplorer(machine, inputs)
+            graph = explorer.reachable()
+            for pid in range(len(inputs)):
+                assert explorer.worst_case_steps(graph, pid) == bound, (
+                    machine.name,
+                    pid,
+                )
+
+    def test_step_bound_is_none_without_wait_freedom(self):
+        explorer = ConfigurationExplorer(CautiousRegisterConsensus(), (0, 1))
+        graph = explorer.reachable()
+        assert explorer.worst_case_steps(graph, 0) is None
+        assert explorer.worst_case_steps(graph, 1) is None
+
+    def test_validity_checked_by_explorer(self):
+        """A protocol deciding a non-input value is flagged."""
+        from repro.core.seqspec import register_spec
+        from repro.shm.statemachine import NOT_DECIDED, ProtocolStateMachine
+
+        class DecideGarbage(ProtocolStateMachine):
+            name = "garbage"
+
+            def shared_objects(self):
+                return {"r": register_spec(None)}
+
+            def initial_state(self, pid, input_value):
+                return ("go",)
+
+            def next_op(self, pid, state):
+                return ("r", "read", ()) if state[0] == "go" else None
+
+            def apply_response(self, pid, state, response):
+                return ("done",)
+
+            def decision(self, pid, state):
+                return "garbage"
+
+        report = ConfigurationExplorer(DecideGarbage(), (0, 1)).explore()
+        assert report.validity_violation == "garbage"

@@ -1,0 +1,146 @@
+"""Tests for the constructive consensus hierarchy (paper §4.2)."""
+
+import itertools
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.core.hierarchy import solves_consensus
+from repro.shm import (
+    RandomScheduler,
+    StarveScheduler,
+    measured_hierarchy,
+    protocol_for,
+    run_protocol,
+    verify_protocol_exhaustively,
+)
+from repro.shm.consensus_number import (
+    EMPTY,
+    CompareAndSwapConsensus,
+    LLSCConsensus,
+    StickyConsensus,
+    TwoProcessRaceConsensus,
+    llsc_spec,
+)
+from repro.shm.schedulers import CrashAfterScheduler, RoundRobinScheduler
+from repro.shm.statemachine import as_program, build_objects
+
+
+def run_machine(machine, inputs, scheduler):
+    objects = build_objects(machine)
+    programs = {
+        pid: as_program(machine, pid, inputs[pid], objects)
+        for pid in range(len(inputs))
+    }
+    return run_protocol(programs, scheduler)
+
+
+class TestRaceProtocols:
+    @pytest.mark.parametrize(
+        "kind", ["test&set", "fetch&add", "swap", "queue", "stack"]
+    )
+    def test_agreement_and_validity_all_schedules(self, kind):
+        machine = TwoProcessRaceConsensus(kind)
+        for inputs in itertools.product((0, 1), repeat=2):
+            report = verify_protocol_exhaustively(machine, inputs)
+            assert report.safe, (kind, inputs)
+            assert report.always_terminates, (kind, inputs)
+            assert report.decision_values <= set(inputs)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoProcessRaceConsensus("register")
+
+    @pytest.mark.parametrize("kind", ["test&set", "queue"])
+    def test_wait_free_despite_crash(self, kind):
+        """The survivor decides even when the other crashes mid-race."""
+        for crash_step in range(4):
+            machine = TwoProcessRaceConsensus(kind)
+            report = run_machine(
+                machine,
+                (3, 8),
+                CrashAfterScheduler(RoundRobinScheduler(), {0: crash_step}),
+            )
+            assert report.statuses[1] == "done"
+            assert report.outputs[1] in (3, 8)
+
+    def test_loser_adopts_winner_value(self):
+        machine = TwoProcessRaceConsensus("test&set")
+        # p0 runs solo first: wins and decides its own input.
+        from repro.shm.schedulers import SoloScheduler
+
+        report = run_machine(machine, ("w", "l"), SoloScheduler(order=[0, 1]))
+        assert report.outputs == {0: "w", 1: "w"}
+
+
+class TestInfiniteLevelProtocols:
+    @pytest.mark.parametrize(
+        "factory", [CompareAndSwapConsensus, StickyConsensus, LLSCConsensus]
+    )
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_n_process_agreement_random_schedules(self, factory, n):
+        for seed in range(5):
+            machine = factory()
+            report = run_machine(
+                machine, tuple(range(n)), RandomScheduler(seed)
+            )
+            decisions = set(report.outputs.values())
+            assert len(decisions) == 1
+            assert decisions.pop() in range(n)
+
+    @pytest.mark.parametrize(
+        "factory", [CompareAndSwapConsensus, StickyConsensus, LLSCConsensus]
+    )
+    def test_wait_free_under_starvation(self, factory):
+        machine = factory()
+        report = run_machine(machine, (1, 2, 3), StarveScheduler([2]))
+        assert report.statuses[0] == "done"
+        assert report.statuses[1] == "done"
+
+    def test_llsc_spec_semantics(self):
+        spec = llsc_spec("init")
+        state = spec.initial
+        state, value = spec.apply(state, "ll", (0,))
+        assert value == "init"
+        state, ok = spec.apply(state, "sc", (0, "new"))
+        assert ok is True
+        state, ok2 = spec.apply(state, "sc", (0, "again"))
+        assert ok2 is False  # link consumed
+        _, value = spec.apply(state, "read", ())
+        assert value == "new"
+
+    def test_llsc_unknown_op(self):
+        with pytest.raises(ConfigurationError):
+            llsc_spec().apply(llsc_spec().initial, "bogus", ())
+
+
+class TestMeasuredHierarchy:
+    def test_matches_theory_everywhere(self):
+        cells = measured_hierarchy(ns=(2, 3))
+        for cell in cells:
+            assert cell.theory_solvable == solves_consensus(cell.object_type, cell.n)
+            if cell.verified is not None:
+                assert cell.verified, cell
+
+    def test_register_row_is_machine_checked(self):
+        cells = {
+            (c.object_type, c.n): c for c in measured_hierarchy(ns=(2,))
+        }
+        register_cell = cells[("register", 2)]
+        assert register_cell.verified is True
+        assert "machine-checked" in register_cell.note
+
+    def test_level_two_objects_not_verified_at_three(self):
+        cells = {
+            (c.object_type, c.n): c for c in measured_hierarchy(ns=(3,))
+        }
+        assert cells[("test&set", 3)].verified is None
+        assert not cells[("test&set", 3)].theory_solvable
+
+    def test_protocol_for_dispatch(self):
+        assert protocol_for("register", 2) is None
+        assert protocol_for("test&set", 3) is None
+        assert isinstance(protocol_for("test&set", 2), TwoProcessRaceConsensus)
+        assert isinstance(protocol_for("compare&swap", 9), CompareAndSwapConsensus)
+        with pytest.raises(ConfigurationError):
+            protocol_for("abacus", 2)

@@ -1,0 +1,108 @@
+"""Tests for the IIS protocol complex and topological impossibility."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.shm.iis import (
+    ImpossibilityCertificate,
+    ProtocolComplex,
+    consensus_impossibility_certificate,
+    exhaustive_decision_map_check,
+    one_round_updates,
+    ordered_set_partitions,
+)
+
+
+class TestOrderedSetPartitions:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 1), (1, 1), (2, 3), (3, 13), (4, 75)]
+    )
+    def test_ordered_bell_numbers(self, n, expected):
+        assert sum(1 for _ in ordered_set_partitions(list(range(n)))) == expected
+
+    def test_partitions_are_partitions(self):
+        for partition in ordered_set_partitions([0, 1, 2]):
+            flat = [pid for block in partition for pid in block]
+            assert sorted(flat) == [0, 1, 2]
+            assert all(block for block in partition)
+
+    def test_no_duplicates(self):
+        seen = set()
+        for partition in ordered_set_partitions([0, 1, 2]):
+            key = tuple(frozenset(block) for block in partition)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestOneRoundUpdates:
+    def test_views_satisfy_is_properties(self):
+        states = (("init", 0), ("init", 1), ("init", 2))
+        for update in one_round_updates(states):
+            views = list(update)
+            # Self-inclusion.
+            for pid, view in enumerate(views):
+                assert (pid, states[pid]) in view
+            # Containment.
+            for a in views:
+                for b in views:
+                    assert a <= b or b <= a
+            # Immediacy.
+            for pid, view in enumerate(views):
+                for member, _ in view:
+                    assert views[member] <= view
+
+
+class TestProtocolComplex:
+    @pytest.mark.parametrize(
+        "n,r,simplexes,vertices",
+        [
+            (2, 1, 3, 4),     # subdivided edge
+            (2, 2, 9, 10),    # twice-subdivided edge: 9 edges, 10 vertices
+            (2, 3, 27, 28),
+            (3, 1, 13, 12),   # chromatic subdivision of the triangle
+            (3, 2, 169, 99),
+        ],
+    )
+    def test_exact_chromatic_subdivision_counts(self, n, r, simplexes, vertices):
+        complex_ = ProtocolComplex(n, r)
+        assert len(complex_.simplexes) == simplexes
+        assert len(complex_.vertex_set()) == vertices
+
+    def test_connectivity(self):
+        for n, r in [(2, 1), (2, 3), (3, 1), (3, 2)]:
+            assert ProtocolComplex(n, r).is_connected(), (n, r)
+
+    def test_solo_corners_are_distinct_vertices(self):
+        complex_ = ProtocolComplex(3, 2)
+        corners = {complex_.solo_corner(pid) for pid in range(3)}
+        assert len(corners) == 3
+        assert corners <= complex_.vertex_set()
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolComplex(1, 1)
+        with pytest.raises(ConfigurationError):
+            ProtocolComplex(2, 0)
+
+
+class TestImpossibility:
+    @pytest.mark.parametrize("n,r", [(2, 1), (2, 2), (2, 3), (3, 1), (3, 2)])
+    def test_certificate_holds(self, n, r):
+        """The topological consensus impossibility, machine-checked over
+        ALL r-round IIS protocols at once."""
+        cert = consensus_impossibility_certificate(n, r)
+        assert cert.connected
+        assert cert.corners_distinctly_pinned
+        assert cert.consensus_impossible
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_zero_trust_enumeration_agrees(self, r):
+        """Brute force over every decision map (n = 2) reaches the same
+        verdict as the connectivity argument."""
+        assert exhaustive_decision_map_check(r)
+
+    def test_certificate_fields(self):
+        cert = consensus_impossibility_certificate(2, 1)
+        assert isinstance(cert, ImpossibilityCertificate)
+        assert cert.simplex_count == 3
+        assert cert.vertex_count == 4

@@ -1,0 +1,161 @@
+"""Tests for the one-shot immediate snapshot (Borowsky–Gafni)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, SafetyViolation
+from repro.shm import (
+    CrashAfterScheduler,
+    ListScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    StarveScheduler,
+    run_protocol,
+)
+from repro.shm.immediate_snapshot import ImmediateSnapshot
+
+
+def run_is(n, scheduler, inputs=None, max_steps=200_000):
+    inputs = inputs if inputs is not None else [f"v{i}" for i in range(n)]
+    iso = ImmediateSnapshot("is", n)
+    programs = {pid: iso.participate(pid, inputs[pid]) for pid in range(n)}
+    report = run_protocol(programs, scheduler, max_steps=max_steps)
+    return iso, report, inputs
+
+
+class TestProperties:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_three_properties_random_schedules(self, seed):
+        iso, report, inputs = run_is(4, RandomScheduler(seed))
+        assert len(report.completed()) == 4
+        iso.verify_views(inputs)
+
+    def test_solo_order_gives_staircase_views(self):
+        """Sequential participation yields strictly nested views of
+        sizes 1, 2, ..., n — the 'corner' simplex."""
+        iso, report, inputs = run_is(4, SoloScheduler(order=[3, 1, 0, 2]))
+        iso.verify_views(inputs)
+        assert iso.view_sizes() == [1, 2, 3, 4]
+
+    def test_lockstep_gives_full_views(self):
+        """Simultaneous participation: everyone lands on the same level
+        and sees everyone — the 'central' simplex."""
+        iso, report, inputs = run_is(3, RoundRobinScheduler())
+        iso.verify_views(inputs)
+        assert iso.view_sizes() == [3, 3, 3]
+
+    def test_wait_free_under_starvation(self):
+        iso, report, inputs = run_is(4, StarveScheduler([0]))
+        assert report.statuses[0] == "done"
+        iso.verify_views(inputs)
+
+    def test_survivors_ok_despite_crash(self):
+        iso, report, inputs = run_is(
+            4, CrashAfterScheduler(RandomScheduler(2), {1: 6})
+        )
+        assert 1 in report.crashed
+        iso.verify_views(inputs)
+
+    def test_view_members_carry_correct_values(self):
+        iso, report, inputs = run_is(3, RandomScheduler(0), inputs=[10, 20, 30])
+        for view in iso.views.values():
+            for member, value in view:
+                assert value == inputs[member]
+
+
+class TestValidation:
+    def test_one_shot_enforced(self):
+        iso = ImmediateSnapshot("is", 2)
+
+        def twice():
+            yield from iso.participate(0, "a")
+            yield from iso.participate(0, "b")
+
+        with pytest.raises(ConfigurationError):
+            run_protocol({0: twice()}, RoundRobinScheduler())
+
+    def test_pid_range(self):
+        iso = ImmediateSnapshot("is", 2)
+        with pytest.raises(ConfigurationError):
+            list(iso.participate(5, "x"))
+        with pytest.raises(ConfigurationError):
+            ImmediateSnapshot("is", 0)
+
+    def test_verifier_detects_broken_containment(self):
+        iso = ImmediateSnapshot("is", 3)
+        iso.views = {
+            0: frozenset({(0, "a"), (1, "b")}),
+            1: frozenset({(1, "b"), (2, "c")}),
+        }
+        with pytest.raises(SafetyViolation):
+            iso.verify_views(["a", "b", "c"])
+
+    def test_verifier_detects_broken_self_inclusion(self):
+        iso = ImmediateSnapshot("is", 2)
+        iso.views = {0: frozenset({(1, "b")})}
+        with pytest.raises(SafetyViolation):
+            iso.verify_views(["a", "b"])
+
+    def test_verifier_detects_broken_immediacy(self):
+        iso = ImmediateSnapshot("is", 3)
+        iso.views = {
+            0: frozenset({(0, "a"), (1, "b")}),
+            1: frozenset({(0, "a"), (1, "b"), (2, "c")}),
+            2: frozenset({(0, "a"), (1, "b"), (2, "c")}),
+        }
+        # 1 ∈ view(0) but view(1) ⊄ view(0): immediacy broken.
+        with pytest.raises(SafetyViolation):
+            iso.verify_views(["a", "b", "c"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000), st.integers(2, 5))
+def test_immediate_snapshot_property(seed, n):
+    iso, report, inputs = run_is(n, RandomScheduler(seed))
+    assert len(report.completed()) == n
+    iso.verify_views(inputs)
+
+
+class TestChromaticSubdivision:
+    """The topology connection ([34],[35]): the reachable view-profiles
+    of a one-shot IS are exactly the simplexes of the standard chromatic
+    subdivision — equivalently, the *ordered set partitions* of the
+    process set (3 processes → 13 simplexes)."""
+
+    @staticmethod
+    def _profile(iso, n):
+        return tuple(
+            frozenset(member for member, _ in iso.views[pid]) for pid in range(n)
+        )
+
+    @staticmethod
+    def _is_ordered_partition_profile(profile):
+        """A profile is legal iff the distinct views are totally ordered
+        by ⊆ and each process's view is the union of the blocks up to
+        and including its own block."""
+        views = sorted(set(profile), key=len)
+        for smaller, larger in zip(views, views[1:]):
+            if not smaller < larger:
+                return False
+        for pid, view in enumerate(profile):
+            if pid not in view:
+                return False
+        return True
+
+    def test_three_processes_reach_exactly_thirteen_simplexes(self):
+        profiles = set()
+        for seed in range(800):
+            iso, _, _ = run_is(3, RandomScheduler(seed), inputs=[0, 1, 2])
+            profiles.add(self._profile(iso, 3))
+        assert len(profiles) == 13  # |ordered set partitions of 3| = 13
+        for profile in profiles:
+            assert self._is_ordered_partition_profile(profile), profile
+
+    def test_two_processes_reach_exactly_three_simplexes(self):
+        profiles = set()
+        for seed in range(100):
+            iso, _, _ = run_is(2, RandomScheduler(seed), inputs=[0, 1])
+            profiles.add(self._profile(iso, 2))
+        # {0}{01}, {01}{1}, {01}{01}: the subdivided edge's 3 simplexes.
+        assert len(profiles) == 3

@@ -1,0 +1,215 @@
+"""Tests for the base-object zoo (paper §4.2)."""
+
+import pytest
+
+from repro.core import ConfigurationError, ModelViolation
+from repro.shm import (
+    ConsensusObject,
+    KSimultaneousConsensusObject,
+    LLSCObject,
+    RandomScheduler,
+    RoundRobinScheduler,
+    new_compare_and_swap,
+    new_counter,
+    new_fetch_and_add,
+    new_queue,
+    new_register,
+    new_stack,
+    new_sticky,
+    new_swap,
+    new_test_and_set,
+    propose,
+    run_protocol,
+)
+from repro.shm.runtime import Invocation
+
+
+def one_op(obj, op, *args):
+    def program():
+        result = yield Invocation(obj, op, tuple(args))
+        return result
+
+    return program()
+
+
+class TestFactoryZoo:
+    def test_register(self):
+        register = new_register("r", initial=5)
+        assert run_protocol({0: one_op(register, "read")}, RoundRobinScheduler()).outputs[0] == 5
+
+    def test_test_and_set_race(self):
+        tas = new_test_and_set("t")
+        report = run_protocol(
+            {0: one_op(tas, "test_and_set"), 1: one_op(tas, "test_and_set")},
+            RoundRobinScheduler(),
+        )
+        assert sorted(report.outputs.values()) == [0, 1]
+
+    def test_fetch_and_add_accumulates(self):
+        faa = new_fetch_and_add("f")
+        report = run_protocol(
+            {pid: one_op(faa, "fetch_and_add", 1) for pid in range(4)},
+            RandomScheduler(1),
+        )
+        assert sorted(report.outputs.values()) == [0, 1, 2, 3]
+
+    def test_swap_chains(self):
+        swap = new_swap("s", initial="first")
+        report = run_protocol(
+            {0: one_op(swap, "swap", "a"), 1: one_op(swap, "swap", "b")},
+            RoundRobinScheduler(),
+        )
+        assert "first" in report.outputs.values()
+
+    def test_queue_and_stack(self):
+        queue = new_queue("q")
+        stack = new_stack("st")
+
+        def program():
+            yield Invocation(queue, "enqueue", (1,))
+            yield Invocation(stack, "push", (2,))
+            a = yield Invocation(queue, "dequeue", ())
+            b = yield Invocation(stack, "pop", ())
+            return (a, b)
+
+        report = run_protocol({0: program()}, RoundRobinScheduler())
+        assert report.outputs[0] == (1, 2)
+
+    def test_counter(self):
+        counter = new_counter("c", initial=10)
+        report = run_protocol({0: one_op(counter, "increment", 5)}, RoundRobinScheduler())
+        assert report.outputs[0] == 10
+
+    def test_compare_and_swap(self):
+        cas = new_compare_and_swap("cas", initial=None)
+        report = run_protocol(
+            {
+                0: one_op(cas, "compare_and_swap", None, "a"),
+                1: one_op(cas, "compare_and_swap", None, "b"),
+            },
+            RoundRobinScheduler(),
+        )
+        assert sorted(report.outputs.values()) == [False, True]
+
+    def test_sticky_register(self):
+        sticky = new_sticky("sb")
+        report = run_protocol(
+            {0: one_op(sticky, "write", "x"), 1: one_op(sticky, "write", "y")},
+            RoundRobinScheduler(),
+        )
+        assert set(report.outputs.values()) == {"x"}
+
+
+class TestLLSC:
+    def test_sc_without_ll_fails(self):
+        obj = LLSCObject("llsc")
+        assert obj.apply(0, "sc", ("v",)) is False
+
+    def test_ll_then_sc_succeeds(self):
+        obj = LLSCObject("llsc")
+        obj.apply(0, "ll", ())
+        assert obj.apply(0, "sc", ("v",)) is True
+        assert obj.apply(0, "read", ()) == "v"
+
+    def test_intervening_sc_breaks_link(self):
+        obj = LLSCObject("llsc")
+        obj.apply(0, "ll", ())
+        obj.apply(1, "ll", ())
+        assert obj.apply(1, "sc", ("w",)) is True
+        assert obj.apply(0, "sc", ("v",)) is False  # link broken by 1's SC
+
+    def test_write_breaks_all_links(self):
+        obj = LLSCObject("llsc")
+        obj.apply(0, "ll", ())
+        obj.apply(1, "write", ("z",))
+        assert obj.apply(0, "sc", ("v",)) is False
+
+    def test_unknown_op(self):
+        with pytest.raises(ConfigurationError):
+            LLSCObject("llsc").apply(0, "nope", ())
+
+
+class TestConsensusObject:
+    def test_first_proposal_wins(self):
+        cons = ConsensusObject("c")
+
+        def proposer(pid, value):
+            return (yield from propose(cons, value))
+
+        report = run_protocol(
+            {0: proposer(0, "a"), 1: proposer(1, "b"), 2: proposer(2, "c")},
+            RoundRobinScheduler(),
+        )
+        assert set(report.outputs.values()) == {"a"}
+        assert cons.decided_value == "a"
+
+    def test_one_shot_integrity_enforced(self):
+        cons = ConsensusObject("c")
+
+        def double_proposer():
+            yield from propose(cons, 1)
+            yield from propose(cons, 2)
+
+        with pytest.raises(ModelViolation):
+            run_protocol({0: double_proposer()}, RoundRobinScheduler())
+
+    def test_read_does_not_burn_proposal(self):
+        cons = ConsensusObject("c")
+
+        def peek_then_propose():
+            before = yield Invocation(cons, "read", ())
+            decided = yield from propose(cons, "mine")
+            return (before, decided)
+
+        report = run_protocol({0: peek_then_propose()}, RoundRobinScheduler())
+        assert report.outputs[0] == (None, "mine")
+
+    def test_agreement_under_many_schedules(self):
+        for seed in range(10):
+            cons = ConsensusObject("c")
+
+            def proposer(pid):
+                return (yield from propose(cons, pid))
+
+            report = run_protocol(
+                {pid: proposer(pid) for pid in range(4)}, RandomScheduler(seed)
+            )
+            assert len(set(report.outputs.values())) == 1
+
+
+class TestKSimultaneousConsensus:
+    def test_output_is_agreed_pair(self):
+        obj = KSimultaneousConsensusObject("ksc", k=3)
+
+        def proposer(pid):
+            result = yield Invocation(obj, "propose", ((f"a{pid}", f"b{pid}", f"c{pid}"),))
+            return result
+
+        report = run_protocol(
+            {pid: proposer(pid) for pid in range(3)}, RandomScheduler(2)
+        )
+        outputs = set(report.outputs.values())
+        assert len(outputs) == 1  # same (index, value) for everyone
+        index, value = outputs.pop()
+        assert 0 <= index < 3
+
+    def test_vector_length_checked(self):
+        obj = KSimultaneousConsensusObject("ksc", k=2)
+        with pytest.raises(ConfigurationError):
+            obj.apply(0, "propose", ((1, 2, 3),))
+
+    def test_one_shot(self):
+        obj = KSimultaneousConsensusObject("ksc", k=1)
+        obj.apply(0, "propose", ((1,),))
+        with pytest.raises(ModelViolation):
+            obj.apply(0, "propose", ((2,),))
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            KSimultaneousConsensusObject("ksc", k=0)
+
+    def test_decided_value_was_proposed_for_that_index(self):
+        obj = KSimultaneousConsensusObject("ksc", k=2)
+        result = obj.apply(1, "propose", (("x", "y"),))
+        index, value = result
+        assert (index, value) in ((0, "x"), (1, "y"))

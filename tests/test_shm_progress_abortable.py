@@ -1,0 +1,186 @@
+"""Tests for progress conditions and abortable objects (paper §4.3)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.core.seqspec import counter_spec, queue_spec
+from repro.shm import (
+    ABORTED,
+    AbortableObject,
+    ListScheduler,
+    ObstructionFreeConsensus,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    UniversalObject,
+    check_non_blocking,
+    check_obstruction_free,
+    check_wait_free,
+    client_program,
+    run_protocol,
+)
+
+
+def universal_counter_factory(n):
+    def factory():
+        obj = UniversalObject("c", n, counter_spec())
+        return {
+            pid: client_program(obj, pid, [("increment", (1,))]) for pid in range(n)
+        }
+
+    return factory
+
+
+def of_consensus_factory(n):
+    def factory():
+        cons = ObstructionFreeConsensus("cons", n)
+
+        def proposer(pid):
+            return (yield from cons.propose(pid, pid))
+
+        return {pid: proposer(pid) for pid in range(n)}
+
+    return factory
+
+
+class TestProgressBatteries:
+    def test_universal_construction_passes_wait_free(self):
+        verdict = check_wait_free(
+            universal_counter_factory(3), 3, max_steps_per_process=500
+        )
+        assert verdict.holds, verdict.failures
+
+    def test_universal_construction_passes_obstruction_free(self):
+        """Wait-free ⊂ obstruction-free: must also pass the weaker battery."""
+        verdict = check_obstruction_free(
+            universal_counter_factory(3), 3, solo_steps=2_000
+        )
+        assert verdict.holds, verdict.failures
+
+    def test_universal_construction_passes_non_blocking(self):
+        verdict = check_non_blocking(universal_counter_factory(3), 3)
+        assert verdict.holds, verdict.failures
+
+    def test_of_consensus_passes_obstruction_free(self):
+        verdict = check_obstruction_free(of_consensus_factory(3), 3, solo_steps=3_000)
+        assert verdict.holds, verdict.failures
+
+    def test_a_blocking_protocol_fails_wait_freedom(self):
+        """A spin-lock style protocol: the lock holder being starved
+        blocks everyone — the battery must notice."""
+        from repro.shm import Invocation, new_register
+
+        def factory():
+            lock = new_register("lock", initial=None)
+
+            def locker(pid):
+                while True:
+                    holder = yield Invocation(lock, "read", ())
+                    if holder is None:
+                        yield Invocation(lock, "write", (pid,))
+                        mine = yield Invocation(lock, "read", ())
+                        if mine == pid:
+                            return pid  # "critical section" then never unlock
+
+            return {pid: locker(pid) for pid in range(3)}
+
+        verdict = check_wait_free(factory, 3, max_steps_per_process=200)
+        assert not verdict.holds
+
+    def test_verdict_reports_runs(self):
+        verdict = check_wait_free(
+            universal_counter_factory(2), 2, max_steps_per_process=500
+        )
+        assert verdict.runs > 0
+        assert bool(verdict) == verdict.holds
+
+
+class TestAbortableObject:
+    def test_solo_invocations_always_commit(self):
+        obj = AbortableObject("a", 3, counter_spec())
+
+        def solo():
+            results = []
+            for _ in range(5):
+                results.append((yield from obj.invoke(0, "increment")))
+            return results
+
+        report = run_protocol({0: solo()}, RoundRobinScheduler())
+        assert ABORTED not in report.outputs[0]
+        assert obj.stats.aborts == 0
+        assert obj.current_state() == 5
+
+    def test_sequential_processes_all_commit(self):
+        """Concurrency-free pattern: each runs alone in turn — no aborts."""
+        obj = AbortableObject("a", 3, counter_spec())
+
+        def client(pid):
+            return (yield from obj.invoke(pid, "increment"))
+
+        report = run_protocol(
+            {pid: client(pid) for pid in range(3)}, SoloScheduler(order=[0, 1, 2])
+        )
+        assert obj.stats.aborts == 0
+        assert obj.current_state() == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_state_always_equals_commit_count(self, seed):
+        """Aborted invocations leave no trace — the §4.3 contract."""
+        obj = AbortableObject("a", 3, counter_spec())
+
+        def client(pid):
+            outcomes = []
+            for _ in range(4):
+                outcomes.append((yield from obj.invoke(pid, "increment")))
+            return outcomes
+
+        run_protocol({pid: client(pid) for pid in range(3)}, RandomScheduler(seed))
+        assert obj.current_state() == obj.stats.commits
+
+    def test_contention_produces_aborts(self):
+        obj = AbortableObject("a", 2, counter_spec())
+
+        def client(pid):
+            return (yield from obj.invoke(pid, "increment"))
+
+        # Dense interleaving: both enter the doorway together.
+        run_protocol(
+            {0: client(0), 1: client(1)}, ListScheduler([0, 1] * 50)
+        )
+        assert obj.stats.aborts >= 1
+
+    def test_retry_wrapper_eventually_commits(self):
+        obj = AbortableObject("a", 2, counter_spec())
+
+        def client(pid):
+            return (yield from obj.invoke_until_success(pid, "increment"))
+
+        report = run_protocol(
+            {0: client(0), 1: client(1)}, RandomScheduler(3), max_steps=50_000
+        )
+        assert ABORTED not in report.outputs.values()
+        assert obj.current_state() == 2
+
+    def test_works_for_any_spec(self):
+        obj = AbortableObject("q", 2, queue_spec())
+
+        def client():
+            yield from obj.invoke(0, "enqueue", "x")
+            return (yield from obj.invoke(0, "dequeue"))
+
+        report = run_protocol({0: client()}, RoundRobinScheduler())
+        assert report.outputs[0] == "x"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AbortableObject("a", 0, counter_spec())
+        obj = AbortableObject("a", 2, counter_spec())
+        with pytest.raises(ConfigurationError):
+            list(obj.invoke(9, "increment"))
+
+    def test_abort_rate_statistic(self):
+        obj = AbortableObject("a", 2, counter_spec())
+        assert obj.stats.abort_rate == 0.0
+        obj.stats.attempts = 4
+        obj.stats.aborts = 1
+        assert obj.stats.abort_rate == 0.25

@@ -1,0 +1,108 @@
+"""Tests for wait-free (2n−1)-renaming."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, SafetyViolation
+from repro.shm import (
+    CrashAfterScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    StarveScheduler,
+    run_protocol,
+)
+from repro.shm.renaming import Renaming
+
+
+def run_renaming(n, ids, scheduler, max_steps=200_000):
+    renaming = Renaming("rn", n)
+    programs = {pid: renaming.acquire(pid, ids[pid]) for pid in range(n)}
+    report = run_protocol(programs, scheduler, max_steps=max_steps)
+    return renaming, report
+
+
+class TestRenaming:
+    def test_namespace_size(self):
+        assert Renaming("rn", 4).namespace_size == 7
+        assert Renaming("rn", 1).namespace_size == 1
+
+    def test_solo_process_takes_name_zero(self):
+        renaming = Renaming("rn", 3)
+        report = run_protocol(
+            {0: renaming.acquire(0, "z")}, RoundRobinScheduler()
+        )
+        assert report.outputs[0] == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_names_distinct_and_in_range(self, seed):
+        n = 4
+        ids = [f"big-id-{i * 991 % 57}" for i in range(n)]
+        renaming, report = run_renaming(n, ids, RandomScheduler(seed))
+        assert len(report.completed()) == n
+        renaming.verify()
+        names = set(report.outputs.values())
+        assert len(names) == n
+        assert all(0 <= name < 2 * n - 1 for name in names)
+
+    def test_sequential_processes_get_low_names(self):
+        n = 3
+        renaming, report = run_renaming(
+            n, ["a", "b", "c"], SoloScheduler(order=[0, 1, 2])
+        )
+        # Rank-based free-name choice: sequential runs land on the even
+        # slots 0, 2, 4 — inside the 2n−1 namespace, as guaranteed.
+        assert report.outputs == {0: 0, 1: 2, 2: 4}
+        renaming.verify()
+
+    def test_wait_free_under_starvation(self):
+        n = 4
+        renaming, report = run_renaming(
+            n, ["p", "q", "r", "s"], StarveScheduler([2])
+        )
+        assert report.statuses[2] == "done"
+        renaming.verify()
+
+    def test_survives_crashes(self):
+        n = 4
+        renaming = Renaming("rn", n)
+        programs = {pid: renaming.acquire(pid, f"id{pid}") for pid in range(n)}
+        report = run_protocol(
+            programs,
+            CrashAfterScheduler(RandomScheduler(3), {0: 5}),
+            max_crashes=3,
+        )
+        finishers = report.completed()
+        assert len(finishers) == 3
+        renaming.verify()
+
+    def test_pid_validated(self):
+        renaming = Renaming("rn", 2)
+        with pytest.raises(ConfigurationError):
+            list(renaming.acquire(5, "x"))
+        with pytest.raises(ConfigurationError):
+            Renaming("rn", 0)
+
+    def test_verify_catches_duplicates(self):
+        renaming = Renaming("rn", 3)
+        renaming.names_taken = {0: 1, 1: 1}
+        with pytest.raises(SafetyViolation):
+            renaming.verify()
+
+    def test_verify_catches_out_of_range(self):
+        renaming = Renaming("rn", 2)
+        renaming.names_taken = {0: 99}
+        with pytest.raises(SafetyViolation):
+            renaming.verify()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 100_000),
+    st.lists(st.integers(0, 1000), min_size=2, max_size=5, unique=True),
+)
+def test_renaming_property(seed, ids):
+    n = len(ids)
+    renaming, report = run_renaming(n, ids, RandomScheduler(seed))
+    assert len(report.completed()) == n
+    renaming.verify()

@@ -1,0 +1,230 @@
+"""Tests for the shared-memory runtime and schedulers (paper §4.1)."""
+
+import pytest
+
+from repro.core import ConfigurationError, ModelViolation
+from repro.shm import (
+    CrashAfterScheduler,
+    Invocation,
+    ListScheduler,
+    ObstructionScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Runtime,
+    SoloScheduler,
+    StarveScheduler,
+    collect,
+    make_registers,
+    new_register,
+    read,
+    run_protocol,
+    write,
+)
+
+
+def writer_reader(register, value):
+    yield from write(register, value)
+    result = yield from read(register)
+    return result
+
+
+class TestRuntimeBasics:
+    def test_single_process_completes(self):
+        register = new_register("r")
+        report = run_protocol({0: writer_reader(register, 7)}, RoundRobinScheduler())
+        assert report.outputs[0] == 7
+        assert report.statuses[0] == "done"
+
+    def test_each_yield_is_one_atomic_step(self):
+        register = new_register("r")
+        report = run_protocol({0: writer_reader(register, 1)}, RoundRobinScheduler())
+        assert report.per_process_steps[0] == 2
+        assert register.operation_count == 2
+
+    def test_yielding_garbage_is_model_violation(self):
+        def bad():
+            yield "not an invocation"
+
+        with pytest.raises(ModelViolation):
+            run_protocol({0: bad()}, RoundRobinScheduler())
+
+    def test_double_spawn_rejected(self):
+        runtime = Runtime(RoundRobinScheduler())
+        register = new_register("r")
+        runtime.spawn(0, writer_reader(register, 1))
+        with pytest.raises(ConfigurationError):
+            runtime.spawn(0, writer_reader(register, 2))
+
+    def test_budget_stops_with_reason(self):
+        register = new_register("r")
+
+        def spinner():
+            while True:
+                yield Invocation(register, "read", ())
+
+        report = run_protocol({0: spinner()}, RoundRobinScheduler(), max_steps=50)
+        assert report.stopped_reason == "budget"
+        assert report.statuses[0] == "running"
+
+    def test_interleaving_visible_through_registers(self):
+        register = new_register("r", initial=0)
+
+        def incrementer():
+            value = yield Invocation(register, "read", ())
+            yield Invocation(register, "write", (value + 1,))
+            return value
+
+        # Schedule both reads before both writes: the lost-update anomaly.
+        report = run_protocol(
+            {0: incrementer(), 1: incrementer()},
+            ListScheduler([0, 1, 0, 1]),
+        )
+        assert register.peek() == 1  # one update lost — asynchrony is real
+        assert report.outputs == {0: 0, 1: 0}
+
+    def test_output_vector_marks_unfinished(self):
+        from repro.core.task import NO_OUTPUT
+
+        register = new_register("r")
+
+        def spinner():
+            while True:
+                yield Invocation(register, "read", ())
+
+        report = run_protocol(
+            {0: writer_reader(register, 3), 1: spinner()},
+            RoundRobinScheduler(),
+            max_steps=30,
+        )
+        vector = report.output_vector(2)
+        assert vector[0] == 3
+        assert vector[1] is NO_OUTPUT
+
+
+class TestCrashes:
+    def test_crash_budget_enforced(self):
+        register = new_register("r")
+        runtime = Runtime(
+            CrashAfterScheduler(RoundRobinScheduler(), {0: 0, 1: 0}),
+            max_crashes=1,
+        )
+        runtime.spawn(0, writer_reader(register, 1))
+        runtime.spawn(1, writer_reader(register, 2))
+        with pytest.raises(ModelViolation):
+            runtime.run()
+
+    def test_crashed_process_takes_no_more_steps(self):
+        register = new_register("r")
+        runtime = Runtime(CrashAfterScheduler(RoundRobinScheduler(), {0: 1}))
+        runtime.spawn(0, writer_reader(register, 1))
+        runtime.spawn(1, writer_reader(register, 2))
+        report = runtime.run()
+        assert report.statuses[0] == "crashed"
+        assert report.per_process_steps[0] == 1
+        assert report.statuses[1] == "done"
+
+    def test_crash_before_first_step(self):
+        register = new_register("r")
+        runtime = Runtime(CrashAfterScheduler(RoundRobinScheduler(), {0: 0}))
+        runtime.spawn(0, writer_reader(register, 1))
+        runtime.spawn(1, writer_reader(register, 2))
+        report = runtime.run()
+        assert report.per_process_steps[0] == 0
+        assert register.peek() == 2
+
+
+class TestSchedulers:
+    def test_round_robin_is_fair(self):
+        register = new_register("r")
+        order = []
+
+        def tracked(pid):
+            for _ in range(3):
+                yield Invocation(register, "read", ())
+                order.append(pid)
+
+        run_protocol({0: tracked(0), 1: tracked(1), 2: tracked(2)}, RoundRobinScheduler())
+        assert order[:3] == [0, 1, 2]
+
+    def test_solo_runs_to_completion(self):
+        register = new_register("r")
+        order = []
+
+        def tracked(pid):
+            for _ in range(2):
+                yield Invocation(register, "read", ())
+                order.append(pid)
+
+        run_protocol({0: tracked(0), 1: tracked(1)}, SoloScheduler(order=[1, 0]))
+        assert order == [1, 1, 0, 0]
+
+    def test_starve_scheduler_never_runs_victim_while_others_live(self):
+        register = new_register("r")
+        order = []
+
+        def tracked(pid):
+            for _ in range(2):
+                yield Invocation(register, "read", ())
+                order.append(pid)
+
+        run_protocol({0: tracked(0), 1: tracked(1)}, StarveScheduler([0]))
+        assert order == [1, 1, 0, 0]
+
+    def test_list_scheduler_replays_then_falls_back(self):
+        register = new_register("r")
+        order = []
+
+        def tracked(pid):
+            for _ in range(2):
+                yield Invocation(register, "read", ())
+                order.append(pid)
+
+        run_protocol({0: tracked(0), 1: tracked(1)}, ListScheduler([1, 1]))
+        assert order[:2] == [1, 1]
+
+    def test_random_scheduler_deterministic_per_seed(self):
+        def run_once(seed):
+            register = new_register("r")
+            order = []
+
+            def tracked(pid):
+                for _ in range(3):
+                    yield Invocation(register, "read", ())
+                    order.append(pid)
+
+            run_protocol({0: tracked(0), 1: tracked(1)}, RandomScheduler(seed))
+            return order
+
+        assert run_once(5) == run_once(5)
+
+    def test_obstruction_scheduler_gives_isolation(self):
+        scheduler = ObstructionScheduler(
+            contention_steps=4, solo_steps=6, solo_pid=1, seed=0
+        )
+        choices = [scheduler.choose(i, [0, 1, 2]) for i in range(20)]
+        # After the contention burst there must be a solid run of pid 1.
+        text = "".join(map(str, choices))
+        assert "111111" in text
+
+    def test_obstruction_scheduler_validation(self):
+        with pytest.raises(ConfigurationError):
+            ObstructionScheduler(contention_steps=-1)
+
+
+class TestHelpers:
+    def test_collect_reads_in_order(self):
+        registers = make_registers("arr", 3, initial=0)
+
+        def setter():
+            for index, register in enumerate(registers):
+                yield Invocation(register, "write", (index * 10,))
+            values = yield from collect(registers)
+            return values
+
+        report = run_protocol({0: setter()}, RoundRobinScheduler())
+        assert report.outputs[0] == [0, 10, 20]
+
+    def test_make_registers_names(self):
+        registers = make_registers("x", 2)
+        assert registers[0].name == "x[0]"
+        assert registers[1].name == "x[1]"

@@ -1,0 +1,180 @@
+"""Tests for the wait-free atomic snapshot (§4 substrate)."""
+
+import pytest
+
+from repro.core import ConfigurationError, History, check_history
+from repro.shm import (
+    AtomicSnapshot,
+    ListScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Runtime,
+    StarveScheduler,
+    run_protocol,
+    snapshot_spec,
+)
+
+
+def snapshot_clients(snap, history, scripts):
+    """scripts: pid → list of ('update', v) / ('scan',)."""
+
+    def client(pid, ops):
+        results = []
+        for op in ops:
+            if op[0] == "update":
+                ticket = history.invoke(pid, snap.name, "update", pid, op[1])
+                yield from snap.update(pid, op[1])
+                history.respond(ticket, None)
+                results.append(None)
+            else:
+                ticket = history.invoke(pid, snap.name, "scan")
+                view = yield from snap.scan(pid)
+                history.respond(ticket, view)
+                results.append(view)
+        return results
+
+    return {pid: client(pid, ops) for pid, ops in scripts.items()}
+
+
+class TestSnapshotBasics:
+    def test_scan_sees_own_update(self):
+        snap = AtomicSnapshot("s", 2)
+
+        def program():
+            yield from snap.update(0, "mine")
+            view = yield from snap.scan(0)
+            return view
+
+        report = run_protocol({0: program()}, RoundRobinScheduler())
+        assert report.outputs[0] == ("mine", None)
+
+    def test_initial_scan(self):
+        snap = AtomicSnapshot("s", 3, initial=0)
+
+        def program():
+            return (yield from snap.scan(1))
+
+        report = run_protocol({0: program()}, RoundRobinScheduler())
+        assert report.outputs[0] == (0, 0, 0)
+
+    def test_pid_range_checked(self):
+        snap = AtomicSnapshot("s", 2)
+        with pytest.raises(ConfigurationError):
+            list(snap.update(5, "x"))
+        with pytest.raises(ConfigurationError):
+            AtomicSnapshot("s", 0)
+
+
+class TestSnapshotLinearizability:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules_linearizable(self, seed):
+        n = 3
+        history = History()
+        snap = AtomicSnapshot("snap", n)
+        scripts = {
+            pid: [("update", f"{pid}a"), ("scan",), ("update", f"{pid}b"), ("scan",)]
+            for pid in range(n)
+        }
+        report = run_protocol(
+            snapshot_clients(snap, history, scripts), RandomScheduler(seed)
+        )
+        assert len(report.completed()) == n
+        verdict = check_history(history, {"snap": snapshot_spec(n)})
+        assert verdict["snap"].linearizable, seed
+
+    def test_starvation_schedule_linearizable(self):
+        n = 3
+        history = History()
+        snap = AtomicSnapshot("snap", n)
+        scripts = {pid: [("update", pid), ("scan",)] for pid in range(n)}
+        report = run_protocol(
+            snapshot_clients(snap, history, scripts), StarveScheduler([0])
+        )
+        assert check_history(history, {"snap": snapshot_spec(n)})["snap"].linearizable
+
+
+class TestSnapshotWaitFreedom:
+    def test_scan_bounded_despite_concurrent_updates(self):
+        """Double-collect alone livelocks under perpetual movement; the
+        embedded-scan helping bounds it."""
+        n = 3
+        snap = AtomicSnapshot("s", n)
+
+        def scanner():
+            view = yield from snap.scan(0)
+            return view
+
+        def updater(pid):
+            for i in range(50):
+                yield from snap.update(pid, i)
+
+        # Interleave so a collect never sees a quiet moment: scheduler
+        # alternates scanner and updaters densely.
+        pattern = [0, 1, 2] * 400
+        report = run_protocol(
+            {0: scanner(), 1: updater(1), 2: updater(2)},
+            ListScheduler(pattern),
+            max_steps=5_000,
+        )
+        assert report.statuses[0] == "done"
+        # Scan cost is bounded: at most (2n+1) collects ≈ O(n^2) reads.
+        assert report.per_process_steps[0] <= (2 * n + 2) * n
+
+    def test_unsafe_collect_is_cheaper_than_scan(self):
+        n = 4
+        snap = AtomicSnapshot("s", n)
+
+        def collector():
+            view = yield from snap.unsafe_collect_view(0)
+            return view
+
+        report = run_protocol({0: collector()}, RoundRobinScheduler())
+        assert report.per_process_steps[0] == n  # exactly one collect
+
+    def test_operation_counter(self):
+        snap = AtomicSnapshot("s", 2)
+
+        def program():
+            yield from snap.update(0, 1)
+
+        run_protocol({0: program()}, RoundRobinScheduler())
+        assert snap.total_register_operations() > 0
+
+
+class TestUnsafeCollectViolation:
+    def test_single_collect_can_see_impossible_view(self):
+        """The ablation: a schedule where one collect returns a view that
+        never existed (update 1 then update 0, collect sandwiched)."""
+        snap2 = AtomicSnapshot("s2", 2, initial="old")
+
+        def w0():
+            yield from snap2.update(0, "new0")
+
+        def w1():
+            yield from snap2.update(1, "new1")
+
+        def reader():
+            return (yield from snap2.unsafe_collect_view(0))
+
+        # Drive the classic anomaly: reader reads seg0 *before* w0 runs,
+        # then w0 completes entirely, then w1 completes, then the reader
+        # reads seg1.  The returned view pairs the pre-w0 seg0 with the
+        # post-w1 seg1 — a combination no instant of the run exhibited,
+        # since new0 was in seg0 strictly before new1 entered seg1.
+        schedule = (
+            ["r"]  # reader: read seg0 -> "old"
+            + ["a"] * 50  # w0 completes: seg0 = new0
+            + ["b"] * 50  # w1 completes: seg1 = new1
+            + ["r"]  # reader: read seg1 -> "new1"
+        )
+        pid_of = {"r": 0, "a": 1, "b": 2}
+
+        runtime = Runtime(ListScheduler([pid_of[c] for c in schedule]))
+        runtime.spawn(0, reader())
+        runtime.spawn(1, w0())
+        runtime.spawn(2, w1())
+        report = runtime.run()
+        view = report.outputs[0]
+        # "old" in seg0 together with "new1" in seg1 never coexisted:
+        # new0 was written before new1.
+        assert view == ("old", "new1")

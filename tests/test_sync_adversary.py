@@ -1,0 +1,169 @@
+"""Tests for message adversaries (paper §3.3)."""
+
+import pytest
+
+from repro.core import ConfigurationError, ModelViolation
+from repro.sync import (
+    AdaptiveAdversary,
+    BoundedDropAdversary,
+    DropAllAdversary,
+    NoAdversary,
+    SynchronousRunner,
+    TourAdversary,
+    TreeAdversary,
+    complete,
+    ring,
+)
+from repro.sync.algorithms import make_flooders
+
+
+def run_flood(topo, adversary, rounds, inputs=None):
+    n = topo.n
+    algs = make_flooders(n, rounds=rounds)
+    runner = SynchronousRunner(
+        topo,
+        algs,
+        inputs if inputs is not None else list(range(n)),
+        adversary=adversary,
+        max_rounds=rounds + 1,
+        record_graphs=True,
+    )
+    return runner.run(), algs
+
+
+class TestBasicAdversaries:
+    def test_no_adversary_delivers_everything(self):
+        result, algs = run_flood(complete(4), NoAdversary(), rounds=2)
+        assert all(len(a.known) == 4 for a in algs)
+
+    def test_drop_all_blocks_everything(self):
+        result, algs = run_flood(complete(4), DropAllAdversary(), rounds=5)
+        assert all(len(a.known) == 1 for a in algs)
+
+    def test_bounded_drop_is_bounded(self):
+        adversary = BoundedDropAdversary(max_drops=2, seed=1)
+        result, _ = run_flood(complete(4), adversary, rounds=3)
+        # 12 sends/round, at most 2 dropped.
+        for graph in result.communication_graphs:
+            assert len(graph) >= 10
+
+    def test_bounded_drop_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            BoundedDropAdversary(-1)
+
+    def test_adaptive_adversary_cannot_create_messages(self):
+        cheat = AdaptiveAdversary(
+            lambda r, sends, states, topo: sends | {(0, 0)}, name="cheat"
+        )
+        # The wrapper intersects with sends, so the fabricated edge is cut.
+        result, algs = run_flood(complete(3), cheat, rounds=2)
+        assert all(len(a.known) == 3 for a in algs)
+
+    def test_raw_adversary_fabrication_detected(self):
+        class Fabricator(NoAdversary):
+            def filter(self, round_no, sends, states, topology):
+                return frozenset(sends | {(0, 0)})
+
+        with pytest.raises(ModelViolation):
+            run_flood(complete(3), Fabricator(), rounds=2)
+
+
+class TestTreeAdversary:
+    def test_delivered_graph_is_spanning_tree_both_directions(self):
+        adversary = TreeAdversary(strategy="random", seed=7)
+        result, _ = run_flood(complete(5), adversary, rounds=4)
+        for graph in result.communication_graphs:
+            undirected = {(min(a, b), max(a, b)) for a, b in graph}
+            assert len(undirected) == 4  # n-1 tree edges
+            # both directions present on every tree edge
+            for (u, v) in undirected:
+                assert (u, v) in graph and (v, u) in graph
+
+    def test_trees_change_between_rounds(self):
+        adversary = TreeAdversary(strategy="random", seed=1)
+        run_flood(complete(8), adversary, rounds=6)
+        assert len(set(adversary.trees_used)) > 1
+
+    def test_fixed_strategy_keeps_one_tree(self):
+        adversary = TreeAdversary(strategy="fixed")
+        run_flood(complete(5), adversary, rounds=4)
+        assert len(set(adversary.trees_used)) == 1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TreeAdversary(strategy="sneaky")
+
+    def test_worst_strategy_slows_dissemination_to_n_minus_1(self):
+        n = 8
+        adversary = TreeAdversary(strategy="worst", track_pid=0)
+        result, algs = run_flood(complete(n), adversary, rounds=n - 1)
+        # The theorem still holds (everyone learns everything)...
+        assert all(len(a.known) == n for a in algs)
+        # ...but the adversary forced the full n-1 rounds for value 0.
+        knows = {0}
+        rounds_needed = 0
+        for graph in result.communication_graphs:
+            rounds_needed += 1
+            knows |= {dst for (src, dst) in graph if src in knows}
+            if len(knows) == n:
+                break
+        assert rounds_needed == n - 1
+
+    def test_worst_tree_is_still_a_legal_spanning_tree(self):
+        adversary = TreeAdversary(strategy="worst", track_pid=0)
+        run_flood(complete(6), adversary, rounds=5)
+        for tree in adversary.trees_used:
+            assert len(tree) == 5
+
+
+class TestTourAdversary:
+    def test_requires_complete_graph(self):
+        with pytest.raises(ConfigurationError):
+            run_flood(ring(4), TourAdversary(), rounds=2)
+
+    def test_tournament_property(self):
+        """For every pair, at least one direction survives every round."""
+        adversary = TourAdversary(orientation="random", seed=3)
+        result, _ = run_flood(complete(5), adversary, rounds=4)
+        for graph in result.communication_graphs:
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    assert (i, j) in graph or (j, i) in graph
+
+    def test_exactly_one_direction_when_both_sent(self):
+        adversary = TourAdversary(orientation="random", seed=3)
+        result, _ = run_flood(complete(5), adversary, rounds=3)
+        for graph in result.communication_graphs:
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    assert not ((i, j) in graph and (j, i) in graph)
+
+    def test_id_orientation_deterministic(self):
+        adversary = TourAdversary(orientation="id")
+        result, _ = run_flood(complete(4), adversary, rounds=2)
+        for graph in result.communication_graphs:
+            assert all(src < dst for (src, dst) in graph)
+
+    def test_callable_orientation(self):
+        adversary = TourAdversary(orientation=lambda r, i, j: (i + j + r) % 2 == 0)
+        result, _ = run_flood(complete(4), adversary, rounds=3)
+        for graph in result.communication_graphs:
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    assert ((i, j) in graph) != ((j, i) in graph)
+
+    def test_bad_orientation_rejected(self):
+        adversary = TourAdversary(orientation=123)
+        with pytest.raises(ConfigurationError):
+            run_flood(complete(3), adversary, rounds=1)
+
+
+class TestModelStrengthOrdering:
+    def test_no_adversary_strictly_stronger_than_tree(self):
+        """SMP[adv:∅] floods in D rounds; TREE may need n-1 (paper §3.3)."""
+        n = 8
+        _, algs_free = run_flood(complete(n), NoAdversary(), rounds=1)
+        assert all(len(a.known) == n for a in algs_free)
+        adversary = TreeAdversary(strategy="worst", track_pid=0)
+        _, algs_tree = run_flood(complete(n), adversary, rounds=1)
+        assert any(len(a.known) < n for a in algs_tree)

@@ -1,0 +1,145 @@
+"""Tests for Cole–Vishkin ring coloring (paper §3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, SafetyViolation
+from repro.sync import ring, run_synchronous
+from repro.sync.algorithms import (
+    cv_iterations,
+    expected_rounds,
+    log_star,
+    make_ring_colorers,
+    ring_coloring_lower_bound,
+    verify_proper_coloring,
+    verify_ring_coloring,
+)
+from repro.sync.algorithms.coloring import cv_step
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_astronomical_is_tiny(self):
+        """Paper fn.3: log*(atoms in the universe) ≈ 5."""
+        assert log_star(10**80) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            log_star(0)
+
+
+class TestCvStep:
+    def test_shrinks_color(self):
+        # 6-bit colors → at most 2*5+1 = 11.
+        assert cv_step(0b101010, 0b101000, 6) == 2 * 1 + 1
+
+    def test_equal_colors_rejected(self):
+        with pytest.raises(SafetyViolation):
+            cv_step(5, 5, 3)
+
+    def test_differing_neighbors_stay_differing(self):
+        """The key CV invariant on an oriented path a→b→c."""
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    if a == b or b == c:
+                        continue
+                    nb = cv_step(b, a, 3)
+                    nc = cv_step(c, b, 3)
+                    assert nb != nc, (a, b, c)
+
+    def test_output_range(self):
+        for own in range(8):
+            for pred in range(8):
+                if own != pred:
+                    assert 0 <= cv_step(own, pred, 3) <= 5
+
+
+class TestRoundCounts:
+    def test_cv_iterations_monotone_slowly_growing(self):
+        assert cv_iterations(8) == 1
+        assert cv_iterations(100) >= cv_iterations(8)
+        # log*-like growth: astronomical n still needs few iterations.
+        assert cv_iterations(10**9) <= 6
+
+    def test_expected_rounds_is_cv_plus_three(self):
+        for n in (8, 64, 1000):
+            assert expected_rounds(n) == cv_iterations(n) + 3
+
+    def test_lower_bound_positive(self):
+        assert ring_coloring_lower_bound(3) >= 1
+        assert ring_coloring_lower_bound(10**6) >= 1
+
+
+class TestColoringEndToEnd:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 16, 33, 64, 128, 500])
+    def test_produces_proper_3_coloring(self, n):
+        result = run_synchronous(ring(n), make_ring_colorers(n), [None] * n)
+        colors = [result.outputs[i] for i in range(n)]
+        verify_ring_coloring(colors, n)
+
+    @pytest.mark.parametrize("n", [8, 64, 512])
+    def test_round_complexity_matches_schedule(self, n):
+        result = run_synchronous(ring(n), make_ring_colorers(n), [None] * n)
+        assert result.rounds == expected_rounds(n)
+
+    def test_rounds_are_log_star_plus_constant(self):
+        """§3.2: log* n + 3-ish rounds; we allow the small constant gap
+        between our palette accounting and the textbook statement."""
+        for n in (16, 128, 1024, 4096):
+            result = run_synchronous(ring(n), make_ring_colorers(n), [None] * n)
+            assert result.rounds <= log_star(n) + 6
+
+    def test_local_for_large_rings(self):
+        """Rounds ≪ diameter = locality (the paper's definition)."""
+        n = 512
+        result = run_synchronous(ring(n), make_ring_colorers(n), [None] * n)
+        assert result.rounds < ring(n).diameter()
+
+    def test_rounds_beat_lower_bound_by_constant_factor_only(self):
+        for n in (64, 1024):
+            result = run_synchronous(ring(n), make_ring_colorers(n), [None] * n)
+            assert result.rounds >= ring_coloring_lower_bound(n)
+
+    def test_colorer_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_ring_colorers(2)
+
+
+class TestVerifiers:
+    def test_verify_rejects_wrong_length(self):
+        with pytest.raises(SafetyViolation):
+            verify_ring_coloring([0, 1], 3)
+
+    def test_verify_rejects_out_of_palette(self):
+        with pytest.raises(SafetyViolation):
+            verify_ring_coloring([0, 1, 5], 3)
+
+    def test_verify_rejects_monochromatic_edge(self):
+        with pytest.raises(SafetyViolation):
+            verify_ring_coloring([0, 0, 1, 2], 4)
+
+    def test_verify_accepts_proper(self):
+        verify_ring_coloring([0, 1, 2], 3)
+        verify_ring_coloring([0, 1, 0, 1], 4)
+
+    def test_verify_proper_coloring_general_graph(self):
+        topo = ring(4)
+        verify_proper_coloring(topo, [0, 1, 0, 1])
+        with pytest.raises(SafetyViolation):
+            verify_proper_coloring(topo, [0, 0, 1, 1])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(3, 200))
+def test_coloring_correct_for_arbitrary_n(n):
+    result = run_synchronous(ring(n), make_ring_colorers(n), [None] * n)
+    colors = [result.outputs[i] for i in range(n)]
+    verify_ring_coloring(colors, n)
+    assert result.rounds == expected_rounds(n)

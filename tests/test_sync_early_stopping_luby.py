@@ -1,0 +1,158 @@
+"""Tests for early-stopping consensus and Luby's randomized MIS."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.sync import (
+    CrashEvent,
+    complete,
+    grid,
+    random_connected,
+    ring,
+    run_synchronous,
+)
+from repro.sync.algorithms import (
+    make_early_stopping,
+    make_floodset,
+    make_luby,
+    verify_mis,
+)
+
+
+class TestEarlyStopping:
+    def test_failure_free_two_rounds(self):
+        """f = 0: decide in 2 rounds regardless of t (vs t+1 = 5)."""
+        n, t = 6, 4
+        result = run_synchronous(
+            complete(n), make_early_stopping(n, t), [5, 3, 9, 7, 4, 6]
+        )
+        assert result.rounds <= 3  # 2 decision rounds + final announce round
+        decisions = {result.outputs[i] for i in range(n)}
+        assert decisions == {3}
+
+    def test_beats_floodset_when_failure_free(self):
+        n, t = 6, 4
+        early = run_synchronous(
+            complete(n), make_early_stopping(n, t), list(range(n))
+        )
+        flood = run_synchronous(complete(n), make_floodset(n, t), list(range(n)))
+        assert early.rounds < flood.rounds
+        assert flood.rounds == t + 1
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_rounds_track_actual_failures(self, f):
+        """min(f+2, t+1): rounds grow with the crashes that happen."""
+        n, t = 7, 5
+        schedule = [
+            CrashEvent(pid=r - 1, round=r, delivered_to=frozenset({r}))
+            for r in range(1, f + 1)
+        ]
+        result = run_synchronous(
+            complete(n),
+            make_early_stopping(n, t),
+            [0] + [9] * (n - 1),
+            crash_schedule=schedule,
+        )
+        survivors = [i for i in range(n) if i not in result.crashed]
+        decisions = {result.outputs[i] for i in survivors}
+        assert len(decisions) == 1
+        assert result.rounds <= min(f + 2, t + 1) + 1  # +1 announce round
+
+    def test_agreement_under_chained_crashes(self):
+        n, t = 6, 4
+        schedule = [
+            CrashEvent(pid=r - 1, round=r, delivered_to=frozenset({r}))
+            for r in range(1, t + 1)
+        ]
+        result = run_synchronous(
+            complete(n),
+            make_early_stopping(n, t),
+            [0] + [9] * (n - 1),
+            crash_schedule=schedule,
+        )
+        survivors = [i for i in range(n) if i not in result.crashed]
+        decisions = {result.outputs[i] for i in survivors}
+        assert len(decisions) == 1
+
+    def test_validity_unanimous(self):
+        n, t = 4, 2
+        result = run_synchronous(
+            complete(n), make_early_stopping(n, t), [7, 7, 7, 7]
+        )
+        assert {result.outputs[i] for i in range(n)} == {7}
+
+    def test_t_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_early_stopping(3, -1)
+        with pytest.raises(ConfigurationError):
+            run_synchronous(
+                complete(3), make_early_stopping(3, 5), [1, 2, 3]
+            )
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [lambda: ring(24), lambda: grid(5, 5), lambda: complete(8),
+         lambda: random_connected(30, 0.2)],
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_produces_valid_mis(self, topo_factory, seed):
+        topo = topo_factory()
+        n = topo.n
+        result = run_synchronous(
+            topo, make_luby(n, seed), [None] * n, max_rounds=600
+        )
+        assert all(result.decided)
+        verify_mis(topo, [result.outputs[i] for i in range(n)])
+
+    def test_complete_graph_single_member(self):
+        n = 10
+        result = run_synchronous(
+            complete(n), make_luby(n, 3), [None] * n, max_rounds=600
+        )
+        assert sum(result.outputs[i] for i in range(n)) == 1
+
+    def test_logarithmic_round_scaling(self):
+        """Rounds grow like log n, far below n (the point of Luby)."""
+        import math
+
+        for n in (16, 64, 256):
+            topo = ring(n)
+            result = run_synchronous(
+                topo, make_luby(n, 1), [None] * n, max_rounds=800
+            )
+            assert result.rounds <= 9 * (math.log2(n) + 2)
+            assert result.rounds < n // 2
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            topo = grid(4, 4)
+            result = run_synchronous(
+                topo, make_luby(16, 5), [None] * 16, max_rounds=600
+            )
+            return tuple(result.outputs[i] for i in range(16))
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_can_differ(self):
+        topo = random_connected(30, 0.15)
+        outcomes = set()
+        for seed in range(5):
+            result = run_synchronous(
+                topo, make_luby(30, seed), [None] * 30, max_rounds=600
+            )
+            outcomes.add(tuple(result.outputs[i] for i in range(30)))
+        assert len(outcomes) > 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000), st.integers(5, 25))
+def test_luby_mis_property(seed, n):
+    topo = random_connected(n, 0.25)
+    result = run_synchronous(
+        topo, make_luby(n, seed), [None] * n, max_rounds=800
+    )
+    assert all(result.decided)
+    verify_mis(topo, [result.outputs[i] for i in range(n)])

@@ -1,0 +1,163 @@
+"""Tests for the TOUR ≃ wait-free read/write equivalence (paper §3.3)."""
+
+import pytest
+
+from repro.shm.approximate import ApproximateAgreement, check_epsilon_agreement
+from repro.shm.schedulers import (
+    CrashAfterScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+)
+from repro.sync import TourAdversary
+from repro.sync.algorithms import make_floodset
+from repro.sync.algorithms.flooding import make_flooders
+from repro.sync.equivalence import (
+    refute_tour_consensus,
+    run_shared_memory_in_tour,
+    run_tour_in_shared_memory,
+    starvation_orientation,
+)
+
+
+class TestTourInsideSharedMemory:
+    """Direction 1: any TOUR algorithm runs in ARW_{n,n-1}."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tournament_property_emerges_from_any_schedule(self, seed):
+        n = 4
+        result = run_tour_in_shared_memory(
+            make_flooders(n, rounds=5),
+            list(range(n)),
+            rounds=5,
+            scheduler=RandomScheduler(seed),
+        )
+        assert result.tournament_property_holds()
+
+    def test_round_robin_schedule_delivers_everything(self):
+        """A synchronous-looking schedule gives the full-power model."""
+        n = 4
+        result = run_tour_in_shared_memory(
+            make_flooders(n, rounds=3),
+            list(range(n)),
+            rounds=3,
+            scheduler=RoundRobinScheduler(),
+        )
+        assert all(result.decided)
+
+    def test_solo_schedule_starves_the_first_process(self):
+        """A process running far ahead sees nobody — the TOUR face of a
+        wait-free solo execution."""
+        n = 3
+        result = run_tour_in_shared_memory(
+            make_flooders(n, rounds=4),
+            list(range(n)),
+            rounds=4,
+            scheduler=SoloScheduler(order=[0, 1, 2]),
+        )
+        # p0 completed all rounds alone: learned nothing beyond itself.
+        assert not result.decided[0]
+        assert result.tournament_property_holds()
+
+    def test_host_crashes_do_not_break_the_tournament(self):
+        n = 4
+        result = run_tour_in_shared_memory(
+            make_flooders(n, rounds=5),
+            list(range(n)),
+            rounds=5,
+            scheduler=CrashAfterScheduler(RandomScheduler(2), {1: 6}),
+        )
+        assert 1 in result.crashed
+        assert result.tournament_property_holds()
+
+    def test_decided_outputs_are_correct_vectors(self):
+        n = 4
+        inputs = ["a", "b", "c", "d"]
+        result = run_tour_in_shared_memory(
+            make_flooders(n, rounds=6),
+            inputs,
+            rounds=6,
+            scheduler=RoundRobinScheduler(),
+        )
+        for pid in range(n):
+            if result.decided[pid]:
+                assert result.outputs[pid] == tuple(inputs)
+
+
+class TestSharedMemoryInsideTour:
+    """Direction 2: wait-free SWMR protocols run in SMP[adv:TOUR]."""
+
+    def _ownership(self, aa: ApproximateAgreement, n: int):
+        return {
+            f"{aa.name}.r{r}[{i}]": i
+            for r in range(aa.rounds + 1)
+            for i in range(n)
+        }
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_approximate_agreement_under_random_tour(self, seed):
+        n = 3
+        inputs = [0.0, 6.0, 12.0]
+        aa = ApproximateAgreement("aa", n, epsilon=1.0, spread_bound=12.0)
+        programs = [aa.propose(pid, inputs[pid]) for pid in range(n)]
+        result = run_shared_memory_in_tour(
+            programs,
+            self._ownership(aa, n),
+            adversary=TourAdversary(orientation="random", seed=seed),
+        )
+        outputs = [result.outputs[i] for i in range(n)]
+        assert all(result.decided)
+        check_epsilon_agreement(inputs, outputs, 1.0)
+
+    def test_approximate_agreement_under_starvation_tour(self):
+        """Even the wait-free-adversary-like starvation orientation cannot
+        break ε-agreement (the starved process just averages late)."""
+        n = 3
+        inputs = [0.0, 4.0, 8.0]
+        aa = ApproximateAgreement("aa2", n, epsilon=0.5, spread_bound=8.0)
+        programs = [aa.propose(pid, inputs[pid]) for pid in range(n)]
+        result = run_shared_memory_in_tour(
+            programs,
+            self._ownership(aa, n),
+            adversary=TourAdversary(orientation=starvation_orientation(0)),
+        )
+        outputs = [result.outputs[i] for i in range(n)]
+        assert all(result.decided)
+        check_epsilon_agreement(inputs, outputs, 0.5)
+
+    def test_id_orientation(self):
+        n = 2
+        inputs = [0.0, 1.0]
+        aa = ApproximateAgreement("aa3", n, epsilon=0.25, spread_bound=1.0)
+        programs = [aa.propose(pid, inputs[pid]) for pid in range(n)]
+        result = run_shared_memory_in_tour(
+            programs,
+            self._ownership(aa, n),
+            adversary=TourAdversary(orientation="id"),
+        )
+        outputs = [result.outputs[i] for i in range(n)]
+        check_epsilon_agreement(inputs, outputs, 0.25)
+
+
+class TestConsensusFailsInBothModels:
+    """The negative side of the equivalence: exact consensus fails."""
+
+    def test_floodset_candidate_refuted(self):
+        violation = refute_tour_consensus(
+            lambda n: make_floodset(n, t=1), inputs=(1, 0)
+        )
+        assert violation is not None
+        assert "agreement" in violation or "validity" in violation
+
+    def test_starvation_orientation_is_legal(self):
+        orient = starvation_orientation(1)
+        # For any pair, one direction survives.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert orient(0, i, j) in (True, False)
+
+    def test_three_process_candidate_also_refuted(self):
+        violation = refute_tour_consensus(
+            lambda n: make_floodset(n, t=1), inputs=(2, 0, 1)
+        )
+        assert violation is not None

@@ -1,0 +1,129 @@
+"""Tests for full-information flooding (§3.2) and TREE dissemination (§3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.sync import (
+    TreeAdversary,
+    balanced_tree,
+    complete,
+    grid,
+    path,
+    random_connected,
+    ring,
+    run_dissemination,
+    run_synchronous,
+    verify_tree_theorem,
+)
+from repro.sync.algorithms import make_flooders
+from repro.sync.algorithms.flooding import FloodingAlgorithm, identity_vector
+
+
+class TestFlooding:
+    def test_learns_whole_vector_in_diameter_rounds(self):
+        """§3.2: after D rounds every process knows every pair."""
+        for topo in (ring(8), path(6), grid(3, 3), complete(5)):
+            n = topo.n
+            algs = make_flooders(n, rounds=topo.diameter())
+            result = run_synchronous(topo, algs, list(range(100, 100 + n)))
+            assert all(len(a.known) == n for a in algs), topo.name
+            assert all(result.decided), topo.name
+
+    def test_x_rounds_give_x_neighborhood(self):
+        """§3.2: after x rounds, p knows exactly its x-neighborhood."""
+        topo = path(7)
+        x = 2
+        algs = make_flooders(7, rounds=x)
+        run_synchronous(topo, algs, list(range(7)))
+        for pid in range(7):
+            expected = {
+                q for q in range(7) if abs(q - pid) <= x
+            }
+            assert set(algs[pid].known) == expected, pid
+
+    def test_any_function_computable(self):
+        topo = ring(6)
+        algs = make_flooders(6, function=lambda vec: sum(vec), rounds=3)
+        result = run_synchronous(topo, algs, [1, 2, 3, 4, 5, 6])
+        assert all(result.outputs[i] == 21 for i in range(6))
+
+    def test_adaptive_stopping_without_knowing_diameter(self):
+        topo = grid(4, 4)
+        algs = make_flooders(16, rounds=None)
+        result = run_synchronous(topo, algs, list(range(16)))
+        assert all(result.decided)
+        assert result.rounds <= topo.diameter() + 2
+
+    def test_zero_rounds_decides_only_when_alone(self):
+        algs = [FloodingAlgorithm(rounds=0) for _ in range(3)]
+        result = run_synchronous(ring(3), algs, [0, 1, 2])
+        assert not any(result.decided)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FloodingAlgorithm(rounds=-1)
+
+    def test_identity_vector_function(self):
+        assert identity_vector((1, 2)) == (1, 2)
+
+
+class TestTreeTheorem:
+    """Paper §3.3: SMP_n[adv:TREE] computes any function; each value
+    reaches everyone within n−1 rounds."""
+
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_on_complete_graph_worst_case(self, n):
+        report = verify_tree_theorem(complete(n), strategy="worst")
+        assert report.all_learned
+        assert report.worst_value_rounds <= n - 1
+        assert report.cut_invariant_held
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_on_complete_graph_random_trees(self, seed):
+        report = verify_tree_theorem(complete(7), strategy="random", seed=seed)
+        assert report.all_learned
+
+    def test_on_sparse_graphs(self):
+        for topo in (grid(3, 4), balanced_tree(2, 3), random_connected(10, 0.3)):
+            report = verify_tree_theorem(topo, strategy="random", seed=1)
+            assert report.all_learned, topo.name
+
+    def test_worst_case_achieves_bound_exactly(self):
+        """The adaptive adversary forces exactly n−1 rounds for the
+        tracked value — the bound is tight."""
+        n = 9
+        report = run_dissemination(
+            complete(n), TreeAdversary(strategy="worst", track_pid=0)
+        )
+        assert report.per_value_rounds[0] == n - 1
+
+    def test_cut_invariant_materialized(self):
+        """The yes/no partition argument from the paper's proof."""
+        report = run_dissemination(
+            complete(6), TreeAdversary(strategy="random", seed=5)
+        )
+        assert report.cut_invariant_held
+
+    def test_custom_inputs(self):
+        report = run_dissemination(
+            complete(4),
+            TreeAdversary(strategy="random", seed=2),
+            inputs=["w", "x", "y", "z"],
+        )
+        assert report.all_learned
+
+    def test_input_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_dissemination(
+                complete(4), TreeAdversary(), inputs=["too", "few"]
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(3, 10), st.integers(0, 3))
+def test_tree_theorem_property(n, seed):
+    """For random sizes and seeds, the TREE theorem holds on K_n."""
+    report = verify_tree_theorem(complete(n), strategy="random", seed=seed)
+    assert report.all_learned
+    assert report.worst_value_rounds <= n - 1

@@ -1,0 +1,58 @@
+"""Tests for synchronous flood-max leader election."""
+
+import pytest
+
+from repro.core import ConfigurationError, leader_election_task
+from repro.core.task import NO_OUTPUT
+from repro.sync import complete, grid, path, ring, run_synchronous
+from repro.sync.algorithms.leader import FloodMaxLeader, make_flood_max
+
+
+class TestFloodMax:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [lambda: ring(9), lambda: path(7), lambda: grid(3, 4), lambda: complete(6)],
+    )
+    def test_elects_max_id(self, topo_factory):
+        topo = topo_factory()
+        n = topo.n
+        result = run_synchronous(
+            topo, make_flood_max(n, topo.diameter() + 1), [None] * n
+        )
+        assert all(result.decided)
+        assert {result.outputs[i] for i in range(n)} == {n - 1}
+
+    def test_satisfies_leader_election_task(self):
+        n = 5
+        topo = ring(n)
+        result = run_synchronous(
+            topo, make_flood_max(n, topo.diameter() + 1), [0] * n
+        )
+        task = leader_election_task(n)
+        task.require((0,) * n, result.output_vector())
+
+    def test_rounds_equal_parameter(self):
+        n = 6
+        result = run_synchronous(ring(n), make_flood_max(n, 4), [None] * n)
+        assert result.rounds == 4
+
+    def test_insufficient_rounds_mis_elect(self):
+        """Leader election is NOT local: fewer than D rounds leaves far
+        processes ignorant of the max id."""
+        n = 12
+        topo = path(n)  # diameter 11; max id sits at one end
+        result = run_synchronous(topo, make_flood_max(n, 3), [None] * n)
+        decisions = {result.outputs[i] for i in range(n)}
+        assert len(decisions) > 1  # disagreement: rounds < diameter
+
+    def test_exactly_diameter_rounds_suffice(self):
+        n = 10
+        topo = path(n)
+        result = run_synchronous(
+            topo, make_flood_max(n, topo.diameter()), [None] * n
+        )
+        assert {result.outputs[i] for i in range(n)} == {n - 1}
+
+    def test_rounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            FloodMaxLeader(0)

@@ -1,0 +1,155 @@
+"""Tests for MIS, locality classification, and synchronous consensus."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.sync import (
+    CrashEvent,
+    complete,
+    grid,
+    random_connected,
+    ring,
+    run_synchronous,
+)
+from repro.sync.algorithms import (
+    ColorToMIS,
+    FloodSetConsensus,
+    GreedyColorByID,
+    classify_algorithm,
+    classify_run,
+    make_floodset,
+    make_ring_colorers,
+    verify_mis,
+    verify_proper_coloring,
+)
+from repro.sync.algorithms.local import LocalityVerdict, ring_coloring_lower_bound
+
+
+def color_ring(n):
+    result = run_synchronous(ring(n), make_ring_colorers(n), [None] * n)
+    return [result.outputs[i] for i in range(n)]
+
+
+class TestColorToMIS:
+    @pytest.mark.parametrize("n", [3, 5, 8, 20, 50])
+    def test_mis_from_ring_coloring(self, n):
+        colors = color_ring(n)
+        topo = ring(n)
+        algs = [ColorToMIS(colors[i], 3) for i in range(n)]
+        result = run_synchronous(topo, algs, [None] * n)
+        membership = [result.outputs[i] for i in range(n)]
+        verify_mis(topo, membership)
+
+    def test_rounds_equal_num_colors(self):
+        n = 12
+        colors = color_ring(n)
+        algs = [ColorToMIS(colors[i], 3) for i in range(n)]
+        result = run_synchronous(ring(n), algs, [None] * n)
+        assert result.rounds == 3
+
+    def test_invalid_color_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ColorToMIS(3, 3)
+        with pytest.raises(ConfigurationError):
+            ColorToMIS(-1, 3)
+
+
+class TestGreedyColoring:
+    def test_uses_at_most_delta_plus_one_colors(self):
+        topo = random_connected(20, 0.3)
+        algs = [GreedyColorByID() for _ in range(20)]
+        result = run_synchronous(topo, algs, [None] * 20)
+        colors = [result.outputs[i] for i in range(20)]
+        verify_proper_coloring(topo, colors)
+        assert max(colors) <= topo.max_degree()
+
+    def test_takes_n_rounds_not_local(self):
+        topo = complete(8)
+        algs = [GreedyColorByID() for _ in range(8)]
+        result = run_synchronous(topo, algs, [None] * 8)
+        assert result.rounds == 8
+        assert not classify_run(result, topo).is_local
+
+
+class TestLocalityClassification:
+    def test_cole_vishkin_is_local(self):
+        verdict = classify_algorithm(ring(256), make_ring_colorers)
+        assert verdict.is_local
+        assert verdict.rounds < verdict.diameter
+
+    def test_greedy_is_not_local_on_dense_graph(self):
+        topo = random_connected(30, 0.4)
+        verdict = classify_algorithm(
+            topo, lambda n: [GreedyColorByID() for _ in range(n)]
+        )
+        assert not verdict.is_local
+
+    def test_factory_arity_checked(self):
+        with pytest.raises(ConfigurationError):
+            classify_algorithm(ring(4), lambda n: [GreedyColorByID()])
+
+    def test_verdict_str(self):
+        verdict = LocalityVerdict(rounds=2, diameter=10, is_local=True, ratio=0.2)
+        assert "LOCAL" in str(verdict)
+
+    def test_lower_bound_requires_ring(self):
+        with pytest.raises(ConfigurationError):
+            ring_coloring_lower_bound(2)
+
+
+class TestFloodSetConsensus:
+    """The §6 bridge: synchronous consensus IS solvable with crashes."""
+
+    def test_failure_free_decides_min(self):
+        n = 5
+        result = run_synchronous(
+            complete(n), make_floodset(n, t=2), [5, 3, 9, 7, 4]
+        )
+        assert all(result.outputs[i] == 3 for i in range(n))
+        assert result.rounds == 3  # t + 1
+
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_agreement_under_worst_case_crashes(self, t):
+        """Chained mid-broadcast crashes — the scenario t+1 rounds defeat."""
+        n = 5
+        # Crash process r-1 in round r, each delivering only to process r.
+        schedule = [
+            CrashEvent(pid=r - 1, round=r, delivered_to=frozenset({r}))
+            for r in range(1, t + 1)
+        ]
+        result = run_synchronous(
+            complete(n),
+            make_floodset(n, t),
+            [0, 9, 9, 9, 9],
+            crash_schedule=schedule,
+        )
+        survivors = [i for i in range(n) if i not in result.crashed]
+        decisions = {result.outputs[i] for i in survivors}
+        assert len(decisions) == 1, decisions
+
+    def test_validity(self):
+        n = 4
+        result = run_synchronous(complete(n), make_floodset(n, 1), [2, 2, 2, 2])
+        assert all(result.outputs[i] == 2 for i in range(n))
+
+    def test_insufficient_rounds_can_disagree(self):
+        """With t crashes but only t rounds (FloodSet with t-1), the chained
+        crash scenario splits the views — showing t+1 is needed."""
+        n = 4
+        schedule = [
+            CrashEvent(pid=0, round=1, delivered_to=frozenset({1})),
+            CrashEvent(pid=1, round=2, delivered_to=frozenset({2})),
+        ]
+        # Algorithm sized for t=1 (2 rounds) against 2 actual crashes.
+        result = run_synchronous(
+            complete(n), make_floodset(n, t=1), [0, 9, 9, 9], crash_schedule=schedule
+        )
+        survivors = [i for i in range(n) if i not in result.crashed]
+        decisions = {result.outputs[i] for i in survivors}
+        assert len(decisions) > 1  # disagreement: rounds were insufficient
+
+    def test_t_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            FloodSetConsensus(-1)
+        with pytest.raises(ConfigurationError):
+            run_synchronous(complete(3), make_floodset(3, 5), [1, 2, 3])

@@ -1,0 +1,136 @@
+"""Tests for the CLIQUE(c) partition adversary (§3.3 extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.sync import SynchronousRunner, complete
+from repro.sync.algorithms import make_floodset
+from repro.sync.algorithms.flooding import make_flooders
+from repro.sync.partition import (
+    CliquePartitionAdversary,
+    MinFloodKSet,
+    distinct_decisions,
+    refute_clique_consensus,
+    run_clique_kset,
+)
+
+
+class TestAdversaryMechanics:
+    def test_delivered_graph_is_clique_union(self):
+        n = 6
+        adversary = CliquePartitionAdversary(2, seed=3)
+        runner = SynchronousRunner(
+            complete(n),
+            make_flooders(n, rounds=3),
+            list(range(n)),
+            adversary=adversary,
+            max_rounds=4,
+            record_graphs=True,
+        )
+        result = runner.run()
+        for graph, partition in zip(
+            result.communication_graphs, adversary.partitions_used
+        ):
+            group_of = {}
+            for index, group in enumerate(partition):
+                for pid in group:
+                    group_of[pid] = index
+            for (src, dst) in graph:
+                assert group_of[src] == group_of[dst]
+            # All intra-group directed edges present (cliques are complete).
+            for group in partition:
+                for a in group:
+                    for b in group:
+                        if a != b:
+                            assert (a, b) in graph
+
+    def test_partitions_cover_everyone(self):
+        adversary = CliquePartitionAdversary(3, seed=1)
+        run_clique_kset(7, 3, list(range(7)), seed=1)
+
+    def test_c_validated(self):
+        with pytest.raises(ConfigurationError):
+            CliquePartitionAdversary(0)
+
+    def test_custom_strategy_checked(self):
+        bad = CliquePartitionAdversary(2, strategy=lambda r, n: [{0}, {0, 1}])
+        with pytest.raises(ConfigurationError):
+            run_clique_kset(2, 2, [1, 2], strategy=lambda r, n: [{0}, {0, 1}])
+
+    def test_strategy_must_cover(self):
+        with pytest.raises(ConfigurationError):
+            run_clique_kset(3, 2, [1, 2, 3], strategy=lambda r, n: [{0}, {1}])
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_clique_kset(
+                3, 1, [1, 2, 3], strategy=lambda r, n: [{0}, {1}, {2}]
+            )
+
+
+class TestKSetSolvability:
+    @pytest.mark.parametrize("c", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_at_most_c_decisions(self, c, seed):
+        n = 7
+        result, _ = run_clique_kset(n, c, [f"v{i}" for i in range(n)], seed=seed)
+        assert all(result.decided)
+        assert distinct_decisions(result) <= c
+
+    def test_fixed_partition_forces_exactly_c(self):
+        result, _ = run_clique_kset(
+            6, 3, list(range(6)), strategy="fixed", seed=1
+        )
+        assert distinct_decisions(result) == 3
+
+    def test_c_equals_one_is_consensus(self):
+        for seed in range(3):
+            result, _ = run_clique_kset(5, 1, [9, 4, 7, 1, 3], seed=seed)
+            decisions = {result.outputs[i] for i in range(5)}
+            assert decisions == {1}
+
+    def test_validity(self):
+        n = 5
+        inputs = [f"x{i}" for i in range(n)]
+        result, _ = run_clique_kset(n, 2, inputs, seed=2)
+        for i in range(n):
+            assert result.outputs[i] in inputs
+
+    def test_rounds_budget(self):
+        result, _ = run_clique_kset(5, 2, list(range(5)), seed=0)
+        assert result.rounds == 5  # exactly n rounds
+
+
+class TestConsensusImpossibility:
+    def test_floodset_candidate_refuted(self):
+        violation = refute_clique_consensus(
+            lambda n: make_floodset(n, t=0), (0, 1, 2, 3)
+        )
+        assert violation is not None
+        assert "agreement" in violation
+
+    def test_min_flood_candidate_also_refuted(self):
+        violation = refute_clique_consensus(
+            lambda n: [MinFloodKSet(rounds=n) for _ in range(n)], (5, 6, 7, 8)
+        )
+        assert violation is not None
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            refute_clique_consensus(lambda n: make_floodset(n, 0), (1,))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(1, 4),
+    st.lists(st.integers(0, 9), min_size=4, max_size=8),
+)
+def test_clique_kset_property(seed, c, inputs):
+    n = len(inputs)
+    result, _ = run_clique_kset(n, c, inputs, seed=seed)
+    assert all(result.decided)
+    assert distinct_decisions(result) <= c
+    for i in range(n):
+        assert result.outputs[i] in inputs
