@@ -9,6 +9,8 @@ linearizable; with t ≥ n/2 either liveness (majority quorums block) or
 atomicity (sub-majority quorums split-brain) is lost.
 """
 
+import os
+
 import pytest
 
 from repro.core import History, check_history
@@ -22,8 +24,30 @@ from repro.amp import (
     UniformDelay,
     run_processes,
 )
+from repro.harness import run_many
 
 from conftest import print_series, record
+
+#: opt-in parallel seed sweeps (results are identical at any worker count)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+
+
+def jitter_summary(seed):
+    """Picklable ``run_many`` factory: concurrent reads/writes under
+    jitter; returns (linearizable?, messages sent, final virtual time)."""
+    n = 5
+    history = History()
+    scripts = [
+        [("write", 1), ("write", 2)],
+        [("read",), ("read",)],
+        [("read",)],
+        [],
+        [],
+    ]
+    nodes = [AbdNode(pid, n, scripts[pid], history=history) for pid in range(n)]
+    result = run_processes(nodes, delay_model=UniformDelay(0.1, 2.0), seed=seed)
+    linearizable = check_history(history, {"R": register_spec(None)})["R"].linearizable
+    return linearizable, result.messages_sent, result.final_time
 
 
 def run_nodes(nodes, **kwargs):
@@ -160,22 +184,17 @@ def test_majority_liveness_vs_partition_safety(benchmark):
 
     benchmark.pedantic(body, rounds=1, iterations=1)
 
-@pytest.mark.parametrize("seed", [1, 2])
-def test_linearizability_under_jitter(benchmark, seed):
-    n = 5
+def test_linearizability_under_jitter_sweep(benchmark):
+    """Seed sweep through the harness: every jittered interleaving must
+    linearize, and the sweep's aggregate is worker-count independent."""
 
     def run():
-        history = History()
-        scripts = [
-            [("write", 1), ("write", 2)],
-            [("read",), ("read",)],
-            [("read",)],
-            [],
-            [],
-        ]
-        nodes = [AbdNode(pid, n, scripts[pid], history=history) for pid in range(n)]
-        run_processes(nodes, delay_model=UniformDelay(0.1, 2.0), seed=seed)
-        return history
+        return run_many(jitter_summary, range(12), workers=WORKERS)
 
-    history = benchmark(run)
-    assert check_history(history, {"R": register_spec(None)})["R"].linearizable
+    sweep = benchmark(run)
+    assert all(linearizable for linearizable, _sent, _time in sweep)
+    record(
+        benchmark,
+        runs=len(sweep),
+        messages=sum(sent for _lin, sent, _time in sweep),
+    )

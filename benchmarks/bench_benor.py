@@ -6,12 +6,19 @@ coin flip; mixed inputs need a few rounds; crashes up to t < n/2 do not
 break agreement or validity.
 """
 
+import os
+from functools import partial
+
 import pytest
 
 from repro.amp import CrashAt, FixedDelay, UniformDelay, run_processes
 from repro.amp.consensus import make_benor
+from repro.harness import run_many
 
 from conftest import print_series, record
+
+#: opt-in parallel seed sweeps (results are identical at any worker count)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
 
 
 def run_benor(n, t, inputs, seed, crashes=()):
@@ -25,6 +32,21 @@ def run_benor(n, t, inputs, seed, crashes=()):
         max_events=200_000,
     )
     return procs, result
+
+
+def benor_summary(seed, n, t, inputs, common_coin=None, spread=1.5, max_events=200_000):
+    """Picklable ``run_many`` factory: one seeded Ben-Or run, summarized
+    as (decided values, rounds to decide, total coin flips)."""
+    procs = make_benor(n, t, list(inputs), common_coin=common_coin)
+    result = run_processes(
+        procs,
+        delay_model=UniformDelay(0.1, spread),
+        seed=seed,
+        max_events=max_events,
+    )
+    values = tuple(sorted({v for v, d in zip(result.outputs, result.decided) if d}))
+    rounds = max(p.rounds_executed for p in procs) + 1
+    return values, rounds, sum(p.coin_flips for p in procs)
 
 
 @pytest.mark.parametrize("n,t", [(3, 1), (5, 2), (7, 3)])
@@ -68,15 +90,18 @@ def test_benor_termination_statistics_report(benchmark):
             ("mixed", [0, 1, 0, 1, 1]),
             ("adversarial-split", [0, 0, 1, 1, 1]),
         ):
+            sweep = run_many(
+                partial(benor_summary, n=n, t=t, inputs=tuple(inputs)),
+                range(20),
+                workers=WORKERS,
+            )
             rounds_seen = []
             decided_runs = 0
-            for seed in range(20):
-                procs, result = run_benor(n, t, inputs, seed)
-                values = {v for v, d in zip(result.outputs, result.decided) if d}
-                assert len(values) <= 1 and values <= {0, 1}
+            for values, rounds, _flips in sweep:
+                assert len(values) <= 1 and set(values) <= {0, 1}
                 if values:
                     decided_runs += 1
-                    rounds_seen.append(max(p.rounds_executed for p in procs) + 1)
+                    rounds_seen.append(rounds)
             rows.append(
                 (
                     label,
@@ -105,22 +130,27 @@ def test_common_coin_speedup_report(benchmark):
         import statistics
 
         n, t = 7, 3
-        inputs = [0, 1, 0, 1, 0, 1, 1]
+        inputs = (0, 1, 0, 1, 0, 1, 1)
         rows = []
         means = {}
         for label, coin in (("local coins", None), ("common coin", 1234)):
-            rounds = []
-            for seed in range(20):
-                procs = make_benor(n, t, inputs, common_coin=coin)
-                result = run_processes(
-                    procs,
-                    delay_model=UniformDelay(0.1, 2.0),
-                    seed=seed,
+            sweep = run_many(
+                partial(
+                    benor_summary,
+                    n=n,
+                    t=t,
+                    inputs=inputs,
+                    common_coin=coin,
+                    spread=2.0,
                     max_events=300_000,
-                )
-                values = {v for v, d in zip(result.outputs, result.decided) if d}
+                ),
+                range(20),
+                workers=WORKERS,
+            )
+            rounds = []
+            for values, run_rounds, _flips in sweep:
                 assert len(values) == 1
-                rounds.append(max(p.rounds_executed for p in procs) + 1)
+                rounds.append(run_rounds)
             means[label] = statistics.mean(rounds)
             rows.append(
                 (label, round(means[label], 2), min(rounds), max(rounds))

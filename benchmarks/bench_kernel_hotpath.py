@@ -1,0 +1,185 @@
+"""Hot-path stress — AMP kernel bookkeeping at n=32, ~50k messages.
+
+The seed kernel tracked in-flight messages in per-sender *lists*: every
+delivery did ``event_id in list`` + ``list.remove`` — O(m) each, O(m²)
+per run once a sender has a large burst outstanding.  The current kernel
+uses per-sender sets with lazy cancellation (O(1) per delivery).
+
+``_LegacyRuntime`` below reinstates the pre-PR list bookkeeping verbatim
+so the before/after is measured head-to-head on the same machine, same
+workload, same event timeline.  Both runtimes must agree on every
+observable (sent / delivered / final time) — the optimization is
+semantics-preserving — and the set kernel must win by ≥ 5×.
+
+Also runnable standalone (CI smoke): ``python benchmarks/bench_kernel_hotpath.py --smoke``.
+"""
+
+import heapq
+import time
+
+from repro.amp.network import AsyncProcess, AsyncRuntime, CrashAt, DelayModel
+
+
+class _LegacyRuntime(AsyncRuntime):
+    """The seed kernel's O(m) list bookkeeping, for comparison only."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._in_flight = {pid: [] for pid in range(self.n)}
+
+    def _send(self, src, dst, payload):
+        from repro.core.exceptions import ConfigurationError, ModelViolation
+
+        if not 0 <= dst < self.n:
+            raise ModelViolation(f"process {src} sent to unknown process {dst}")
+        if src in self.crashed:
+            return
+        delay = self.delay_model.delay(src, dst, self.now, self._rng)
+        if delay <= 0:
+            raise ConfigurationError("delay model produced non-positive delay")
+        event_id = self._push(self.now + delay, "deliver", (src, dst, payload))
+        self._in_flight[src].append(event_id)
+        self.messages_sent += 1
+
+    def _handle_crash(self, pid, drop_fraction):
+        from repro.core.exceptions import ModelViolation
+
+        if pid in self.crashed:
+            return
+        if self.max_crashes is not None and len(self.crashed) >= self.max_crashes:
+            raise ModelViolation(f"crash budget t={self.max_crashes} exhausted")
+        self.crashed.add(pid)
+        pending = [e for e in self._in_flight[pid] if e not in self._cancelled]
+        drop_count = int(round(drop_fraction * len(pending)))
+        for event_id in list(reversed(pending))[:drop_count]:
+            self._cancelled.add(event_id)
+
+    def _handle_delivery(self, event_id, src, dst, payload):
+        if event_id in self._in_flight[src]:
+            self._in_flight[src].remove(event_id)
+        if dst in self.crashed or self.contexts[dst].halted:
+            return
+        self.messages_delivered += 1
+        self.processes[dst].on_message(self.contexts[dst], src, payload)
+
+
+class LIFODelay(DelayModel):
+    """Later sends deliver earlier — the adversarial order for list
+    bookkeeping (every removal scans the whole remaining list)."""
+
+    def __init__(self, base: float = 100.0, step: float = 1e-3) -> None:
+        self.base = base
+        self.step = step
+        self._count = 0
+
+    def delay(self, src, dst, send_time, rng):
+        self._count += 1
+        return max(self.step, self.base - self._count * self.step)
+
+
+class BurstSender(AsyncProcess):
+    """Sends its whole burst at t=0, then just counts what arrives."""
+
+    def __init__(self, per_sender: int) -> None:
+        self.per_sender = per_sender
+        self.received = 0
+
+    def on_start(self, ctx):
+        for i in range(self.per_sender):
+            ctx.send((ctx.pid + 1 + i % (ctx.n - 1)) % ctx.n, i)
+
+    def on_message(self, ctx, src, payload):
+        self.received += 1
+
+
+def run_stress(runtime_cls, n: int = 32, messages: int = 50_000, senders: int = 8):
+    """One stress run: ``senders`` heavy broadcasters share ``messages``
+    sends into an n-process system, plus one mid-run crash that drops a
+    quarter of the victim's in-flight tail."""
+    per_sender = messages // senders
+    procs = [
+        BurstSender(per_sender if pid < senders else 0) for pid in range(n)
+    ]
+    runtime = runtime_cls(
+        procs,
+        delay_model=LIFODelay(),
+        crashes=[CrashAt(pid=5, time=60.0, drop_in_flight=0.25)],
+        max_crashes=1,
+        seed=7,
+        max_events=4 * messages,
+        quiesce_when_decided=False,
+    )
+    start = time.perf_counter()
+    result = runtime.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def compare(n: int = 32, messages: int = 50_000):
+    legacy_time, legacy_result = run_stress(_LegacyRuntime, n, messages)
+    new_time, new_result = run_stress(AsyncRuntime, n, messages)
+    observables = (
+        legacy_result.messages_sent,
+        legacy_result.messages_delivered,
+        legacy_result.final_time,
+        legacy_result.crashed,
+    ) == (
+        new_result.messages_sent,
+        new_result.messages_delivered,
+        new_result.final_time,
+        new_result.crashed,
+    )
+    return legacy_time, new_time, observables, new_result
+
+
+def test_hotpath_speedup(benchmark):
+    def body():
+        from conftest import print_series
+
+        legacy_time, new_time, observables, result = compare()
+        speedup = legacy_time / new_time
+        print_series(
+            "A1: AMP kernel hot path, n=32 / ~50k messages (wall-clock s)",
+            [
+                ("list in-flight (seed)", round(legacy_time, 3), "-"),
+                ("set in-flight (current)", round(new_time, 3), f"{speedup:.1f}x"),
+            ],
+            ["kernel", "seconds", "speedup"],
+        )
+        assert observables  # the optimization changes nothing observable
+        assert result.messages_sent == 50_000
+        assert speedup >= 5.0
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=32)
+    parser.add_argument("--messages", type=int, default=50_000)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes, semantic check only (CI)",
+    )
+    args = parser.parse_args(argv)
+    n, messages = (8, 2_000) if args.smoke else (args.n, args.messages)
+    if n < 2 or messages < n:
+        parser.error(f"need --n >= 2 and --messages >= n, got n={n} messages={messages}")
+    legacy_time, new_time, observables, result = compare(n, messages)
+    print(
+        f"n={n} messages={result.messages_sent} delivered={result.messages_delivered}\n"
+        f"legacy(list) {legacy_time:.3f}s   current(set) {new_time:.3f}s   "
+        f"speedup {legacy_time / new_time:.1f}x"
+    )
+    if not observables:
+        raise SystemExit("observable mismatch between legacy and current kernels")
+    # The ≥ 5× bar only applies at the acceptance sizes; shrunk runs are
+    # dominated by fixed event-loop costs, not the quadratic bookkeeping.
+    if (n, messages) == (32, 50_000) and legacy_time < 5.0 * new_time:
+        raise SystemExit("expected >= 5x speedup on the full-size stress case")
+
+
+if __name__ == "__main__":
+    main()

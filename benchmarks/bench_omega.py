@@ -7,6 +7,9 @@ agreement or validity (indulgence); Ω can be *implemented* from partial
 synchrony (heartbeats), matching the decreed oracle's behavior after GST.
 """
 
+import os
+from functools import partial
+
 import pytest
 
 from repro.amp import (
@@ -20,8 +23,32 @@ from repro.amp import (
     run_processes,
 )
 from repro.amp.consensus import make_omega_consensus, make_paxos
+from repro.harness import run_many
 
 from conftest import print_series, record
+
+#: opt-in parallel seed sweeps (results are identical at any worker count)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+
+
+def indulgence_summary(seed, algorithm):
+    """Picklable ``run_many`` factory: one run under a forever-lying Ω;
+    returns (decided values, safety violated?)."""
+    n, t = 4, 1
+    if algorithm == "omega":
+        procs = make_omega_consensus(n, t, "wxyz", poll_interval=0.3)
+    else:
+        procs = make_paxos(n, list("wxyz"), poll_interval=0.4, backoff=0.3)
+    result = run_processes(
+        procs,
+        delay_model=UniformDelay(0.2, 1.5),
+        failure_detector=AdversarialOmega(n, period=0.6),
+        seed=seed,
+        max_events=50_000,
+    )
+    values = {v for v, d in zip(result.outputs, result.decided) if d}
+    violated = len(values) > 1 or not values <= set("wxyz")
+    return tuple(sorted(values)), violated
 
 
 @pytest.mark.parametrize("tau", [0.0, 4.0, 12.0])
@@ -72,27 +99,15 @@ def test_decision_vs_tau_report(benchmark):
 def test_indulgence_report(benchmark):
     def body():
         """Safety under a forever-lying Ω, for both Ω-consensus and Paxos."""
-        n, t = 4, 1
         rows = []
-        for name, make in (
-            ("Ω-consensus", lambda: make_omega_consensus(n, t, "wxyz", poll_interval=0.3)),
-            ("Paxos", lambda: make_paxos(n, list("wxyz"), poll_interval=0.4, backoff=0.3)),
-        ):
-            violations = 0
-            decided_runs = 0
-            for seed in range(8):
-                result = run_processes(
-                    make(),
-                    delay_model=UniformDelay(0.2, 1.5),
-                    failure_detector=AdversarialOmega(n, period=0.6),
-                    seed=seed,
-                    max_events=50_000,
-                )
-                values = {v for v, d in zip(result.outputs, result.decided) if d}
-                if len(values) > 1 or not values <= set("wxyz"):
-                    violations += 1
-                if values:
-                    decided_runs += 1
+        for name, algorithm in (("Ω-consensus", "omega"), ("Paxos", "paxos")):
+            sweep = run_many(
+                partial(indulgence_summary, algorithm=algorithm),
+                range(8),
+                workers=WORKERS,
+            )
+            violations = sum(1 for _values, violated in sweep if violated)
+            decided_runs = sum(1 for values, _violated in sweep if values)
             rows.append((name, violations, f"{decided_runs}/8"))
             assert violations == 0  # indulgence: never unsafe
         print_series(

@@ -13,7 +13,9 @@ every stop on the tour executable:
   universal constructions, progress conditions, abortable objects (§4);
 * :mod:`repro.amp` — asynchronous message passing, reliable broadcast,
   ABD registers, FLP, failure detectors, Ω-based and randomized
-  consensus, state-machine replication (§5).
+  consensus, state-machine replication (§5);
+* :mod:`repro.harness` — parallel multi-run experiment driver
+  (seed sweeps, deterministic aggregation).
 
 Quickstart::
 

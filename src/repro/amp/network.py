@@ -287,6 +287,14 @@ class AsyncRuntime:
             )
         seen = set()
         for crash in crashes:
+            if not 0 <= crash.pid < self.n:
+                raise ConfigurationError(
+                    f"crash schedule names unknown process {crash.pid} (n={self.n})"
+                )
+            if not 0.0 <= crash.drop_in_flight <= 1.0:
+                raise ConfigurationError(
+                    f"drop_in_flight must be in [0, 1], got {crash.drop_in_flight}"
+                )
             if crash.pid in seen:
                 raise ConfigurationError(f"process {crash.pid} crashes twice")
             seen.add(crash.pid)
@@ -307,8 +315,9 @@ class AsyncRuntime:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.decision_times: Dict[int, float] = {}
-        #: event ids of undelivered messages per sender (for crash drops)
-        self._in_flight: Dict[int, List[int]] = {pid: [] for pid in range(self.n)}
+        #: event ids of undelivered messages per sender (for crash drops);
+        #: ids are monotonically increasing, so max = newest send
+        self._in_flight: Dict[int, Set[int]] = {pid: set() for pid in range(self.n)}
         self._cancelled: Set[int] = set()
 
         for crash in crashes:
@@ -330,7 +339,7 @@ class AsyncRuntime:
         if delay <= 0:
             raise ConfigurationError("delay model produced non-positive delay")
         event_id = self._push(self.now + delay, "deliver", (src, dst, payload))
-        self._in_flight[src].append(event_id)
+        self._in_flight[src].add(event_id)
         self.messages_sent += 1
 
     def _set_timer(self, pid: int, delay: float, name: object) -> None:
@@ -340,7 +349,10 @@ class AsyncRuntime:
 
     def _process_rng(self, pid: int) -> random.Random:
         if pid not in self._proc_rngs:
-            self._proc_rngs[pid] = random.Random((self._seed, pid).__hash__())
+            # Explicit injective derivation: distinct (seed, pid) pairs can
+            # never alias as long as pid < 1_000_003 (tuple-hash seeding is
+            # collision-prone and opaque).
+            self._proc_rngs[pid] = random.Random(self._seed * 1_000_003 + pid)
         return self._proc_rngs[pid]
 
     def _note_decision(self, pid: int, value: object) -> None:
@@ -377,6 +389,12 @@ class AsyncRuntime:
         while self._queue:
             if self.quiesce_when_decided and self._all_settled():
                 break
+            time, event_id, kind, data = self._queue[0]
+            if until is not None and time > until:
+                # Leave the event for a later run() call; a deferred event
+                # is not processed, so it must not be charged to the budget.
+                self.now = until
+                break
             events += 1
             if events > self.max_events:
                 if self.strict_budget:
@@ -384,13 +402,9 @@ class AsyncRuntime:
                         f"run exceeded {self.max_events} events"
                     )
                 break
-            time, event_id, kind, data = heapq.heappop(self._queue)
-            if until is not None and time > until:
-                # Leave the event for a later run() call.
-                heapq.heappush(self._queue, (time, event_id, kind, data))
-                self.now = until
-                break
+            heapq.heappop(self._queue)
             if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
                 continue
             self.now = max(self.now, time)
             if kind == "crash":
@@ -409,16 +423,20 @@ class AsyncRuntime:
         if self.max_crashes is not None and len(self.crashed) >= self.max_crashes:
             raise ModelViolation(f"crash budget t={self.max_crashes} exhausted")
         self.crashed.add(pid)
-        pending = [e for e in self._in_flight[pid] if e not in self._cancelled]
+        pending = self._in_flight[pid]
         drop_count = int(round(drop_fraction * len(pending)))
         # Newest sends are dropped first: the crash interrupted the tail
-        # of the process's final broadcast.
-        for event_id in list(reversed(pending))[:drop_count]:
-            self._cancelled.add(event_id)
+        # of the process's final broadcast.  Event ids increase with send
+        # order, so the largest ids are the newest sends; cancellation is
+        # lazy (the run loop skips cancelled deliveries), keeping this
+        # O(pending · log dropped) at the crash and O(1) per skip.
+        if drop_count:
+            for event_id in heapq.nlargest(drop_count, pending):
+                pending.discard(event_id)
+                self._cancelled.add(event_id)
 
     def _handle_delivery(self, event_id: int, src: int, dst: int, payload: object) -> None:
-        if event_id in self._in_flight[src]:
-            self._in_flight[src].remove(event_id)
+        self._in_flight[src].discard(event_id)
         if dst in self.crashed or self.contexts[dst].halted:
             return
         self.messages_delivered += 1

@@ -1,0 +1,23 @@
+"""Shared parallel experiment harness.
+
+Claim-checking at scale means ranging over many seeds, schedules, and
+adversaries per task.  :func:`run_many` is the one driver every
+benchmark shares: a seed sweep over a picklable factory, parallel when
+processes are available, serial otherwise, deterministic either way.
+"""
+
+from .parallel import (
+    MultiReportStats,
+    MultiRunStats,
+    aggregate_amp,
+    aggregate_shm,
+    run_many,
+)
+
+__all__ = [
+    "MultiReportStats",
+    "MultiRunStats",
+    "aggregate_amp",
+    "aggregate_shm",
+    "run_many",
+]

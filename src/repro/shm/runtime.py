@@ -177,7 +177,8 @@ class Scheduler:
     ``choose`` receives the global step number and the (sorted) list of
     runnable pids and must return one of them.  Returning a pid not in
     the list is a bug and raises.  ``crash_now`` may name processes to
-    crash *before* the step is chosen (adaptive crashes).
+    crash *before* the step is chosen (adaptive crashes).  The runnable
+    list is a shared cached view — schedulers must not mutate it.
     """
 
     def choose(self, step_no: int, runnable: Sequence[int]) -> int:
@@ -222,6 +223,11 @@ class Runtime:
         self.strict_budget = strict_budget
         self._processes: Dict[int, _ProcessRecord] = {}
         self.step_no = 0
+        # Runnable pids, maintained incrementally: the sorted view handed to
+        # the scheduler is only re-derived after a status change (spawn,
+        # crash, completion) instead of twice per step.
+        self._runnable_set: Set[int] = set()
+        self._runnable_sorted: Optional[List[int]] = None
 
     # -- setup ---------------------------------------------------------------
 
@@ -230,6 +236,8 @@ class Runtime:
         if pid in self._processes:
             raise ConfigurationError(f"process {pid} spawned twice")
         self._processes[pid] = _ProcessRecord(pid=pid, program=program)
+        self._runnable_set.add(pid)
+        self._runnable_sorted = None
 
     def spawn_all(self, programs: Mapping[int, Program]) -> None:
         for pid, program in programs.items():
@@ -257,16 +265,19 @@ class Runtime:
             )
         record.status = ProcessStatus.CRASHED
         record.program.close()
+        self._runnable_set.discard(pid)
+        self._runnable_sorted = None
+
+    def _runnable(self) -> List[int]:
+        if self._runnable_sorted is None:
+            self._runnable_sorted = sorted(self._runnable_set)
+        return self._runnable_sorted
 
     def run(self) -> RunReport:
         """Step processes until all finish/crash or the budget runs out."""
         reason = "all-done"
         while True:
-            runnable = sorted(
-                pid
-                for pid, record in self._processes.items()
-                if record.status == ProcessStatus.RUNNING
-            )
+            runnable = self._runnable()
             if not runnable:
                 break
             if self.step_no >= self.max_steps:
@@ -278,15 +289,11 @@ class Runtime:
                 break
             for victim in self.scheduler.crash_now(self.step_no, runnable):
                 self.crash(victim)
-            runnable = sorted(
-                pid
-                for pid, record in self._processes.items()
-                if record.status == ProcessStatus.RUNNING
-            )
+            runnable = self._runnable()
             if not runnable:
                 break
             pid = self.scheduler.choose(self.step_no, runnable)
-            if pid not in runnable:
+            if pid not in self._runnable_set:
                 raise ConfigurationError(
                     f"scheduler chose {pid}, not in runnable {runnable}"
                 )
@@ -305,6 +312,8 @@ class Runtime:
         except StopIteration as stop:
             record.status = ProcessStatus.DONE
             record.output = stop.value
+            self._runnable_set.discard(pid)
+            self._runnable_sorted = None
             return
         if not isinstance(request, Invocation):
             raise ModelViolation(

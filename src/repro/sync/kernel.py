@@ -190,9 +190,15 @@ class SynchronousRunner:
         graphs: List[FrozenSet[DirectedEdge]] = []
         message_count = 0
 
-        outboxes: List[Outbox] = []
+        # Only processes that still have something to send keep an outbox
+        # entry; halted/crashed processes are dropped instead of carrying
+        # empty dicts through every remaining round.  ``active`` (pid order)
+        # are the processes that still compute: not crashed, not halted.
+        outboxes: Dict[int, Outbox] = {}
+        active: List[int] = []
         for pid in range(n):
-            outboxes.append(self._collect_outbox(pid, self.algorithms[pid].on_start))
+            outboxes[pid] = self._collect_outbox(pid, self.algorithms[pid].on_start)
+            active.append(pid)
 
         round_no = 0
         while True:
@@ -201,19 +207,15 @@ class SynchronousRunner:
                 raise SimulationLimitExceeded(
                     f"synchronous run exceeded {self.max_rounds} rounds"
                 )
-            for ctx in self.contexts:
-                ctx.round = round_no
+            for pid in active:
+                self.contexts[pid].round = round_no
 
             # --- send phase (with mid-send crashes) -----------------------
             crashing_now = {e.pid: e for e in self.crash_by_round.get(round_no, [])}
             sends: Dict[DirectedEdge, object] = {}
-            for pid in range(n):
+            for pid, outbox in outboxes.items():
                 # A process that halted during the previous round's compute
-                # still gets its final outbox delivered ("send, then halt");
-                # processes halted earlier have an empty outbox by now.
-                if pid in crashed:
-                    continue
-                outbox = outboxes[pid]
+                # still gets its final outbox delivered ("send, then halt").
                 allowed: Optional[FrozenSet[int]] = None
                 if pid in crashing_now:
                     allowed = crashing_now[pid].delivered_to
@@ -221,8 +223,15 @@ class SynchronousRunner:
                     if allowed is not None and target not in allowed:
                         continue
                     sends[(pid, target)] = message
-            for pid in crashing_now:
-                crashed.add(pid)
+            if crashing_now:
+                crashed.update(crashing_now)
+                active = [pid for pid in active if pid not in crashing_now]
+            # Final outboxes (halted last round) are now delivered; crashed
+            # processes send nothing further either.
+            for pid in [
+                p for p in outboxes if p in crashed or self.contexts[p].halted
+            ]:
+                del outboxes[pid]
 
             # --- adversary filtering (§3.3) -------------------------------
             if self.adversary is not None:
@@ -242,23 +251,29 @@ class SynchronousRunner:
                 graphs.append(delivered_edges)
 
             # --- receive + compute phases ----------------------------------
-            inboxes: List[Dict[int, object]] = [dict() for _ in range(n)]
+            inboxes: Dict[int, Dict[int, object]] = {pid: {} for pid in active}
             for (src, dst) in delivered_edges:
-                if dst not in crashed:
-                    inboxes[dst][src] = sends[(src, dst)]
+                box = inboxes.get(dst)
+                if box is not None:
+                    box[src] = sends[(src, dst)]
 
-            any_live = False
-            for pid in range(n):
+            still_active: List[int] = []
+            for pid in active:
                 ctx = self.contexts[pid]
-                if pid in crashed or ctx.halted:
-                    outboxes[pid] = {}
-                    continue
-                outboxes[pid] = self._collect_outbox(
+                outbox = self._collect_outbox(
                     pid, lambda c: self.algorithms[pid].on_round(c, inboxes[pid])
                 )
-                if not ctx.halted:
-                    any_live = True
-            if not any_live:
+                if ctx.halted:
+                    # Keep the final outbox for one more send phase only.
+                    if outbox:
+                        outboxes[pid] = outbox
+                    else:
+                        outboxes.pop(pid, None)
+                else:
+                    outboxes[pid] = outbox
+                    still_active.append(pid)
+            active = still_active
+            if not active:
                 break
 
         return SyncRunResult(

@@ -112,6 +112,53 @@ class TestEventLoop:
 
         assert run_once() == run_once()
 
+    def test_segmented_run_equals_one_shot(self):
+        """run(until=t) then run() must observe exactly what run() does."""
+
+        def make_runtime():
+            procs = [Ping(pid, 3) for pid in range(3)]
+            return AsyncRuntime(procs, delay_model=UniformDelay(0.1, 2.0), seed=9)
+
+        one_shot = make_runtime().run()
+        segmented = make_runtime()
+        segmented.run(until=0.7)
+        segmented.run(until=1.4)
+        assert segmented.run() == one_shot
+
+    def test_deferred_event_not_charged_to_budget(self):
+        """An event pushed past ``until`` is not processed, so it must not
+        consume the event budget of the run that deferred it."""
+
+        class TwoTimers(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.set_timer(0.5, "a")
+                ctx.set_timer(2.5, "b")
+
+            def on_timer(self, ctx, name):
+                if name == "b":
+                    ctx.decide(ctx.time)
+                    ctx.halt()
+
+        runtime = AsyncRuntime([TwoTimers()], max_events=1, strict_budget=True)
+        # Exactly one event (timer "a") fits before the deadline; peeking at
+        # "b" must not raise the strict budget.
+        result = runtime.run(until=1.0)
+        assert not result.decided[0] and result.final_time == 1.0
+        result = runtime.run()
+        assert result.outputs[0] == 2.5
+
+    def test_process_rngs_distinct_and_reproducible(self):
+        """Explicit seed derivation: distinct (seed, pid) pairs never alias,
+        and the per-process streams are stable across runtimes."""
+        draws = {}
+        for seed in range(10):
+            runtime = AsyncRuntime([Gossip() for _ in range(10)], seed=seed)
+            for pid in range(10):
+                draws[(seed, pid)] = runtime._process_rng(pid).random()
+        assert len(set(draws.values())) == len(draws)
+        again = AsyncRuntime([Gossip() for _ in range(10)], seed=3)
+        assert again._process_rng(7).random() == draws[(3, 7)]
+
 
 class TestDelayModels:
     def test_fixed_delay_validation(self):
@@ -211,6 +258,67 @@ class TestCrashes:
         )
         heard = [0 in p.heard for p in procs[1:]]
         assert any(heard) and not all(heard)  # a strict subset received
+
+    def test_drop_counts_exact_and_newest_first(self):
+        """drop_in_flight drops exactly round(f * pending), newest send
+        first — the tail of the interrupted broadcast."""
+
+        class WideBroadcast(AsyncProcess):
+            def on_start(self, ctx):
+                if ctx.pid == 0:
+                    ctx.broadcast("data", include_self=False)
+
+        for drop, expect_heard in (
+            (0.0, {1, 2, 3, 4}),
+            (0.5, {1, 2}),       # 4 pending, 2 dropped: dsts 4 then 3
+            (0.75, {1}),         # round(3.0) = 3 dropped: dsts 4, 3, 2
+            (1.0, set()),
+        ):
+            procs = [WideBroadcast()] + [Gossip() for _ in range(4)]
+            run_processes(
+                procs,
+                delay_model=FixedDelay(1.0),
+                crashes=[CrashAt(pid=0, time=0.5, drop_in_flight=drop)],
+                max_crashes=1,
+                quiesce_when_decided=False,
+            )
+            heard = {pid for pid in range(1, 5) if 0 in procs[pid].heard}
+            assert heard == expect_heard, f"drop={drop}"
+
+    def test_already_delivered_messages_never_dropped(self):
+        """Only messages still in flight at crash time can be dropped."""
+
+        class WideBroadcast(AsyncProcess):
+            def on_start(self, ctx):
+                if ctx.pid == 0:
+                    ctx.broadcast("data", include_self=False)
+
+        # dsts 1 and 2 receive before the crash; dropping "all" in-flight
+        # only kills the two still-travelling messages (to 3 and 4).
+        delay = TargetedDelay(FixedDelay(1.0), {(0, 1): 0.2, (0, 2): 0.3})
+        procs = [WideBroadcast()] + [Gossip() for _ in range(4)]
+        run_processes(
+            procs,
+            delay_model=delay,
+            crashes=[CrashAt(pid=0, time=0.5, drop_in_flight=1.0)],
+            max_crashes=1,
+            quiesce_when_decided=False,
+        )
+        heard = {pid for pid in range(1, 5) if 0 in procs[pid].heard}
+        assert heard == {1, 2}
+
+    def test_crash_pid_out_of_range_rejected(self):
+        for pid in (-1, 2, 99):
+            with pytest.raises(ConfigurationError):
+                AsyncRuntime([Gossip(), Gossip()], crashes=[CrashAt(pid, 1.0)])
+
+    def test_drop_fraction_out_of_range_rejected(self):
+        for fraction in (-0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                AsyncRuntime(
+                    [Gossip(), Gossip()],
+                    crashes=[CrashAt(0, 1.0, drop_in_flight=fraction)],
+                )
 
     def test_crash_budget_validated(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,109 @@
+"""Tests for the parallel multi-run harness (repro.harness)."""
+
+import pytest
+
+from repro.amp import AsyncProcess, FixedDelay, UniformDelay, run_processes
+from repro.harness import (
+    MultiReportStats,
+    MultiRunStats,
+    aggregate_amp,
+    aggregate_shm,
+    run_many,
+)
+from repro.shm.runtime import Runtime, make_registers, read, write
+from repro.shm.schedulers import RandomScheduler
+
+
+class _Echo(AsyncProcess):
+    """Everyone broadcasts its pid; decides once it heard a majority."""
+
+    def on_start(self, ctx):
+        self.heard = set()
+        ctx.broadcast(("id", ctx.pid))
+
+    def on_message(self, ctx, src, payload):
+        self.heard.add(src)
+        if len(self.heard) > ctx.n // 2 and not ctx.decided:
+            ctx.decide(min(self.heard))
+            ctx.halt()
+
+
+def amp_factory(seed):
+    """Top-level (picklable) factory: one jittered echo run."""
+    return run_processes(
+        [_Echo() for _ in range(5)],
+        delay_model=UniformDelay(0.1, 2.0),
+        seed=seed,
+    )
+
+
+def shm_factory(seed):
+    """Top-level (picklable) factory: one random-schedule write/read run."""
+
+    def program(pid, registers):
+        yield from write(registers[pid], pid * 10)
+        value = yield from read(registers[(pid + 1) % len(registers)])
+        return value
+
+    registers = make_registers("r", 3, initial=-1)
+    runtime = Runtime(RandomScheduler(seed=seed))
+    for pid in range(3):
+        runtime.spawn(pid, program(pid, registers))
+    return runtime.run()
+
+
+class TestRunMany:
+    def test_serial_matches_sequential_loop(self):
+        assert run_many(amp_factory, range(4)) == [amp_factory(s) for s in range(4)]
+
+    def test_results_in_seed_order(self):
+        results = run_many(amp_factory, [3, 1, 2], workers=2)
+        assert results == [amp_factory(3), amp_factory(1), amp_factory(2)]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_deterministic_across_worker_counts(self, workers):
+        """The acceptance bar: any worker count, byte-identical aggregate."""
+        serial = run_many(amp_factory, range(8), workers=1)
+        parallel = run_many(amp_factory, range(8), workers=workers)
+        assert parallel == serial
+        assert repr(aggregate_amp(parallel)) == repr(aggregate_amp(serial))
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        factory = lambda seed: seed * seed  # noqa: E731 — deliberately unpicklable
+        assert run_many(factory, range(6), workers=2) == [s * s for s in range(6)]
+
+    def test_empty_and_single_seed(self):
+        assert run_many(amp_factory, [], workers=4) == []
+        assert run_many(amp_factory, [7], workers=4) == [amp_factory(7)]
+
+
+class TestAggregation:
+    def test_aggregate_amp_counts(self):
+        results = run_many(amp_factory, range(5))
+        stats = aggregate_amp(results)
+        assert isinstance(stats, MultiRunStats)
+        assert stats.runs == 5
+        assert stats.decided_runs == 5
+        assert stats.decided_processes == sum(sum(r.decided) for r in results)
+        assert stats.messages_sent == sum(r.messages_sent for r in results)
+        assert stats.max_virtual_time == max(r.final_time for r in results)
+        assert stats.mean_virtual_time == pytest.approx(
+            sum(r.final_time for r in results) / 5
+        )
+        # decision_values is a sorted, hash-order-free summary
+        assert sum(count for _value, count in stats.decision_values) == (
+            stats.decided_processes
+        )
+
+    def test_aggregate_amp_empty(self):
+        stats = aggregate_amp([])
+        assert stats.runs == 0 and stats.mean_virtual_time == 0.0
+
+    def test_aggregate_shm_counts(self):
+        reports = run_many(shm_factory, range(6), workers=2)
+        stats = aggregate_shm(reports)
+        assert isinstance(stats, MultiReportStats)
+        assert stats.runs == 6
+        assert stats.completed_processes == 18  # 3 per run, none crash
+        assert stats.stopped_reasons == (("all-done", 6),)
+        assert repr(stats) == repr(aggregate_shm(run_many(shm_factory, range(6))))
