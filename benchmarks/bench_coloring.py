@@ -6,10 +6,15 @@ n = 16 to n = 8192) and sit far below the diameter (locality); the
 n rounds, losing by an unbounded factor.
 """
 
+import os
+import random
+
 import pytest
 
-from repro.sync import complete, ring, run_synchronous
+from repro.harness import run_many
+from repro.sync import Topology, complete, ring, run_synchronous
 from repro.sync.algorithms import (
+    ColeVishkinColoring,
     GreedyColorByID,
     expected_rounds,
     log_star,
@@ -20,7 +25,35 @@ from repro.sync.algorithms import (
 
 from conftest import print_series, record
 
+#: opt-in parallel seed sweeps (results are identical at any worker count)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+
 SIZES = [16, 64, 256, 1024, 4096]
+
+
+def permuted_ring_summary(seed):
+    """Picklable ``run_many`` factory: Cole–Vishkin on a 256-ring whose
+    processes sit in a seed-shuffled cyclic order, so the ID bit patterns
+    CV contracts differ per seed; returns (proper 3-coloring?, rounds)."""
+    n = 256
+    order = list(range(n))
+    random.Random(seed).shuffle(order)
+    succ = {order[i]: order[(i + 1) % n] for i in range(n)}
+    pred = {order[i]: order[(i - 1) % n] for i in range(n)}
+    topo = Topology(
+        n, [(pid, succ[pid]) for pid in range(n)], name=f"ring-perm-{seed}"
+    )
+    colorers = [
+        ColeVishkinColoring(predecessor=pred[pid], successor=succ[pid])
+        for pid in range(n)
+    ]
+    result = run_synchronous(topo, colorers, [None] * n)
+    colors = result.outputs
+    proper = all(
+        colors[pid] in (0, 1, 2) and colors[pid] != colors[succ[pid]]
+        for pid in range(n)
+    )
+    return proper, result.rounds
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -69,3 +102,17 @@ def test_coloring_series_report(benchmark):
         assert rows[-1][2] <= 8  # 8192-ring still a single-digit round count
 
     benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_permuted_ring_sweep(benchmark):
+    """Seed sweep through the harness: CV must 3-color every random ring
+    embedding in exactly expected_rounds(n) rounds (the iteration count
+    is ID-pattern independent — only the colors differ per seed)."""
+
+    def run():
+        return run_many(permuted_ring_summary, range(8), workers=WORKERS)
+
+    sweep = benchmark(run)
+    assert all(proper for proper, _rounds in sweep)
+    assert {rounds for _proper, rounds in sweep} == {expected_rounds(256)}
+    record(benchmark, runs=len(sweep), rounds=expected_rounds(256))

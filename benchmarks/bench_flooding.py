@@ -2,15 +2,33 @@
 
 Claim shape: rounds-to-saturation equals the graph diameter (±1 for the
 stability detection), across topologies with very different diameters;
-message volume scales with edges × rounds.
+message volume scales with edges × rounds — and, in payload units, drops
+by an order of magnitude under the delta wire format (A2, see
+bench_fullinfo.py for the dedicated A/B).
 """
+
+import os
+import random
 
 import pytest
 
-from repro.sync import complete, grid, path, ring, run_synchronous
+from repro.harness import run_many
+from repro.sync import (
+    TreeAdversary,
+    complete,
+    grid,
+    path,
+    random_connected,
+    ring,
+    run_dissemination,
+    run_synchronous,
+)
 from repro.sync.algorithms import make_flooders
 
 from conftest import print_series, record
+
+#: opt-in parallel seed sweeps (results are identical at any worker count)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
 
 TOPOLOGIES = {
     "ring-32": ring(32),
@@ -18,6 +36,28 @@ TOPOLOGIES = {
     "grid-6x6": grid(6, 6),
     "complete-16": complete(16),
 }
+
+
+def dissemination_ab_summary(seed):
+    """Picklable ``run_many`` factory: flood one random connected graph
+    under a random TREE adversary in both wire formats; returns
+    (both saturated, rounds agree, full payload units, delta payload units)."""
+    topo = random_connected(24, 0.15, random.Random(seed))
+    reports = {
+        mode: run_dissemination(
+            topo,
+            TreeAdversary(strategy="random", seed=seed, track_pid=0),
+            mode=mode,
+        )
+        for mode in ("full", "delta")
+    }
+    full, delta = reports["full"], reports["delta"]
+    return (
+        full.all_learned and delta.all_learned,
+        full.rounds == delta.rounds,
+        full.payload_delivered,
+        delta.payload_delivered,
+    )
 
 
 @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
@@ -40,6 +80,7 @@ def test_flooding_rounds_track_diameter(benchmark, name):
         diameter=diameter,
         rounds=result.rounds,
         messages=result.message_count,
+        payload_units=result.payload_delivered,
     )
 
 
@@ -59,3 +100,23 @@ def test_flooding_round_series_report(benchmark):
         )
 
     benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_dissemination_ab_sweep(benchmark):
+    """Seed sweep through the harness: delta and full flooding must agree
+    on saturation and round counts on every sampled graph/adversary pair,
+    while delta's delivered volume stays strictly below full's."""
+
+    def run():
+        return run_many(dissemination_ab_summary, range(10), workers=WORKERS)
+
+    sweep = benchmark(run)
+    assert all(saturated for saturated, _agree, _f, _d in sweep)
+    assert all(agree for _sat, agree, _f, _d in sweep)
+    assert all(delta < full for _sat, _agree, full, delta in sweep)
+    record(
+        benchmark,
+        runs=len(sweep),
+        full_units=sum(full for _s, _a, full, _d in sweep),
+        delta_units=sum(delta for _s, _a, _f, delta in sweep),
+    )

@@ -1,0 +1,281 @@
+"""A2 — full-information volume & interned views, before/after (§3.2/§4.2).
+
+Two coordinated optimizations on the full-information algorithms, each
+measured head-to-head against the seed behavior on the same workload:
+
+* **Delta flooding** (wire format): flooding sends a digest bitmask plus
+  only the (pid, value) pairs the receiver's last-heard digest lacks,
+  instead of the whole known view every round.  Decided vectors and
+  round counts are *identical* by construction (the digest only
+  subtracts pairs the receiver provably already knows); delivered
+  payload-unit volume drops from O(n)/edge/round to amortized O(1).
+  The legacy format stays available as ``mode="full"`` for A/B.
+
+* **Hash-consed IIS views** (``repro.shm.iis``): interned view states,
+  memoized ordered set partitions, and union-find connectivity.  The
+  ``_seed_*`` functions below reinstate the pre-PR recursion verbatim so
+  the before/after runs on the same machine and same (n, rounds); both
+  must agree on simplex counts and connectivity wherever both build, and
+  the interned build must finish (n, r) = (4, 3) inside a time budget
+  the seed recursion blows through.
+
+Also runnable standalone (CI smoke): ``python benchmarks/bench_fullinfo.py --smoke``.
+"""
+
+import time
+
+from repro.shm.iis import ProtocolComplex
+from repro.sync import TreeAdversary, path, ring, run_dissemination
+
+#: Wall-clock budget (seconds) separating the builders at (4, 3): the
+#: interned build finishes well under it, the seed recursion well over.
+IIS_BUDGET_SECONDS = 10.0
+
+
+# ---------------------------------------------------------------------------
+# Delta vs full flooding
+# ---------------------------------------------------------------------------
+
+
+def flooding_ab(topology, strategy="worst", seed=0):
+    """Run one dissemination workload in both wire formats.
+
+    Returns ``(full_report, delta_report, equivalent)`` where
+    ``equivalent`` is True iff decided vectors AND round counts agree.
+    """
+    reports = {}
+    for mode in ("full", "delta"):
+        adversary = TreeAdversary(strategy=strategy, seed=seed, track_pid=0)
+        reports[mode] = run_dissemination(topology, adversary, mode=mode)
+    full, delta = reports["full"], reports["delta"]
+    equivalent = (
+        full.result.outputs == delta.result.outputs
+        and full.rounds == delta.rounds
+        and full.result.messages_sent == delta.result.messages_sent
+    )
+    return full, delta, equivalent
+
+
+# ---------------------------------------------------------------------------
+# Seed IIS builder (pre-interning), kept verbatim for comparison only
+# ---------------------------------------------------------------------------
+
+
+def _seed_partitions(members):
+    """The seed's copying recursive generator (re-run per frontier state)."""
+    members = list(members)
+    if not members:
+        yield []
+        return
+    first, rest = members[0], members[1:]
+    for partition in _seed_partitions(rest):
+        for index in range(len(partition)):
+            copied = [set(block) for block in partition]
+            copied[index].add(first)
+            yield copied
+        for index in range(len(partition) + 1):
+            copied = [set(block) for block in partition]
+            copied.insert(index, {first})
+            yield copied
+
+
+def _seed_one_round_updates(states):
+    n = len(states)
+    for partition in _seed_partitions(list(range(n))):
+        new_states = [None] * n
+        seen = set()
+        for block in partition:
+            seen |= {(pid, states[pid]) for pid in block}
+            snapshot = frozenset(seen)
+            for pid in block:
+                new_states[pid] = snapshot
+        yield tuple(new_states)
+
+
+def _seed_build(n, rounds):
+    """The seed ProtocolComplex._build: returns the simplex vertex tuples."""
+    frontier = [tuple(("init", pid) for pid in range(n))]
+    for _ in range(rounds):
+        next_frontier = []
+        for states in frontier:
+            next_frontier.extend(_seed_one_round_updates(states))
+        frontier = next_frontier
+    seen = set()
+    simplexes = []
+    for states in frontier:
+        vertices = tuple((pid, states[pid]) for pid in range(n))
+        if vertices not in seen:
+            seen.add(vertices)
+            simplexes.append(vertices)
+    return simplexes
+
+
+def _seed_is_connected(simplexes):
+    """The seed adjacency-dict BFS connectivity check."""
+    vertices = set()
+    for vs in simplexes:
+        vertices.update(vs)
+    vertices = list(vertices)
+    if not vertices:
+        return True
+    adjacency = {v: set() for v in vertices}
+    for vs in simplexes:
+        for a in vs:
+            for b in vs:
+                if a != b:
+                    adjacency[a].add(b)
+    seen = {vertices[0]}
+    frontier = [vertices[0]]
+    while frontier:
+        v = frontier.pop()
+        for w in adjacency[v]:
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return len(seen) == len(vertices)
+
+
+def iis_ab(n, rounds):
+    """Build the (n, rounds) complex with both builders; time and compare.
+
+    The interned build runs first so it is not timed under the memory
+    pressure of the seed's duplicated state forest; a collection between
+    the two keeps the comparison symmetric.
+
+    Returns ``(seed_seconds, interned_seconds, counts_agree, connectivity)``.
+    """
+    import gc
+
+    gc.collect()
+    start = time.perf_counter()
+    complex_ = ProtocolComplex(n, rounds)
+    interned_connected = complex_.is_connected()
+    interned_seconds = time.perf_counter() - start
+
+    gc.collect()
+    start = time.perf_counter()
+    seed_simplexes = _seed_build(n, rounds)
+    seed_connected = _seed_is_connected(seed_simplexes)
+    seed_seconds = time.perf_counter() - start
+
+    counts_agree = (
+        len(seed_simplexes) == len(complex_.simplexes)
+        and {frozenset(vs) for vs in seed_simplexes}
+        == {frozenset(s.vertices()) for s in complex_.simplexes}
+        and seed_connected == interned_connected
+    )
+    return seed_seconds, interned_seconds, counts_agree, interned_connected
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_delta_volume_reduction(benchmark):
+    """The acceptance bar: ≥ 5× payload reduction on path-32 under the
+    worst-case TREE adversary, with identical vectors and round counts."""
+
+    def body():
+        from conftest import print_series, record
+
+        rows = []
+        for topo, strategy in ((path(32), "worst"), (ring(24), "worst")):
+            full, delta, equivalent = flooding_ab(topo, strategy=strategy)
+            assert equivalent
+            ratio = full.payload_delivered / delta.payload_delivered
+            rows.append(
+                (topo.name, full.payload_delivered, delta.payload_delivered,
+                 f"{ratio:.1f}x", full.rounds)
+            )
+            if topo.name == "path-32":
+                assert ratio >= 5.0
+        print_series(
+            "A2: delivered payload units, full vs delta flooding (TREE worst)",
+            rows,
+            ["topology", "full units", "delta units", "reduction", "rounds"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_iis_interned_build_agrees_with_seed(benchmark):
+    """Both builders must produce the same complex (counts, vertex sets,
+    connectivity) at sizes where the seed recursion is still cheap."""
+
+    def body():
+        from conftest import print_series
+
+        rows = []
+        for n, rounds in ((3, 3), (4, 2), (3, 4)):
+            seed_s, interned_s, agree, connected = iis_ab(n, rounds)
+            assert agree and connected
+            rows.append((f"({n},{rounds})", round(seed_s, 3), round(interned_s, 3)))
+        print_series(
+            "A2: protocol complex build+connectivity, seed vs interned (s)",
+            rows,
+            ["(n,rounds)", "seed", "interned"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_iis_one_config_beyond_seed_budget(benchmark):
+    """(4, 3) — 75³ = 421,875 simplexes: interned build + connectivity
+    must fit the budget the seed recursion exceeds (measured, not capped:
+    the seed run completes so counts can still be compared exactly)."""
+
+    def body():
+        seed_s, interned_s, agree, connected = iis_ab(4, 3)
+        assert agree and connected
+        assert interned_s < IIS_BUDGET_SECONDS < seed_s
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# standalone / CI smoke
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes, divergence check only (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    topo = path(16) if args.smoke else path(32)
+    full, delta, equivalent = flooding_ab(topo, strategy="worst")
+    ratio = full.payload_delivered / delta.payload_delivered
+    print(
+        f"flooding {topo.name}: full={full.payload_delivered} "
+        f"delta={delta.payload_delivered} units ({ratio:.1f}x), "
+        f"rounds={delta.rounds}"
+    )
+    if not equivalent:
+        raise SystemExit("delta/full flooding diverged (vectors or rounds)")
+    if ratio < 5.0:
+        raise SystemExit(f"expected >= 5x payload reduction, got {ratio:.1f}x")
+
+    configs = [(3, 3)] if args.smoke else [(3, 3), (3, 4), (4, 3)]
+    for n, rounds in configs:
+        seed_s, interned_s, agree, connected = iis_ab(n, rounds)
+        print(
+            f"iis ({n},{rounds}): seed={seed_s:.3f}s interned={interned_s:.3f}s "
+            f"agree={agree} connected={connected}"
+        )
+        if not (agree and connected):
+            raise SystemExit(f"complex divergence at (n,rounds)=({n},{rounds})")
+        if (n, rounds) == (4, 3) and not interned_s < IIS_BUDGET_SECONDS < seed_s:
+            raise SystemExit(
+                f"budget separation failed: interned={interned_s:.1f}s "
+                f"seed={seed_s:.1f}s budget={IIS_BUDGET_SECONDS}s"
+            )
+
+
+if __name__ == "__main__":
+    main()

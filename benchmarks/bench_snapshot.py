@@ -7,9 +7,12 @@ per-scan cost is bounded by O(n²) reads even under heavy update traffic
 (the embedded-scan helping bound).
 """
 
+import os
+
 import pytest
 
 from repro.core import History, check_history
+from repro.harness import run_many
 from repro.shm import (
     AtomicSnapshot,
     ListScheduler,
@@ -19,6 +22,30 @@ from repro.shm import (
 )
 
 from conftest import print_series, record
+
+#: opt-in parallel seed sweeps (results are identical at any worker count)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+
+
+def snapshot_linearizability_summary(seed):
+    """Picklable ``run_many`` factory: one update+scan per client under a
+    seed-randomized schedule; returns (linearizable?, total steps)."""
+    n = 3
+    history = History()
+    snap = AtomicSnapshot("snap", n)
+
+    def client(pid):
+        ticket = history.invoke(pid, "snap", "update", pid, pid * 10)
+        yield from snap.update(pid, pid * 10)
+        history.respond(ticket, None)
+        ticket = history.invoke(pid, "snap", "scan")
+        view = yield from snap.scan(pid)
+        history.respond(ticket, view)
+        return view
+
+    report = run_protocol({pid: client(pid) for pid in range(n)}, RandomScheduler(seed))
+    linearizable = check_history(history, {"snap": snapshot_spec(n)})["snap"].linearizable
+    return linearizable, report.total_steps
 
 
 def scan_cost_under_traffic(n, traffic_rounds):
@@ -98,3 +125,19 @@ def test_snapshot_vs_collect_report(benchmark):
         )
 
     benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def test_snapshot_linearizable_sweep(benchmark):
+    """Seed sweep through the harness: every randomized interleaving of
+    update+scan clients must linearize against the snapshot spec."""
+
+    def run():
+        return run_many(snapshot_linearizability_summary, range(16), workers=WORKERS)
+
+    sweep = benchmark(run)
+    assert all(linearizable for linearizable, _steps in sweep)
+    record(
+        benchmark,
+        runs=len(sweep),
+        total_steps=sum(steps for _lin, steps in sweep),
+    )

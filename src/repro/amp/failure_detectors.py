@@ -178,9 +178,9 @@ class HeartbeatOmega(FailureDetector):
         self._runtime = runtime
         original = runtime._handle_delivery
 
-        def wrapped(event_id, src, dst, payload):
+        def wrapped(event_id, src, dst, payload, *extra):
             self.last_heard[src] = max(self.last_heard[src], runtime.now)
-            return original(event_id, src, dst, payload)
+            return original(event_id, src, dst, payload, *extra)
 
         runtime._handle_delivery = wrapped
 

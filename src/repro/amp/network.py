@@ -36,6 +36,7 @@ from ..core.exceptions import (
     ModelViolation,
     SimulationLimitExceeded,
 )
+from ..core.volume import payload_units
 
 # ---------------------------------------------------------------------------
 # Delay models
@@ -216,7 +217,12 @@ class AsyncProcess:
 
 @dataclass
 class AmpRunResult:
-    """Observable outcome of one asynchronous message-passing run."""
+    """Observable outcome of one asynchronous message-passing run.
+
+    ``payload_sent`` / ``payload_delivered`` meter the same traffic in
+    payload units (:func:`repro.core.volume.payload_units`) — mirroring
+    the synchronous kernel's volume accounting.
+    """
 
     outputs: List[object]
     decided: List[bool]
@@ -225,6 +231,8 @@ class AmpRunResult:
     messages_sent: int
     messages_delivered: int
     decision_times: Dict[int, float] = field(default_factory=dict)
+    payload_sent: int = 0
+    payload_delivered: int = 0
 
     def output_vector(self) -> Tuple[object, ...]:
         from ..core.task import NO_OUTPUT
@@ -314,6 +322,8 @@ class AsyncRuntime:
         self.crashed: Set[int] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.payload_sent = 0
+        self.payload_delivered = 0
         self.decision_times: Dict[int, float] = {}
         #: event ids of undelivered messages per sender (for crash drops);
         #: ids are monotonically increasing, so max = newest send
@@ -338,9 +348,12 @@ class AsyncRuntime:
         delay = self.delay_model.delay(src, dst, self.now, self._rng)
         if delay <= 0:
             raise ConfigurationError("delay model produced non-positive delay")
-        event_id = self._push(self.now + delay, "deliver", (src, dst, payload))
+        # Units ride along in the event so delivery never re-measures.
+        units = payload_units(payload)
+        event_id = self._push(self.now + delay, "deliver", (src, dst, payload, units))
         self._in_flight[src].add(event_id)
         self.messages_sent += 1
+        self.payload_sent += units
 
     def _set_timer(self, pid: int, delay: float, name: object) -> None:
         if delay < 0:
@@ -435,11 +448,14 @@ class AsyncRuntime:
                 pending.discard(event_id)
                 self._cancelled.add(event_id)
 
-    def _handle_delivery(self, event_id: int, src: int, dst: int, payload: object) -> None:
+    def _handle_delivery(
+        self, event_id: int, src: int, dst: int, payload: object, units: int = 1
+    ) -> None:
         self._in_flight[src].discard(event_id)
         if dst in self.crashed or self.contexts[dst].halted:
             return
         self.messages_delivered += 1
+        self.payload_delivered += units
         self.processes[dst].on_message(self.contexts[dst], src, payload)
 
     def result(self) -> AmpRunResult:
@@ -451,6 +467,8 @@ class AsyncRuntime:
             messages_sent=self.messages_sent,
             messages_delivered=self.messages_delivered,
             decision_times=dict(self.decision_times),
+            payload_sent=self.payload_sent,
+            payload_delivered=self.payload_delivered,
         )
 
 

@@ -45,6 +45,7 @@ from .seqspec import (
     swap_spec,
     test_and_set_spec,
 )
+from .volume import payload_units
 from .task import (
     NO_OUTPUT,
     RelationTask,
@@ -92,6 +93,7 @@ __all__ = [
     "sticky_bit_spec",
     "swap_spec",
     "test_and_set_spec",
+    "payload_units",
     "NO_OUTPUT",
     "RelationTask",
     "RunOutcome",

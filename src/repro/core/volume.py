@@ -1,0 +1,44 @@
+"""Payload-volume accounting shared by the simulation kernels.
+
+Message *counts* hide the real cost of full-information protocols: one
+flooding message can carry an entire learned view.  Both kernels
+(:mod:`repro.sync.kernel` and :mod:`repro.amp.network`) therefore also
+meter **payload units** — the number of scalar leaves a message carries:
+
+* scalars (numbers, strings, bytes, booleans, ``None``) count 1;
+* containers (dict, list, tuple, set, frozenset) count the sum of their
+  leaves (dicts count keys and values);
+* a message object may declare its own weight via a
+  ``__payload_units__()`` method — used by compact wire formats such as
+  :class:`repro.sync.algorithms.flooding.DeltaMessage`, whose integer
+  digest bitmask is one machine word no matter how many pids it encodes.
+
+The unit is deliberately machine-independent (like rounds and Δ): two
+runs with the same message trace report identical volume on any host.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Set, Tuple
+
+_SCALARS = (int, float, complex, str, bytes, bool, type(None))
+
+
+def payload_units(message: object) -> int:
+    """Number of payload units (scalar leaves) ``message`` carries.
+
+    An empty container costs 1 unit (the envelope is not free), so a
+    pure signal message ("decide", ``()``) is never accounted as zero.
+    """
+    if isinstance(message, _SCALARS):
+        return 1
+    sizer = getattr(message, "__payload_units__", None)
+    if sizer is not None:
+        return int(sizer())
+    if isinstance(message, Mapping):
+        return sum(
+            payload_units(k) + payload_units(v) for k, v in message.items()
+        ) or 1
+    if isinstance(message, (list, tuple, set, frozenset)):
+        return sum(payload_units(item) for item in message) or 1
+    return 1

@@ -93,6 +93,8 @@ class MultiRunStats:
     total_virtual_time: float
     max_virtual_time: float
     decision_values: Tuple[Tuple[str, int], ...]
+    payload_sent: int = 0
+    payload_delivered: int = 0
 
     @property
     def mean_virtual_time(self) -> float:
@@ -106,6 +108,8 @@ def aggregate_amp(results: Sequence["AmpRunResult"]) -> MultiRunStats:
     crashed_processes = 0
     messages_sent = 0
     messages_delivered = 0
+    payload_sent = 0
+    payload_delivered = 0
     total_time = 0.0
     max_time = 0.0
     values: Dict[str, int] = {}
@@ -117,6 +121,8 @@ def aggregate_amp(results: Sequence["AmpRunResult"]) -> MultiRunStats:
         crashed_processes += len(result.crashed)
         messages_sent += result.messages_sent
         messages_delivered += result.messages_delivered
+        payload_sent += getattr(result, "payload_sent", 0)
+        payload_delivered += getattr(result, "payload_delivered", 0)
         total_time += result.final_time
         max_time = max(max_time, result.final_time)
         for value, did in zip(result.outputs, result.decided):
@@ -133,6 +139,8 @@ def aggregate_amp(results: Sequence["AmpRunResult"]) -> MultiRunStats:
         total_virtual_time=total_time,
         max_virtual_time=max_time,
         decision_values=tuple(sorted(values.items())),
+        payload_sent=payload_sent,
+        payload_delivered=payload_delivered,
     )
 
 

@@ -29,12 +29,19 @@ This module builds that complex *exactly* (no sampling):
 This is the strongest impossibility artifact in the library: the
 per-protocol explorers (:mod:`repro.shm.bivalence`) refute *given*
 protocols; this refutes *all* bounded-round IIS protocols at once.
+
+Performance: view states are *hash-consed* through a module-level
+:class:`ViewInterner` (equal nested views are one object, shared with
+:mod:`repro.shm.immediate_snapshot`), the ordered set partitions of
+``range(n)`` are memoized, and connectivity uses union-find — together
+these push exact builds one (n, rounds) step beyond what the naive
+recursion completes in the same time budget (see benchmarks/bench_fullinfo.py).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.exceptions import ConfigurationError
 
@@ -49,6 +56,60 @@ State = object  # nested frozensets; kept opaque for typing simplicity
 
 #: A vertex of the protocol complex: (process, its full-information state).
 Vertex = Tuple[int, State]
+
+
+class ViewInterner:
+    """Hash-consing table for nested full-information view states.
+
+    The protocol complex re-derives the *same* view states along many
+    execution branches (13^r simplexes for n = 3 share far fewer distinct
+    views).  Interning canonicalizes equal states to one object, so
+
+    * memory for the state forest is shared instead of duplicated,
+    * each frozenset's hash is computed once and then reused (frozensets
+      cache their hash), and
+    * set/dict operations on states hit CPython's identity fast path
+      instead of deep structural comparison.
+
+    The table only ever holds immutable values (frozensets and tuples),
+    so sharing canonical objects is safe.  It grows with the set of
+    distinct states ever seen; call :meth:`clear` between unrelated
+    large builds to release memory.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[State, State] = {}
+
+    def intern(self, view: State) -> State:
+        """Return the canonical object equal to ``view``."""
+        canonical = self._table.get(view)
+        if canonical is None:
+            self._table[view] = view
+            return view
+        return canonical
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+#: Module-level interner shared by the complex builder and the
+#: one-shot immediate-snapshot runtime (repro.shm.immediate_snapshot),
+#: so views produced by sampled runs are identical objects to the ones
+#: enumerated here.
+_INTERNER = ViewInterner()
+
+
+def intern_view(view: State) -> State:
+    """Canonicalize a view state through the module interner."""
+    return _INTERNER.intern(view)
+
+
+def interner_size() -> int:
+    """Number of distinct states currently interned (for tests/stats)."""
+    return len(_INTERNER)
 
 
 def ordered_set_partitions(members: Sequence[int]) -> Iterator[List[Set[int]]]:
@@ -77,20 +138,40 @@ def ordered_set_partitions(members: Sequence[int]) -> Iterator[List[Set[int]]]:
             yield copied
 
 
+#: Ordered set partitions of range(n) in immutable form, computed once
+#: per n.  The complex builder calls one_round_updates once per frontier
+#: state vector — 75² times for (n, r) = (4, 3) — and re-running the
+#: copying recursive generator each time dominates the build.
+_PARTITION_CACHE: Dict[int, Tuple[Tuple[Tuple[int, ...], ...], ...]] = {}
+
+
+def _range_partitions(n: int) -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
+    cached = _PARTITION_CACHE.get(n)
+    if cached is None:
+        cached = tuple(
+            tuple(tuple(sorted(block)) for block in partition)
+            for partition in ordered_set_partitions(range(n))
+        )
+        _PARTITION_CACHE[n] = cached
+    return cached
+
+
 def one_round_updates(states: Tuple[State, ...]) -> Iterator[Tuple[State, ...]]:
     """All full-information IS updates of one round.
 
     ``states[pid]`` is each process's pre-round state; each ordered set
     partition yields the post-round state vector: a process in block
-    ``i`` sees the (pid, state) pairs of blocks ``0..i``.
+    ``i`` sees the (pid, state) pairs of blocks ``0..i``.  Every emitted
+    snapshot is interned (see :class:`ViewInterner`).
     """
     n = len(states)
-    for partition in ordered_set_partitions(list(range(n))):
+    pairs = [(pid, states[pid]) for pid in range(n)]
+    for partition in _range_partitions(n):
         new_states: List[State] = [None] * n
-        seen: Set[Tuple[int, State]] = set()
+        seen: List[Tuple[int, State]] = []
         for block in partition:
-            seen |= {(pid, states[pid]) for pid in block}
-            snapshot = frozenset(seen)
+            seen.extend(pairs[pid] for pid in block)
+            snapshot = intern_view(frozenset(seen))
             for pid in block:
                 new_states[pid] = snapshot
         yield tuple(new_states)
@@ -123,11 +204,12 @@ class ProtocolComplex:
         self.n = n
         self.rounds = rounds
         self.simplexes: List[Simplex] = []
+        self._vertex_cache: Optional[FrozenSet[Vertex]] = None
         self._build()
 
     def _build(self) -> None:
         frontier: List[Tuple[State, ...]] = [
-            tuple(("init", pid) for pid in range(self.n))
+            tuple(intern_view(("init", pid)) for pid in range(self.n))
         ]
         for _ in range(self.rounds):
             next_frontier: List[Tuple[State, ...]] = []
@@ -143,44 +225,61 @@ class ProtocolComplex:
 
     # -- structure queries -------------------------------------------------
 
+    def _vertices(self) -> FrozenSet[Vertex]:
+        """Cached vertex set (the certificate queries it several times)."""
+        if self._vertex_cache is None:
+            out: Set[Vertex] = set()
+            for simplex in self.simplexes:
+                out.update(simplex.vertices())
+            self._vertex_cache = frozenset(out)
+        return self._vertex_cache
+
     def vertex_set(self) -> Set[Vertex]:
-        out: Set[Vertex] = set()
-        for simplex in self.simplexes:
-            out.update(simplex.vertices())
-        return out
+        return set(self._vertices())
 
     def is_connected(self) -> bool:
         """Connectivity of the complex's vertex-adjacency graph
-        (vertices adjacent when they share a simplex)."""
-        vertices = list(self.vertex_set())
+        (vertices adjacent when they share a simplex).
+
+        Union-find over simplex membership: two vertices share a
+        component iff some simplex chain links them, so unioning each
+        simplex's vertices is equivalent to (and much cheaper than)
+        materializing the full adjacency graph.
+        """
+        vertices = self._vertices()
         if not vertices:
             return True
-        adjacency: Dict[Vertex, Set[Vertex]] = {v: set() for v in vertices}
+        index = {v: i for i, v in enumerate(vertices)}
+        parent = list(range(len(index)))
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        components = len(index)
         for simplex in self.simplexes:
             vs = simplex.vertices()
-            for a in vs:
-                for b in vs:
-                    if a != b:
-                        adjacency[a].add(b)
-        seen = {vertices[0]}
-        frontier = [vertices[0]]
-        while frontier:
-            v = frontier.pop()
-            for w in adjacency[v]:
-                if w not in seen:
-                    seen.add(w)
-                    frontier.append(w)
-        return len(seen) == len(vertices)
+            a = find(index[vs[0]])
+            for other in vs[1:]:
+                b = find(index[other])
+                if a != b:
+                    parent[b] = a
+                    components -= 1
+        return components == 1
 
     def solo_corner(self, pid: int) -> Vertex:
         """The vertex where ``pid`` ran "first" every round: it saw only
         itself at every level — indistinguishable (to ``pid``) from a
         solo execution, so validity pins its decision to its own input."""
-        state: State = ("init", pid)
+        state: State = intern_view(("init", pid))
         for _ in range(self.rounds):
-            state = frozenset({(pid, state)})
+            state = intern_view(frozenset({(pid, state)}))
         vertex = (pid, state)
-        if vertex not in self.vertex_set():  # pragma: no cover - structural
+        if vertex not in self._vertices():  # pragma: no cover - structural
             raise ConfigurationError("solo corner missing — complex malformed")
         return vertex
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import ConfigurationError, SafetyViolation
+from .iis import intern_view
 from .runtime import Program
 from .snapshot import AtomicSnapshot
 
@@ -62,7 +63,10 @@ class ImmediateSnapshot:
                 if entry is not None and entry[1] <= level
             ]
             if len(at_or_below) >= level:
-                view: View = frozenset(at_or_below)
+                # Interned through the shared table in repro.shm.iis, so
+                # a view observed by a sampled run is the *same object*
+                # as the equal view enumerated by the protocol complex.
+                view: View = intern_view(frozenset(at_or_below))
                 self.views[pid] = view
                 return view
 

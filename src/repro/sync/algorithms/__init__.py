@@ -11,7 +11,13 @@ from .coloring import (
 )
 from .consensus import FloodSetConsensus, make_floodset
 from .early_stopping import EarlyStoppingConsensus, make_early_stopping
-from .flooding import FloodingAlgorithm, identity_vector, make_flooders
+from .flooding import (
+    MODES,
+    DeltaMessage,
+    FloodingAlgorithm,
+    identity_vector,
+    make_flooders,
+)
 from .leader import FloodMaxLeader, make_flood_max
 from .luby import LubyMIS, make_luby
 from .local import (
@@ -38,6 +44,8 @@ __all__ = [
     "make_flood_max",
     "LubyMIS",
     "make_luby",
+    "MODES",
+    "DeltaMessage",
     "FloodingAlgorithm",
     "identity_vector",
     "make_flooders",

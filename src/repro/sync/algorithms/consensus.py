@@ -11,6 +11,14 @@ for ``t + 1`` rounds, every process broadcasts every value it has seen;
 after round ``t + 1`` all correct processes have the same view (some
 round among the ``t + 1`` is crash-free, and a crash-free round
 synchronizes views), so deciding ``min(view)`` agrees.
+
+``mode="delta"`` (default) broadcasts only the values *newly learned*
+last round instead of the whole view.  Under crash schedules (FloodSet's
+model — reliable channels, no message adversary) the view dynamics are
+identical: a correct process's first broadcast of a value reaches
+everyone, and a crashed process never sends again, so re-broadcasting
+old values can never deliver anything new.  The legacy full-view format
+stays available as ``mode="full"`` for A/B volume measurement.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import List, Mapping, Optional, Set
 
 from ...core.exceptions import ConfigurationError
 from ..kernel import Context, Outbox, SyncAlgorithm
+from .flooding import MODES
 
 
 class FloodSetConsensus(SyncAlgorithm):
@@ -27,10 +36,13 @@ class FloodSetConsensus(SyncAlgorithm):
     Runs on the complete graph.  Decides ``min`` of the final view.
     """
 
-    def __init__(self, t: int) -> None:
+    def __init__(self, t: int, mode: str = "delta") -> None:
         if t < 0:
             raise ConfigurationError("resilience t must be >= 0")
+        if mode not in MODES:
+            raise ConfigurationError(f"unknown FloodSet mode {mode!r}")
         self.t = t
+        self.mode = mode
         self.view: Set[object] = set()
 
     def on_start(self, ctx: Context) -> Outbox:
@@ -44,18 +56,23 @@ class FloodSetConsensus(SyncAlgorithm):
         return ctx.broadcast(frozenset(self.view))
 
     def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
+        fresh: Set[object] = set()
         for values in received.values():
-            self.view |= set(values)
+            fresh |= set(values) - self.view
+        self.view |= fresh
         if ctx.round >= self.t + 1:
             ctx.decide(min(self.view))
             ctx.halt()
             return {}
-        return ctx.broadcast(frozenset(self.view))
+        # A (possibly empty) broadcast is sent every round in both modes,
+        # so message counts and mid-send crash prefixes stay identical.
+        payload = frozenset(fresh) if self.mode == "delta" else frozenset(self.view)
+        return ctx.broadcast(payload)
 
     def local_state(self) -> object:
         return frozenset(self.view)
 
 
-def make_floodset(n: int, t: int) -> List[FloodSetConsensus]:
+def make_floodset(n: int, t: int, mode: str = "delta") -> List[FloodSetConsensus]:
     """One FloodSet instance per process."""
-    return [FloodSetConsensus(t) for _ in range(n)]
+    return [FloodSetConsensus(t, mode=mode) for _ in range(n)]

@@ -11,6 +11,14 @@ processes in two consecutive rounds (no new failure manifested), its
 view is already stable — a crash-free round happened — so it can decide
 and announce.  Announcements carry the decided value so laggards decide
 one round later at the latest.
+
+``mode="delta"`` (default) sends only the values newly learned last
+round inside each ``("est", …)`` message — the stability detection works
+on message *presence*, which is unchanged (an est message is sent every
+round, empty or not), and the view dynamics are identical under crash
+schedules by the same argument as
+:class:`repro.sync.algorithms.consensus.FloodSetConsensus`.  The legacy
+full-view format stays available as ``mode="full"``.
 """
 
 from __future__ import annotations
@@ -19,15 +27,19 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Set
 
 from ...core.exceptions import ConfigurationError
 from ..kernel import Context, Outbox, SyncAlgorithm
+from .flooding import MODES
 
 
 class EarlyStoppingConsensus(SyncAlgorithm):
     """min(f+2, t+1)-round uniform consensus on the complete graph."""
 
-    def __init__(self, t: int) -> None:
+    def __init__(self, t: int, mode: str = "delta") -> None:
         if t < 0:
             raise ConfigurationError("resilience t must be >= 0")
+        if mode not in MODES:
+            raise ConfigurationError(f"unknown early-stopping mode {mode!r}")
         self.t = t
+        self.mode = mode
         self.view: Set[object] = set()
         self._previous_senders: Optional[FrozenSet[int]] = None
         self._decided_value: Optional[object] = None
@@ -43,13 +55,15 @@ class EarlyStoppingConsensus(SyncAlgorithm):
     def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
         decided_seen: Optional[object] = None
         senders: Set[int] = set()
+        fresh: Set[object] = set()
         for src, message in received.items():
             kind, payload = message
             if kind == "est":
                 senders.add(src)
-                self.view |= set(payload)
+                fresh |= set(payload) - self.view
             else:  # "decide"
                 decided_seen = payload
+        self.view |= fresh
         senders_now = frozenset(senders | {ctx.pid})
 
         if decided_seen is not None:
@@ -70,12 +84,15 @@ class EarlyStoppingConsensus(SyncAlgorithm):
             ctx.halt()
             # One final announcement so laggards catch up next round.
             return ctx.broadcast(("decide", value))
-        return ctx.broadcast(("est", frozenset(self.view)))
+        payload = frozenset(fresh) if self.mode == "delta" else frozenset(self.view)
+        return ctx.broadcast(("est", payload))
 
     def local_state(self) -> object:
         return frozenset(self.view)
 
 
-def make_early_stopping(n: int, t: int) -> List[EarlyStoppingConsensus]:
+def make_early_stopping(
+    n: int, t: int, mode: str = "delta"
+) -> List[EarlyStoppingConsensus]:
     """One early-stopping instance per process."""
-    return [EarlyStoppingConsensus(t) for _ in range(n)]
+    return [EarlyStoppingConsensus(t, mode=mode) for _ in range(n)]

@@ -1,12 +1,38 @@
-"""Full-information flooding (paper §3.2).
+"""Full-information flooding (paper §3.2) — delta wire format by default.
 
 Round 1: every process sends ``(i, in_i)`` to its neighbors; thereafter it
-forwards every pair learned during previous rounds.  After ``x`` rounds a
-process knows the inputs of its entire ``x``-neighborhood, and after
-``D`` rounds (``D`` = diameter) it knows the whole input vector and can
-compute **any** function of it.
+forwards what it has learned.  After ``x`` rounds a process knows the
+inputs of its entire ``x``-neighborhood, and after ``D`` rounds (``D`` =
+diameter) it knows the whole input vector and can compute **any**
+function of it.
 
-:class:`FloodingAlgorithm` implements exactly that, parameterized by the
+Two wire formats implement the same knowledge dynamics:
+
+* ``mode="full"`` — the textbook (and original seed) format: re-broadcast
+  the **entire** learned view every round.  On a path graph the run costs
+  Θ(n) payload units per edge per round, Θ(n³) end-to-end.
+* ``mode="delta"`` (default) — each message is a
+  :class:`DeltaMessage`: an integer *digest* bitmask of the pids the
+  sender knows (one machine word) plus only the (pid, value) pairs the
+  *receiver's last heard digest* lacks.  Since a digest subtracts only
+  pairs the receiver provably already holds, every delivered delta
+  conveys exactly the same new knowledge as the full view would —
+  knowledge evolution, decided vectors, and round counts are identical
+  under **any** message adversary and crash schedule, while each pair
+  crosses an edge at most twice (once to deliver, once more while the
+  confirming digest is in flight) instead of every round.
+
+The equivalence argument, which the tests replay against adversarial
+schedules: a full view delivered over an edge at round ``r`` teaches the
+receiver ``known_sender − known_receiver``; the delta message teaches
+``known_sender − digest`` where ``digest ⊆ known_receiver`` (digests are
+facts the receiver itself broadcast earlier, and knowledge is monotone),
+so the delivered information is the same set.  Suppressed messages need
+no special-casing: a pair stays in the delta until a digest *proving*
+receipt comes back, so adversaries that drop the first copy simply see
+it re-sent, exactly as the full format would.
+
+:class:`FloodingAlgorithm` implements both formats, parameterized by the
 function to evaluate and by the number of rounds to run (defaults to
 "until nothing new is learned", which self-stabilizes at ≤ D+1 rounds
 without knowing D).
@@ -14,18 +40,41 @@ without knowing D).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ...core.exceptions import ConfigurationError
+from ...core.volume import payload_units
 from ..kernel import Context, Outbox, SyncAlgorithm
 
 #: A function of the full input vector, evaluated once it is known.
 VectorFunction = Callable[[Tuple[object, ...]], object]
 
+#: Wire formats understood by :class:`FloodingAlgorithm`.
+MODES = ("delta", "full")
+
 
 def identity_vector(vector: Tuple[object, ...]) -> Tuple[object, ...]:
     """The vector-learning task: output the input vector itself."""
     return vector
+
+
+@dataclass(frozen=True)
+class DeltaMessage:
+    """One delta-flooding message.
+
+    ``digest`` is a bitmask over pids (bit ``i`` set ⟺ the sender knows
+    ``(i, in_i)``) — one machine word of metadata, accounted as 1 payload
+    unit.  ``pairs`` carries only the values the receiver is missing
+    according to its last digest heard by the sender.
+    """
+
+    digest: int
+    pairs: Tuple[Tuple[int, object], ...]
+
+    def __payload_units__(self) -> int:
+        # 1 for the digest word + (pid + value) per carried pair.
+        return 1 + sum(1 + payload_units(value) for _pid, value in self.pairs)
 
 
 class FloodingAlgorithm(SyncAlgorithm):
@@ -39,30 +88,56 @@ class FloodingAlgorithm(SyncAlgorithm):
         Exact number of rounds to flood.  ``None`` lets the algorithm
         stop one round after it stops learning new pairs *and* it has
         ``n`` pairs (processes know ``n`` in the LOCAL model).
+    mode:
+        ``"delta"`` (default) for the digest wire format, ``"full"`` for
+        the legacy full-view re-broadcast (kept for A/B measurement).
     """
 
     def __init__(
         self,
         function: VectorFunction = identity_vector,
         rounds: Optional[int] = None,
+        mode: str = "delta",
     ) -> None:
         if rounds is not None and rounds < 0:
             raise ConfigurationError("rounds must be >= 0")
+        if mode not in MODES:
+            raise ConfigurationError(f"unknown flooding mode {mode!r}")
         self.function = function
         self.rounds = rounds
+        self.mode = mode
         self.known: Dict[int, object] = {}
+        #: own digest: bitmask of pids in ``known``
+        self._digest = 0
+        #: per-neighbor: union of digests heard from that neighbor
+        self._peer_digest: Dict[int, int] = {}
+        #: cached stable snapshot for :meth:`local_state`
+        self._state_snapshot: Optional[FrozenSet[int]] = None
 
     def on_start(self, ctx: Context) -> Outbox:
         self.known = {ctx.pid: ctx.input}
+        self._digest = 1 << ctx.pid
+        self._peer_digest = {neighbor: 0 for neighbor in ctx.neighbors}
+        self._state_snapshot = None
         if self.rounds == 0:
             self._finish(ctx)
             return {}
-        return ctx.broadcast(dict(self.known))
+        return self._emit(ctx)
 
     def on_round(self, ctx: Context, received: Mapping[int, object]) -> Outbox:
         before = len(self.known)
-        for pairs in received.values():
-            self.known.update(pairs)
+        if self.mode == "full":
+            for pairs in received.values():
+                self.known.update(pairs)
+        else:
+            for src, message in received.items():
+                self.known.update(message.pairs)
+                self._peer_digest[src] |= message.digest
+        if len(self.known) != before:
+            self._state_snapshot = None
+            if self.mode == "delta":
+                for pid in self.known:
+                    self._digest |= 1 << pid
         learned_nothing = len(self.known) == before
 
         if self.rounds is not None:
@@ -73,7 +148,24 @@ class FloodingAlgorithm(SyncAlgorithm):
             # Saturated and stable: everyone in range already heard us too.
             self._finish(ctx)
             return {}
-        return ctx.broadcast(dict(self.known))
+        return self._emit(ctx)
+
+    def _emit(self, ctx: Context) -> Outbox:
+        """This round's sends: one message per neighbor, in both modes
+        (identical message counts keep adversary RNG streams and crash
+        send-prefixes aligned across modes)."""
+        if self.mode == "full":
+            return ctx.broadcast(dict(self.known))
+        outbox: Outbox = {}
+        for neighbor in ctx.neighbors:
+            heard = self._peer_digest[neighbor]
+            pairs = tuple(
+                (pid, value)
+                for pid, value in self.known.items()
+                if not (heard >> pid) & 1
+            )
+            outbox[neighbor] = DeltaMessage(digest=self._digest, pairs=pairs)
+        return outbox
 
     def _finish(self, ctx: Context) -> None:
         if len(self.known) == ctx.n:
@@ -82,14 +174,22 @@ class FloodingAlgorithm(SyncAlgorithm):
         ctx.halt()
 
     def local_state(self) -> object:
-        """Expose learned pids to the adversary (TREE worst-case needs it)."""
-        return frozenset(self.known)
+        """Expose learned pids to the adversary (TREE worst-case needs it).
+
+        Returns a *stable snapshot*: the same frozenset object until the
+        learned set actually changes, so an adversary reading mid-round
+        sees a consistent set in both wire modes.
+        """
+        if self._state_snapshot is None:
+            self._state_snapshot = frozenset(self.known)
+        return self._state_snapshot
 
 
 def make_flooders(
     n: int,
     function: VectorFunction = identity_vector,
     rounds: Optional[int] = None,
+    mode: str = "delta",
 ) -> list:
     """One flooding instance per process."""
-    return [FloodingAlgorithm(function, rounds) for _ in range(n)]
+    return [FloodingAlgorithm(function, rounds, mode=mode) for _ in range(n)]

@@ -41,17 +41,28 @@ class DisseminationReport:
         observed = [r for r in self.per_value_rounds if r is not None]
         return max(observed) if observed else -1
 
+    @property
+    def payload_delivered(self) -> int:
+        """Delivered volume in payload units (kernel accounting)."""
+        return self.result.payload_delivered
+
 
 def run_dissemination(
     topology: Topology,
     adversary: MessageAdversary,
     inputs: Optional[Sequence[object]] = None,
     rounds: Optional[int] = None,
+    mode: str = "delta",
 ) -> DisseminationReport:
     """Flood all inputs for ``rounds`` rounds under ``adversary``.
 
     ``rounds`` defaults to ``n − 1`` — the theorem's bound, so under any
     TREE adversary the report must come back with ``all_learned=True``.
+
+    ``mode`` selects the flooding wire format (``"delta"`` default /
+    ``"full"`` legacy); knowledge dynamics are identical in both, so the
+    theorem's bound and invariant are format-independent — the delivered
+    *volume* is not, which is the point of the A/B benchmark.
 
     The per-round delivered graphs are recorded, and the yes/no cut
     invariant is re-checked for value 0 (the value the worst-case TREE
@@ -62,7 +73,7 @@ def run_dissemination(
     if len(run_inputs) != n:
         raise ConfigurationError(f"need {n} inputs, got {len(run_inputs)}")
     budget = (n - 1) if rounds is None else rounds
-    algorithms = make_flooders(n, rounds=budget)
+    algorithms = make_flooders(n, rounds=budget, mode=mode)
     runner = SynchronousRunner(
         topology,
         algorithms,
@@ -129,10 +140,11 @@ def verify_tree_theorem(
     topology: Topology,
     strategy: str = "worst",
     seed: int = 0,
+    mode: str = "delta",
 ) -> DisseminationReport:
     """Run the TREE theorem end-to-end and raise on any violated claim."""
     adversary = TreeAdversary(strategy=strategy, seed=seed, track_pid=0)
-    report = run_dissemination(topology, adversary)
+    report = run_dissemination(topology, adversary, mode=mode)
     n = topology.n
     if not report.all_learned:
         raise SafetyViolation(

@@ -27,6 +27,7 @@ from ..core.exceptions import (
     ModelViolation,
     SimulationLimitExceeded,
 )
+from ..core.volume import payload_units
 from .topology import Edge, Topology
 
 Outbox = Dict[int, object]
@@ -104,7 +105,14 @@ class CrashEvent:
 
 @dataclass
 class SyncRunResult:
-    """Everything observable about a completed synchronous run."""
+    """Everything observable about a completed synchronous run.
+
+    ``message_count`` / ``messages_sent`` count messages delivered / sent;
+    ``payload_delivered`` / ``payload_sent`` meter the same traffic in
+    payload units (see :func:`repro.core.volume.payload_units`) — the
+    honest cost measure for full-information protocols, whose messages
+    carry whole views.
+    """
 
     outputs: List[object]
     decided: List[bool]
@@ -113,6 +121,9 @@ class SyncRunResult:
     crashed: Set[int]
     communication_graphs: List[FrozenSet[DirectedEdge]] = field(default_factory=list)
     message_count: int = 0
+    messages_sent: int = 0
+    payload_sent: int = 0
+    payload_delivered: int = 0
 
     def output_vector(self) -> Tuple[object, ...]:
         from ..core.task import NO_OUTPUT
@@ -189,6 +200,9 @@ class SynchronousRunner:
         crashed: Set[int] = set()
         graphs: List[FrozenSet[DirectedEdge]] = []
         message_count = 0
+        messages_sent = 0
+        payload_sent = 0
+        payload_delivered = 0
 
         # Only processes that still have something to send keep an outbox
         # entry; halted/crashed processes are dropped instead of carrying
@@ -213,6 +227,7 @@ class SynchronousRunner:
             # --- send phase (with mid-send crashes) -----------------------
             crashing_now = {e.pid: e for e in self.crash_by_round.get(round_no, [])}
             sends: Dict[DirectedEdge, object] = {}
+            send_units: Dict[DirectedEdge, int] = {}
             for pid, outbox in outboxes.items():
                 # A process that halted during the previous round's compute
                 # still gets its final outbox delivered ("send, then halt").
@@ -223,6 +238,10 @@ class SynchronousRunner:
                     if allowed is not None and target not in allowed:
                         continue
                     sends[(pid, target)] = message
+                    units = payload_units(message)
+                    send_units[(pid, target)] = units
+                    payload_sent += units
+            messages_sent += len(sends)
             if crashing_now:
                 crashed.update(crashing_now)
                 active = [pid for pid in active if pid not in crashing_now]
@@ -247,6 +266,8 @@ class SynchronousRunner:
             else:
                 delivered_edges = frozenset(sends)
             message_count += len(delivered_edges)
+            for edge in delivered_edges:
+                payload_delivered += send_units[edge]
             if self.record_graphs:
                 graphs.append(delivered_edges)
 
@@ -284,6 +305,9 @@ class SynchronousRunner:
             crashed=crashed,
             communication_graphs=graphs,
             message_count=message_count,
+            messages_sent=messages_sent,
+            payload_sent=payload_sent,
+            payload_delivered=payload_delivered,
         )
 
     def _collect_outbox(self, pid: int, produce) -> Outbox:

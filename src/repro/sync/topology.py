@@ -36,6 +36,11 @@ class Topology:
         self.name = name
         self._adj: List[Set[int]] = [set() for _ in range(n)]
         self._edges: Set[Edge] = set()
+        # BFS distance maps and the diameter are recomputed by every
+        # flooding benchmark per seed; cache them, invalidated on any
+        # mutation (see _invalidate_caches).
+        self._distance_cache: Dict[int, Tuple[Optional[int], ...]] = {}
+        self._diameter_cache: Optional[int] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -53,6 +58,12 @@ class Topology:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._edges.add(_canonical(u, v))
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Drop memoized distances/diameter after any graph mutation."""
+        self._distance_cache.clear()
+        self._diameter_cache = None
 
     # -- queries -------------------------------------------------------------
 
@@ -84,7 +95,19 @@ class Topology:
     # -- graph algorithms ----------------------------------------------------
 
     def bfs_distances(self, source: int) -> List[Optional[int]]:
-        """Hop distances from ``source``; ``None`` for unreachable vertices."""
+        """Hop distances from ``source``; ``None`` for unreachable vertices.
+
+        Memoized per source until the graph mutates; a fresh list is
+        returned on every call so callers can't corrupt the cache.
+        """
+        cached = self._distance_cache.get(source)
+        if cached is not None:
+            return list(cached)
+        dist = self._bfs(source)
+        self._distance_cache[source] = tuple(dist)
+        return dist
+
+    def _bfs(self, source: int) -> List[Optional[int]]:
         dist: List[Optional[int]] = [None] * self.n
         dist[source] = 0
         frontier = [source]
@@ -105,13 +128,22 @@ class Topology:
         return all(d is not None for d in self.bfs_distances(0))
 
     def diameter(self) -> int:
-        """The diameter D of the graph (max over all BFS eccentricities)."""
+        """The diameter D of the graph (max over all BFS eccentricities).
+
+        Memoized until the graph mutates (flooding benchmarks ask for D
+        once per run over an unchanged graph).
+        """
+        if self._diameter_cache is not None:
+            return self._diameter_cache
         if not self.is_connected():
             raise ConfigurationError("diameter undefined: graph is disconnected")
         best = 0
         for source in range(self.n):
-            distances = self.bfs_distances(source)
+            # Raw BFS on purpose: memoizing all n sources here would cost
+            # O(n²) memory on big graphs for a single scalar answer.
+            distances = self._bfs(source)
             best = max(best, max(d for d in distances if d is not None))
+        self._diameter_cache = best
         return best
 
     def is_complete(self) -> bool:

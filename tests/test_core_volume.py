@@ -1,0 +1,120 @@
+"""Payload-unit accounting: the honest cost measure for full-information
+protocols (a "message count" hides O(n) views inside one message)."""
+
+import pytest
+
+from repro.core import payload_units
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value", [0, 7, 3.5, 1 + 2j, "hello", b"bytes", True, None]
+    )
+    def test_scalar_is_one_unit(self, value):
+        assert payload_units(value) == 1
+
+
+class TestContainers:
+    def test_flat_sequence_sums_leaves(self):
+        assert payload_units([1, 2, 3]) == 3
+        assert payload_units((1, "a")) == 2
+        assert payload_units({1, 2}) == 2
+        assert payload_units(frozenset({"x"})) == 1
+
+    def test_mapping_counts_keys_and_values(self):
+        assert payload_units({0: "v0", 1: "v1"}) == 4
+
+    def test_nesting_recurses(self):
+        assert payload_units([(0, "a"), (1, ("b", "c"))]) == 5
+
+    def test_empty_container_is_one_unit(self):
+        # An empty message still occupies a frame on the wire.
+        assert payload_units([]) == 1
+        assert payload_units({}) == 1
+        assert payload_units(frozenset()) == 1
+
+    def test_dunder_protocol_overrides(self):
+        class Compact:
+            def __payload_units__(self):
+                return 2
+
+        assert payload_units(Compact()) == 2
+        assert payload_units([Compact(), Compact()]) == 4
+
+    def test_unknown_object_is_one_unit(self):
+        class Opaque:
+            pass
+
+        assert payload_units(Opaque()) == 1
+
+
+class TestKernelAccounting:
+    def test_sync_kernel_meters_sent_and_delivered(self):
+        from repro.sync import DropAllAdversary, complete, run_synchronous
+        from repro.sync.algorithms import make_flooders
+
+        n = 4
+        result = run_synchronous(
+            complete(n),
+            make_flooders(n, rounds=1, mode="full"),
+            list(range(n)),
+        )
+        assert result.payload_sent > 0
+        assert result.payload_delivered == result.payload_sent
+        # Round 1 in full mode: each process broadcasts its 1-pair view
+        # to n-1 neighbors: n * (n-1) * 2 units.
+        assert result.payload_sent == n * (n - 1) * 2
+
+        dropped = run_synchronous(
+            complete(n),
+            make_flooders(n, rounds=1, mode="full"),
+            list(range(n)),
+            adversary=DropAllAdversary(),
+        )
+        assert dropped.payload_sent == n * (n - 1) * 2
+        assert dropped.payload_delivered == 0
+
+    def test_amp_runtime_meters_payload(self):
+        from repro.amp.network import AsyncProcess, AsyncRuntime, FixedDelay
+
+        class OneShot(AsyncProcess):
+            def on_start(self, ctx):
+                if ctx.pid == 0:
+                    ctx.send(1, ("hello", "world"))
+
+            def on_message(self, ctx, src, payload):
+                pass
+
+        runtime = AsyncRuntime(
+            [OneShot(), OneShot()],
+            delay_model=FixedDelay(1.0),
+            quiesce_when_decided=False,
+        )
+        result = runtime.run()
+        assert result.messages_sent == 1
+        assert result.payload_sent == 2
+        assert result.payload_delivered == 2
+
+    def test_aggregate_amp_sums_payload(self):
+        from repro.amp.network import AsyncProcess, AsyncRuntime, FixedDelay
+        from repro.harness import aggregate_amp
+
+        class OneShot(AsyncProcess):
+            def on_start(self, ctx):
+                if ctx.pid == 0:
+                    ctx.send(1, [1, 2, 3])
+
+            def on_message(self, ctx, src, payload):
+                pass
+
+        results = []
+        for _ in range(3):
+            runtime = AsyncRuntime(
+                [OneShot(), OneShot()],
+                delay_model=FixedDelay(1.0),
+                quiesce_when_decided=False,
+            )
+            results.append(runtime.run())
+        stats = aggregate_amp(results)
+        assert stats.payload_sent == 9
+        assert stats.payload_delivered == 9

@@ -106,3 +106,62 @@ class TestImpossibility:
         assert isinstance(cert, ImpossibilityCertificate)
         assert cert.simplex_count == 3
         assert cert.vertex_count == 4
+
+
+class TestViewInterning:
+    def test_equal_views_are_one_object(self):
+        from repro.shm.iis import intern_view
+
+        a = intern_view(frozenset({(0, ("init", 0)), (1, ("init", 1))}))
+        b = intern_view(frozenset({(1, ("init", 1)), (0, ("init", 0))}))
+        assert a is b
+
+    def test_one_round_updates_share_snapshots_across_calls(self):
+        states = (("init", 0), ("init", 1))
+        first = [update for update in one_round_updates(states)]
+        second = [update for update in one_round_updates(states)]
+        for u1, u2 in zip(first, second):
+            for s1, s2 in zip(u1, u2):
+                assert s1 is s2  # hash-consed, not merely equal
+
+    def test_complex_states_stay_nested_frozensets(self):
+        complex_ = ProtocolComplex(2, 2)
+        for simplex in complex_.simplexes:
+            for pid, state in simplex.vertices():
+                assert isinstance(state, frozenset)
+                for member, inner in state:
+                    assert isinstance(inner, (frozenset, tuple))
+
+    def test_partition_memoization_returns_same_object(self):
+        from repro.shm.iis import _range_partitions
+
+        assert _range_partitions(3) is _range_partitions(3)
+        assert len(_range_partitions(3)) == 13
+        assert len(_range_partitions(4)) == 75
+
+    def test_interner_size_grows_monotonically(self):
+        from repro.shm.iis import interner_size
+
+        before = interner_size()
+        ProtocolComplex(2, 3)
+        assert interner_size() >= before
+
+    def test_vertex_set_copies_are_independent(self):
+        complex_ = ProtocolComplex(2, 1)
+        first = complex_.vertex_set()
+        first.clear()  # caller-side mutation must not corrupt the cache
+        assert len(complex_.vertex_set()) == 4
+
+    def test_immediate_snapshot_views_are_interned(self):
+        from repro.shm import RandomScheduler, run_protocol
+        from repro.shm.iis import intern_view
+        from repro.shm.immediate_snapshot import ImmediateSnapshot
+
+        is_obj = ImmediateSnapshot("is", 3)
+
+        def participant(pid):
+            return (yield from is_obj.participate(pid, f"v{pid}"))
+
+        run_protocol({pid: participant(pid) for pid in range(3)}, RandomScheduler(4))
+        for view in is_obj.views.values():
+            assert intern_view(frozenset(view)) is view

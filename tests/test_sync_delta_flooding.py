@@ -1,0 +1,200 @@
+"""Delta flooding must be observably identical to the legacy full-view
+format — decided vectors, round counts, and message counts — under every
+topology, message adversary, and crash schedule tried, while delivering
+strictly less payload volume.  (The wire format is an optimization; the
+knowledge dynamics are the spec.)"""
+
+import random
+
+import pytest
+
+from repro.core import payload_units
+from repro.core.exceptions import ConfigurationError
+from repro.sync import (
+    BoundedDropAdversary,
+    CrashEvent,
+    TourAdversary,
+    TreeAdversary,
+    balanced_tree,
+    complete,
+    path,
+    random_connected,
+    ring,
+    run_synchronous,
+)
+from repro.sync.algorithms import (
+    MODES,
+    DeltaMessage,
+    FloodingAlgorithm,
+    make_early_stopping,
+    make_flooders,
+    make_floodset,
+)
+
+TOPOLOGIES = {
+    "ring": lambda: ring(12),
+    "path": lambda: path(10),
+    "tree": lambda: balanced_tree(2, 3),
+    "random": lambda: random_connected(14, 0.2, random.Random(5)),
+}
+
+#: Fresh adversary per run — RNG state must not leak across the A and B run.
+ADVERSARIES = {
+    "none": lambda: None,
+    "tree-random": lambda: TreeAdversary(strategy="random", seed=11, track_pid=0),
+    "tree-worst": lambda: TreeAdversary(strategy="worst", seed=11, track_pid=0),
+    "drop-3": lambda: BoundedDropAdversary(3, seed=7),
+}
+
+
+def _run_flooding(topo, adversary, rounds, mode):
+    algs = make_flooders(topo.n, rounds=rounds, mode=mode)
+    result = run_synchronous(
+        topo,
+        algs,
+        [f"v{i}" for i in range(topo.n)],
+        adversary=adversary,
+        max_rounds=6 * topo.n,
+    )
+    return result, algs
+
+
+@pytest.mark.parametrize("budget", ["fixed", "adaptive"])
+@pytest.mark.parametrize("adv_name", sorted(ADVERSARIES))
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+def test_delta_equals_full(topo_name, adv_name, budget):
+    if budget == "adaptive" and adv_name != "none":
+        # Adaptive stopping assumes reliable channels (as in the seed):
+        # under an adversary, a saturated process may halt while still
+        # being a cut vertex for some value, so the run never quiesces —
+        # identically in both modes.  Adversarial runs use fixed budgets.
+        pytest.skip("adaptive stopping is only meaningful without an adversary")
+    topo = TOPOLOGIES[topo_name]()
+    rounds = (topo.n - 1) if budget == "fixed" else None
+    outcomes = {
+        mode: _run_flooding(topo, ADVERSARIES[adv_name](), rounds, mode)
+        for mode in MODES
+    }
+    delta_result, delta_algs = outcomes["delta"]
+    full_result, full_algs = outcomes["full"]
+    assert delta_result.outputs == full_result.outputs
+    assert delta_result.rounds == full_result.rounds
+    assert delta_result.messages_sent == full_result.messages_sent
+    assert [a.known for a in delta_algs] == [a.known for a in full_algs]
+    assert delta_result.payload_sent < full_result.payload_sent
+    assert delta_result.payload_delivered < full_result.payload_delivered
+
+
+def test_delta_equals_full_under_tour_on_complete():
+    topo = complete(8)
+    outcomes = {
+        mode: _run_flooding(
+            topo, TourAdversary(orientation="random", seed=3), topo.n - 1, mode
+        )
+        for mode in MODES
+    }
+    delta_result, _ = outcomes["delta"]
+    full_result, _ = outcomes["full"]
+    assert delta_result.outputs == full_result.outputs
+    assert delta_result.rounds == full_result.rounds
+    assert delta_result.payload_delivered < full_result.payload_delivered
+
+
+def _crash_chain(rounds):
+    """Process r−1 crashes mid-send in round r, reaching only process r —
+    the chained worst case that forces FloodSet to its full t+1 rounds."""
+    return [
+        CrashEvent(pid=r - 1, round=r, delivered_to=frozenset({r}))
+        for r in range(1, rounds + 1)
+    ]
+
+
+@pytest.mark.parametrize("crashes", [0, 1, 2])
+def test_floodset_delta_equals_full_under_crashes(crashes):
+    n, t = 6, 2
+    outcomes = {}
+    for mode in MODES:
+        algs = make_floodset(n, t, mode=mode)
+        outcomes[mode] = run_synchronous(
+            complete(n),
+            algs,
+            list(range(n)),
+            crash_schedule=_crash_chain(crashes),
+            max_rounds=t + 2,
+        )
+    delta, full = outcomes["delta"], outcomes["full"]
+    assert delta.outputs == full.outputs
+    assert delta.rounds == full.rounds
+    assert delta.messages_sent == full.messages_sent
+    assert delta.payload_sent <= full.payload_sent
+
+
+@pytest.mark.parametrize("crashes", [0, 1])
+def test_early_stopping_delta_equals_full_under_crashes(crashes):
+    n, t = 5, 2
+    outcomes = {}
+    for mode in MODES:
+        algs = make_early_stopping(n, t, mode=mode)
+        outcomes[mode] = run_synchronous(
+            complete(n),
+            algs,
+            list(range(n)),
+            crash_schedule=_crash_chain(crashes),
+            max_rounds=t + 3,
+        )
+    delta, full = outcomes["delta"], outcomes["full"]
+    assert delta.outputs == full.outputs
+    assert delta.rounds == full.rounds
+    assert delta.messages_sent == full.messages_sent
+    assert delta.payload_sent <= full.payload_sent
+
+
+def test_delta_message_payload_accounting():
+    empty = DeltaMessage(digest=0b1011, pairs=())
+    assert payload_units(empty) == 1  # digest bitmask = one machine word
+    carrying = DeltaMessage(digest=0b1, pairs=((0, "v0"), (3, "v3")))
+    assert payload_units(carrying) == 1 + 2 * 2  # digest + (pid, value) each
+    nested = DeltaMessage(digest=0b1, pairs=((2, ("a", "b")),))
+    assert payload_units(nested) == 1 + 1 + 2
+
+
+def test_local_state_is_stable_frozenset_under_delta():
+    """The TREE worst-case adversary reads ``local_state()`` mid-round: it
+    must see a frozenset of learned pids (same shape as the legacy mode)
+    and the same object until the learned set actually changes."""
+    observed = []
+
+    class SpyAdversary(TreeAdversary):
+        def filter(self, round_no, sends, states, topology):
+            observed.append(list(states))
+            return super().filter(round_no, sends, states, topology)
+
+    n = 6
+    algs = make_flooders(n, mode="delta")
+    run_synchronous(
+        path(n),
+        algs,
+        list(range(n)),
+        adversary=SpyAdversary(strategy="worst", seed=0, track_pid=0),
+        max_rounds=3 * n,
+    )
+    assert observed
+    for states in observed:
+        assert all(isinstance(state, frozenset) for state in states)
+        assert all(
+            state <= frozenset(range(n)) and state for state in states
+        )
+    # Identity-stability: repeated reads without new knowledge return the
+    # very same object (the snapshot is only rebuilt on learning).
+    final = algs[0].local_state()
+    assert algs[0].local_state() is final
+    assert final == frozenset(range(n))
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        FloodingAlgorithm(mode="compressed")
+    with pytest.raises(ConfigurationError):
+        make_floodset(4, 1, mode="gzip")
+    with pytest.raises(ConfigurationError):
+        make_early_stopping(4, 1, mode="gzip")

@@ -146,3 +146,33 @@ def test_ring_diameter_formula(n):
 @given(st.integers(2, 30))
 def test_complete_diameter_is_one(n):
     assert complete(n).diameter() == 1
+
+
+class TestDistanceCaches:
+    def test_bfs_distances_returns_fresh_lists(self):
+        topo = path(5)
+        first = topo.bfs_distances(0)
+        first[0] = 999  # corrupting the returned list must not poison the cache
+        assert topo.bfs_distances(0) == [0, 1, 2, 3, 4]
+
+    def test_mutation_invalidates_distance_cache(self):
+        topo = path(5)
+        assert topo.bfs_distances(0) == [0, 1, 2, 3, 4]
+        topo.add_edge(0, 4)  # close the ring: distances must shrink
+        assert topo.bfs_distances(0) == [0, 1, 2, 2, 1]
+
+    def test_mutation_invalidates_diameter_cache(self):
+        topo = path(6)
+        assert topo.diameter() == 5
+        topo.add_edge(0, 5)
+        assert topo.diameter() == 3  # now a 6-ring
+
+    def test_repeated_diameter_is_cached_value(self):
+        topo = ring(12)
+        assert topo.diameter() == topo.diameter() == 6
+
+    def test_diameter_does_not_populate_per_source_cache(self):
+        # A single scalar answer must not pin O(n^2) distance maps.
+        topo = ring(64)
+        topo.diameter()
+        assert len(topo._distance_cache) <= 1
