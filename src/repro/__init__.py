@@ -15,7 +15,10 @@ every stop on the tour executable:
   ABD registers, FLP, failure detectors, Ω-based and randomized
   consensus, state-machine replication (§5);
 * :mod:`repro.harness` — parallel multi-run experiment driver
-  (seed sweeps, deterministic aggregation).
+  (seed sweeps, deterministic aggregation);
+* :mod:`repro.trace` — causal event tracing with Lamport/vector
+  clocks, happened-before analysis, space-time diagrams, and
+  deterministic record/replay across all three kernels.
 
 Quickstart::
 

@@ -29,7 +29,22 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace.sink import TraceSink
 
 from ..core.exceptions import (
     ConfigurationError,
@@ -269,6 +284,11 @@ class AsyncRuntime:
     quiesce_when_decided:
         Stop early once every non-crashed process decided (and optionally
         halted) — keeps round-based protocols from chattering forever.
+    sink:
+        Optional :class:`~repro.trace.sink.TraceSink` receiving every
+        event (send/deliver/drop/crash/timer/decide) with causal clocks
+        stamped at record time.  ``None`` (default) costs one ``if`` per
+        event site — see :mod:`repro.trace`.
     """
 
     def __init__(
@@ -282,6 +302,7 @@ class AsyncRuntime:
         max_events: int = 500_000,
         strict_budget: bool = False,
         quiesce_when_decided: bool = True,
+        sink: Optional["TraceSink"] = None,
     ) -> None:
         self.n = len(processes)
         if self.n < 1:
@@ -313,6 +334,9 @@ class AsyncRuntime:
         self.max_events = max_events
         self.strict_budget = strict_budget
         self.quiesce_when_decided = quiesce_when_decided
+        self._sink = sink
+        if sink is not None:
+            sink.bind(self.n)
 
         self.now = 0.0
         self._started = False
@@ -354,11 +378,15 @@ class AsyncRuntime:
         self._in_flight[src].add(event_id)
         self.messages_sent += 1
         self.payload_sent += units
+        if self._sink is not None:
+            self._sink.amp_send(event_id, src, dst, payload, units, self.now)
 
     def _set_timer(self, pid: int, delay: float, name: object) -> None:
         if delay < 0:
             raise ConfigurationError("timer delay must be >= 0")
-        self._push(self.now + delay, "timer", (pid, name))
+        event_id = self._push(self.now + delay, "timer", (pid, name))
+        if self._sink is not None:
+            self._sink.amp_timer_set(event_id, pid)
 
     def _process_rng(self, pid: int) -> random.Random:
         if pid not in self._proc_rngs:
@@ -370,6 +398,8 @@ class AsyncRuntime:
 
     def _note_decision(self, pid: int, value: object) -> None:
         self.decision_times[pid] = self.now
+        if self._sink is not None:
+            self._sink.amp_decide(pid, value, self.now)
 
     def query_failure_detector(self, pid: int) -> object:
         if self.failure_detector is None:
@@ -427,6 +457,8 @@ class AsyncRuntime:
             elif kind == "timer":
                 pid, name = data
                 if pid not in self.crashed and not self.contexts[pid].halted:
+                    if self._sink is not None:
+                        self._sink.amp_timer(event_id, pid, name, self.now)
                     self.processes[pid].on_timer(self.contexts[pid], name)
         return self.result()
 
@@ -436,6 +468,8 @@ class AsyncRuntime:
         if self.max_crashes is not None and len(self.crashed) >= self.max_crashes:
             raise ModelViolation(f"crash budget t={self.max_crashes} exhausted")
         self.crashed.add(pid)
+        if self._sink is not None:
+            self._sink.amp_crash(pid, self.now)
         pending = self._in_flight[pid]
         drop_count = int(round(drop_fraction * len(pending)))
         # Newest sends are dropped first: the crash interrupted the tail
@@ -447,15 +481,21 @@ class AsyncRuntime:
             for event_id in heapq.nlargest(drop_count, pending):
                 pending.discard(event_id)
                 self._cancelled.add(event_id)
+                if self._sink is not None:
+                    self._sink.amp_drop(event_id, self.now, reason="crash")
 
     def _handle_delivery(
         self, event_id: int, src: int, dst: int, payload: object, units: int = 1
     ) -> None:
         self._in_flight[src].discard(event_id)
         if dst in self.crashed or self.contexts[dst].halted:
+            if self._sink is not None:
+                self._sink.amp_drop(event_id, self.now, reason="dead-dst")
             return
         self.messages_delivered += 1
         self.payload_delivered += units
+        if self._sink is not None:
+            self._sink.amp_deliver(event_id, src, dst, payload, self.now)
         self.processes[dst].on_message(self.contexts[dst], src, payload)
 
     def result(self) -> AmpRunResult:

@@ -9,6 +9,7 @@ processes are available, serial otherwise, deterministic either way.
 from .parallel import (
     MultiReportStats,
     MultiRunStats,
+    RunList,
     aggregate_amp,
     aggregate_shm,
     run_many,
@@ -17,6 +18,7 @@ from .parallel import (
 __all__ = [
     "MultiReportStats",
     "MultiRunStats",
+    "RunList",
     "aggregate_amp",
     "aggregate_shm",
     "run_many",

@@ -24,9 +24,10 @@ Design rules that keep this true:
 from __future__ import annotations
 
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -34,12 +35,31 @@ T = TypeVar("T")
 _POOL_ERRORS = (BrokenProcessPool, OSError, pickle.PicklingError, AttributeError)
 
 
+class RunList(List[T]):
+    """The result list of :func:`run_many`, plus execution metadata.
+
+    Compares equal to (and otherwise behaves as) a plain list of the
+    per-seed results; the extra attributes are a *side channel* so
+    sweeps that silently degraded to serial execution stay visible:
+
+    ``workers_used``
+        Worker processes that actually executed the sweep (1 = serial).
+    ``fallback_reason``
+        ``None`` normally; a short description of the pool failure when
+        a requested process pool could not be used and the sweep re-ran
+        serially.
+    """
+
+    workers_used: int = 1
+    fallback_reason: Optional[str] = None
+
+
 def run_many(
     factory: Callable[[int], T],
     seeds: Iterable[int],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
-) -> List[T]:
+) -> "RunList[T]":
     """Run ``factory(seed)`` for every seed; return results in seed order.
 
     Parameters
@@ -54,25 +74,43 @@ def run_many(
         ``None``, ``0`` or ``1`` → serial execution in this process;
         ``>= 2`` → a process pool of that size.  If the pool cannot be
         created or used (no subprocess support, unpicklable factory),
-        the sweep silently falls back to the serial path — results are
-        identical either way.
+        the sweep falls back to the serial path — results are identical
+        either way, but the degradation is *recorded*: a
+        ``RuntimeWarning`` is emitted and the returned
+        :class:`RunList`'s ``fallback_reason`` names the cause (the
+        aggregators carry it through as ``pool_fallback``).
     chunksize:
         Batch size handed to each worker; defaults to a value that gives
         each worker a few batches.
     """
     seeds = list(seeds)
     if workers is None or workers <= 1 or len(seeds) <= 1:
-        return [factory(seed) for seed in seeds]
+        return RunList(factory(seed) for seed in seeds)
     if chunksize is None:
         chunksize = max(1, len(seeds) // (workers * 4))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(factory, seeds, chunksize=chunksize))
-    except _POOL_ERRORS:
+            results: RunList[T] = RunList(
+                pool.map(factory, seeds, chunksize=chunksize)
+            )
+            results.workers_used = workers
+            return results
+    except _POOL_ERRORS as exc:
         # Pool infrastructure failed (sandbox without semaphores, factory
         # defined in an un-importable module, ...).  The factory is a pure
-        # function of the seed, so a from-scratch serial rerun is safe.
-        return [factory(seed) for seed in seeds]
+        # function of the seed, so a from-scratch serial rerun is safe —
+        # but a sweep that silently lost its parallelism skews timing
+        # experiments, so say so loudly and on the result itself.
+        reason = f"{type(exc).__name__}: {exc}"
+        warnings.warn(
+            f"run_many: process pool unavailable ({reason}); "
+            f"falling back to serial execution of {len(seeds)} runs",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        results = RunList(factory(seed) for seed in seeds)
+        results.fallback_reason = reason
+        return results
 
 
 @dataclass(frozen=True)
@@ -82,6 +120,11 @@ class MultiRunStats:
     Every field is derived only from the (seed-ordered) result list, so
     two sweeps over the same seeds agree field-for-field — and therefore
     ``repr``-for-``repr`` — whatever the worker count was.
+
+    ``pool_fallback`` is the exception by design: a side channel
+    (excluded from ``==`` and ``repr`` to preserve the guarantee above)
+    recording why a requested process pool degraded to serial execution
+    (see :class:`RunList`), or ``None``.
     """
 
     runs: int
@@ -95,6 +138,7 @@ class MultiRunStats:
     decision_values: Tuple[Tuple[str, int], ...]
     payload_sent: int = 0
     payload_delivered: int = 0
+    pool_fallback: Optional[str] = field(default=None, compare=False, repr=False)
 
     @property
     def mean_virtual_time(self) -> float:
@@ -141,12 +185,16 @@ def aggregate_amp(results: Sequence["AmpRunResult"]) -> MultiRunStats:
         decision_values=tuple(sorted(values.items())),
         payload_sent=payload_sent,
         payload_delivered=payload_delivered,
+        pool_fallback=getattr(results, "fallback_reason", None),
     )
 
 
 @dataclass(frozen=True)
 class MultiReportStats:
-    """Aggregate over shared-memory :class:`~repro.shm.runtime.RunReport`s."""
+    """Aggregate over shared-memory :class:`~repro.shm.runtime.RunReport`s.
+
+    ``pool_fallback``: same side channel as on :class:`MultiRunStats`.
+    """
 
     runs: int
     completed_processes: int
@@ -154,6 +202,7 @@ class MultiReportStats:
     total_steps: int
     stopped_reasons: Tuple[Tuple[str, int], ...]
     output_values: Tuple[Tuple[str, int], ...]
+    pool_fallback: Optional[str] = field(default=None, compare=False, repr=False)
 
 
 def aggregate_shm(reports: Sequence["RunReport"]) -> MultiReportStats:
@@ -178,4 +227,5 @@ def aggregate_shm(reports: Sequence["RunReport"]) -> MultiReportStats:
         total_steps=total_steps,
         stopped_reasons=tuple(sorted(reasons.items())),
         output_values=tuple(sorted(values.items())),
+        pool_fallback=getattr(reports, "fallback_reason", None),
     )

@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     FrozenSet,
@@ -39,6 +40,9 @@ from typing import (
     Set,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace.sink import TraceSink
 
 from ..core.exceptions import (
     ConfigurationError,
@@ -206,6 +210,12 @@ class Runtime:
         Optional :class:`~repro.core.history.History` shared with the
         protocols (they record high-level operations on it directly;
         the runtime just holds it so harness code can retrieve it).
+    sink:
+        Optional :class:`~repro.trace.sink.TraceSink` receiving one
+        event per atomic step (``read``/``write``/``snapshot``/``step``)
+        plus crashes and completions, with causal clocks threaded
+        through the base objects.  ``None`` (default) adds one ``if``
+        per step.
     """
 
     def __init__(
@@ -215,12 +225,14 @@ class Runtime:
         max_crashes: Optional[int] = None,
         history: Optional[History] = None,
         strict_budget: bool = False,
+        sink: Optional["TraceSink"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.max_steps = max_steps
         self.max_crashes = max_crashes
         self.history = history if history is not None else History()
         self.strict_budget = strict_budget
+        self._sink = sink
         self._processes: Dict[int, _ProcessRecord] = {}
         self.step_no = 0
         # Runnable pids, maintained incrementally: the sorted view handed to
@@ -238,6 +250,8 @@ class Runtime:
         self._processes[pid] = _ProcessRecord(pid=pid, program=program)
         self._runnable_set.add(pid)
         self._runnable_sorted = None
+        if self._sink is not None:
+            self._sink.bind(max(self._processes) + 1)
 
     def spawn_all(self, programs: Mapping[int, Program]) -> None:
         for pid, program in programs.items():
@@ -267,6 +281,8 @@ class Runtime:
         record.program.close()
         self._runnable_set.discard(pid)
         self._runnable_sorted = None
+        if self._sink is not None:
+            self._sink.shm_crash(self.step_no, pid)
 
     def _runnable(self) -> List[int]:
         if self._runnable_sorted is None:
@@ -314,6 +330,8 @@ class Runtime:
             record.output = stop.value
             self._runnable_set.discard(pid)
             self._runnable_sorted = None
+            if self._sink is not None:
+                self._sink.shm_decide(self.step_no, pid, stop.value)
             return
         if not isinstance(request, Invocation):
             raise ModelViolation(
@@ -322,6 +340,11 @@ class Runtime:
             )
         record.pending_response = request.obj.apply(pid, request.op, request.args)
         record.steps += 1
+        if self._sink is not None:
+            self._sink.shm_step(
+                self.step_no, pid, request.obj.name, request.op,
+                request.args, record.pending_response,
+            )
 
     def _report(self, reason: str) -> RunReport:
         return RunReport(

@@ -20,7 +20,20 @@ Algorithms subclass :class:`SyncAlgorithm`; the kernel owns all timing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace.sink import TraceSink
 
 from ..core.exceptions import (
     ConfigurationError,
@@ -157,6 +170,11 @@ class SynchronousRunner:
     record_graphs:
         Record each round's delivered communication graph ``G_r`` (needed
         by adversary tests; off by default to save memory).
+    sink:
+        Optional :class:`~repro.trace.sink.TraceSink` receiving the
+        run's structured events (round markers, sends, deliveries,
+        drops, crashes, decisions) with causal clocks.  ``None``
+        (default) adds one ``if`` per event site.
     """
 
     def __init__(
@@ -168,6 +186,7 @@ class SynchronousRunner:
         crash_schedule: Sequence[CrashEvent] = (),
         max_rounds: int = 10_000,
         record_graphs: bool = False,
+        sink: Optional["TraceSink"] = None,
     ) -> None:
         n = topology.n
         if len(algorithms) != n or len(inputs) != n:
@@ -190,6 +209,10 @@ class SynchronousRunner:
             self.crash_by_round.setdefault(event.round, []).append(event)
         self.max_rounds = max_rounds
         self.record_graphs = record_graphs
+        self._sink = sink
+        if sink is not None:
+            sink.bind(n)
+        self._decide_recorded = [False] * n
         self.contexts = [
             Context(pid, inputs[pid], topology.neighbors(pid), n) for pid in range(n)
         ]
@@ -213,6 +236,8 @@ class SynchronousRunner:
         for pid in range(n):
             outboxes[pid] = self._collect_outbox(pid, self.algorithms[pid].on_start)
             active.append(pid)
+            if self._sink is not None:
+                self._note_decides(pid, 0)
 
         round_no = 0
         while True:
@@ -223,6 +248,8 @@ class SynchronousRunner:
                 )
             for pid in active:
                 self.contexts[pid].round = round_no
+            if self._sink is not None:
+                self._sink.sync_round_begin(round_no)
 
             # --- send phase (with mid-send crashes) -----------------------
             crashing_now = {e.pid: e for e in self.crash_by_round.get(round_no, [])}
@@ -236,15 +263,25 @@ class SynchronousRunner:
                     allowed = crashing_now[pid].delivered_to
                 for target, message in outbox.items():
                     if allowed is not None and target not in allowed:
+                        if self._sink is not None:
+                            # The crash cut this send off mid-broadcast.
+                            self._sink.sync_drop(
+                                round_no, pid, target, reason="crash-mid-send"
+                            )
                         continue
                     sends[(pid, target)] = message
                     units = payload_units(message)
                     send_units[(pid, target)] = units
                     payload_sent += units
+                    if self._sink is not None:
+                        self._sink.sync_send(round_no, pid, target, message, units)
             messages_sent += len(sends)
             if crashing_now:
                 crashed.update(crashing_now)
                 active = [pid for pid in active if pid not in crashing_now]
+                if self._sink is not None:
+                    for pid in crashing_now:
+                        self._sink.sync_crash(pid, round_no)
             # Final outboxes (halted last round) are now delivered; crashed
             # processes send nothing further either.
             for pid in [
@@ -270,6 +307,11 @@ class SynchronousRunner:
                 payload_delivered += send_units[edge]
             if self.record_graphs:
                 graphs.append(delivered_edges)
+            if self._sink is not None:
+                for edge in sorted(frozenset(sends) - delivered_edges):
+                    self._sink.sync_drop(round_no, *edge, reason="adversary")
+                for (src, dst) in sorted(delivered_edges):
+                    self._sink.sync_deliver(round_no, src, dst, sends[(src, dst)])
 
             # --- receive + compute phases ----------------------------------
             inboxes: Dict[int, Dict[int, object]] = {pid: {} for pid in active}
@@ -293,7 +335,11 @@ class SynchronousRunner:
                 else:
                     outboxes[pid] = outbox
                     still_active.append(pid)
+                if self._sink is not None:
+                    self._note_decides(pid, round_no)
             active = still_active
+            if self._sink is not None:
+                self._sink.sync_round_end(round_no)
             if not active:
                 break
 
@@ -309,6 +355,12 @@ class SynchronousRunner:
             payload_sent=payload_sent,
             payload_delivered=payload_delivered,
         )
+
+    def _note_decides(self, pid: int, round_no: int) -> None:
+        ctx = self.contexts[pid]
+        if ctx.decided and not self._decide_recorded[pid]:
+            self._decide_recorded[pid] = True
+            self._sink.sync_decide(pid, round_no, ctx.output)
 
     def _collect_outbox(self, pid: int, produce) -> Outbox:
         ctx = self.contexts[pid]

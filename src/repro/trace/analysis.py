@@ -1,0 +1,205 @@
+"""Analyzers over recorded traces: causality, chains, and properties.
+
+The paper's correctness arguments all quantify over the *partial order*
+of a run's events.  Given a recorded trace, this module materializes
+that order and re-derives properties from it:
+
+* :func:`happened_before` / :func:`concurrent` — the causal partial
+  order, read straight off the recorded vector clocks;
+* :class:`HappenedBeforeDAG` — the explicit DAG: program-order edges,
+  send→deliver edges (AMP and SMP), and write→read edges (ASM);
+* :func:`causal_chain` — the message chain that *made an event happen*
+  (walk each event back through its latest causal predecessor);
+* :func:`critical_path` — the chain ending at a decision, plus its
+  virtual-time latency: the run's load-bearing sequence of deliveries;
+* :func:`check_agreement` / :func:`check_validity` /
+  :func:`check_termination` — consensus properties re-checked from the
+  *events themselves* rather than trusting end-of-run summaries.
+
+Checkers compare value ``repr``\\ s (the JSON-safe form events carry),
+so they work identically on live and JSONL-round-tripped traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import (
+    CRASH,
+    DECIDE,
+    DELIVER,
+    READ,
+    SEND,
+    SNAPSHOT,
+    SYSTEM,
+    TraceEvent,
+    crashed_pids,
+    decisions,
+)
+
+# -- vector-clock order ------------------------------------------------------
+
+
+def vc_leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Component-wise ≤ with implicit zero-padding (grown clocks)."""
+    for i in range(max(len(a), len(b))):
+        if (a[i] if i < len(a) else 0) > (b[i] if i < len(b) else 0):
+            return False
+    return True
+
+
+def happened_before(e1: TraceEvent, e2: TraceEvent) -> bool:
+    """``e1 → e2`` in the causal order (strict vector-clock dominance)."""
+    return vc_leq(e1.vc, e2.vc) and e1.vc != e2.vc
+
+
+def concurrent(e1: TraceEvent, e2: TraceEvent) -> bool:
+    """Causally incomparable — the defining relation of asynchrony."""
+    return not happened_before(e1, e2) and not happened_before(e2, e1)
+
+
+# -- the explicit DAG --------------------------------------------------------
+
+
+class HappenedBeforeDAG:
+    """The trace's happened-before relation as explicit edges.
+
+    Nodes are event ``seq`` numbers.  Edges:
+
+    * **program order** — consecutive events of the same process;
+    * **message order** — a ``send`` to the ``deliver`` it caused
+      (matched by ``send_seq`` for AMP, by ``(round, src, dst)`` for
+      SMP);
+    * **object order** — the latest mutating step on a base object to
+      each later ``read``/``snapshot`` of it (ASM).
+
+    System events (round markers, drops) carry no clocks and join no
+    edges.
+    """
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self.events = list(events)
+        self.by_seq: Dict[int, TraceEvent] = {e.seq: e for e in self.events}
+        #: seq → list of predecessor seqs (edge sources)
+        self.preds: Dict[int, List[int]] = {e.seq: [] for e in self.events}
+
+        last_of_pid: Dict[int, int] = {}
+        amp_send_by_seq: Dict[int, int] = {}
+        sync_send_by_key: Dict[Tuple[int, int, int], int] = {}
+        last_mutation: Dict[str, int] = {}
+
+        for event in self.events:
+            if event.pid == SYSTEM:
+                continue
+            if event.pid in last_of_pid:
+                self.preds[event.seq].append(last_of_pid[event.pid])
+            last_of_pid[event.pid] = event.seq
+
+            if event.kind == SEND:
+                if "send_seq" in event.data:
+                    amp_send_by_seq[event.data["send_seq"]] = event.seq
+                if "round" in event.data:
+                    key = (event.data["round"], event.data["src"], event.data["dst"])
+                    sync_send_by_key[key] = event.seq
+            elif event.kind == DELIVER:
+                sender = None
+                if event.data.get("send_seq") is not None:
+                    sender = amp_send_by_seq.get(event.data["send_seq"])
+                elif "round" in event.data:
+                    key = (event.data["round"], event.data["src"], event.data["dst"])
+                    sender = sync_send_by_key.get(key)
+                if sender is not None:
+                    self.preds[event.seq].append(sender)
+            elif "object" in event.data:
+                if event.kind in (READ, SNAPSHOT):
+                    writer = last_mutation.get(event.data["object"])
+                    if writer is not None and writer != event.seq:
+                        self.preds[event.seq].append(writer)
+                else:
+                    last_mutation[event.data["object"]] = event.seq
+
+    def predecessors(self, event: TraceEvent) -> List[TraceEvent]:
+        return [self.by_seq[s] for s in self.preds[event.seq]]
+
+    def causal_past(self, event: TraceEvent) -> List[TraceEvent]:
+        """Every event in the causal history of ``event`` (seq order)."""
+        seen = set()
+        stack = [event.seq]
+        while stack:
+            seq = stack.pop()
+            for pred in self.preds[seq]:
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return [self.by_seq[s] for s in sorted(seen)]
+
+    def edge_count(self) -> int:
+        return sum(len(p) for p in self.preds.values())
+
+
+def causal_chain(
+    dag: HappenedBeforeDAG, event: TraceEvent, cross_process_only: bool = False
+) -> List[TraceEvent]:
+    """The chain that made ``event`` happen, earliest first.
+
+    Walks back through each event's *latest* predecessor; with
+    ``cross_process_only`` the walk prefers message/object edges, which
+    yields the causal *message chain* (who told whom, transitively).
+    """
+    chain = [event]
+    current = event
+    while True:
+        preds = dag.predecessors(current)
+        if not preds:
+            break
+        if cross_process_only:
+            remote = [p for p in preds if p.pid != current.pid]
+            current = max(remote or preds, key=lambda e: e.seq)
+        else:
+            current = max(preds, key=lambda e: e.seq)
+        chain.append(current)
+    chain.reverse()
+    return chain
+
+
+def critical_path(
+    events: Sequence[TraceEvent], pid: Optional[int] = None
+) -> Tuple[List[TraceEvent], float]:
+    """The causal chain ending at a decision, and its time span.
+
+    ``pid=None`` uses the *last* decision in the trace (the run's
+    makespan); otherwise that process's decision.  Returns
+    ``(chain, latency)`` where latency is decide-time minus chain-start
+    time in the kernel's native units.
+    """
+    target = None
+    for event in events:
+        if event.kind == DECIDE and (pid is None or event.pid == pid):
+            target = event
+    if target is None:
+        raise ValueError("trace contains no matching decide event")
+    dag = HappenedBeforeDAG(events)
+    chain = causal_chain(dag, target)
+    return chain, target.time - chain[0].time
+
+
+# -- property checkers (events, not summaries) -------------------------------
+
+
+def check_agreement(events: Iterable[TraceEvent]) -> bool:
+    """No two ``decide`` events carry different values."""
+    return len(set(decisions(events).values())) <= 1
+
+
+def check_validity(events: Iterable[TraceEvent], inputs: Sequence[object]) -> bool:
+    """Every decided value is some process's input (compared by repr)."""
+    allowed = {repr(value) for value in inputs}
+    return all(value in allowed for value in decisions(events).values())
+
+
+def check_termination(events: Iterable[TraceEvent], n: int) -> bool:
+    """Every process that never crashed decided."""
+    events = list(events)
+    decided = set(decisions(events))
+    crashed = crashed_pids(events)
+    return all(pid in decided for pid in range(n) if pid not in crashed)

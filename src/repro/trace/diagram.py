@@ -1,0 +1,137 @@
+"""ASCII space-time diagrams — Lamport's figure, rendered from a trace.
+
+One lane per process, time flowing left to right in columns (rounds for
+the synchronous kernel, quantized virtual time for AMP, steps for ASM).
+Each cell compresses the lane's events in that column into glyphs:
+
+    ``s`` send   ``d`` deliver   ``t`` timer   ``r`` read   ``w`` write
+    ``o`` snapshot/step   ``X`` crash   ``*v`` decide (value v)
+
+Dropped messages are summarized under the lanes (a drop belongs to the
+channel, not to a process).  The renderer is deterministic — same trace,
+same string — so examples and tutorial snippets can assert on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    CRASH,
+    DECIDE,
+    DELIVER,
+    DROP,
+    READ,
+    ROUND_BEGIN,
+    ROUND_END,
+    SEND,
+    SNAPSHOT,
+    STEP,
+    SYSTEM,
+    TIMER,
+    WRITE,
+    TraceEvent,
+)
+
+_GLYPH = {
+    SEND: "s",
+    DELIVER: "d",
+    TIMER: "t",
+    READ: "r",
+    WRITE: "w",
+    SNAPSHOT: "o",
+    STEP: "o",
+}
+
+#: glyph display order inside one cell
+_ORDER = {"X": 0, "*": 1, "s": 2, "d": 3, "t": 4, "r": 5, "w": 6, "o": 7}
+
+
+def _short(value_repr: str, limit: int = 6) -> str:
+    text = value_repr.strip("'\"")
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def render_space_time(
+    events: Sequence[TraceEvent],
+    n: Optional[int] = None,
+    columns: int = 16,
+    legend: bool = True,
+) -> str:
+    """Render a trace as one ASCII space-time diagram string.
+
+    ``columns`` caps the number of time buckets; synchronous traces use
+    one column per round regardless (their time axis is already
+    discrete and small).
+    """
+    events = [e for e in events if e.kind not in (ROUND_BEGIN, ROUND_END)]
+    if not events:
+        return "(empty trace)"
+    if n is None:
+        n = max(e.pid for e in events) + 1
+        for e in events:
+            n = max(n, len(e.vc))
+
+    times = [e.time for e in events]
+    t_min, t_max = min(times), max(times)
+    is_roundish = all(float(e.time).is_integer() for e in events)
+    if is_roundish and t_max - t_min + 1 <= columns:
+        bucket_of = lambda t: int(t - t_min)  # noqa: E731
+        n_cols = int(t_max - t_min) + 1
+        labels = [str(int(t_min) + c) for c in range(n_cols)]
+    else:
+        span = (t_max - t_min) or 1.0
+        n_cols = min(columns, max(1, len(set(times))))
+        bucket_of = lambda t: min(n_cols - 1, int((t - t_min) / span * n_cols))  # noqa: E731
+        labels = [
+            f"{t_min + span * (c + 0.5) / n_cols:.3g}" for c in range(n_cols)
+        ]
+
+    cells: Dict[Tuple[int, int], List[str]] = {}
+    drops: Dict[int, int] = {}
+    for event in events:
+        col = bucket_of(event.time)
+        if event.kind == DROP:
+            drops[col] = drops.get(col, 0) + 1
+            continue
+        if event.pid == SYSTEM:
+            continue
+        bucket = cells.setdefault((event.pid, col), [])
+        if event.kind == CRASH:
+            bucket.append("X")
+        elif event.kind == DECIDE:
+            bucket.append("*" + _short(event.data.get("value", "")))
+        else:
+            glyph = _GLYPH.get(event.kind)
+            if glyph and glyph not in bucket:
+                bucket.append(glyph)
+
+    width = 2
+    for bucket in cells.values():
+        width = max(width, len("".join(sorted(bucket, key=lambda g: _ORDER[g[0]]))))
+    for col, label in enumerate(labels):
+        width = max(width, len(label))
+
+    lane_pad = max(len(f"p{n - 1}"), 4 if drops else 2)
+    lines = []
+    header = " " * lane_pad + "   " + " ".join(l.rjust(width) for l in labels)
+    lines.append(header)
+    for pid in range(n):
+        row = []
+        for col in range(n_cols):
+            bucket = cells.get((pid, col), [])
+            text = "".join(sorted(bucket, key=lambda g: _ORDER[g[0]]))
+            row.append((text or "·").rjust(width))
+        lines.append(f"p{pid}".ljust(lane_pad) + " | " + " ".join(row))
+    if drops:
+        drop_row = []
+        for col in range(n_cols):
+            count = drops.get(col, 0)
+            drop_row.append((f"x{count}" if count else "·").rjust(width))
+        lines.append("drop".ljust(lane_pad) + " | " + " ".join(drop_row))
+    if legend:
+        lines.append(
+            "legend: s send  d deliver  t timer  r read  w write  o step  "
+            "X crash  *v decide(v)  xK drops"
+        )
+    return "\n".join(lines)

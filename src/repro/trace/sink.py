@@ -1,0 +1,306 @@
+"""Trace sinks: where kernels hand events, and where clocks are stamped.
+
+:class:`TraceSink` is the pluggable protocol the three kernels accept
+via their ``sink=`` parameter.  The base class owns all causal-clock
+bookkeeping — per-process Lamport scalars and vector clocks, updated by
+the standard rules (tick on a local event; tick-and-merge on a receive)
+— so a kernel's instrumentation site is exactly one guarded call:
+
+    if self._sink is not None:
+        self._sink.amp_send(event_id, src, dst, payload, units, self.now)
+
+With ``sink=None`` (the default everywhere) the guard is the *entire*
+cost: one attribute load and an ``is not None`` test, no allocation.
+
+Concrete sinks implement :meth:`TraceSink.emit`:
+
+* :class:`MemorySink` — events in a list (analysis, replay, tests);
+* :class:`JsonlSink` — streaming JSONL to a path or file object.
+
+Causality bookkeeping per kernel:
+
+* **AMP** — the sink maps the kernel's heap ``event_id`` of each send
+  to a *send sequence number* (the schedule currency of
+  :mod:`repro.trace.replay`) and to the sender's clock at send time, so
+  a later delivery merges the right stamp;
+* **SMP** — sends are keyed by ``(src, dst)`` within the current round
+  (a process sends each neighbor at most one message per round);
+* **ASM** — causality flows through base objects: a write deposits the
+  writer's clock on the object, a read/snapshot merges the last
+  writer's clock (write-into-read edges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+from .events import (
+    CRASH,
+    DECIDE,
+    DELIVER,
+    DROP,
+    READ,
+    ROUND_BEGIN,
+    ROUND_END,
+    SEND,
+    SNAPSHOT,
+    STEP,
+    SYSTEM,
+    TIMER,
+    WRITE,
+    TraceEvent,
+    event_from_json,
+    event_to_json,
+)
+
+Clock = Tuple[int, Tuple[int, ...]]
+
+
+class TraceSink:
+    """Base sink: stamps clocks, builds events, routes them to ``emit``."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._seq = 0
+        self._lamport: List[int] = []
+        self._vc: List[List[int]] = []
+        # AMP: heap event_id → (send_seq, clock) / timer_seq
+        self._amp_sends: Dict[int, Tuple[int, Clock]] = {}
+        self._amp_timers: Dict[int, int] = {}
+        self._send_seq = 0
+        self._timer_seq = 0
+        # SMP: (src, dst) → clock, reset every round — see sync_round_begin
+        self._round_sends: Dict[Tuple[int, int], Clock] = {}
+        # ASM: object name → last writer's clock
+        self._object_clocks: Dict[str, Clock] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def bind(self, n: int) -> None:
+        """Size the vector clocks for ``n`` processes (idempotent; may grow)."""
+        if n > self._n:
+            for vc in self._vc:
+                vc.extend([0] * (n - self._n))
+            self._lamport.extend([0] * (n - self._n))
+            self._vc.extend([[0] * n for _ in range(n - self._n)])
+            self._n = n
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release any underlying resource (JSONL files)."""
+
+    # -- clock rules ------------------------------------------------------
+
+    def _tick(self, pid: int) -> Clock:
+        self._lamport[pid] += 1
+        self._vc[pid][pid] += 1
+        return self._lamport[pid], tuple(self._vc[pid])
+
+    def _tick_merge(self, pid: int, other: Optional[Clock]) -> Clock:
+        if other is not None:
+            other_lamport, other_vc = other
+            if other_lamport > self._lamport[pid]:
+                self._lamport[pid] = other_lamport
+            vc = self._vc[pid]
+            for i, component in enumerate(other_vc):
+                if i < len(vc) and component > vc[i]:
+                    vc[i] = component
+        return self._tick(pid)
+
+    def _record(
+        self,
+        kind: str,
+        pid: int,
+        time: float,
+        merge: Optional[Clock] = None,
+        **data: object,
+    ) -> TraceEvent:
+        if pid == SYSTEM:
+            lamport, vc = 0, ()
+        else:
+            lamport, vc = self._tick_merge(pid, merge)
+        event = TraceEvent(
+            seq=self._seq,
+            kind=kind,
+            pid=pid,
+            time=time,
+            lamport=lamport,
+            vc=vc,
+            data=data,
+        )
+        self._seq += 1
+        self.emit(event)
+        return event
+
+    # -- AMP sites (repro.amp.network) ------------------------------------
+
+    def amp_send(
+        self, event_id: int, src: int, dst: int, payload: object, units: int, time: float
+    ) -> None:
+        seq = self._send_seq
+        self._send_seq += 1
+        event = self._record(
+            SEND, src, time, src=src, dst=dst, payload=repr(payload),
+            units=units, send_seq=seq,
+        )
+        self._amp_sends[event_id] = (seq, (event.lamport, event.vc))
+
+    def amp_deliver(
+        self, event_id: int, src: int, dst: int, payload: object, time: float
+    ) -> None:
+        send_seq, clock = self._amp_sends.pop(event_id, (None, None))
+        self._record(
+            DELIVER, dst, time, merge=clock,
+            src=src, dst=dst, payload=repr(payload), send_seq=send_seq,
+        )
+
+    def amp_drop(self, event_id: int, time: float, reason: str) -> None:
+        """A send that will never be delivered (crash-cancel or dead dst)."""
+        send_seq, _ = self._amp_sends.pop(event_id, (None, None))
+        self._record(DROP, SYSTEM, time, send_seq=send_seq, reason=reason)
+
+    def amp_timer_set(self, event_id: int, pid: int) -> None:
+        """Map the kernel's timer event id to a replayable sequence number."""
+        self._amp_timers[event_id] = self._timer_seq
+        self._timer_seq += 1
+
+    def amp_timer(self, event_id: int, pid: int, name: object, time: float) -> None:
+        timer_seq = self._amp_timers.pop(event_id, None)
+        self._record(TIMER, pid, time, name=repr(name), timer_seq=timer_seq)
+
+    def amp_crash(self, pid: int, time: float) -> None:
+        self._record(CRASH, pid, time)
+
+    def amp_decide(self, pid: int, value: object, time: float) -> None:
+        self._record(DECIDE, pid, time, value=repr(value))
+
+    # -- SMP sites (repro.sync.kernel) ------------------------------------
+
+    def sync_round_begin(self, round_no: int) -> None:
+        self._round_sends.clear()
+        self._record(ROUND_BEGIN, SYSTEM, float(round_no), round=round_no)
+
+    def sync_round_end(self, round_no: int) -> None:
+        self._record(ROUND_END, SYSTEM, float(round_no), round=round_no)
+
+    def sync_send(
+        self, round_no: int, src: int, dst: int, payload: object, units: int
+    ) -> None:
+        event = self._record(
+            SEND, src, float(round_no),
+            src=src, dst=dst, payload=repr(payload), units=units, round=round_no,
+        )
+        self._round_sends[(src, dst)] = (event.lamport, event.vc)
+
+    def sync_deliver(self, round_no: int, src: int, dst: int, payload: object) -> None:
+        clock = self._round_sends.get((src, dst))
+        self._record(
+            DELIVER, dst, float(round_no), merge=clock,
+            src=src, dst=dst, payload=repr(payload), round=round_no,
+        )
+
+    def sync_drop(self, round_no: int, src: int, dst: int, reason: str) -> None:
+        self._record(
+            DROP, SYSTEM, float(round_no),
+            src=src, dst=dst, reason=reason, round=round_no,
+        )
+
+    def sync_crash(self, pid: int, round_no: int) -> None:
+        self._record(CRASH, pid, float(round_no), round=round_no)
+
+    def sync_decide(self, pid: int, round_no: int, value: object) -> None:
+        self._record(DECIDE, pid, float(round_no), value=repr(value), round=round_no)
+
+    # -- ASM sites (repro.shm.runtime) ------------------------------------
+
+    _STEP_KINDS = {"read": READ, "write": WRITE, "snapshot": SNAPSHOT}
+
+    def shm_step(
+        self,
+        step_no: int,
+        pid: int,
+        obj_name: str,
+        op: str,
+        args: Tuple[object, ...],
+        response: object,
+    ) -> None:
+        kind = self._STEP_KINDS.get(op, STEP)
+        merge: Optional[Clock] = None
+        if kind in (READ, SNAPSHOT):
+            merge = self._object_clocks.get(obj_name)
+        event = self._record(
+            kind, pid, float(step_no), merge=merge,
+            object=obj_name, op=op, args=repr(args), response=repr(response),
+        )
+        if kind not in (READ, SNAPSHOT):
+            # Writes (and RMW-style ops, which also mutate) deposit the
+            # stepper's clock on the object for later readers to merge.
+            self._object_clocks[obj_name] = (event.lamport, event.vc)
+
+    def shm_crash(self, step_no: int, pid: int) -> None:
+        self._record(CRASH, pid, float(step_no))
+
+    def shm_decide(self, step_no: int, pid: int, output: object) -> None:
+        self._record(DECIDE, pid, float(step_no), value=repr(output))
+
+
+class MemorySink(TraceSink):
+    """Keep every event in a list — the default for analysis and replay."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(TraceSink):
+    """Stream events to a JSONL file, one canonical object per line."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        super().__init__()
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(event_to_json(event))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def dump_trace(events, target: Union[str, IO[str]]) -> None:
+    """Write a recorded trace as JSONL (path or open text file)."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(event_to_json(event) + "\n")
+    else:
+        for event in events:
+            target.write(event_to_json(event) + "\n")
+
+
+def load_trace(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Read a JSONL trace back into :class:`TraceEvent` objects."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    return [event_from_json(line) for line in lines if line.strip()]

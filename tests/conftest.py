@@ -1,0 +1,39 @@
+"""Shared fixtures: trace capture with on-failure JSONL artifacts.
+
+``trace_artifact`` hands a test a :class:`repro.trace.MemorySink`; if
+the test fails, the captured trace is written to
+``$TRACE_ARTIFACT_DIR`` (default ``test-artifacts/``) as one JSONL file
+per failed test, ready for ``repro.trace.load_trace`` + ``replay`` —
+CI uploads the directory, so every red trace-enabled test ships its own
+repro.
+"""
+
+import os
+import pathlib
+import re
+
+import pytest
+
+from repro.trace import MemorySink, dump_trace
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Expose each phase's report on the item for fixture teardowns."""
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, f"rep_{report.when}", report)
+
+
+@pytest.fixture
+def trace_artifact(request):
+    """A MemorySink whose capture is saved as JSONL if the test fails."""
+    sink = MemorySink()
+    yield sink
+    report = getattr(request.node, "rep_call", None)
+    if report is None or not report.failed or not sink.events:
+        return
+    out_dir = pathlib.Path(os.environ.get("TRACE_ARTIFACT_DIR", "test-artifacts"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+    dump_trace(sink.events, str(out_dir / f"{stem}.jsonl"))

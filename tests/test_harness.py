@@ -70,7 +70,37 @@ class TestRunMany:
 
     def test_unpicklable_factory_falls_back_to_serial(self):
         factory = lambda seed: seed * seed  # noqa: E731 — deliberately unpicklable
-        assert run_many(factory, range(6), workers=2) == [s * s for s in range(6)]
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            assert run_many(factory, range(6), workers=2) == [
+                s * s for s in range(6)
+            ]
+
+    def test_fallback_is_recorded_on_the_result(self):
+        """A sweep that quietly ran serial must say so on the side channel."""
+        factory = lambda seed: amp_factory(seed)  # noqa: E731 — unpicklable
+        with pytest.warns(RuntimeWarning):
+            results = run_many(factory, range(3), workers=2)
+        assert results.fallback_reason is not None
+        assert results.workers_used == 1
+        stats = aggregate_amp(results)
+        assert stats.pool_fallback == results.fallback_reason
+        # ...but the side channel never breaks aggregate determinism:
+        serial = aggregate_amp(run_many(amp_factory, range(3), workers=1))
+        assert stats == serial
+        assert repr(stats) == repr(serial)
+        assert serial.pool_fallback is None
+
+    def test_serial_requests_are_not_fallbacks(self):
+        results = run_many(amp_factory, range(3), workers=1)
+        assert results.fallback_reason is None
+        assert results.workers_used == 1
+        assert aggregate_amp(results).pool_fallback is None
+
+    def test_shm_aggregate_carries_fallback(self):
+        factory = lambda seed: shm_factory(seed)  # noqa: E731 — unpicklable
+        with pytest.warns(RuntimeWarning):
+            reports = run_many(factory, range(3), workers=2)
+        assert aggregate_shm(reports).pool_fallback == reports.fallback_reason
 
     def test_empty_and_single_seed(self):
         assert run_many(amp_factory, [], workers=4) == []

@@ -1,0 +1,211 @@
+"""Happened-before analysis, property checkers, diagrams, and
+vector-clock metamorphic properties over captured traces."""
+
+import pytest
+
+from repro.amp.consensus.benor import make_benor
+from repro.amp.network import AsyncRuntime, CrashAt, UniformDelay
+from repro.sync.kernel import CrashEvent, run_synchronous
+from repro.sync.topology import complete
+from repro.sync.algorithms.consensus import make_floodset
+from repro.trace import (
+    CRASH,
+    DECIDE,
+    DELIVER,
+    DROP,
+    SEND,
+    HappenedBeforeDAG,
+    MemorySink,
+    TraceEvent,
+    causal_chain,
+    check_agreement,
+    check_termination,
+    check_validity,
+    concurrent,
+    critical_path,
+    happened_before,
+    render_space_time,
+    vc_leq,
+)
+
+
+@pytest.fixture(scope="module")
+def amp_trace():
+    """One Ben-Or run with a crash: (inputs, result, events)."""
+    inputs = [0, 1, 1, 1, 1]
+    sink = MemorySink()
+    result = AsyncRuntime(
+        make_benor(5, 2, inputs),
+        delay_model=UniformDelay(0.1, 1.0),
+        crashes=[CrashAt(pid=4, time=1.0)],
+        max_crashes=2,
+        seed=1,
+        sink=sink,
+    ).run()
+    return inputs, result, sink.events
+
+
+@pytest.fixture(scope="module")
+def sync_trace():
+    """FloodSet with a mid-round crash: (inputs, result, events)."""
+    inputs = [3, 1, 4, 1]
+    sink = MemorySink()
+    result = run_synchronous(
+        complete(4),
+        make_floodset(4, 1),
+        inputs,
+        crash_schedule=[CrashEvent(pid=1, round=1, delivered_to=frozenset({0}))],
+        sink=sink,
+    )
+    return inputs, result, sink.events
+
+
+class TestVectorClockMetamorphic:
+    """Clock order must be consistent with what the kernel actually did —
+    properties that hold for *any* capture, checked on a real one."""
+
+    def test_every_send_happens_before_its_delivery(self, amp_trace):
+        _, _, events = amp_trace
+        sends = {e.data["send_seq"]: e for e in events if e.kind == SEND}
+        delivered = 0
+        for event in events:
+            if event.kind == DELIVER:
+                send = sends[event.data["send_seq"]]
+                assert happened_before(send, event), (send, event)
+                assert send.lamport < event.lamport
+                delivered += 1
+        assert delivered > 0
+
+    def test_program_order_is_causal_order(self, amp_trace):
+        _, _, events = amp_trace
+        last = {}
+        for event in events:
+            if event.pid < 0:
+                continue
+            if event.pid in last:
+                prev = last[event.pid]
+                assert prev.lamport < event.lamport
+                assert vc_leq(prev.vc, event.vc) and prev.vc != event.vc
+            last[event.pid] = event
+
+    def test_initial_events_of_distinct_processes_are_concurrent(self, amp_trace):
+        _, _, events = amp_trace
+        first = {}
+        for event in events:
+            if event.pid >= 0 and event.pid not in first:
+                first[event.pid] = event
+        pids = sorted(first)
+        assert len(pids) >= 2
+        for a in pids:
+            for b in pids:
+                if a < b:
+                    assert concurrent(first[a], first[b])
+
+    def test_happened_before_is_a_strict_partial_order(self, amp_trace):
+        _, _, events = amp_trace
+        sample = events[:40]
+        for e in sample:
+            assert not happened_before(e, e)
+        for e1 in sample:
+            for e2 in sample:
+                assert not (happened_before(e1, e2) and happened_before(e2, e1))
+
+
+class TestHappenedBeforeDAG:
+    def test_amp_message_edges_and_causal_past(self, amp_trace):
+        _, _, events = amp_trace
+        dag = HappenedBeforeDAG(events)
+        assert dag.edge_count() > 0
+        some_deliver = next(e for e in events if e.kind == DELIVER)
+        preds = dag.predecessors(some_deliver)
+        assert any(p.kind == SEND and p.pid != some_deliver.pid for p in preds)
+        past = dag.causal_past(some_deliver)
+        # the DAG's transitive past must agree with the vector clocks
+        for other in past:
+            assert happened_before(other, some_deliver) or other.pid == (
+                some_deliver.pid
+            )
+
+    def test_causal_chain_crosses_processes(self, amp_trace):
+        _, _, events = amp_trace
+        dag = HappenedBeforeDAG(events)
+        last_decide = [e for e in events if e.kind == DECIDE][-1]
+        chain = causal_chain(dag, last_decide, cross_process_only=True)
+        assert chain[-1] is last_decide
+        assert len({e.pid for e in chain}) >= 2
+        # chain is ordered: each link happened (weakly) before the next
+        for a, b in zip(chain, chain[1:]):
+            assert a.seq < b.seq
+
+    def test_critical_path_latency(self, amp_trace):
+        _, result, events = amp_trace
+        chain, latency = critical_path(events)
+        assert chain and chain[-1].kind == DECIDE
+        assert latency >= 0
+        assert latency <= result.final_time
+        per_pid_chain, per_pid_latency = critical_path(events, pid=0)
+        assert per_pid_chain[-1].pid == 0
+        assert per_pid_latency <= latency or per_pid_latency >= 0
+
+    def test_critical_path_without_decisions_raises(self):
+        with pytest.raises(ValueError):
+            critical_path([])
+
+
+class TestCheckers:
+    def test_real_runs_satisfy_all_properties(self, amp_trace, sync_trace):
+        for inputs, result, events in (amp_trace, sync_trace):
+            assert check_agreement(events)
+            assert check_validity(events, inputs)
+            assert check_termination(events, len(inputs))
+
+    def test_rigged_disagreement_is_caught(self, sync_trace):
+        _, _, events = sync_trace
+        forged = list(events) + [
+            TraceEvent(
+                seq=len(events),
+                kind=DECIDE,
+                pid=3,
+                time=99.0,
+                lamport=999,
+                vc=(0, 0, 0, 999),
+                data={"value": "'out-of-thin-air'"},
+            )
+        ]
+        assert not check_agreement(forged)
+        assert not check_validity(forged, [3, 1, 4, 1])
+
+    def test_termination_ignores_crashed_but_not_silent(self, sync_trace):
+        _, _, events = sync_trace
+        assert check_termination(events, 4)  # p1 crashed; the rest decided
+        # drop p0's decide → non-crashed process without a decision
+        gutted = [
+            e for e in events if not (e.kind == DECIDE and e.pid == 0)
+        ]
+        assert not check_termination(gutted, 4)
+
+
+class TestDiagram:
+    def test_sync_diagram_shows_crash_drops_and_decisions(self, sync_trace):
+        _, result, events = sync_trace
+        art = render_space_time(events)
+        lanes = [line for line in art.splitlines() if line.startswith("p")]
+        assert len(lanes) == 4
+        p1 = next(line for line in lanes if line.startswith("p1"))
+        assert "X" in p1  # the mid-round crash
+        assert any("*" in line for line in lanes)  # decisions are marked
+        assert "x2" in art  # the two crash-suppressed deliveries
+        assert "legend" in art  # key printed by default
+
+    def test_amp_diagram_renders_and_respects_options(self, amp_trace):
+        _, _, events = amp_trace
+        art = render_space_time(events, columns=12, legend=False)
+        assert "legend" not in art
+        lanes = [line for line in art.splitlines() if line.startswith("p")]
+        assert len(lanes) == 5
+        # `columns` caps the number of time buckets per lane
+        header = art.splitlines()[0]
+        assert len(header.split()) <= 12
+
+    def test_empty_trace_renders_nothing_fatal(self):
+        assert isinstance(render_space_time([]), str)

@@ -1,0 +1,210 @@
+"""Record → replay determinism, divergence detection, and shm replay.
+
+The acceptance bar from the issue: a captured AMP trace replays
+deterministically — same decisions, same message/payload counts, and a
+byte-identical event log (``trace_hash``) — with the adversary (delay
+model + crash schedule) detached.
+"""
+
+import random
+
+import pytest
+
+from repro.amp.consensus.benor import make_benor
+from repro.amp.network import AsyncRuntime, CrashAt, UniformDelay
+from repro.shm.runtime import Runtime, make_registers, read, write
+from repro.shm.schedulers import CrashAfterScheduler, RandomScheduler
+from repro.trace import (
+    DELIVER,
+    SEND,
+    MemorySink,
+    ReplayDivergence,
+    ReplayRuntime,
+    ShmReplayScheduler,
+    decisions,
+    replay,
+    schedule_of,
+    trace_hash,
+)
+
+
+def random_benor_setup(seed):
+    """Protocol + adversary parameters derived from one sweep seed."""
+    rng = random.Random(seed)
+    n = rng.choice([4, 5, 7])
+    t = (n - 1) // 2
+    inputs = [rng.randint(0, 1) for _ in range(n)]
+    crashes = [
+        CrashAt(
+            pid=pid,
+            time=rng.uniform(0.5, 4.0),
+            drop_in_flight=rng.choice([0.0, 0.5, 1.0]),
+        )
+        for pid in rng.sample(range(n), rng.randint(0, t))
+    ]
+    delay = UniformDelay(0.1, rng.uniform(0.5, 2.5))
+    return n, t, inputs, crashes, delay
+
+
+def capture_benor(seed):
+    n, t, inputs, crashes, delay = random_benor_setup(seed)
+    sink = MemorySink()
+    result = AsyncRuntime(
+        make_benor(n, t, inputs),
+        delay_model=delay,
+        crashes=crashes,
+        max_crashes=t,
+        seed=seed,
+        sink=sink,
+    ).run()
+    return n, t, inputs, result, sink.events
+
+
+class TestAmpReplayDeterminism:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_sweep_replays_byte_identically(self, seed):
+        """Capture a randomized Ben-Or run (random n, inputs, crash
+        schedule, delay model), then replay with the adversary detached:
+        every observable and the full event log must match."""
+        n, t, inputs, original, events = capture_benor(seed)
+        replay_sink = MemorySink()
+        replayed = replay(
+            make_benor(n, t, inputs), events, seed=seed, sink=replay_sink
+        )
+        assert replayed.outputs == original.outputs
+        assert replayed.decided == original.decided
+        assert replayed.crashed == original.crashed
+        assert replayed.decision_times == original.decision_times
+        assert replayed.messages_sent == original.messages_sent
+        assert replayed.messages_delivered == original.messages_delivered
+        assert replayed.payload_sent == original.payload_sent
+        assert replayed.payload_delivered == original.payload_delivered
+        assert replayed.final_time == original.final_time
+        assert trace_hash(replay_sink.events) == trace_hash(events)
+
+    def test_replay_needs_no_adversary_arguments(self):
+        """The schedule alone pins the run: ReplayRuntime takes no delay
+        model and no crash schedule, yet reproduces crashes."""
+        n, t, inputs, original, events = capture_benor(2)
+        runtime = ReplayRuntime(make_benor(n, t, inputs), events, seed=2)
+        result = runtime.run()
+        assert result.crashed == original.crashed
+        assert result.outputs == original.outputs
+
+    def test_decisions_helper_matches_result(self, trace_artifact):
+        n, t, inputs, original, events = capture_benor(5)
+        replayed = replay(
+            make_benor(n, t, inputs), events, seed=5, sink=trace_artifact
+        )
+        assert decisions(trace_artifact.events) == {
+            pid: repr(replayed.outputs[pid])
+            for pid in range(n)
+            if replayed.decided[pid]
+        }
+        assert decisions(events) == decisions(trace_artifact.events)
+
+    def test_schedule_of_filters_schedule_kinds(self):
+        _, _, _, _, events = capture_benor(1)
+        schedule = schedule_of(events)
+        assert schedule, "a Ben-Or run must schedule deliveries"
+        assert not any(e.kind == SEND for e in schedule)
+        assert sum(1 for e in schedule if e.kind == DELIVER) == sum(
+            1 for e in events if e.kind == DELIVER
+        )
+
+
+class TestAmpReplayDivergence:
+    def test_wrong_protocol_diverges(self):
+        """Replaying a different protocol under the schedule is caught,
+        not silently mis-executed."""
+        n, t, inputs, _, events = capture_benor(4)
+        flipped = [1 - b for b in inputs]
+        with pytest.raises(ReplayDivergence):
+            replay(make_benor(n, t, flipped), events, seed=4)
+
+    def test_wrong_seed_diverges(self):
+        """Ben-Or's coin flips come from the seeded per-process RNGs;
+        split inputs force coin rounds, so a wrong seed re-issues
+        different payloads and the divergence check fires."""
+        inputs = [0, 1, 0, 1]
+        sink = MemorySink()
+        AsyncRuntime(
+            make_benor(4, 1, inputs),
+            delay_model=UniformDelay(0.1, 1.0),
+            seed=9,
+            sink=sink,
+        ).run()
+        with pytest.raises(ReplayDivergence):
+            replay(make_benor(4, 1, inputs), sink.events, seed=10)
+
+    def test_tampered_payload_is_rejected(self):
+        """Editing a recorded send's payload breaks re-execution
+        identity and is caught at the matching re-issued send."""
+        n, t, inputs, _, events = capture_benor(3)
+        tampered = list(events)
+        i = next(i for i, e in enumerate(events) if e.kind == SEND)
+        event = events[i]
+        tampered[i] = event.__class__(
+            seq=event.seq,
+            kind=event.kind,
+            pid=event.pid,
+            time=event.time,
+            lamport=event.lamport,
+            vc=event.vc,
+            data={**event.data, "payload": "('forged', 0)"},
+        )
+        with pytest.raises(ReplayDivergence):
+            replay(make_benor(n, t, inputs), tampered, seed=3)
+
+    def test_duplicated_delivery_is_rejected(self):
+        """A deliver event whose send was already consumed dangles."""
+        n, t, inputs, _, events = capture_benor(3)
+        i = next(i for i, e in enumerate(events) if e.kind == DELIVER)
+        doubled = events[: i + 1] + [events[i]] + events[i + 1 :]
+        with pytest.raises(ReplayDivergence):
+            replay(make_benor(n, t, inputs), doubled, seed=3)
+
+
+class TestShmReplay:
+    def run_once(self, scheduler, sink=None):
+        def program(pid, registers):
+            yield from write(registers[pid], pid * 10)
+            a = yield from read(registers[(pid + 1) % len(registers)])
+            b = yield from read(registers[(pid + 2) % len(registers)])
+            return (a, b)
+
+        registers = make_registers("r", 4, initial=-1)
+        runtime = Runtime(scheduler, sink=sink)
+        for pid in range(4):
+            runtime.spawn(pid, program(pid, registers))
+        return runtime.run()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_schedule_with_crashes_replays(self, seed):
+        scheduler = CrashAfterScheduler(
+            RandomScheduler(seed=seed), crash_after={seed % 4: 1 + seed % 2}
+        )
+        sink = MemorySink()
+        original = self.run_once(scheduler, sink)
+        replay_sink = MemorySink()
+        replayed = self.run_once(ShmReplayScheduler(sink.events), replay_sink)
+        assert replayed.outputs == original.outputs
+        assert replayed.crashed == original.crashed
+        assert replayed.total_steps == original.total_steps
+        assert trace_hash(replay_sink.events) == trace_hash(sink.events)
+
+    def test_foreign_schedule_diverges(self):
+        """A 3-process trace cannot drive a 4-process run to completion."""
+
+        def short_program(pid, registers):
+            yield from write(registers[pid], pid)
+            return pid
+
+        registers = make_registers("s", 3, initial=0)
+        runtime = Runtime(RandomScheduler(seed=0), sink=(sink := MemorySink()))
+        for pid in range(3):
+            runtime.spawn(pid, short_program(pid, registers))
+        runtime.run()
+
+        with pytest.raises(ReplayDivergence):
+            self.run_once(ShmReplayScheduler(sink.events))
