@@ -46,6 +46,7 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..trace.sink import TraceSink
 
+from ..analyze.freeze import deep_freeze
 from ..core.exceptions import (
     ConfigurationError,
     ModelViolation,
@@ -289,6 +290,14 @@ class AsyncRuntime:
         event (send/deliver/drop/crash/timer/decide) with causal clocks
         stamped at record time.  ``None`` (default) costs one ``if`` per
         event site — see :mod:`repro.trace`.
+    sanitize:
+        Aliasing sanitizer (off by default): every payload is
+        deep-frozen at send time
+        (:func:`repro.analyze.freeze.deep_freeze`) — the in-flight value
+        is captured as a serializing channel would capture it, and any
+        later mutation of the delivered object raises
+        :class:`~repro.analyze.freeze.FrozenMutationError` at the
+        mutation site.  Off, it costs one ``if`` per send.
     """
 
     def __init__(
@@ -303,6 +312,7 @@ class AsyncRuntime:
         strict_budget: bool = False,
         quiesce_when_decided: bool = True,
         sink: Optional["TraceSink"] = None,
+        sanitize: bool = False,
     ) -> None:
         self.n = len(processes)
         if self.n < 1:
@@ -334,6 +344,7 @@ class AsyncRuntime:
         self.max_events = max_events
         self.strict_budget = strict_budget
         self.quiesce_when_decided = quiesce_when_decided
+        self._sanitize = sanitize
         self._sink = sink
         if sink is not None:
             sink.bind(self.n)
@@ -372,6 +383,8 @@ class AsyncRuntime:
         delay = self.delay_model.delay(src, dst, self.now, self._rng)
         if delay <= 0:
             raise ConfigurationError("delay model produced non-positive delay")
+        if self._sanitize:
+            payload = deep_freeze(payload)
         # Units ride along in the event so delivery never re-measures.
         units = payload_units(payload)
         event_id = self._push(self.now + delay, "deliver", (src, dst, payload, units))

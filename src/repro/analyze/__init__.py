@@ -1,0 +1,61 @@
+"""Determinism & protocol-safety analysis for the ``repro`` codebase.
+
+Two halves, one bug class:
+
+* a **static analyzer** (``python -m repro.analyze src/``) with a
+  pluggable rule registry — DET rules guard schedule-determinism, MDL
+  rules the model boundary, ALIAS rules mutation of already-published
+  values.  Suppressions (``# repro: noqa(RULE): why``) require a
+  justification; a JSON baseline grandfathers old findings so CI fails
+  only on new ones.  See :mod:`repro.analyze.cli`.
+* a **runtime sanitizer**: every kernel accepts ``sanitize=True``, which
+  deep-freezes sent messages and snapshot views via
+  :func:`repro.analyze.freeze.deep_freeze`, so the aliasing bugs the
+  ALIAS rules describe raise :class:`FrozenMutationError` at the
+  mutation site instead of corrupting a distant process.
+
+To add a custom rule, subclass :class:`Rule`, decorate with
+:func:`rule`, and make sure the defining module is imported before
+invoking :func:`repro.analyze.cli.main` — the registry is a plain dict,
+no entry-point plumbing.
+"""
+
+from .cli import analyze_paths, analyze_source, main
+from .findings import Finding
+from .freeze import (
+    FrozenDict,
+    FrozenList,
+    FrozenMutationError,
+    FrozenSetView,
+    deep_freeze,
+    is_frozen,
+)
+from .registry import Rule, all_rules, get_rule, known_rule_ids, rule
+from .suppress import Baseline, NoqaDirective, apply_noqa, scan_noqa
+from .walker import MODULE_KINDS, PROTOCOL_KINDS, ModuleInfo, classify_path
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "FrozenDict",
+    "FrozenList",
+    "FrozenMutationError",
+    "FrozenSetView",
+    "MODULE_KINDS",
+    "ModuleInfo",
+    "NoqaDirective",
+    "PROTOCOL_KINDS",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "apply_noqa",
+    "classify_path",
+    "deep_freeze",
+    "get_rule",
+    "is_frozen",
+    "known_rule_ids",
+    "main",
+    "rule",
+    "scan_noqa",
+]

@@ -1,0 +1,212 @@
+"""Analyzer driver and command line.
+
+``python -m repro.analyze src/ tests/ examples/`` walks the given files
+and directories, runs every registered rule on each parsed module (rules
+see only the module kinds they declare), applies ``# repro: noqa``
+suppressions and an optional baseline, and reports the remainder as text
+or JSON.  Exit status is the CI contract: 0 when nothing (new) is found,
+1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+from .registry import Rule, all_rules
+from .suppress import Baseline, apply_noqa, scan_noqa
+from .walker import ModuleInfo
+
+#: Directories never worth descending into.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist",
+              ".eggs", "node_modules"}
+
+
+class Report:
+    """Everything one analyzer invocation produced."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []     # actionable (post-noqa/baseline)
+        self.suppressed: List[Finding] = []   # silenced by valid noqa
+        self.baselined: List[Finding] = []    # grandfathered by the baseline
+        self.files_scanned: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "counts": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+            },
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(set(files))
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    kind: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Analyze one in-memory module; returns ``(kept, suppressed)``.
+
+    ``kept`` includes NOQA000 findings for malformed suppressions.  The
+    main entry point for rule fixture tests.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        module = ModuleInfo(path, source, kind=kind)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    rule="PARSE000",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
+    raw: List[Finding] = []
+    for rule_obj in active:
+        if module.kind in rule_obj.applies_to:
+            raw.extend(rule_obj.check(module))
+    kept, suppressed, noqa_errors = apply_noqa(raw, scan_noqa(source), path)
+    kept.extend(noqa_errors)
+    return sorted(kept), sorted(suppressed)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    """Analyze every python file under ``paths``."""
+    active = list(rules) if rules is not None else all_rules()
+    report = Report()
+    for file_path in iter_python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        report.files_scanned += 1
+        kept, suppressed = analyze_source(
+            source, path=file_path, rules=active
+        )
+        report.suppressed.extend(suppressed)
+        if baseline is not None:
+            kept, old = baseline.split(kept)
+            report.baselined.extend(old)
+        report.findings.extend(kept)
+    report.findings.sort()
+    report.suppressed.sort()
+    report.baselined.sort()
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description=(
+            "Determinism & protocol-safety static analyzer for the repro "
+            "codebase (DET/MDL/ALIAS rule families)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is machine-readable, for CI)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_obj in all_rules():
+            kinds = ",".join(rule_obj.applies_to)
+            print(f"{rule_obj.id}  [{kinds}]  {rule_obj.summary}")
+        return 0
+
+    rules: Optional[List[Rule]] = None
+    if args.rules:
+        from .registry import get_rule
+
+        rules = [get_rule(token.strip()) for token in args.rules.split(",")]
+
+    baseline = None
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            parser.error(f"baseline file not found: {args.baseline}")
+        baseline = Baseline.load(args.baseline)
+
+    try:
+        report = analyze_paths(args.paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        parser.error(f"no such file or directory: {exc}")
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(args.write_baseline)
+        print(
+            f"wrote baseline of {len(report.findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{report.files_scanned} file(s) scanned: "
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.suppressed)} suppressed by noqa, "
+            f"{len(report.baselined)} baselined"
+        )
+        print(summary if not report.findings else f"\n{summary}")
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

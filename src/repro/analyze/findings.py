@@ -1,0 +1,59 @@
+"""The :class:`Finding` record and its serialized forms.
+
+A finding is one rule violation at one source location.  Findings are
+value objects: the analyzer emits them, the suppression layer filters
+them, the CLI renders them as text or JSON, and the baseline file stores
+their *fingerprints* — a line-number-free identity ``(rule, path,
+qualname, message)`` that survives unrelated edits shifting code up or
+down a file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: dotted name of the enclosing class/function (``""`` at module level);
+    #: part of the baseline fingerprint so findings survive line shifts.
+    qualname: str = field(default="", compare=False)
+
+    def fingerprint(self) -> Tuple[str, str, str, str]:
+        """Line-number-free identity used by baseline files."""
+        return (self.rule, self.path, self.qualname, self.message)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "qualname": self.qualname,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data.get("line", 0)),
+            col=int(data.get("col", 0)),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            qualname=str(data.get("qualname", "")),
+        )
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: RULE message``)."""
+        location = f"{self.path}:{self.line}:{self.col}"
+        context = f" [{self.qualname}]" if self.qualname else ""
+        return f"{location}: {self.rule} {self.message}{context}"

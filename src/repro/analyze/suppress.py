@@ -1,0 +1,197 @@
+"""Suppression machinery: ``# repro: noqa`` comments and baseline files.
+
+Two escape hatches keep the analyzer usable as a *hard* CI gate:
+
+* **noqa** — a line comment ``# repro: noqa(RULE[,RULE...]): justification``
+  suppresses the named rules on that physical line.  The justification
+  text is **required**: a bare ``noqa`` (or one without a reason) does
+  not suppress anything and instead surfaces as a ``NOQA000`` finding,
+  so silent blanket waivers cannot accumulate.
+* **baseline** — a JSON file of finding *fingerprints* (line-number-free:
+  rule, path, enclosing qualname, message) recording grandfathered
+  findings.  ``--write-baseline`` snapshots the current state;
+  subsequent runs fail only on findings not in the baseline, so new
+  violations cannot ride in on old ones.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .findings import Finding
+
+#: Matches suppression comments: the ``repro:`` marker, an optional
+#: parenthesized rule list, and an optional ``: justification`` tail.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa"            # marker
+    r"(?:\(([^)]*)\))?"              # optional rule list
+    r"(?:\s*:\s*(.*))?"              # optional ': justification'
+)
+
+_RULE_TOKEN = re.compile(r"^[A-Z]{3,8}\d{3}$")
+
+
+@dataclass(frozen=True)
+class NoqaDirective:
+    """One parsed ``# repro: noqa`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    error: str = ""  # non-empty => malformed; suppresses nothing
+
+    @property
+    def valid(self) -> bool:
+        return not self.error
+
+
+def scan_noqa(source: str) -> List[NoqaDirective]:
+    """All noqa directives (valid and malformed) in ``source``.
+
+    A directive must name at least one rule explicitly and carry a
+    non-empty justification after a colon — blanket or unexplained
+    waivers are reported as malformed rather than honored.
+    """
+    directives: List[NoqaDirective] = []
+    for line_no, text in _comments(source):
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        raw_rules, justification = match.group(1), match.group(2)
+        rules: Tuple[str, ...] = ()
+        error = ""
+        if raw_rules is None or not raw_rules.strip():
+            error = "noqa must name the suppressed rule(s): noqa(RULE): reason"
+        else:
+            tokens = [token.strip() for token in raw_rules.split(",")]
+            bad = [token for token in tokens if not _RULE_TOKEN.match(token)]
+            if bad:
+                error = f"malformed rule id(s) {', '.join(bad)} in noqa"
+            else:
+                rules = tuple(tokens)
+        if not error and not (justification or "").strip():
+            error = (
+                "noqa requires a justification: "
+                "# repro: noqa(RULE): why this is sound"
+            )
+        directives.append(
+            NoqaDirective(
+                line=line_no,
+                rules=rules,
+                justification=(justification or "").strip(),
+                error=error,
+            )
+        )
+    return directives
+
+
+def _comments(source: str) -> List[Tuple[int, str]]:
+    """(line, text) of every comment token — strings/docstrings that merely
+    *mention* noqa syntax are not directives."""
+    comments: List[Tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to raw lines for files that do not tokenize; the
+        # parser will report them anyway.
+        return list(enumerate(source.splitlines(), start=1))
+    return comments
+
+
+def apply_noqa(
+    findings: Sequence[Finding],
+    directives: Sequence[NoqaDirective],
+    path: str,
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Split ``findings`` into (kept, suppressed) and add NOQA000 findings.
+
+    Returns ``(kept, suppressed, noqa_errors)``; malformed directives
+    become NOQA000 findings in ``noqa_errors`` (they suppress nothing).
+    """
+    by_line: Dict[int, Set[str]] = {}
+    for directive in directives:
+        if directive.valid:
+            by_line.setdefault(directive.line, set()).update(directive.rules)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        if finding.rule in by_line.get(finding.line, ()):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    noqa_errors = [
+        Finding(
+            path=path,
+            line=directive.line,
+            col=0,
+            rule="NOQA000",
+            message=directive.error,
+        )
+        for directive in directives
+        if not directive.valid
+    ]
+    return kept, suppressed, noqa_errors
+
+
+class Baseline:
+    """Set of grandfathered finding fingerprints, persisted as JSON."""
+
+    VERSION = 1
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str, str]] = ()) -> None:
+        self.entries: Set[Tuple[str, str, str, str]] = set(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(finding.fingerprint() for finding in findings)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version {data.get('version')!r}"
+            )
+        return cls(
+            (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry.get("qualname", "")),
+                str(entry["message"]),
+            )
+            for entry in data.get("findings", ())
+        )
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": self.VERSION,
+            "findings": [
+                {"rule": rule, "path": file_path, "qualname": qual, "message": msg}
+                for rule, file_path, qual, msg in sorted(self.entries)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, baselined)."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            (old if finding in self else new).append(finding)
+        return new, old

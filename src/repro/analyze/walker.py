@@ -1,0 +1,247 @@
+"""Parsed-module model and the small dataflow/scope toolkit rules share.
+
+:class:`ModuleInfo` wraps one parsed source file with everything a rule
+needs: parent links, enclosing-scope qualified names, the module's
+*kind* (which model's code it is — see :func:`classify_path`), import
+aliases of nondeterminism-bearing stdlib modules, a conservative
+"definitely a set" expression classifier, and mutation-site detection.
+
+The dataflow here is deliberately shallow — single-module, single-scope,
+textual order — because the rules are *linters*, not verifiers: they
+flag patterns that are hazards in this codebase's idiom, and the noqa /
+baseline layer (see :mod:`repro.analyze.suppress`) absorbs the cases
+where a human can argue order-insensitivity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Module kinds, from most to least constrained.  ``sync``/``amp``/``shm``
+#: are protocol/kernel code (one per model of the paper); ``infra`` is the
+#: rest of ``repro`` (core, trace, harness, analyze); ``other`` is
+#: everything outside the package (tests, examples, benchmarks).
+MODULE_KINDS = ("sync", "amp", "shm", "infra", "other")
+
+#: Kinds containing protocol/kernel code — where the model boundary and
+#: determinism rules have teeth.
+PROTOCOL_KINDS = ("sync", "amp", "shm")
+
+#: stdlib modules whose direct use inside protocol code breaks
+#: schedule-determinism (the injected per-process RNG / virtual time are
+#: the only sanctioned sources).
+NONDET_MODULES = ("random", "time", "datetime", "os", "uuid", "secrets")
+
+#: Methods whose call mutates the receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "add", "discard", "update", "setdefault", "popitem",
+        "difference_update", "intersection_update",
+        "symmetric_difference_update",
+    }
+)
+
+
+def classify_path(path: str) -> str:
+    """Module kind of a file path (see :data:`MODULE_KINDS`)."""
+    normalized = path.replace("\\", "/")
+    for kind in PROTOCOL_KINDS:
+        if f"/repro/{kind}/" in normalized or normalized.endswith(
+            f"/repro/{kind}.py"
+        ):
+            return kind
+    if "/repro/" in normalized or normalized.startswith("repro/"):
+        return "infra"
+    return "other"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ModuleInfo:
+    """One parsed module plus the derived maps rules query."""
+
+    def __init__(self, path: str, source: str, kind: Optional[str] = None) -> None:
+        self.path = path
+        self.source = source
+        self.kind = kind if kind is not None else classify_path(path)
+        self.tree = ast.parse(source, filename=path)
+        self._parent: Dict[ast.AST, ast.AST] = {}
+        self._qual: Dict[ast.AST, str] = {}
+        self._annotate(self.tree, "")
+        #: local alias -> dotted origin, for names taken from the
+        #: nondeterminism-bearing stdlib modules (``from time import
+        #: time`` => ``{"time": "time.time"}``; ``import random as rnd``
+        #: => ``{"rnd": "random"}``).
+        self.nondet_aliases: Dict[str, str] = {}
+        self._collect_imports()
+
+    # -- structure ---------------------------------------------------------
+
+    def _annotate(self, node: ast.AST, qual: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._parent[child] = node
+            self._qual[child] = qual
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                child_qual = f"{qual}.{child.name}" if qual else child.name
+                self._annotate(child, child_qual)
+            else:
+                self._annotate(child, qual)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parent.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parent.get(node)
+        while current is not None:
+            yield current
+            current = self._parent.get(current)
+
+    def qualname_at(self, node: ast.AST) -> str:
+        return self._qual.get(node, "")
+
+    def walk(self, *types: type) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if not types or isinstance(node, types):
+                yield node
+
+    def functions(self) -> Iterator[ast.AST]:
+        yield from self.walk(ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        yield from self.walk(ast.ClassDef)
+
+    # -- imports -----------------------------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in self.walk(ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in NONDET_MODULES:
+                    self.nondet_aliases[alias.asname or root] = alias.name
+        for node in self.walk(ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            root = node.module.split(".")[0]
+            if root in NONDET_MODULES:
+                for alias in node.names:
+                    self.nondet_aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # -- set-ness inference ------------------------------------------------
+
+    def definitely_set(self, expr: ast.AST, env: Optional[Dict[str, bool]] = None) -> bool:
+        """Conservatively true when ``expr`` evaluates to a set/frozenset.
+
+        Recognizes set displays/comprehensions, ``set(...)`` /
+        ``frozenset(...)`` calls, set-algebra methods and operators on a
+        known set, names locally bound to one of those, and — a
+        repo-specific fact — the ``.neighbors`` attribute, which the
+        kernel API types as ``FrozenSet[int]``.
+        """
+        env = env or {}
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name in ("set", "frozenset"):
+                return True
+            if isinstance(expr.func, ast.Attribute) and expr.func.attr in (
+                "union", "intersection", "difference", "symmetric_difference",
+            ):
+                return self.definitely_set(expr.func.value, env)
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.definitely_set(expr.left, env) or self.definitely_set(
+                expr.right, env
+            )
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, False)
+        if isinstance(expr, ast.Attribute) and expr.attr == "neighbors":
+            return True
+        return False
+
+    def set_env(self, scope: ast.AST) -> Dict[str, bool]:
+        """Names bound to definitely-set values inside ``scope``.
+
+        One textual-order pass over plain assignments: a later rebind to
+        a non-set value clears the name.  Shallow on purpose (no
+        branches/phi): good enough for linting, and wrong guesses fail
+        *safe* (unknown => not a set => no finding).
+        """
+        env: Dict[str, bool] = {}
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    env[target.id] = self.definitely_set(node.value, env)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    env[node.target.id] = self.definitely_set(node.value, env)
+        return env
+
+    # -- mutation detection ------------------------------------------------
+
+    def mutations_in(self, scope: ast.AST) -> Iterator[Tuple[str, ast.AST, str]]:
+        """Yield ``(name, node, how)`` for in-place mutations of local names.
+
+        Covers mutator method calls (``x.append(...)``), item/attribute
+        stores (``x[k] = v``, ``x.f = v``), augmented stores, and item
+        deletes.  ``how`` is a short description for the message.
+        """
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in MUTATOR_METHODS and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    yield node.func.value.id, node, f".{node.func.attr}(...)"
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        yield target.value.id, node, "[...] = ..."
+                    elif isinstance(target, ast.Attribute) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        yield target.value.id, node, f".{target.attr} = ..."
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        yield target.value.id, node, "del [...]"
+
+    def rebindings_in(self, scope: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+        """Yield ``(name, node)`` for plain rebinds (``x = ...``) in scope."""
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield target.id, node
+
+
+def parse_module(path: str, source: Optional[str] = None) -> ModuleInfo:
+    """Read (if needed) and parse one module."""
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    return ModuleInfo(path, source)

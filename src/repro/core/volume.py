@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Mapping, Set, Tuple
 
+from .exceptions import ModelViolation
+
 _SCALARS = (int, float, complex, str, bytes, bool, type(None))
 
 
@@ -29,12 +31,30 @@ def payload_units(message: object) -> int:
 
     An empty container costs 1 unit (the envelope is not free), so a
     pure signal message ("decide", ``()``) is never accounted as zero.
+
+    ``__payload_units__()`` overrides must return a non-negative ``int``
+    (``bool`` does not count); anything else raises
+    :class:`~repro.core.exceptions.ModelViolation` — a bad weight would
+    silently skew every volume metric downstream.
     """
     if isinstance(message, _SCALARS):
         return 1
     sizer = getattr(message, "__payload_units__", None)
     if sizer is not None:
-        return int(sizer())
+        units = sizer()
+        if isinstance(units, bool) or not isinstance(units, int):
+            raise ModelViolation(
+                f"__payload_units__ on {type(message).__name__} returned "
+                f"{units!r} ({type(units).__name__}); it must return a "
+                f"non-negative int"
+            )
+        if units < 0:
+            raise ModelViolation(
+                f"__payload_units__ on {type(message).__name__} returned "
+                f"negative weight {units}; payload volume cannot shrink "
+                f"a run's total"
+            )
+        return units
     if isinstance(message, Mapping):
         return sum(
             payload_units(k) + payload_units(v) for k, v in message.items()

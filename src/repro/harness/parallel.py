@@ -53,6 +53,21 @@ class RunList(List[T]):
     workers_used: int = 1
     fallback_reason: Optional[str] = None
 
+    def summary(self) -> str:
+        """One line of execution metadata (how the sweep actually ran)."""
+        if self.fallback_reason is not None:
+            detail = f"serial fallback: {self.fallback_reason}"
+        elif self.workers_used > 1:
+            detail = f"{self.workers_used} workers"
+        else:
+            detail = "serial"
+        return f"{len(self)} run(s), {detail}"
+
+    def __repr__(self) -> str:
+        # The element dump is a plain list's; the prefix keeps a silent
+        # serial fallback visible anywhere a RunList is printed.
+        return f"RunList({self.summary()}: {list.__repr__(self)})"
+
 
 def run_many(
     factory: Callable[[int], T],

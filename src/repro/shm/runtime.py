@@ -44,6 +44,7 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..trace.sink import TraceSink
 
+from ..analyze.freeze import deep_freeze
 from ..core.exceptions import (
     ConfigurationError,
     ModelViolation,
@@ -216,6 +217,15 @@ class Runtime:
         plus crashes and completions, with causal clocks threaded
         through the base objects.  ``None`` (default) adds one ``if``
         per step.
+    sanitize:
+        Aliasing sanitizer (off by default): invocation arguments are
+        deep-frozen before they reach the base object (so a register
+        stores the at-write value, not a live alias of the writer's
+        local state) and every step response is deep-frozen (so a
+        reader mutating a read value or a scan view raises
+        :class:`~repro.analyze.freeze.FrozenMutationError` at the
+        mutation site instead of corrupting the shared state).  Off, it
+        costs one ``if`` per step.
     """
 
     def __init__(
@@ -226,12 +236,14 @@ class Runtime:
         history: Optional[History] = None,
         strict_budget: bool = False,
         sink: Optional["TraceSink"] = None,
+        sanitize: bool = False,
     ) -> None:
         self.scheduler = scheduler
         self.max_steps = max_steps
         self.max_crashes = max_crashes
         self.history = history if history is not None else History()
         self.strict_budget = strict_budget
+        self._sanitize = sanitize
         self._sink = sink
         self._processes: Dict[int, _ProcessRecord] = {}
         self.step_no = 0
@@ -338,7 +350,15 @@ class Runtime:
                 f"process {pid} yielded {request!r}; protocols must yield "
                 f"Invocation objects (one atomic step each)"
             )
-        record.pending_response = request.obj.apply(pid, request.op, request.args)
+        if self._sanitize:
+            response = request.obj.apply(
+                pid, request.op, deep_freeze(request.args)
+            )
+            record.pending_response = deep_freeze(response)
+        else:
+            record.pending_response = request.obj.apply(
+                pid, request.op, request.args
+            )
         record.steps += 1
         if self._sink is not None:
             self._sink.shm_step(

@@ -117,7 +117,7 @@ class FloodingAlgorithm(SyncAlgorithm):
     def on_start(self, ctx: Context) -> Outbox:
         self.known = {ctx.pid: ctx.input}
         self._digest = 1 << ctx.pid
-        self._peer_digest = {neighbor: 0 for neighbor in ctx.neighbors}
+        self._peer_digest = {neighbor: 0 for neighbor in sorted(ctx.neighbors)}
         self._state_snapshot = None
         if self.rounds == 0:
             self._finish(ctx)
@@ -157,7 +157,9 @@ class FloodingAlgorithm(SyncAlgorithm):
         if self.mode == "full":
             return ctx.broadcast(dict(self.known))
         outbox: Outbox = {}
-        for neighbor in ctx.neighbors:
+        # Sorted: neighbor sets iterate in hash order, and outbox insertion
+        # order is the kernel's send order — which trace hashes observe.
+        for neighbor in sorted(ctx.neighbors):
             heard = self._peer_digest[neighbor]
             pairs = tuple(
                 (pid, value)

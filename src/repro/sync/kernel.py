@@ -35,6 +35,7 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..trace.sink import TraceSink
 
+from ..analyze.freeze import deep_freeze
 from ..core.exceptions import (
     ConfigurationError,
     ModelViolation,
@@ -77,8 +78,13 @@ class Context:
         self.halted = True
 
     def broadcast(self, message: object) -> Outbox:
-        """Outbox sending ``message`` to every neighbor."""
-        return {neighbor: message for neighbor in self.neighbors}
+        """Outbox sending ``message`` to every neighbor.
+
+        Neighbors are sorted: outbox insertion order is the kernel's send
+        order, and set iteration order is a hashing artifact no run
+        should depend on (trace hashes observe send order).
+        """
+        return {neighbor: message for neighbor in sorted(self.neighbors)}
 
 
 class SyncAlgorithm:
@@ -175,6 +181,15 @@ class SynchronousRunner:
         run's structured events (round markers, sends, deliveries,
         drops, crashes, decisions) with causal clocks.  ``None``
         (default) adds one ``if`` per event site.
+    sanitize:
+        Aliasing sanitizer (off by default): every outbox message is
+        deep-frozen as it is collected
+        (:func:`repro.analyze.freeze.deep_freeze`), so a protocol that
+        mutates a message after handing it over raises
+        :class:`~repro.analyze.freeze.FrozenMutationError` at the
+        mutation site — and the in-flight value is captured at send
+        time, as a serializing network would.  Off, it costs one ``if``
+        per outbox.
     """
 
     def __init__(
@@ -187,6 +202,7 @@ class SynchronousRunner:
         max_rounds: int = 10_000,
         record_graphs: bool = False,
         sink: Optional["TraceSink"] = None,
+        sanitize: bool = False,
     ) -> None:
         n = topology.n
         if len(algorithms) != n or len(inputs) != n:
@@ -209,6 +225,7 @@ class SynchronousRunner:
             self.crash_by_round.setdefault(event.round, []).append(event)
         self.max_rounds = max_rounds
         self.record_graphs = record_graphs
+        self._sanitize = sanitize
         self._sink = sink
         if sink is not None:
             sink.bind(n)
@@ -371,6 +388,11 @@ class SynchronousRunner:
                     f"process {pid} sent to non-neighbor {target} "
                     f"(LOCAL model forbids this)"
                 )
+        if self._sanitize:
+            return {
+                target: deep_freeze(message)
+                for target, message in outbox.items()
+            }
         return dict(outbox)
 
 

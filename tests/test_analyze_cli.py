@@ -1,0 +1,224 @@
+"""CLI, suppression, and baseline behavior of ``repro.analyze``."""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analyze import analyze_source, main
+from repro.analyze.findings import Finding
+from repro.analyze.suppress import Baseline, scan_noqa
+
+_BUGGY = textwrap.dedent(
+    """
+    def f(ctx):
+        msg = [1]
+        ctx.send(0, msg)
+        msg.append(2)
+    """
+)
+
+
+# ---------------------------------------------------------------------------
+# noqa parsing
+# ---------------------------------------------------------------------------
+
+
+class TestScanNoqa:
+    def test_valid_directive_parses(self):
+        directives = scan_noqa(
+            "x = 1  # repro: noqa(DET001): virtual clock bootstrap\n"
+        )
+        assert len(directives) == 1
+        directive = directives[0]
+        assert directive.line == 1
+        assert directive.rules == ("DET001",)
+        assert directive.justification == "virtual clock bootstrap"
+        assert not directive.error
+
+    def test_multiple_rules_parse(self):
+        (directive,) = scan_noqa(
+            "x = 1  # repro: noqa(DET001, ALIAS002): both are deliberate here\n"
+        )
+        assert directive.rules == ("DET001", "ALIAS002")
+
+    def test_missing_justification_is_malformed(self):
+        (directive,) = scan_noqa("x = 1  # repro: noqa(DET001)\n")
+        assert directive.error
+
+    def test_blanket_waiver_is_malformed(self):
+        (directive,) = scan_noqa("x = 1  # repro: noqa: just because\n")
+        assert directive.error
+
+    def test_docstring_mention_is_not_a_directive(self):
+        # Only real comments count; prose describing the syntax must not
+        # accidentally suppress anything.
+        assert not scan_noqa(
+            '"""Suppress with # repro: noqa(DET001): reason."""\nx = 1\n'
+        )
+
+    def test_plain_comments_ignored(self):
+        assert not scan_noqa("# a normal comment\nx = 1  # another\n")
+
+
+class TestApplyNoqa:
+    def test_valid_noqa_suppresses_finding(self):
+        kept, suppressed = analyze_source(
+            textwrap.dedent(
+                """
+                def f(ctx):
+                    msg = [1]
+                    ctx.send(0, msg)
+                    msg.append(2)  # repro: noqa(ALIAS001): fixture for the suppression test
+                """
+            ),
+            kind="amp",
+        )
+        assert not kept
+        assert [f.rule for f in suppressed] == ["ALIAS001"]
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        kept, suppressed = analyze_source(
+            textwrap.dedent(
+                """
+                def f(ctx):
+                    msg = [1]
+                    ctx.send(0, msg)
+                    msg.append(2)  # repro: noqa(DET001): wrong rule on purpose
+                """
+            ),
+            kind="amp",
+        )
+        assert [f.rule for f in kept] == ["ALIAS001"]
+        assert not suppressed
+
+    def test_missing_justification_becomes_noqa000(self):
+        kept, suppressed = analyze_source(
+            "x = 1  # repro: noqa(DET001)\n", kind="amp"
+        )
+        assert [f.rule for f in kept] == ["NOQA000"]
+        assert "justification" in kept[0].message
+        assert not suppressed
+
+    def test_syntax_error_becomes_parse000(self):
+        kept, _ = analyze_source("def broken(:\n", kind="amp")
+        assert [f.rule for f in kept] == ["PARSE000"]
+
+
+# ---------------------------------------------------------------------------
+# baseline round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def _finding(self, rule="ALIAS001", line=4):
+        return Finding(
+            path="pkg/mod.py",
+            line=line,
+            col=0,
+            rule=rule,
+            message="message object mutated after send",
+            qualname="f",
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([self._finding()])
+        target = tmp_path / "baseline.json"
+        baseline.save(str(target))
+        loaded = Baseline.load(str(target))
+        assert loaded.entries == baseline.entries
+
+    def test_split_partitions_by_fingerprint(self):
+        old = self._finding()
+        baseline = Baseline.from_findings([old])
+        # Same finding on a different line still matches (fingerprints
+        # are line-free, so mere drift doesn't resurrect old findings)…
+        moved = self._finding(line=40)
+        # …but a different rule on the same spot is new.
+        fresh = self._finding(rule="DET003")
+        new, baselined = baseline.split([moved, fresh])
+        assert new == [fresh]
+        assert baselined == [moved]
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(str(target))
+
+
+# ---------------------------------------------------------------------------
+# CLI end-to-end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def buggy_tree(tmp_path):
+    pkg = tmp_path / "proj"
+    pkg.mkdir()
+    (pkg / "amp_proto.py").write_text(_BUGGY)
+    (pkg / "clean.py").write_text("VALUE = 1\n")
+    return pkg
+
+
+class TestMain:
+    def test_findings_mean_exit_one(self, buggy_tree, capsys):
+        # ALIAS rules apply to every module kind, so the bug is found
+        # even though the tmp file classifies as "other".
+        assert main([str(buggy_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "ALIAS001" in out
+        assert "amp_proto.py" in out
+
+    def test_clean_tree_means_exit_zero(self, buggy_tree, capsys):
+        (buggy_tree / "amp_proto.py").unlink()
+        assert main([str(buggy_tree)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_json_format_is_machine_readable(self, buggy_tree, capsys):
+        exit_code = main([str(buggy_tree), "--format=json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["counts"]["findings"] == len(payload["findings"]) == 1
+        finding = payload["findings"][0]
+        assert finding["rule"] == "ALIAS001"
+        assert finding["line"] == 5
+
+    def test_baseline_round_trip_via_cli(self, buggy_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(buggy_tree), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # Grandfathered: the same findings no longer fail the run.
+        assert main([str(buggy_tree), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # A new finding still fails even with the baseline active.
+        (buggy_tree / "more.py").write_text(_BUGGY)
+        assert main([str(buggy_tree), "--baseline", str(baseline)]) == 1
+
+    def test_rules_filter(self, buggy_tree):
+        assert main([str(buggy_tree), "--rules", "DET001"]) == 0
+        assert main([str(buggy_tree), "--rules", "ALIAS001"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "MDL002", "ALIAS001"):
+            assert rule_id in out
+
+    def test_module_entry_point_runs(self, buggy_tree):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analyze", str(buggy_tree)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "ALIAS001" in result.stdout
+
+
+class TestSelfRun:
+    def test_repo_source_tree_is_clean(self):
+        """The gate CI enforces: the analyzer passes its own codebase."""
+        assert main(["src"]) == 0

@@ -1,0 +1,122 @@
+"""Regression pins for the analyzer-driven determinism fixes.
+
+``repro.analyze``'s DET003 rule flagged two real unsorted-set
+iterations on send paths (``FloodingAlgorithm._emit`` / its
+``_peer_digest`` initialization) and ``Context.broadcast`` built its
+outbox straight from the ``neighbors`` frozenset.  All three were fixed
+to iterate ``sorted(...)``.  Under CPython's current hash behavior for
+small ints the old iteration order happened to match sorted order, so
+the fixes must be *pure refactors*: these hashes and vectors were
+captured from the pre-fix tree, and the fixed code must reproduce every
+one of them bit-for-bit.
+"""
+
+import pytest
+
+from repro.sync.adversary import BoundedDropAdversary
+from repro.sync.algorithms.consensus import make_floodset
+from repro.sync.algorithms.flooding import FloodingAlgorithm
+from repro.sync.kernel import CrashEvent, run_synchronous
+from repro.sync.topology import complete, path, random_connected
+from repro.trace import MemorySink, trace_hash
+
+# Captured from the tree *before* the DET003 fixes (same seeds, same
+# scenarios).  A mismatch means a behavior change, not just a refactor.
+_GOLDEN = {
+    ("delta", "path6"): (
+        "8899bd22fb7122e51609fe1167e35a1f7ce6c9a4025f53d74b717e835d10fe29",
+        (199, 143),
+    ),
+    ("delta", "complete5"): (
+        "778ce974ae5db06f73b5904a585fea5a0df63b3ae003620b15c7dd7d06a2b98f",
+        (531, 477),
+    ),
+    ("delta", "rand8"): (
+        "f56bcaa47adc3d89c881a2c1b16f00fd6e274affb1ed568a46f92d5383c94bc5",
+        (554, 480),
+    ),
+    ("full", "path6"): (
+        "4a81ed351d2c116eec04c10d6b445bb96a1aa643ea0d420a38bbbc1deea27c00",
+        (490, 368),
+    ),
+    ("full", "complete5"): (
+        "56ef0f32347052ce3b844625645af9dc3525d296e964d3adaf0953e739383bba",
+        (1154, 1010),
+    ),
+    ("full", "rand8"): (
+        "853b3984b0d06dbd36d11305058e086ac1530de0a7cd4757d8f149abacc01e86",
+        (1548, 1352),
+    ),
+}
+
+_TOPOLOGIES = {
+    "path6": lambda: path(6),
+    "complete5": lambda: complete(5),
+    "rand8": lambda: random_connected(8, 0.45),
+}
+
+
+def _run_flooding(mode, topo_name):
+    topo = _TOPOLOGIES[topo_name]()
+    sink = MemorySink()
+    result = run_synchronous(
+        topo,
+        [FloodingAlgorithm(rounds=8, mode=mode) for _ in range(topo.n)],
+        [10 + i for i in range(topo.n)],
+        adversary=BoundedDropAdversary(max_drops=2, seed=3),
+        crash_schedule=[
+            CrashEvent(pid=1, round=2, delivered_to=frozenset({0}))
+        ],
+        sink=sink,
+    )
+    return result, trace_hash(sink.events)
+
+
+@pytest.mark.parametrize(
+    "mode,topo_name", sorted(_GOLDEN), ids=lambda v: str(v)
+)
+def test_flooding_trace_hash_unchanged_by_det003_fixes(mode, topo_name):
+    expected_hash, (payload_sent, payload_delivered) = _GOLDEN[mode, topo_name]
+    result, actual_hash = _run_flooding(mode, topo_name)
+    assert actual_hash == expected_hash
+    assert result.payload_sent == payload_sent
+    assert result.payload_delivered == payload_delivered
+    assert result.rounds == 8
+
+
+def test_flooding_decided_vectors_unchanged():
+    # Dense topologies decide full input vectors everywhere except the
+    # crashed process; the drop-ridden path never saturates in 8 rounds.
+    result, _ = _run_flooding("delta", "complete5")
+    assert result.decided == [True, False, True, True, True]
+    assert all(
+        result.outputs[pid] == (10, 11, 12, 13, 14)
+        for pid in (0, 2, 3, 4)
+    )
+    result, _ = _run_flooding("full", "path6")
+    assert result.decided == [False] * 6
+
+
+def test_floodset_consensus_unchanged_by_broadcast_sort():
+    # FloodSet goes through Context.broadcast, whose outbox is now built
+    # from sorted(neighbors).
+    n = 6
+    sink = MemorySink()
+    result = run_synchronous(
+        complete(n),
+        make_floodset(n, 2),
+        list(range(n)),
+        crash_schedule=[
+            CrashEvent(pid=2, round=1, delivered_to=frozenset({0, 1}))
+        ],
+        sink=sink,
+    )
+    assert (
+        trace_hash(sink.events)
+        == "e3881689797005df12085af2302c1763d46f64a7b688bf4d99174149c322b5a9"
+    )
+    assert result.rounds == 3
+    assert result.decided == [True, True, False, True, True, True]
+    assert all(
+        result.outputs[pid] == 0 for pid in range(n) if pid != 2
+    )

@@ -1,0 +1,444 @@
+"""Per-rule fixtures for ``repro.analyze``: one triggering and one clean
+snippet per rule, run through :func:`analyze_source` exactly as the CLI
+would run them."""
+
+import textwrap
+
+import pytest
+
+from repro.analyze import analyze_source
+from repro.analyze.registry import all_rules, get_rule, known_rule_ids
+
+
+def findings(source, kind="amp", rule=None, path="fixture.py"):
+    kept, _ = analyze_source(textwrap.dedent(source), path=path, kind=kind)
+    if rule is not None:
+        return [f for f in kept if f.rule == rule]
+    return kept
+
+
+def rule_ids(source, kind="amp"):
+    return sorted({f.rule for f in findings(source, kind=kind)})
+
+
+class TestRegistry:
+    def test_all_eight_rules_registered(self):
+        assert set(known_rule_ids()) >= {
+            "DET001", "DET002", "DET003",
+            "MDL001", "MDL002", "MDL003",
+            "ALIAS001", "ALIAS002",
+        }
+
+    def test_get_rule_unknown_raises(self):
+        from repro.core import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="NOPE999"):
+            get_rule("NOPE999")
+
+    def test_every_rule_has_summary_and_kinds(self):
+        for rule_obj in all_rules():
+            assert rule_obj.summary
+            assert rule_obj.applies_to
+
+
+class TestDET001NondeterministicSource:
+    def test_wall_clock_triggers(self):
+        hits = findings(
+            """
+            import time
+
+            class P:
+                def on_message(self, ctx, src, payload):
+                    deadline = time.time() + 1.0
+                    return deadline
+            """,
+            rule="DET001",
+        )
+        assert len(hits) == 1
+        assert "time.time" in hits[0].message
+        assert hits[0].qualname == "P.on_message"
+
+    def test_aliased_import_still_caught(self):
+        hits = findings(
+            """
+            from os import urandom as entropy
+
+            def nonce():
+                return entropy(8)
+            """,
+            rule="DET001",
+        )
+        assert len(hits) == 1
+        assert "os.urandom" in hits[0].message
+
+    def test_virtual_time_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, payload):
+                    if ctx.time > 5.0:
+                        ctx.decide(payload)
+            """,
+            rule="DET001",
+        )
+
+    def test_local_variable_named_time_is_clean(self):
+        assert not findings(
+            """
+            def f(time):
+                return time()
+            """,
+            rule="DET001",
+        )
+
+
+class TestDET002SharedRandomState:
+    def test_module_level_random_call_triggers(self):
+        hits = findings(
+            """
+            import random
+
+            class P:
+                def on_start(self, ctx):
+                    if random.random() < 0.5:
+                        ctx.send(0, 1)
+            """,
+            rule="DET002",
+        )
+        assert len(hits) == 1
+        assert "interpreter-global" in hits[0].message
+
+    def test_unseeded_rng_triggers(self):
+        hits = findings(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """,
+            rule="DET002",
+        )
+        assert len(hits) == 1
+        assert "unseeded" in hits[0].message
+
+    def test_seeded_per_instance_rng_is_clean(self):
+        assert not findings(
+            """
+            import random
+
+            class P:
+                def __init__(self, seed):
+                    self._rng = random.Random(seed)
+
+                def on_start(self, ctx):
+                    if self._rng.random() < 0.5:
+                        ctx.send(0, 1)
+            """,
+            rule="DET002",
+        )
+
+    def test_injected_ctx_random_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, payload):
+                    if ctx.random().random() < 0.5:
+                        ctx.decide(payload)
+            """,
+            rule="DET002",
+        )
+
+
+class TestDET003UnorderedIteration:
+    def test_send_loop_over_set_triggers(self):
+        hits = findings(
+            """
+            def emit(ctx, values):
+                pending = set(values)
+                for dst in pending:
+                    ctx.send(dst, values)
+            """,
+            rule="DET003",
+        )
+        assert len(hits) == 1
+        assert "sorted" in hits[0].message
+
+    def test_neighbors_attribute_counts_as_set(self):
+        hits = findings(
+            """
+            def emit(ctx, message):
+                for dst in ctx.neighbors:
+                    ctx.send(dst, message)
+            """,
+            rule="DET003",
+        )
+        assert len(hits) == 1
+
+    def test_sorted_send_loop_is_clean(self):
+        assert not findings(
+            """
+            def emit(ctx, values):
+                pending = set(values)
+                for dst in sorted(pending):
+                    ctx.send(dst, values)
+            """,
+            rule="DET003",
+        )
+
+    def test_order_insensitive_consumption_is_clean(self):
+        assert not findings(
+            """
+            def tally(ctx, received):
+                votes = set(received)
+                total = sum(1 for v in votes if v)
+                ctx.decide(total)
+                return sorted([v for v in votes])
+            """,
+            rule="DET003",
+        )
+
+
+class TestMDL001ClassLevelMutableState:
+    def test_class_level_dict_triggers(self):
+        hits = findings(
+            """
+            class P:
+                cache = {}
+
+                def on_start(self, ctx):
+                    self.cache[ctx.pid] = 1
+            """,
+            rule="MDL001",
+        )
+        assert len(hits) == 1
+        assert "P.cache" in hits[0].message
+
+    def test_annotated_factory_call_triggers(self):
+        hits = findings(
+            """
+            class P:
+                seen: list = list()
+            """,
+            rule="MDL001",
+        )
+        assert len(hits) == 1
+
+    def test_instance_state_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                ROUNDS = 3
+
+                def __init__(self):
+                    self.cache = {}
+            """,
+            rule="MDL001",
+        )
+
+
+class TestMDL002CrossModelImport:
+    def test_sync_importing_amp_triggers(self):
+        hits = findings(
+            """
+            from repro.amp.network import AsyncRuntime
+            """,
+            kind="sync",
+            rule="MDL002",
+        )
+        assert len(hits) == 1
+        assert "sync module imports" in hits[0].message
+
+    def test_relative_cross_model_import_triggers(self):
+        hits = findings(
+            """
+            from ..shm.runtime import Runtime
+            """,
+            kind="amp",
+            rule="MDL002",
+        )
+        assert len(hits) == 1
+
+    def test_core_and_own_model_imports_are_clean(self):
+        assert not findings(
+            """
+            from repro.core import ModelViolation
+            from repro.sync.topology import complete
+            import repro.sync.kernel
+            """,
+            kind="sync",
+            rule="MDL002",
+        )
+
+    def test_infra_modules_may_import_any_model(self):
+        # The harness is *supposed* to drive all three kernels.
+        assert not findings(
+            """
+            from repro.sync.kernel import run_synchronous
+            from repro.amp.network import AsyncRuntime
+            from repro.shm.runtime import Runtime
+            """,
+            kind="infra",
+            rule="MDL002",
+        )
+
+
+class TestMDL003PrivateReachThrough:
+    def test_ctx_private_access_triggers(self):
+        hits = findings(
+            """
+            def peek(ctx):
+                return ctx._runtime.now
+            """,
+            rule="MDL003",
+        )
+        assert len(hits) == 1
+        assert "ctx._runtime" in hits[0].message
+
+    def test_self_private_state_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_start(self, ctx):
+                    self._round = 0
+                    ctx.send(0, ctx.pid)
+            """,
+            rule="MDL003",
+        )
+
+    def test_dunder_access_is_not_flagged(self):
+        assert not findings(
+            """
+            def name_of(ctx):
+                return ctx.__class__.__name__
+            """,
+            rule="MDL003",
+        )
+
+
+class TestALIAS001MutateAfterSend:
+    def test_append_after_send_triggers(self):
+        hits = findings(
+            """
+            def f(ctx):
+                msg = [1]
+                ctx.send(0, msg)
+                msg.append(2)
+            """,
+            rule="ALIAS001",
+        )
+        assert len(hits) == 1
+        assert "mutates a value after" in hits[0].message
+
+    def test_mutation_before_send_is_clean(self):
+        assert not findings(
+            """
+            def f(ctx):
+                msg = [1]
+                msg.append(2)
+                ctx.send(0, msg)
+            """,
+            rule="ALIAS001",
+        )
+
+    def test_rebind_clears_the_hazard(self):
+        assert not findings(
+            """
+            def f(ctx):
+                msg = [1]
+                ctx.send(0, msg)
+                msg = [2]
+                msg.append(3)
+            """,
+            rule="ALIAS001",
+        )
+
+    def test_loop_wraparound_is_caught(self):
+        # The mutation is textually *before* the send, but a second loop
+        # iteration runs it after — the receiver sees the append.
+        hits = findings(
+            """
+            def f(ctx, rounds):
+                msg = [0]
+                for r in range(rounds):
+                    msg.append(r)
+                    ctx.broadcast(msg)
+            """,
+            rule="ALIAS001",
+        )
+        assert len(hits) == 1
+
+    def test_fresh_object_per_iteration_is_clean(self):
+        assert not findings(
+            """
+            def f(ctx, rounds):
+                for r in range(rounds):
+                    msg = [r]
+                    ctx.broadcast(msg)
+            """,
+            rule="ALIAS001",
+        )
+
+
+class TestALIAS002MutateSnapshotView:
+    def test_mutating_scan_result_triggers(self):
+        hits = findings(
+            """
+            def reader(snapshot):
+                view = yield from snapshot.scan()
+                view.append(0)
+                return view
+            """,
+            kind="shm",
+            rule="ALIAS002",
+        )
+        assert len(hits) == 1
+        assert ".scan(...)" in hits[0].message
+
+    def test_copying_the_view_is_clean(self):
+        assert not findings(
+            """
+            def reader(snapshot):
+                view = yield from snapshot.scan()
+                mine = list(view)
+                mine.append(0)
+                return mine
+            """,
+            kind="shm",
+            rule="ALIAS002",
+        )
+
+
+class TestRuleScoping:
+    def test_det_rules_skip_non_protocol_modules(self):
+        # Wall-clock reads in infra (benchmarks, harness) are legitimate.
+        source = """
+            import time
+
+            def wall():
+                return time.time()
+        """
+        assert not findings(source, kind="infra", rule="DET001")
+        assert findings(source, kind="sync", rule="DET001")
+
+    def test_alias_rules_apply_everywhere(self):
+        source = """
+            def f(ctx):
+                msg = [1]
+                ctx.send(0, msg)
+                msg.append(2)
+        """
+        for kind in ("sync", "amp", "shm", "infra", "other"):
+            assert findings(source, kind=kind, rule="ALIAS001"), kind
+
+    def test_clean_protocol_module_has_no_findings_at_all(self):
+        assert not findings(
+            """
+            class Echo:
+                def __init__(self):
+                    self.seen = []
+
+                def on_message(self, ctx, src, payload):
+                    self.seen.append(payload)
+                    ctx.send(src, payload)
+            """
+        )

@@ -3,7 +3,7 @@ protocols (a "message count" hides O(n) views inside one message)."""
 
 import pytest
 
-from repro.core import payload_units
+from repro.core import ModelViolation, payload_units
 
 
 class TestScalars:
@@ -46,6 +46,41 @@ class TestContainers:
             pass
 
         assert payload_units(Opaque()) == 1
+
+
+class TestOverrideValidation:
+    """``__payload_units__`` must return a non-negative int — anything
+    else would silently skew every volume metric downstream."""
+
+    def _message(self, weight):
+        class Weighted:
+            def __payload_units__(self):
+                return weight
+
+        return Weighted()
+
+    def test_zero_weight_is_allowed(self):
+        # Unlike empty containers, an explicit override may claim free.
+        assert payload_units(self._message(0)) == 0
+
+    @pytest.mark.parametrize("bad", [-1, -100])
+    def test_negative_weight_rejected(self, bad):
+        with pytest.raises(ModelViolation, match="negative weight"):
+            payload_units(self._message(bad))
+
+    @pytest.mark.parametrize("bad", [2.5, "3", None, [1]])
+    def test_non_int_weight_rejected(self, bad):
+        with pytest.raises(ModelViolation, match="non-negative int"):
+            payload_units(self._message(bad))
+
+    def test_bool_weight_rejected(self):
+        # bool is an int subclass, but True as a weight is a bug.
+        with pytest.raises(ModelViolation, match="non-negative int"):
+            payload_units(self._message(True))
+
+    def test_error_names_the_offending_type(self):
+        with pytest.raises(ModelViolation, match="Weighted"):
+            payload_units(self._message("heavy"))
 
 
 class TestKernelAccounting:

@@ -106,6 +106,22 @@ class TestRunMany:
         assert run_many(amp_factory, [], workers=4) == []
         assert run_many(amp_factory, [7], workers=4) == [amp_factory(7)]
 
+    def test_repr_and_summary_surface_execution_metadata(self):
+        serial = run_many(amp_factory, range(2), workers=1)
+        assert serial.summary() == "2 run(s), serial"
+        assert repr(serial).startswith("RunList(2 run(s), serial: [")
+
+        factory = lambda seed: amp_factory(seed)  # noqa: E731 — unpicklable
+        with pytest.warns(RuntimeWarning):
+            degraded = run_many(factory, range(2), workers=2)
+        # A silently-degraded sweep announces itself wherever printed.
+        assert "serial fallback:" in degraded.summary()
+        assert degraded.fallback_reason in repr(degraded)
+
+    def test_parallel_summary_reports_worker_count(self):
+        results = run_many(amp_factory, range(4), workers=2)
+        assert results.summary() == "4 run(s), 2 workers"
+
 
 class TestAggregation:
     def test_aggregate_amp_counts(self):
