@@ -1,0 +1,139 @@
+"""The property API: what the explorer checks at each configuration.
+
+Two temporal shapes cover the paper's correctness statements:
+
+* :class:`Invariant` — must hold in *every* reachable configuration
+  (agreement, validity: safety);
+* :class:`Eventually` — must hold in every *terminal* configuration
+  (termination of the finite maximal runs the bounded search reaches;
+  cycle-based non-termination — the FLP dichotomy — stays with
+  :meth:`repro.shm.bivalence.ConfigurationExplorer.nondeciding_cycle_exists`,
+  which needs the full graph).
+
+The consensus properties are not re-implemented here: the builders
+below synthesize ``decide`` events from a configuration's decisions and
+delegate to the trace-level checkers in :mod:`repro.trace.analysis`
+(:func:`~repro.trace.analysis.check_agreement`,
+:func:`~repro.trace.analysis.check_validity`,
+:func:`~repro.trace.analysis.check_termination`), so a property holds
+in exploration iff it holds on the corresponding recorded trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..trace.analysis import check_agreement, check_termination, check_validity
+from ..trace.events import DECIDE, TraceEvent
+from .model import Config, ExplorationModel
+
+#: A check receives ``(model, config)`` and returns ``None`` (holds) or
+#: a violation message.
+Check = Callable[[ExplorationModel, Config], Optional[str]]
+
+
+class Property:
+    """Base property; subclasses pick *where* the check runs."""
+
+    def __init__(self, name: str, check: Check) -> None:
+        self.name = name
+        self._check = check
+
+    def on_state(self, model: ExplorationModel, config: Config) -> Optional[str]:
+        """Checked at every newly visited configuration."""
+        return None
+
+    def on_terminal(self, model: ExplorationModel, config: Config) -> Optional[str]:
+        """Checked at configurations with no enabled choice."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Invariant(Property):
+    """Safety: the check must hold in every reachable configuration.
+
+    >>> always_true = Invariant("trivial", lambda model, config: None)
+    >>> always_true.on_state(None, ()) is None
+    True
+    """
+
+    def on_state(self, model: ExplorationModel, config: Config) -> Optional[str]:
+        return self._check(model, config)
+
+
+class Eventually(Property):
+    """Liveness on maximal finite runs: must hold wherever the run ends."""
+
+    def on_terminal(self, model: ExplorationModel, config: Config) -> Optional[str]:
+        return self._check(model, config)
+
+
+def _decide_events(decided: Dict[int, object]) -> List[TraceEvent]:
+    """Synthesize the ``decide`` slice of a trace from a configuration.
+
+    Values are carried as ``repr`` — the JSON-safe form real recorded
+    events use — so the trace checkers compare them identically.
+    """
+    return [
+        TraceEvent(
+            seq=i, kind=DECIDE, pid=pid, time=0.0, lamport=0, vc=(),
+            data={"value": repr(value)},
+        )
+        for i, (pid, value) in enumerate(sorted(decided.items()))
+    ]
+
+
+def agreement() -> Invariant:
+    """No two processes decide different values (paper §2.4, §5.2)."""
+
+    def check(model: ExplorationModel, config: Config) -> Optional[str]:
+        decided = model.decisions(config)
+        if not check_agreement(_decide_events(decided)):
+            return f"agreement violated: decisions {decided!r}"
+        return None
+
+    return Invariant("agreement", check)
+
+
+def validity(inputs: Sequence[object]) -> Invariant:
+    """Every decided value is some process's input."""
+    inputs = tuple(inputs)
+
+    def check(model: ExplorationModel, config: Config) -> Optional[str]:
+        decided = model.decisions(config)
+        if not check_validity(_decide_events(decided), inputs):
+            return (
+                f"validity violated: decisions {decided!r} "
+                f"not all drawn from inputs {inputs!r}"
+            )
+        return None
+
+    return Invariant("validity", check)
+
+
+def termination(n: int, may_crash: Sequence[int] = ()) -> Eventually:
+    """Every process (outside ``may_crash``) decides by the end of a run."""
+    tolerated = frozenset(may_crash)
+
+    def check(model: ExplorationModel, config: Config) -> Optional[str]:
+        decided = model.decisions(config)
+        events = _decide_events(decided)
+        # Crashed and tolerated pids are reported as crashed to the
+        # trace checker, which then exempts them.
+        from ..trace.events import CRASH
+
+        exempt = (tolerated | model.crashed(config)) - set(decided)
+        events += [
+            TraceEvent(seq=len(events) + i, kind=CRASH, pid=pid, time=0.0,
+                       lamport=0, vc=(), data={})
+            for i, pid in enumerate(sorted(exempt))
+        ]
+        if not check_termination(events, n):
+            missing = [pid for pid in range(n)
+                       if pid not in decided and pid not in exempt]
+            return f"termination violated: undecided at end of run: {missing}"
+        return None
+
+    return Eventually("termination", check)

@@ -29,9 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..core.exceptions import ConfigurationError, SimulationLimitExceeded
 from ..core.seqspec import SequentialSpec
-from .statemachine import NOT_DECIDED, ProtocolStateMachine
+from .statemachine import ProtocolStateMachine
 
 Config = Tuple[Tuple[object, ...], Tuple[object, ...]]  # (process states, shared states)
 
@@ -59,7 +58,16 @@ class ExplorationReport:
 
 
 class ConfigurationExplorer:
-    """Breadth-first exploration of every schedule of a protocol."""
+    """Breadth-first exploration of every schedule of a protocol.
+
+    Since the ``repro.explore`` engine landed, the configuration
+    mechanics and graph enumeration delegate to
+    :class:`repro.explore.shm_model.ShmMachineModel` and
+    :func:`repro.explore.engine.state_graph` — same configurations,
+    same edges, same error messages (the model additionally
+    hash-conses equal state tuples, which only saves memory).  The
+    valence, cycle, and worst-case analyses below are unchanged.
+    """
 
     def __init__(
         self,
@@ -73,78 +81,46 @@ class ConfigurationExplorer:
         self.max_configurations = max_configurations
         self._object_names = sorted(machine.shared_objects())
         self._specs: Dict[str, SequentialSpec] = machine.shared_objects()
+        self._model = None
+
+    @property
+    def model(self):
+        """The :class:`~repro.explore.shm_model.ShmMachineModel` adapter.
+
+        Built lazily — ``repro.shm`` imports this module at package
+        init, so a module-level import of ``repro.explore`` (which
+        imports ``repro.shm`` submodules) would be circular.
+        """
+        if self._model is None:
+            from ..explore.shm_model import ShmMachineModel
+
+            self._model = ShmMachineModel(self.machine, self.inputs)
+        return self._model
 
     # -- configuration mechanics ------------------------------------------
 
     def initial_configuration(self) -> Config:
-        process_states = tuple(
-            self.machine.initial_state(pid, self.inputs[pid]) for pid in range(self.n)
-        )
-        shared = tuple(self._specs[name].initial for name in self._object_names)
-        return (process_states, shared)
+        return self.model.initial()
 
     def enabled(self, config: Config) -> List[int]:
         """Processes with a pending operation (undecided)."""
-        states, _ = config
-        return [
-            pid
-            for pid in range(self.n)
-            if self.machine.next_op(pid, states[pid]) is not None
-        ]
+        return self.model.enabled(config)
 
     def step(self, config: Config, pid: int) -> Config:
         """The configuration after ``pid`` takes its one enabled step."""
-        states, shared = config
-        request = self.machine.next_op(pid, states[pid])
-        if request is None:
-            raise ConfigurationError(f"process {pid} has no enabled step")
-        obj_name, op, args = request
-        try:
-            index = self._object_names.index(obj_name)
-        except ValueError:
-            raise ConfigurationError(f"unknown shared object {obj_name!r}")
-        new_obj_state, response = self._specs[obj_name].apply(
-            shared[index], op, tuple(args)
-        )
-        new_shared = shared[:index] + (new_obj_state,) + shared[index + 1 :]
-        new_state = self.machine.apply_response(pid, states[pid], response)
-        new_states = states[:pid] + (new_state,) + states[pid + 1 :]
-        return (new_states, new_shared)
+        return self.model.step(config, pid)
 
     def decisions(self, config: Config) -> Dict[int, object]:
         """Decided values in a configuration, by pid."""
-        states, _ = config
-        out: Dict[int, object] = {}
-        for pid in range(self.n):
-            if self.machine.next_op(pid, states[pid]) is None:
-                value = self.machine.decision(pid, states[pid])
-                if value is not NOT_DECIDED:
-                    out[pid] = value
-        return out
+        return self.model.decisions(config)
 
     # -- exploration ---------------------------------------------------------
 
     def reachable(self) -> Dict[Config, List[Tuple[int, Config]]]:
         """The full configuration graph: config → [(pid, successor)]."""
-        initial = self.initial_configuration()
-        graph: Dict[Config, List[Tuple[int, Config]]] = {}
-        frontier = [initial]
-        while frontier:
-            config = frontier.pop()
-            if config in graph:
-                continue
-            successors: List[Tuple[int, Config]] = []
-            for pid in self.enabled(config):
-                successors.append((pid, self.step(config, pid)))
-            graph[config] = successors
-            if len(graph) > self.max_configurations:
-                raise SimulationLimitExceeded(
-                    f"exploration exceeded {self.max_configurations} configurations"
-                )
-            for _, nxt in successors:
-                if nxt not in graph:
-                    frontier.append(nxt)
-        return graph
+        from ..explore.engine import state_graph
+
+        return state_graph(self.model, max_states=self.max_configurations)
 
     def valence(
         self, graph: Dict[Config, List[Tuple[int, Config]]]

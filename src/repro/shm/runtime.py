@@ -184,7 +184,17 @@ class Scheduler:
     the list is a bug and raises.  ``crash_now`` may name processes to
     crash *before* the step is chosen (adaptive crashes).  The runnable
     list is a shared cached view — schedulers must not mutate it.
+
+    ``bind`` is called by the runtime once, with the process count,
+    before the first step.  Schedulers configured with explicit pids
+    (victim sets, replay schedules, solo orders) override it to reject
+    out-of-range pids up front — previously such pids were silently
+    never runnable, which made mistyped adversary configs pass as
+    vacuous tests.
     """
+
+    def bind(self, n: int) -> None:
+        """Validate any configured pids against the process count."""
 
     def choose(self, step_no: int, runnable: Sequence[int]) -> int:
         raise NotImplementedError
@@ -303,6 +313,7 @@ class Runtime:
 
     def run(self) -> RunReport:
         """Step processes until all finish/crash or the budget runs out."""
+        self.scheduler.bind(self.n)
         reason = "all-done"
         while True:
             runnable = self._runnable()

@@ -26,8 +26,18 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, ModelViolation
 from .runtime import Scheduler
+
+
+def _validate_pids(pids: Iterable[int], n: int, what: str) -> None:
+    """Reject pids outside ``[0, n)`` — a silently-never-runnable pid
+    turns an adversary config into a vacuous no-op."""
+    bad = sorted(pid for pid in pids if not 0 <= pid < n)
+    if bad:
+        raise ModelViolation(
+            f"{what} names pid(s) {bad} outside the process range [0, {n})"
+        )
 
 
 class RoundRobinScheduler(Scheduler):
@@ -61,6 +71,10 @@ class SoloScheduler(Scheduler):
     def __init__(self, order: Optional[Sequence[int]] = None) -> None:
         self.order = list(order) if order is not None else None
 
+    def bind(self, n: int) -> None:
+        if self.order is not None:
+            _validate_pids(self.order, n, "SoloScheduler order")
+
     def choose(self, step_no: int, runnable: Sequence[int]) -> int:
         if self.order is None:
             return runnable[0]
@@ -76,6 +90,9 @@ class ListScheduler(Scheduler):
     def __init__(self, schedule: Sequence[int]) -> None:
         self.schedule = list(schedule)
         self._fallback = RoundRobinScheduler()
+
+    def bind(self, n: int) -> None:
+        _validate_pids(self.schedule, n, "ListScheduler schedule")
 
     def choose(self, step_no: int, runnable: Sequence[int]) -> int:
         while self.schedule:
@@ -100,6 +117,10 @@ class CrashAfterScheduler(Scheduler):
         self.base = base
         self.crash_after = dict(crash_after)
         self._steps_taken: Dict[int, int] = {}
+
+    def bind(self, n: int) -> None:
+        _validate_pids(self.crash_after, n, "CrashAfterScheduler crash_after")
+        self.base.bind(n)
 
     def crash_now(self, step_no: int, runnable: Sequence[int]) -> Iterable[int]:
         victims = []
@@ -144,6 +165,10 @@ class ObstructionScheduler(Scheduler):
         self._current_solo: Optional[int] = None
         self._solo_rotation = 0
 
+    def bind(self, n: int) -> None:
+        if self.solo_pid is not None:
+            _validate_pids([self.solo_pid], n, "ObstructionScheduler solo_pid")
+
     def choose(self, step_no: int, runnable: Sequence[int]) -> int:
         if not self._in_solo:
             if self._phase_step >= self.contention_steps:
@@ -177,6 +202,10 @@ class StarveScheduler(Scheduler):
     def __init__(self, starved: Iterable[int], base: Optional[Scheduler] = None) -> None:
         self.starved = set(starved)
         self.base = base if base is not None else RoundRobinScheduler()
+
+    def bind(self, n: int) -> None:
+        _validate_pids(self.starved, n, "StarveScheduler starved set")
+        self.base.bind(n)
 
     def choose(self, step_no: int, runnable: Sequence[int]) -> int:
         preferred = [pid for pid in runnable if pid not in self.starved]

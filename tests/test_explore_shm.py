@@ -1,0 +1,181 @@
+"""Shared-memory exploration: adopt-commit verified, planted bug caught."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.explore import (
+    BFS,
+    DFS,
+    AdoptCommitMachine,
+    BrokenAdoptCommitMachine,
+    ShmMachineModel,
+    adopt_commit_coherence,
+    adopt_commit_convergence,
+    adopt_commit_validity,
+    explore,
+)
+from repro.shm import ConfigurationExplorer, TwoProcessRaceConsensus
+from repro.shm.adoptcommit import ADOPT, COMMIT
+from repro.trace.events import DECIDE
+
+
+class TestAdoptCommitVerified:
+    """The tentpole acceptance: exhaustive safety for n = 2 and n = 3."""
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_coherence_and_validity_hold_exhaustively(self, n):
+        inputs = list(range(n))
+        result = explore(
+            ShmMachineModel(AdoptCommitMachine(n), inputs),
+            properties=[
+                adopt_commit_coherence(),
+                adopt_commit_validity(inputs),
+            ],
+        )
+        assert result.ok
+        assert result.complete  # every reachable configuration was checked
+        assert result.stats.states > 100
+
+    def test_equal_inputs_always_commit(self):
+        result = explore(
+            ShmMachineModel(AdoptCommitMachine(2), [7, 7]),
+            properties=[adopt_commit_coherence(), adopt_commit_convergence()],
+        )
+        assert result.ok and result.complete
+
+    def test_solo_run_commits(self):
+        model = ShmMachineModel(AdoptCommitMachine(2), [5, 6])
+        config = model.initial()
+        while 0 in model.enabled(config):
+            config = model.step(config, 0)
+        assert model.decisions(config) == {0: (COMMIT, 5)}
+
+
+class TestPlantedBug:
+    def test_violation_found_with_replayable_counterexample(self):
+        result = explore(
+            ShmMachineModel(BrokenAdoptCommitMachine(2), [0, 1]),
+            properties=[adopt_commit_coherence()],
+        )
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.property == "adopt-commit-coherence"
+        cx = violation.counterexample
+        assert cx is not None and cx.kernel == "shm"
+        # The byte-identity contract: replaying the recorded trace
+        # through repro.trace.replay reproduces the same trace_hash.
+        replayed_hash, replayed_events = cx.replay()
+        assert replayed_hash == cx.trace_hash
+        assert len(replayed_events) == len(cx.events)
+        assert cx.replays_identically()
+
+    def test_counterexample_report_shows_run(self):
+        result = explore(
+            ShmMachineModel(BrokenAdoptCommitMachine(2), [0, 1]),
+            properties=[adopt_commit_coherence()],
+        )
+        report = result.violations[0].counterexample.report()
+        assert "schedule:" in report
+        assert "trace_hash:" in report
+        assert "p0" in report and "p1" in report  # the space-time diagram
+
+    def test_recorded_trace_contains_both_decisions(self):
+        result = explore(
+            ShmMachineModel(BrokenAdoptCommitMachine(2), [0, 1]),
+            properties=[adopt_commit_coherence()],
+        )
+        cx = result.violations[0].counterexample
+        decided = [e.pid for e in cx.events if e.kind == DECIDE]
+        assert sorted(decided) == [0, 1]
+
+
+class TestReduction:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_sleep_sets_preserve_the_state_space(self, n):
+        inputs = list(range(n))
+        make = lambda: ShmMachineModel(AdoptCommitMachine(n), inputs)
+        reduced = explore(make())
+        naive = explore(make(), reduce=False)
+        assert reduced.stats.states == naive.stats.states
+        assert reduced.stats.transitions < naive.stats.transitions
+
+    def test_dfs_sees_the_same_states(self):
+        make = lambda: ShmMachineModel(AdoptCommitMachine(2), [0, 1])
+        assert (
+            explore(make(), strategy=DFS()).stats.states
+            == explore(make(), strategy=BFS()).stats.states
+        )
+
+    def test_independence_rules(self):
+        model = ShmMachineModel(AdoptCommitMachine(2), [0, 1])
+        config = model.initial()
+        # Both pids are about to write their own A[pid]: disjoint objects.
+        assert model.independent(config, 0, 1)
+        after = model.step(model.step(config, 0), 1)
+        # Now both read A[0]: reads of one register commute too.
+        assert model.independent(after, 0, 1)
+
+
+class TestBivalencePort:
+    """ConfigurationExplorer now runs on the explore engine — same results."""
+
+    def test_config_mechanics_match_model(self):
+        machine = TwoProcessRaceConsensus("test&set")
+        explorer = ConfigurationExplorer(machine, (0, 1))
+        model = ShmMachineModel(machine, (0, 1))
+        config = explorer.initial_configuration()
+        assert config == model.initial()
+        assert explorer.enabled(config) == model.enabled(config)
+        assert explorer.step(config, 0) == model.step(config, 0)
+
+    def test_reachable_graph_unchanged_shape(self):
+        machine = TwoProcessRaceConsensus("test&set")
+        graph = ConfigurationExplorer(machine, (0, 1)).reachable()
+        # Spot-check the legacy contract: config → [(pid, successor)].
+        initial = ConfigurationExplorer(machine, (0, 1)).initial_configuration()
+        assert initial in graph
+        assert all(isinstance(pid, int) for pid, _ in graph[initial])
+
+    def test_step_error_messages_preserved(self):
+        machine = TwoProcessRaceConsensus("test&set")
+        explorer = ConfigurationExplorer(machine, (0, 1))
+        config = explorer.initial_configuration()
+        done = config
+        for _ in range(10):
+            if 0 not in explorer.enabled(done):
+                break
+            done = explorer.step(done, 0)
+        with pytest.raises(ConfigurationError, match="no enabled step"):
+            explorer.step(done, 0)
+
+    def test_bivalence_verdicts_intact(self):
+        report = ConfigurationExplorer(
+            TwoProcessRaceConsensus("test&set"), (0, 1)
+        ).explore()
+        assert report.safe
+        assert report.initial_bivalent
+        assert report.always_terminates
+
+
+class TestBrokenProtocolSemantics:
+    def test_bug_really_is_the_commit_after_phase_one(self):
+        # Solo p0 on the broken machine decides after phase 1 only:
+        # 1 write + 2 reads = 3 steps (the correct machine needs 6).
+        broken = ShmMachineModel(BrokenAdoptCommitMachine(2), [0, 1])
+        config = broken.initial()
+        for _ in range(3):
+            config = broken.step(config, 0)
+        assert broken.decisions(config) == {0: (COMMIT, 0)}
+        correct = ShmMachineModel(AdoptCommitMachine(2), [0, 1])
+        config = correct.initial()
+        for _ in range(3):
+            config = correct.step(config, 0)
+        assert correct.decisions(config) == {}
+
+    def test_adopt_verdict_exists_in_broken_run(self):
+        result = explore(
+            ShmMachineModel(BrokenAdoptCommitMachine(2), [0, 1]),
+            properties=[adopt_commit_coherence()],
+        )
+        message = result.violations[0].message
+        assert ADOPT in message or COMMIT in message

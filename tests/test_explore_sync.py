@@ -1,0 +1,127 @@
+"""Sync exploration: branching on the message adversary's choices."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.explore import (
+    ScriptedAdversary,
+    SyncAdversaryModel,
+    agreement,
+    deliver_all_choices,
+    drop_one_choices,
+    explore,
+)
+from repro.sync.algorithms.consensus import make_floodset
+from repro.sync.kernel import SynchronousRunner
+from repro.sync.topology import complete
+
+INPUTS = [2, 0, 1]
+
+
+def floodset_model(t=0, choices_fn=drop_one_choices):
+    return SyncAdversaryModel(
+        complete(3), lambda: make_floodset(3, t), INPUTS, choices_fn=choices_fn
+    )
+
+
+class TestDeterministicBaseline:
+    def test_deliver_all_is_a_single_branch(self):
+        result = explore(
+            floodset_model(choices_fn=deliver_all_choices),
+            properties=[agreement()],
+        )
+        assert result.ok and result.complete
+        # One choice per round, t+1 = 1 round: a two-node chain.
+        assert result.stats.states == 2
+        assert result.stats.transitions == 1
+
+    def test_terminal_decisions_match_direct_run(self):
+        model = floodset_model(choices_fn=deliver_all_choices)
+        prefix = model.initial()
+        (choice,) = model.enabled(prefix)
+        terminal = model.step(prefix, choice)
+        assert model.enabled(terminal) == []
+        direct = SynchronousRunner(
+            complete(3), make_floodset(3, 0), INPUTS
+        ).run()
+        assert model.decisions(terminal) == {
+            pid: value for pid, value in enumerate(direct.outputs)
+        }
+
+
+class TestAdversaryBreaksFloodSet:
+    """FloodSet tolerates crashes, not message loss — drop-one finds it."""
+
+    def test_drop_one_violates_agreement(self):
+        result = explore(floodset_model(), properties=[agreement()])
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.property == "agreement"
+        assert violation.counterexample is not None
+        assert violation.counterexample.kernel == "sync"
+
+    def test_counterexample_replays_identically(self):
+        result = explore(floodset_model(), properties=[agreement()])
+        cx = result.violations[0].counterexample
+        assert cx.replays_identically()
+        replayed_hash, _ = cx.replay()
+        assert replayed_hash == cx.trace_hash
+
+    def test_extra_round_restores_agreement_under_one_drop_per_round(self):
+        # t=1 FloodSet (2 rounds) still disagrees under an adversary that
+        # may drop one message *every* round (it assumes a crash-free
+        # round exists) — but survives an adversary limited to round 1.
+        def drop_one_first_round_only(round_no, sends, states, topology):
+            if round_no == 1:
+                return drop_one_choices(round_no, sends, states, topology)
+            return [sends]
+
+        result = explore(
+            floodset_model(t=1, choices_fn=drop_one_first_round_only),
+            properties=[agreement()],
+        )
+        assert result.ok and result.complete
+
+
+class TestScriptedAdversary:
+    def test_replays_choices_then_delivers_all(self):
+        adversary = ScriptedAdversary([[(0, 1)]])
+        sends = frozenset({(0, 1), (0, 2), (1, 2)})
+        assert adversary.filter(1, sends, (), None) == frozenset({(0, 1)})
+        assert adversary.filter(2, sends, (), None) == sends
+
+    def test_cannot_create_messages(self):
+        adversary = ScriptedAdversary([[(7, 8)]])
+        sends = frozenset({(0, 1)})
+        assert adversary.filter(1, sends, (), None) == frozenset()
+
+    def test_describe(self):
+        assert "2 rounds" in ScriptedAdversary([[], []]).describe()
+
+
+class TestModelValidation:
+    def test_choices_fn_may_not_invent_edges(self):
+        def inventing(round_no, sends, states, topology):
+            return [sends | {(9, 9)}]
+
+        model = floodset_model(choices_fn=inventing)
+        with pytest.raises(ConfigurationError, match="created messages"):
+            model.enabled(model.initial())
+
+    def test_duplicate_candidates_deduped(self):
+        def repetitive(round_no, sends, states, topology):
+            return [sends, sends, sends]
+
+        model = floodset_model(choices_fn=repetitive)
+        assert len(model.enabled(model.initial())) == 1
+
+    def test_fingerprint_separates_terminal_from_live(self):
+        model = floodset_model(choices_fn=deliver_all_choices)
+        prefix = model.initial()
+        (choice,) = model.enabled(prefix)
+        terminal = model.step(prefix, choice)
+        assert model.fingerprint(prefix) != model.fingerprint(terminal)
+
+    def test_describe_choice(self):
+        model = floodset_model()
+        assert model.describe_choice(((0, 1),)) == "deliver [(0, 1)]"

@@ -1,0 +1,90 @@
+"""Regression: schedulers must reject out-of-range pids, not starve them.
+
+Before the ``Scheduler.bind`` hook, a victim/solo/replay pid outside
+``[0, n)`` was silently never runnable — a mistyped adversary config
+made crash/starvation tests pass vacuously.
+"""
+
+import pytest
+
+from repro.core import ModelViolation
+from repro.shm.runtime import Runtime, read, write
+from repro.shm.runtime import make_registers
+from repro.shm.schedulers import (
+    CrashAfterScheduler,
+    ListScheduler,
+    ObstructionScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    StarveScheduler,
+)
+
+
+def trivial_program(register, value):
+    yield from write(register, value)
+    result = yield from read(register)
+    return result
+
+
+def run_two(scheduler):
+    runtime = Runtime(scheduler, max_steps=100)
+    regs = make_registers("r", 2)
+    for pid in range(2):
+        runtime.spawn(pid, trivial_program(regs[pid], pid))
+    return runtime.run()
+
+
+class TestOutOfRangeRejected:
+    def test_list_scheduler(self):
+        with pytest.raises(ModelViolation, match=r"\[2\].*range \[0, 2\)"):
+            run_two(ListScheduler([0, 1, 2]))
+
+    def test_negative_pid(self):
+        with pytest.raises(ModelViolation):
+            run_two(ListScheduler([-1, 0]))
+
+    def test_solo_scheduler(self):
+        with pytest.raises(ModelViolation, match="SoloScheduler order"):
+            run_two(SoloScheduler(order=[1, 0, 5]))
+
+    def test_starve_scheduler(self):
+        with pytest.raises(ModelViolation, match="StarveScheduler"):
+            run_two(StarveScheduler({3}))
+
+    def test_crash_after_scheduler(self):
+        with pytest.raises(ModelViolation, match="CrashAfterScheduler"):
+            run_two(CrashAfterScheduler(RoundRobinScheduler(), {2: 1}))
+
+    def test_obstruction_scheduler(self):
+        with pytest.raises(ModelViolation, match="ObstructionScheduler"):
+            run_two(ObstructionScheduler(solo_pid=9))
+
+    def test_wrappers_validate_their_base(self):
+        inner = ListScheduler([0, 7])
+        with pytest.raises(ModelViolation, match="ListScheduler"):
+            run_two(StarveScheduler({0}, base=inner))
+
+
+class TestInRangeStillWorks:
+    def test_valid_configs_unaffected(self):
+        report = run_two(ListScheduler([0, 1, 0, 1, 0, 1]))
+        assert report.stopped_reason == "all-done"
+        report = run_two(SoloScheduler(order=[1, 0]))
+        assert report.outputs == {0: 0, 1: 1}
+        report = run_two(StarveScheduler({1}))
+        assert 0 in report.outputs
+        report = run_two(CrashAfterScheduler(RoundRobinScheduler(), {1: 1}))
+        assert report.statuses[1] == "crashed"
+        report = run_two(ObstructionScheduler(solo_pid=1, contention_steps=2))
+        assert report.stopped_reason == "all-done"
+
+    def test_bind_happens_before_any_step(self):
+        # The bad pid is at the *end* of the schedule: without bind-time
+        # validation the run would finish normally and hide the typo.
+        runtime = Runtime(ListScheduler([0, 1, 99]), max_steps=100)
+        regs = make_registers("r", 2)
+        for pid in range(2):
+            runtime.spawn(pid, trivial_program(regs[pid], pid))
+        with pytest.raises(ModelViolation):
+            runtime.run()
+        assert runtime.step_no == 0
