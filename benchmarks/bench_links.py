@@ -1,0 +1,193 @@
+"""A6 — fair-loss + retransmission ≡ reliable links (infrastructure).
+
+The link-model contract (see ``repro.amp.network`` and ``repro.amp.links``):
+a protocol wrapped in :class:`~repro.amp.links.ReliableChannel` (retransmit
+until ack, dedup on sequence numbers) and run over a fair-loss link must be
+*observationally equivalent* — same outputs, same decisions, same crash set —
+to the bare protocol over the paper's reliable link.  That equivalence is the
+classic "reliable links are free" reduction the paper assumes in §2.1; here
+it is checked end-to-end rather than assumed.
+
+Measured alongside the check: what the reduction *costs*.  Retransmission
+buys reliability with physical traffic, so the report sweeps the loss
+probability and tabulates the send amplification (physical sends per logical
+send of the bare run) and the time stretch (virtual completion time ratio).
+
+Asserted claim shape: observation hashes match at every loss rate for every
+protocol (flooding, reliable broadcast, ABD) under a one-crash schedule, and
+amplification grows with the loss rate.
+
+Also runnable standalone (CI smoke): ``python benchmarks/bench_links.py --smoke``.
+"""
+
+from repro.amp import (
+    AbdNode,
+    AsyncProcess,
+    AsyncRuntime,
+    CrashAt,
+    FairLossLink,
+    ReliableBroadcast,
+    UniformDelay,
+    observation_hash,
+    wrap_reliable,
+)
+
+SEEDS = (11, 17)
+LOSS_RATES = (0.0, 0.1, 0.3, 0.5)
+
+
+# -- the three workload protocols (mirrors tests/test_amp_links.py) ----------
+
+
+class FloodMin(AsyncProcess):
+    def __init__(self, value, n):
+        self.value = value
+        self.n = n
+        self.seen = {}
+
+    def on_start(self, ctx):
+        self.seen[ctx.pid] = self.value
+        ctx.broadcast(("val", self.value), include_self=False)
+        self._maybe(ctx)
+
+    def on_message(self, ctx, src, payload):
+        self.seen[src] = payload[1]
+        self._maybe(ctx)
+
+    def _maybe(self, ctx):
+        if not ctx.decided and len(self.seen) == self.n:
+            ctx.decide(min(self.seen.values()))
+            ctx.halt()
+
+
+class RbHost(AsyncProcess):
+    def __init__(self, pid, n):
+        self.n = n
+        self.rb = ReliableBroadcast(pid, n)
+
+    def on_start(self, ctx):
+        self.rb.broadcast(ctx, ("hello", ctx.pid))
+
+    def on_message(self, ctx, src, message):
+        self.rb.handle(ctx, src, message)
+        if not ctx.decided and len(self.rb.delivered) == self.n:
+            ctx.decide(sorted(d.origin for d in self.rb.delivered))
+
+
+def build_flood():
+    procs = [FloodMin(v, 4) for v in (3, 1, 4, 1)]
+    return procs, [CrashAt(pid=2, time=80.0)], False
+
+
+def build_rb():
+    procs = [RbHost(pid, 4) for pid in range(4)]
+    return procs, [CrashAt(pid=0, time=80.0)], False
+
+
+def build_abd():
+    n = 5
+    nodes = [AbdNode(pid, n) for pid in range(n)]
+    nodes[0] = AbdNode(0, n, script=[("write", "v1")])
+    nodes[1] = AbdNode(1, n, script=[("pause", 200.0), ("read",)])
+    return nodes, [CrashAt(pid=4, time=1.5)], True
+
+
+BUILDERS = {"flood": build_flood, "rb": build_rb, "abd": build_abd}
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def run_bare(name, seed):
+    procs, crashes, quiesce = BUILDERS[name]()
+    return AsyncRuntime(
+        procs,
+        delay_model=UniformDelay(0.1, 1.0),
+        crashes=crashes,
+        max_crashes=1,
+        seed=seed,
+        quiesce_when_decided=quiesce,
+    ).run()
+
+
+def run_wrapped(name, seed, loss):
+    procs, crashes, quiesce = BUILDERS[name]()
+    return AsyncRuntime(
+        wrap_reliable(procs, retry_every=2.0),
+        delay_model=UniformDelay(0.1, 1.0),
+        link_model=(
+            FairLossLink(loss, max_consecutive_losses=3) if loss else None
+        ),
+        crashes=crashes,
+        max_crashes=1,
+        seed=seed,
+        quiesce_when_decided=quiesce,
+    ).run()
+
+
+def sweep(protocols, seeds, losses):
+    """Rows of (protocol, loss, amplification, time stretch); asserts the
+    equivalence at every point."""
+    rows = []
+    for name in protocols:
+        for loss in losses:
+            amp = stretch = 0.0
+            for seed in seeds:
+                bare = run_bare(name, seed)
+                wrapped = run_wrapped(name, seed, loss)
+                assert observation_hash(wrapped) == observation_hash(bare), (
+                    f"{name} seed={seed} loss={loss}: channel over fair loss "
+                    "is NOT observationally equivalent to the reliable link"
+                )
+                amp += wrapped.messages_sent / bare.messages_sent
+                stretch += wrapped.final_time / bare.final_time
+            rows.append(
+                (
+                    name,
+                    loss,
+                    round(amp / len(seeds), 2),
+                    round(stretch / len(seeds), 2),
+                )
+            )
+    # Amplification is monotone-ish in the loss rate; assert the ends.
+    for name in protocols:
+        per = [r for r in rows if r[0] == name]
+        assert per[-1][2] > per[0][2], f"{name}: loss did not cost traffic"
+    return rows
+
+
+def test_equivalence_and_amplification_report(benchmark):
+    def body():
+        from conftest import print_series
+
+        rows = sweep(sorted(BUILDERS), SEEDS, LOSS_RATES)
+        print_series(
+            "A6: retransmit+dedup over fair loss ≡ reliable link",
+            rows,
+            ["protocol", "loss rate", "send amplif.", "time stretch"],
+        )
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="two protocols, one seed, two loss rates (CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = sweep(("flood", "rb"), (11,), (0.0, 0.3))
+    else:
+        rows = sweep(sorted(BUILDERS), SEEDS, LOSS_RATES)
+    print(f"{'protocol':>8}  {'loss':>5}  {'send amplif.':>12}  {'time stretch':>12}")
+    for name, loss, amp, stretch in rows:
+        print(f"{name:>8}  {loss:>5}  {amp:>12}  {stretch:>12}")
+    print("equivalence held at every (protocol, seed, loss) point")
+
+
+if __name__ == "__main__":
+    main()

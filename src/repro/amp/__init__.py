@@ -10,7 +10,7 @@
 * :mod:`repro.amp.adversary` — process adversaries, A-resilience.
 """
 
-from .abd import AbdNode, FastReadAbdNode, OpRecord
+from .abd import AbdNode, DurableAbdNode, FastReadAbdNode, OpRecord
 from .approximate import (
     ApproximateAgreementProcess,
     make_approximate_agreement,
@@ -25,6 +25,7 @@ from .adversary import (
 from .broadcast import (
     CausalOrder,
     Delivery,
+    DurableReliableBroadcast,
     FifoOrder,
     ReliableBroadcast,
     UniformReliableBroadcast,
@@ -39,6 +40,7 @@ from .failure_detectors import (
     PerfectFD,
     ScriptedFD,
 )
+from .links import ReliableChannel, observation_hash, wrap_reliable
 from .network import (
     AmpRunResult,
     AsyncProcess,
@@ -46,12 +48,19 @@ from .network import (
     Context,
     CrashAt,
     DelayModel,
+    DuplicatingLink,
+    FairLossLink,
     FixedDelay,
+    LinkModel,
     PartialSynchronyDelay,
+    RecoverAt,
+    ReliableLink,
+    ReorderingLossLink,
     TargetedDelay,
     UniformDelay,
     run_processes,
 )
+from .storage import StableStorage
 from .quorums import (
     QuorumAbdNode,
     is_live_quorum_system,
@@ -67,6 +76,7 @@ from .tobroadcast import TOBroadcastNode, make_to_broadcast
 
 __all__ = [
     "AbdNode",
+    "DurableAbdNode",
     "FastReadAbdNode",
     "OpRecord",
     "ApproximateAgreementProcess",
@@ -78,6 +88,7 @@ __all__ = [
     "required_quorum_for_liveness",
     "CausalOrder",
     "Delivery",
+    "DurableReliableBroadcast",
     "FifoOrder",
     "ReliableBroadcast",
     "UniformReliableBroadcast",
@@ -95,11 +106,21 @@ __all__ = [
     "Context",
     "CrashAt",
     "DelayModel",
+    "DuplicatingLink",
+    "FairLossLink",
     "FixedDelay",
+    "LinkModel",
     "PartialSynchronyDelay",
+    "RecoverAt",
+    "ReliableChannel",
+    "ReliableLink",
+    "ReorderingLossLink",
+    "StableStorage",
     "TargetedDelay",
     "UniformDelay",
+    "observation_hash",
     "run_processes",
+    "wrap_reliable",
     "QuorumAbdNode",
     "is_live_quorum_system",
     "is_safe_quorum_system",

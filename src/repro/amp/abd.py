@@ -179,14 +179,21 @@ class AbdNode(AsyncProcess):
             )
         elif kind == "store":
             _, _, client, seq, ts, value = message
-            if ts > self.stored_ts:
-                self.stored_ts = ts
-                self.stored_value = value
+            self._apply_store(ctx, ts, value)
             ctx.send(client, ("abd", "ack", self.pid, seq))
         elif kind == "reply":
             self._handle_reply(ctx, message)
         elif kind == "ack":
             self._handle_ack(ctx, message)
+
+    def _apply_store(self, ctx: Context, ts: Timestamp, value: object) -> None:
+        """Adopt ``(ts, value)`` if it is newer than the stored copy.
+
+        The single server-side mutation point — subclasses hook it to
+        make the copy durable (:class:`DurableAbdNode`)."""
+        if ts > self.stored_ts:
+            self.stored_ts = ts
+            self.stored_value = value
 
     def _handle_reply(self, ctx: Context, message: object) -> None:
         _, _, server, seq, ts, value = message
@@ -239,6 +246,36 @@ class AbdNode(AsyncProcess):
             self.history.respond(self._current_ticket, result)
             self._current_ticket = None
         self._advance_script(ctx)
+
+
+class DurableAbdNode(AbdNode):
+    """ABD whose *server* copy survives crash-recovery.
+
+    The plain :class:`AbdNode` keeps ``(stored_ts, stored_value)`` in
+    memory: under the crash-**stop** model that is exactly right (a
+    crashed server is silent forever, and ``t < n/2`` live majorities
+    cover for it).  Under crash-**recovery** it is a bug — a recovered
+    server answers queries with the *initial* timestamp, un-writing
+    everything it had acknowledged, and a quorum that counts such a
+    server can return stale values.
+
+    The fix is one write-ahead rule: persist the copy to ``ctx.stable``
+    *before* acknowledging a store, and reload it in ``on_recover``.
+    Client-side state (an in-progress script) stays volatile: a
+    recovering client simply abandons unfinished operations, which is
+    safe — it acknowledged nothing.
+    """
+
+    def _apply_store(self, ctx: Context, ts: Timestamp, value: object) -> None:
+        if ts > self.stored_ts:
+            self.stored_ts = ts
+            self.stored_value = value
+            ctx.stable.put("abd-copy", (ts, value))
+
+    def on_recover(self, ctx: Context) -> None:
+        copy = ctx.stable.get("abd-copy")
+        if copy is not None:
+            self.stored_ts, self.stored_value = copy
 
 
 class FastReadAbdNode(AbdNode):

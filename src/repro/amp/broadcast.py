@@ -88,6 +88,49 @@ class ReliableBroadcast:
         return [delivery]
 
 
+class DurableReliableBroadcast(ReliableBroadcast):
+    """Reliable broadcast whose *no-duplication* survives crash-recovery.
+
+    The volatile ``_seen`` set is the whole of the at-most-once
+    guarantee: a recovered process forgets it, and the next straggling
+    relay (or a link-level duplicate) of an already-delivered message is
+    delivered *again*.  Under crash-stop this cannot happen — a crashed
+    process never delivers anything else — which is why the textbook
+    algorithm gets away with memory.
+
+    This variant logs the seen-set and the origin sequence counter to
+    ``ctx.stable`` *before* relaying/delivering, and the host process
+    calls :meth:`restore` from its ``on_recover`` hook.  (The
+    ``delivered`` list stays volatile on purpose: it is an observer's
+    log, not protocol state — losing it loses history, not safety.)
+    """
+
+    _SEEN_KEY = "rb-seen"
+    _SEQ_KEY = "rb-next-seq"
+
+    def broadcast(self, ctx: Context, payload: object) -> MessageId:
+        message_id = super().broadcast(ctx, payload)
+        ctx.stable.put(self._SEQ_KEY, self._next_seq)
+        return message_id
+
+    def handle(self, ctx: Context, src: int, message: object) -> List[Delivery]:
+        if not (isinstance(message, tuple) and message and message[0] == self.tag):
+            return []
+        message_id = message[1]
+        if message_id not in self._seen:
+            # Write-ahead: if we crash right after delivering, recovery
+            # must still know this id was consumed.
+            ctx.stable.put(
+                self._SEEN_KEY, tuple(sorted(self._seen | {message_id}))
+            )
+        return super().handle(ctx, src, message)
+
+    def restore(self, ctx: Context) -> None:
+        """Reload durable state; call from the host's ``on_recover``."""
+        self._seen = set(ctx.stable.get(self._SEEN_KEY, ()))
+        self._next_seq = ctx.stable.get(self._SEQ_KEY, 0)
+
+
 class UniformReliableBroadcast:
     """Echo-quorum uniform reliable broadcast (requires ``t < n/2``).
 

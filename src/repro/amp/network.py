@@ -1,30 +1,41 @@
 """Event-driven asynchronous message-passing simulator (paper §5.1).
 
-``AMP_{n,t}``: ``n`` sequential processes, every pair connected by a
-reliable asynchronous bidirectional channel — no loss, duplication,
-creation, or corruption; transfer delays are arbitrary, time-varying,
-but finite.  Up to ``t`` processes may crash.
+``AMP_{n,t}``: ``n`` sequential processes, every pair connected by an
+asynchronous bidirectional channel; transfer delays are arbitrary,
+time-varying, but finite.  Up to ``t`` processes may crash.
 
 The simulator is a discrete-event loop over virtual time:
 
 * **delay models** decide each message's transfer delay — fixed ``Δ``
   (the unit used by the paper's ABD cost claims), seeded-uniform, or
   adversarial (e.g. partition-until-GST for partial synchrony);
+* **link models** decide each message's *fate* on the wire — the
+  paper's reliable channel (no loss, duplication, or creation) is the
+  default, but fair-loss and duplicating links (the model menu real
+  systems assume) are available, all seeded through the runtime RNG so
+  runs stay replayable;
 * **crashes** are scheduled at a virtual time; a crash may additionally
   drop a subset of the crashed process's *in-flight* messages — that is
   exactly the "crash in the middle of a broadcast" scenario motivating
-  reliable broadcast (§5.1);
+  reliable broadcast (§5.1).  A :class:`RecoverAt` entry turns
+  crash-stop into **crash-recovery**: the process comes back with its
+  in-memory state wiped, keeping only what it put in
+  :class:`~repro.amp.storage.StableStorage` (``ctx.stable``);
 * **timers** give processes local alarms (heartbeats, retransmission);
+  timers are volatile — a crash invalidates every timer the process had
+  pending (they lived in the memory that was lost);
 * **failure detectors** are oracles attached to the run and queried
   through the context (see :mod:`repro.amp.failure_detectors`).
 
 Processes subclass :class:`AsyncProcess` with ``on_start``,
-``on_message``, ``on_timer`` handlers; each handler runs atomically at
-one instant of virtual time (local processing is free, as in the model).
+``on_message``, ``on_timer``, ``on_recover`` handlers; each handler
+runs atomically at one instant of virtual time (local processing is
+free, as in the model).
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
 import random
@@ -53,6 +64,7 @@ from ..core.exceptions import (
     SimulationLimitExceeded,
 )
 from ..core.volume import payload_units
+from .storage import StableStorage
 
 # ---------------------------------------------------------------------------
 # Delay models
@@ -111,8 +123,10 @@ class PartialSynchronyDelay(DelayModel):
         if send_time >= self.gst:
             return rng.uniform(self.delta * 0.5, self.delta)
         raw = rng.uniform(self.delta, self.chaos_max)
-        # A pre-GST message is still delivered by GST + delta at the latest.
-        return min(raw, (self.gst + self.delta) - send_time + self.delta)
+        # A pre-GST message is still delivered by GST + delta at the latest
+        # (the DLS contract: every message in flight at GST arrives within
+        # delta of it).  send_time < gst here, so the bound stays positive.
+        return min(raw, (self.gst + self.delta) - send_time)
 
 
 class TargetedDelay(DelayModel):
@@ -134,7 +148,128 @@ class TargetedDelay(DelayModel):
 
 
 # ---------------------------------------------------------------------------
-# Crash schedule
+# Link models — the fate of a message on the wire
+# ---------------------------------------------------------------------------
+
+
+class LinkModel:
+    """Decides each message's *physical* fate: loss and duplication.
+
+    :meth:`fates` returns one **extra wire delay** per physical copy of
+    the message (added on top of the delay model's draw for that copy);
+    an empty tuple means the message was lost in transit.  The paper's
+    reliable channel is ``(0.0,)`` — exactly one copy, no extra delay.
+
+    All randomness flows through the runtime RNG handed in, so a run is
+    a pure function of ``(seed, schedule)`` and replays byte-identically.
+    """
+
+    def fates(
+        self, src: int, dst: int, send_time: float, rng: random.Random
+    ) -> Tuple[float, ...]:
+        return (0.0,)
+
+
+class ReliableLink(LinkModel):
+    """No loss, no duplication, no creation — the ``AMP_{n,t}`` default."""
+
+
+class FairLossLink(LinkModel):
+    """Messages may be lost, but not forever: fair loss.
+
+    Each message is independently lost with probability ``loss``.
+    ``max_consecutive_losses`` (optional) caps the losses a single
+    ``(src, dst)`` channel may suffer in a row, making the fair-loss
+    guarantee — "keep retransmitting and it eventually gets through" —
+    hold on *every* seed rather than with probability 1.
+    """
+
+    def __init__(
+        self, loss: float = 0.2, max_consecutive_losses: Optional[int] = None
+    ) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ConfigurationError(f"loss probability must be in [0, 1), got {loss}")
+        if max_consecutive_losses is not None and max_consecutive_losses < 1:
+            raise ConfigurationError("max_consecutive_losses must be >= 1")
+        self.loss = loss
+        self.max_consecutive_losses = max_consecutive_losses
+        self._streak: Dict[Tuple[int, int], int] = {}
+
+    def fates(self, src, dst, send_time, rng):
+        lost = rng.random() < self.loss
+        if lost and self.max_consecutive_losses is not None:
+            streak = self._streak.get((src, dst), 0) + 1
+            if streak > self.max_consecutive_losses:
+                lost = False
+        if lost:
+            self._streak[(src, dst)] = self._streak.get((src, dst), 0) + 1
+            return ()
+        self._streak[(src, dst)] = 0
+        return (0.0,)
+
+
+class DuplicatingLink(LinkModel):
+    """Messages may be delivered more than once.
+
+    With probability ``duplicate`` a message materializes as
+    ``copies`` physical deliveries instead of one; every copy draws its
+    own transfer delay, so duplicates arrive at independent times.
+    """
+
+    def __init__(self, duplicate: float = 0.2, copies: int = 2) -> None:
+        if not 0.0 <= duplicate <= 1.0:
+            raise ConfigurationError(
+                f"duplicate probability must be in [0, 1], got {duplicate}"
+            )
+        if copies < 2:
+            raise ConfigurationError("a duplicating link needs copies >= 2")
+        self.duplicate = duplicate
+        self.copies = copies
+
+    def fates(self, src, dst, send_time, rng):
+        if rng.random() < self.duplicate:
+            return (0.0,) * self.copies
+        return (0.0,)
+
+
+class ReorderingLossLink(LinkModel):
+    """The full menu: loss, duplication, and extra reordering jitter.
+
+    Combines :class:`FairLossLink` and :class:`DuplicatingLink` and
+    additionally gives every surviving copy an extra uniform delay in
+    ``[0, jitter]`` — so even a FIFO delay model (``FixedDelay``)
+    produces out-of-order arrivals, the way real datagram links do.
+    """
+
+    def __init__(
+        self,
+        loss: float = 0.1,
+        duplicate: float = 0.1,
+        copies: int = 2,
+        jitter: float = 2.0,
+        max_consecutive_losses: Optional[int] = None,
+    ) -> None:
+        if jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
+        self._loss = FairLossLink(loss, max_consecutive_losses)
+        self._dup = DuplicatingLink(duplicate, copies) if duplicate > 0 else None
+        self.jitter = jitter
+
+    def fates(self, src, dst, send_time, rng):
+        if not self._loss.fates(src, dst, send_time, rng):
+            return ()
+        base = (
+            self._dup.fates(src, dst, send_time, rng)
+            if self._dup is not None
+            else (0.0,)
+        )
+        if self.jitter == 0:
+            return base
+        return tuple(rng.uniform(0.0, self.jitter) for _ in base)
+
+
+# ---------------------------------------------------------------------------
+# Crash / recovery schedule
 # ---------------------------------------------------------------------------
 
 
@@ -151,6 +286,24 @@ class CrashAt:
     pid: int
     time: float
     drop_in_flight: float = 0.0
+
+
+@dataclass(frozen=True)
+class RecoverAt:
+    """Recover ``pid`` at virtual time ``time`` (crash-recovery model).
+
+    The process restarts from its *constructed* in-memory state — every
+    attribute it mutated since ``__init__`` is wiped — keeping only
+    what it explicitly put in stable storage (``ctx.stable``).  Pending
+    timers it had set are invalidated (they were volatile state too);
+    messages that arrived during the outage were dropped at its door.
+    ``on_recover`` then runs, where the protocol reloads durable state
+    and re-announces itself.  A prior decision is *not* revoked —
+    deciding is an irrevocable external action in the model.
+    """
+
+    pid: int
+    time: float
 
 
 # ---------------------------------------------------------------------------
@@ -197,6 +350,12 @@ class Context:
         return self._runtime._process_rng(self.pid)
 
     @property
+    def stable(self) -> "StableStorage":
+        """The process's durable storage: the only state that survives a
+        crash-recovery cycle (see :mod:`repro.amp.storage`)."""
+        return self._runtime.storages[self.pid]
+
+    @property
     def time(self) -> float:
         return self._runtime.now
 
@@ -225,6 +384,14 @@ class AsyncProcess:
     def on_timer(self, ctx: Context, name: object) -> None:
         """Called when a timer set via ``ctx.set_timer`` fires."""
 
+    def on_recover(self, ctx: Context) -> None:
+        """Called when the process restarts after a :class:`RecoverAt`.
+
+        In-memory state has already been reset to its constructed value;
+        reload anything durable from ``ctx.stable`` here and re-announce
+        yourself to the others if the protocol needs it.
+        """
+
 
 # ---------------------------------------------------------------------------
 # The runtime
@@ -249,6 +416,9 @@ class AmpRunResult:
     decision_times: Dict[int, float] = field(default_factory=dict)
     payload_sent: int = 0
     payload_delivered: int = 0
+    #: pids that crashed and came back at least once (crash-recovery runs);
+    #: a recovered pid is *not* in ``crashed`` unless it is down at the end.
+    recovered: FrozenSet[int] = frozenset()
 
     def output_vector(self) -> Tuple[object, ...]:
         from ..core.task import NO_OUTPUT
@@ -270,10 +440,16 @@ class AsyncRuntime:
         One :class:`AsyncProcess` per pid.
     delay_model:
         Message transfer delays.
+    link_model:
+        Message fate on the wire (loss / duplication); defaults to the
+        paper's :class:`ReliableLink`.
     crashes:
-        Crash schedule (checked against ``max_crashes``).
+        Crash/recovery schedule: a mix of :class:`CrashAt` and
+        :class:`RecoverAt` entries.  Per pid they must alternate
+        crash, recover, crash, … at strictly increasing times.
     max_crashes:
-        The model's ``t``.
+        The model's ``t`` — with recovery in play, the maximum number of
+        processes *simultaneously* down.
     failure_detector:
         Optional oracle (see :mod:`repro.amp.failure_detectors`); it is
         given the runtime before the run starts.
@@ -304,7 +480,7 @@ class AsyncRuntime:
         self,
         processes: Sequence[AsyncProcess],
         delay_model: Optional[DelayModel] = None,
-        crashes: Sequence[CrashAt] = (),
+        crashes: Sequence[object] = (),
         max_crashes: Optional[int] = None,
         failure_detector: Optional[object] = None,
         seed: int = 0,
@@ -313,30 +489,16 @@ class AsyncRuntime:
         quiesce_when_decided: bool = True,
         sink: Optional["TraceSink"] = None,
         sanitize: bool = False,
+        link_model: Optional[LinkModel] = None,
     ) -> None:
         self.n = len(processes)
         if self.n < 1:
             raise ConfigurationError("need n >= 1 processes")
         self.processes = list(processes)
         self.delay_model = delay_model or FixedDelay(1.0)
+        self.link_model = link_model or ReliableLink()
         self.max_crashes = max_crashes
-        if max_crashes is not None and len(crashes) > max_crashes:
-            raise ConfigurationError(
-                f"{len(crashes)} crashes scheduled but t={max_crashes}"
-            )
-        seen = set()
-        for crash in crashes:
-            if not 0 <= crash.pid < self.n:
-                raise ConfigurationError(
-                    f"crash schedule names unknown process {crash.pid} (n={self.n})"
-                )
-            if not 0.0 <= crash.drop_in_flight <= 1.0:
-                raise ConfigurationError(
-                    f"drop_in_flight must be in [0, 1], got {crash.drop_in_flight}"
-                )
-            if crash.pid in seen:
-                raise ConfigurationError(f"process {crash.pid} crashes twice")
-            seen.add(crash.pid)
+        self._validate_schedule(crashes)
         self.failure_detector = failure_detector
         self._rng = random.Random(seed)
         self._proc_rngs: Dict[int, random.Random] = {}
@@ -355,18 +517,96 @@ class AsyncRuntime:
         self._queue: List[Tuple[float, int, str, tuple]] = []
         self.contexts = [Context(self, pid) for pid in range(self.n)]
         self.crashed: Set[int] = set()
+        self.recovered: Set[int] = set()
+        self.storages: Dict[int, StableStorage] = {
+            pid: StableStorage() for pid in range(self.n)
+        }
+        #: per-pid incarnation number, bumped at each crash; timers carry the
+        #: epoch they were set in, so pre-crash timers never fire post-recovery
+        self._epoch: Dict[int, int] = {pid: 0 for pid in range(self.n)}
+        #: recoveries not yet fired per pid (a pid may crash/recover twice)
+        self._pending_recoveries: Dict[int, int] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.payload_sent = 0
         self.payload_delivered = 0
         self.decision_times: Dict[int, float] = {}
         #: event ids of undelivered messages per sender (for crash drops);
-        #: ids are monotonically increasing, so max = newest send
+        #: ids are monotonically increasing, so max = newest send.  With a
+        #: duplicating link every physical copy has its own id here.
         self._in_flight: Dict[int, Set[int]] = {pid: set() for pid in range(self.n)}
         self._cancelled: Set[int] = set()
 
-        for crash in crashes:
-            self._push(crash.time, "crash", (crash.pid, crash.drop_in_flight))
+        # Volatile-state snapshots for pids that may recover: recovery
+        # restores the *constructed* in-memory state, wiping everything
+        # the incarnation mutated since __init__.
+        self._initial_state: Dict[int, dict] = {}
+        for entry in crashes:
+            if isinstance(entry, RecoverAt):
+                if entry.pid not in self._initial_state:
+                    self._initial_state[entry.pid] = copy.deepcopy(
+                        vars(self.processes[entry.pid])
+                    )
+                self._pending_recoveries[entry.pid] = (
+                    self._pending_recoveries.get(entry.pid, 0) + 1
+                )
+                self._push(entry.time, "recover", (entry.pid,))
+            else:
+                self._push(entry.time, "crash", (entry.pid, entry.drop_in_flight))
+
+    def _validate_schedule(self, crashes: Sequence[object]) -> None:
+        timeline: Dict[int, List[Tuple[float, str]]] = {}
+        for entry in crashes:
+            if isinstance(entry, RecoverAt):
+                kind = "recover"
+            elif isinstance(entry, CrashAt):
+                kind = "crash"
+                if not 0.0 <= entry.drop_in_flight <= 1.0:
+                    raise ConfigurationError(
+                        f"drop_in_flight must be in [0, 1], got {entry.drop_in_flight}"
+                    )
+            else:
+                raise ConfigurationError(
+                    f"schedule entries must be CrashAt or RecoverAt, got {entry!r}"
+                )
+            if not 0 <= entry.pid < self.n:
+                raise ConfigurationError(
+                    f"crash schedule names unknown process {entry.pid} (n={self.n})"
+                )
+            timeline.setdefault(entry.pid, []).append((entry.time, kind))
+        for pid, entries in timeline.items():
+            entries.sort(key=lambda e: e[0])
+            expect = "crash"
+            last_time = None
+            for time, kind in entries:
+                if last_time is not None and time <= last_time:
+                    raise ConfigurationError(
+                        f"process {pid} has two schedule entries at t<={time}"
+                    )
+                if kind != expect:
+                    if kind == "recover":
+                        raise ConfigurationError(
+                            f"process {pid} recovers at t={time} "
+                            "without a preceding crash"
+                        )
+                    raise ConfigurationError(f"process {pid} crashes twice")
+                expect = "recover" if kind == "crash" else "crash"
+                last_time = time
+        if self.max_crashes is not None:
+            # Peak simultaneous down-count; crashes sort before recoveries
+            # at equal times, matching the model's pessimistic adversary.
+            sweep = sorted(
+                (entry.time, 0 if isinstance(entry, CrashAt) else 1)
+                for entry in crashes
+            )
+            down = peak = 0
+            for _time, step in sweep:
+                down += 1 if step == 0 else -1
+                peak = max(peak, down)
+            if peak > self.max_crashes:
+                raise ConfigurationError(
+                    f"{peak} concurrent crashes scheduled but t={self.max_crashes}"
+                )
 
     # -- event plumbing ------------------------------------------------------
 
@@ -380,24 +620,51 @@ class AsyncRuntime:
             raise ModelViolation(f"process {src} sent to unknown process {dst}")
         if src in self.crashed:
             return  # a crashed process sends nothing
-        delay = self.delay_model.delay(src, dst, self.now, self._rng)
-        if delay <= 0:
-            raise ConfigurationError("delay model produced non-positive delay")
         if self._sanitize:
             payload = deep_freeze(payload)
         # Units ride along in the event so delivery never re-measures.
         units = payload_units(payload)
-        event_id = self._push(self.now + delay, "deliver", (src, dst, payload, units))
-        self._in_flight[src].add(event_id)
+        # sent/payload_sent meter *logical* sends: what the protocol paid,
+        # independent of what the wire did (loss and duplication show up in
+        # the delivered counters instead).
         self.messages_sent += 1
         self.payload_sent += units
-        if self._sink is not None:
-            self._sink.amp_send(event_id, src, dst, payload, units, self.now)
+        fates = self.link_model.fates(src, dst, self.now, self._rng)
+        if not fates:
+            # Lost on the wire.  Consume an event id anyway so event-id
+            # streams (and hence replays) don't depend on the sink being
+            # attached; a lost message draws no transfer delay.
+            event_id = next(self._event_seq)
+            if self._sink is not None:
+                self._sink.amp_send(event_id, src, dst, payload, units, self.now)
+                self._sink.amp_drop(event_id, self.now, reason="loss")
+            return
+        first_id: Optional[int] = None
+        for extra in fates:
+            delay = self.delay_model.delay(src, dst, self.now, self._rng)
+            if delay <= 0:
+                raise ConfigurationError("delay model produced non-positive delay")
+            event_id = self._push(
+                self.now + delay + extra, "deliver", (src, dst, payload, units)
+            )
+            self._in_flight[src].add(event_id)
+            if self._sink is not None:
+                if first_id is None:
+                    self._sink.amp_send(event_id, src, dst, payload, units, self.now)
+                else:
+                    # A wire duplicate shares the original's send_seq.
+                    self._sink.amp_send_dup(event_id, first_id)
+            if first_id is None:
+                first_id = event_id
 
     def _set_timer(self, pid: int, delay: float, name: object) -> None:
         if delay < 0:
             raise ConfigurationError("timer delay must be >= 0")
-        event_id = self._push(self.now + delay, "timer", (pid, name))
+        # Timers are volatile: they carry the epoch they were set in and
+        # fire only if the process has not crashed since.
+        event_id = self._push(
+            self.now + delay, "timer", (pid, name, self._epoch[pid])
+        )
         if self._sink is not None:
             self._sink.amp_timer_set(event_id, pid)
 
@@ -424,6 +691,10 @@ class AsyncRuntime:
     def _all_settled(self) -> bool:
         for pid in range(self.n):
             if pid in self.crashed:
+                if self._pending_recoveries.get(pid, 0) > 0:
+                    # Down now, but scheduled to come back: the run is not
+                    # over for this process yet.
+                    return False
                 continue
             ctx = self.contexts[pid]
             if not (ctx.decided or ctx.halted):
@@ -442,6 +713,7 @@ class AsyncRuntime:
                 if pid not in self.crashed:
                     self.processes[pid].on_start(self.contexts[pid])
         events = 0
+        quiescent = True  # ran out of events (vs. deferred or truncated)
         while self._queue:
             if self.quiesce_when_decided and self._all_settled():
                 break
@@ -450,6 +722,7 @@ class AsyncRuntime:
                 # Leave the event for a later run() call; a deferred event
                 # is not processed, so it must not be charged to the budget.
                 self.now = until
+                quiescent = False
                 break
             events += 1
             if events > self.max_events:
@@ -457,6 +730,7 @@ class AsyncRuntime:
                     raise SimulationLimitExceeded(
                         f"run exceeded {self.max_events} events"
                     )
+                quiescent = False
                 break
             heapq.heappop(self._queue)
             if event_id in self._cancelled:
@@ -465,14 +739,29 @@ class AsyncRuntime:
             self.now = max(self.now, time)
             if kind == "crash":
                 self._handle_crash(*data)
+            elif kind == "recover":
+                self._handle_recover(*data)
             elif kind == "deliver":
                 self._handle_delivery(event_id, *data)
             elif kind == "timer":
-                pid, name = data
-                if pid not in self.crashed and not self.contexts[pid].halted:
+                pid, name, epoch = data
+                if pid in self.crashed or self.contexts[pid].halted:
+                    if self._sink is not None:
+                        self._sink.amp_drop_timer(event_id, self.now, reason="dead-dst")
+                elif epoch != self._epoch[pid]:
+                    # Set by a previous incarnation: volatile, so it died
+                    # with the crash even though the process is back up.
+                    if self._sink is not None:
+                        self._sink.amp_drop_timer(event_id, self.now, reason="stale")
+                else:
                     if self._sink is not None:
                         self._sink.amp_timer(event_id, pid, name, self.now)
                     self.processes[pid].on_timer(self.contexts[pid], name)
+        if quiescent and until is not None and until > self.now:
+            # The queue drained (or everyone settled) before the deadline:
+            # virtual time still advances to it, so ctx.time in a later
+            # segment — and final_time — reflect the full elapsed run.
+            self.now = until
         return self.result()
 
     def _handle_crash(self, pid: int, drop_fraction: float) -> None:
@@ -481,6 +770,7 @@ class AsyncRuntime:
         if self.max_crashes is not None and len(self.crashed) >= self.max_crashes:
             raise ModelViolation(f"crash budget t={self.max_crashes} exhausted")
         self.crashed.add(pid)
+        self._epoch[pid] += 1
         if self._sink is not None:
             self._sink.amp_crash(pid, self.now)
         pending = self._in_flight[pid]
@@ -496,6 +786,26 @@ class AsyncRuntime:
                 self._cancelled.add(event_id)
                 if self._sink is not None:
                     self._sink.amp_drop(event_id, self.now, reason="crash")
+
+    def _handle_recover(self, pid: int) -> None:
+        if pid not in self.crashed:
+            return  # the matching crash never fired (e.g. truncated run)
+        self.crashed.discard(pid)
+        self.recovered.add(pid)
+        if self._pending_recoveries.get(pid, 0) > 0:
+            self._pending_recoveries[pid] -= 1
+        process = self.processes[pid]
+        # Volatile state died with the old incarnation: restore the
+        # constructed state; only ctx.stable carries over.
+        snapshot = self._initial_state.get(pid)
+        if snapshot is not None:
+            process.__dict__.clear()
+            process.__dict__.update(copy.deepcopy(snapshot))
+        ctx = self.contexts[pid]
+        ctx.halted = False  # a halt is volatile; a decision is irrevocable
+        if self._sink is not None:
+            self._sink.amp_recover(pid, self.now)
+        process.on_recover(ctx)
 
     def _handle_delivery(
         self, event_id: int, src: int, dst: int, payload: object, units: int = 1
@@ -522,6 +832,7 @@ class AsyncRuntime:
             decision_times=dict(self.decision_times),
             payload_sent=self.payload_sent,
             payload_delivered=self.payload_delivered,
+            recovered=frozenset(self.recovered),
         )
 
 

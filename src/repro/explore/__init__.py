@@ -53,10 +53,14 @@ from .protocols import (
     AdoptCommitMachine,
     BrokenAdoptCommitMachine,
     FloodMinProcess,
+    QuorumAcceptor,
+    QuorumProposer,
     adopt_commit_coherence,
     adopt_commit_convergence,
     adopt_commit_validity,
     make_flood_min,
+    make_quorum_commit,
+    quorum_commit_agreement,
 )
 
 __all__ = [
@@ -90,8 +94,12 @@ __all__ = [
     "AdoptCommitMachine",
     "BrokenAdoptCommitMachine",
     "FloodMinProcess",
+    "QuorumAcceptor",
+    "QuorumProposer",
     "adopt_commit_coherence",
     "adopt_commit_convergence",
     "adopt_commit_validity",
     "make_flood_min",
+    "make_quorum_commit",
+    "quorum_commit_agreement",
 ]

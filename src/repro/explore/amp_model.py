@@ -9,7 +9,15 @@ choice is one of:
 * ``("deliver", send_seq, dst)`` — deliver a pending message;
 * ``("timer", timer_seq, pid)`` — fire a pending timer;
 * ``("crash", pid)`` — crash a live process (enabled while the model's
-  crash budget lasts).
+  crash budget lasts);
+* ``("lose", send_seq, dst)`` — the link loses a pending message
+  (enabled while ``max_losses`` lasts);
+* ``("dup", send_seq, dst)`` — the link mints a second copy of a
+  pending message (enabled while ``max_duplications`` lasts);
+* ``("recover", pid)`` — a crashed process comes back with volatile
+  state wiped, keeping only ``ctx.stable`` (``allow_recovery=True``;
+  each pid recovers at most once per run so faulty branches stay
+  finite).
 
 Processes are mutable Python objects and cannot be forked, so the
 search is **stateless**: a configuration is the schedule prefix itself,
@@ -31,6 +39,7 @@ replay it byte-identically via :func:`repro.trace.replay.replay`.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -63,6 +72,7 @@ class AmpExplorationRuntime(AsyncRuntime):
         processes: Sequence[AsyncProcess],
         seed: int = 0,
         sink: Optional[TraceSink] = None,
+        recovery_enabled: bool = False,
     ) -> None:
         super().__init__(
             processes,
@@ -77,6 +87,16 @@ class AmpExplorationRuntime(AsyncRuntime):
         self.pending_timers: Dict[int, Tuple[int, object]] = {}
         self._send_counter = 0
         self._timer_counter = 0
+        self.losses = 0
+        self.duplicated = 0
+        self.recovery_enabled = recovery_enabled
+        if recovery_enabled:
+            # Recovery restores constructed state, so snapshot everyone
+            # (any live process may crash-then-recover during the search).
+            self._initial_state = {
+                pid: copy.deepcopy(vars(self.processes[pid]))
+                for pid in range(self.n)
+            }
 
     # -- protocol-facing plumbing (parked, not scheduled) ------------------
 
@@ -148,6 +168,39 @@ class AmpExplorationRuntime(AsyncRuntime):
             self.crashed.add(pid)
             if self._sink is not None:
                 self._sink.amp_crash(pid, self.now)
+            if self.recovery_enabled:
+                # Timers are volatile: they die with the incarnation, and
+                # must not fire for a future recovered one.
+                for seq in sorted(self.pending_timers):
+                    if self.pending_timers[seq][0] == pid:
+                        del self.pending_timers[seq]
+                        if self._sink is not None:
+                            self._sink.amp_drop_timer(seq, self.now, reason="stale")
+        elif kind == "lose":
+            seq = choice[1]
+            if seq not in self.pending:
+                raise ConfigurationError(f"no pending send #{seq}")
+            del self.pending[seq]
+            self.losses += 1
+            if self._sink is not None:
+                self._sink.amp_drop(seq, self.now, reason="loss")
+        elif kind == "dup":
+            seq = choice[1]
+            if seq not in self.pending:
+                raise ConfigurationError(f"no pending send #{seq}")
+            copy_seq = self._send_counter
+            self._send_counter += 1
+            # The copy shares the original's payload (and, in the trace,
+            # its send_seq — the protocol only sent once).
+            self.pending[copy_seq] = self.pending[seq]
+            self.duplicated += 1
+            if self._sink is not None:
+                self._sink.amp_send_dup(copy_seq, seq)
+        elif kind == "recover":
+            pid = choice[1]
+            if pid not in self.crashed:
+                raise ConfigurationError(f"process {pid} is not crashed")
+            self._handle_recover(pid)
         else:
             raise ConfigurationError(f"unknown exploration choice {choice!r}")
 
@@ -165,7 +218,17 @@ class AmpModel(ExplorationModel):
         counterexamples replay with the same seed.
     max_crashes:
         The model's ``t``: how many ``("crash", pid)`` choices the
-        adversary may take (0 = crash-free exploration).
+        adversary may take (0 = crash-free exploration).  With
+        ``allow_recovery`` this bounds the *concurrently* crashed set.
+    max_losses:
+        How many ``("lose", …)`` choices the link adversary may take
+        (0 = reliable links, the default).
+    max_duplications:
+        How many ``("dup", …)`` choices the link adversary may take.
+    allow_recovery:
+        Offer ``("recover", pid)`` for crashed processes (each pid at
+        most once per run).  Recovery wipes volatile state back to the
+        constructed snapshot; only ``ctx.stable`` survives.
     stop_when_settled:
         Treat configurations where every live process has decided or
         halted as terminal even if messages remain in flight (their
@@ -181,12 +244,22 @@ class AmpModel(ExplorationModel):
         max_crashes: int = 0,
         stop_when_settled: bool = True,
         cache_size: int = 8,
+        max_losses: int = 0,
+        max_duplications: int = 0,
+        allow_recovery: bool = False,
     ) -> None:
         if max_crashes < 0:
             raise ConfigurationError("max_crashes must be >= 0")
+        if max_losses < 0 or max_duplications < 0:
+            raise ConfigurationError("loss/duplication budgets must be >= 0")
+        if allow_recovery and max_crashes == 0:
+            raise ConfigurationError("allow_recovery needs max_crashes >= 1")
         self.factory = factory
         self.seed = seed
         self.max_crashes = max_crashes
+        self.max_losses = max_losses
+        self.max_duplications = max_duplications
+        self.allow_recovery = allow_recovery
         self.stop_when_settled = stop_when_settled
         self.n = len(list(factory()))
         self._intern = Interner()
@@ -200,7 +273,11 @@ class AmpModel(ExplorationModel):
         if runtime is not None:
             self._cache.move_to_end(prefix)
             return runtime
-        runtime = AmpExplorationRuntime(list(self.factory()), seed=self.seed)
+        runtime = AmpExplorationRuntime(
+            list(self.factory()),
+            seed=self.seed,
+            recovery_enabled=self.allow_recovery,
+        )
         runtime.start()
         for choice in prefix:
             runtime.apply(choice)
@@ -216,21 +293,32 @@ class AmpModel(ExplorationModel):
 
     def enabled(self, prefix: Prefix) -> List[Choice]:
         runtime = self._materialize(prefix)
-        if self.stop_when_settled and runtime._all_settled():
-            return []
+        settled = self.stop_when_settled and runtime._all_settled()
         choices: List[Choice] = []
-        for seq in sorted(runtime.pending):
-            dst = runtime.pending[seq][1]
-            if dst not in runtime.crashed and not runtime.contexts[dst].halted:
-                choices.append(("deliver", seq, dst))
-        for seq in sorted(runtime.pending_timers):
-            pid, _ = runtime.pending_timers[seq]
-            if pid not in runtime.crashed and not runtime.contexts[pid].halted:
-                choices.append(("timer", seq, pid))
-        if len(runtime.crashed) < self.max_crashes:
-            for pid in range(self.n):
-                if pid not in runtime.crashed:
-                    choices.append(("crash", pid))
+        if not settled:
+            for seq in sorted(runtime.pending):
+                dst = runtime.pending[seq][1]
+                if dst not in runtime.crashed and not runtime.contexts[dst].halted:
+                    choices.append(("deliver", seq, dst))
+                if runtime.losses < self.max_losses:
+                    choices.append(("lose", seq, dst))
+                if runtime.duplicated < self.max_duplications:
+                    choices.append(("dup", seq, dst))
+            for seq in sorted(runtime.pending_timers):
+                pid, _ = runtime.pending_timers[seq]
+                if pid not in runtime.crashed and not runtime.contexts[pid].halted:
+                    choices.append(("timer", seq, pid))
+            if len(runtime.crashed) < self.max_crashes:
+                for pid in range(self.n):
+                    if pid not in runtime.crashed:
+                        choices.append(("crash", pid))
+        if self.allow_recovery:
+            # Recovery stays on the menu even in settled configurations:
+            # a recovered process may un-settle the run (that branch is
+            # exactly where memory-only protocols break).
+            for pid in sorted(runtime.crashed):
+                if pid not in runtime.recovered:
+                    choices.append(("recover", pid))
         return choices
 
     def step(self, prefix: Prefix, choice: Choice) -> Prefix:
@@ -249,6 +337,15 @@ class AmpModel(ExplorationModel):
             if rng is not None:
                 parts.append(repr(rng.getstate()))
         parts.append(sorted(runtime.crashed))
+        parts.append(sorted(runtime.recovered))
+        parts.append((runtime.losses, runtime.duplicated))
+        parts.append([
+            sorted(
+                (repr(k), repr(v))
+                for k, v in runtime.storages[pid].snapshot().items()
+            )
+            for pid in range(self.n)
+        ])
         parts.append(sorted(
             (src, dst, repr(payload))
             for (src, dst, payload, _) in runtime.pending.values()
@@ -270,9 +367,12 @@ class AmpModel(ExplorationModel):
     def crashed(self, prefix: Prefix) -> frozenset:
         return frozenset(self._materialize(prefix).crashed)
 
+    _FAULT_CHOICES = frozenset({"crash", "recover"})
+
     def independent(self, prefix: Prefix, a: Choice, b: Choice) -> bool:
-        if a[0] == "crash" and b[0] == "crash":
-            return False  # a crash budget makes one disable the other
+        if a[0] in self._FAULT_CHOICES and b[0] in self._FAULT_CHOICES:
+            # Budgets make one fault choice disable/enable another.
+            return False
         return a[-1] != b[-1]  # distinct target processes commute
 
     def describe_choice(self, choice: Choice) -> str:
@@ -281,6 +381,12 @@ class AmpModel(ExplorationModel):
             return f"deliver #{choice[1]}→p{choice[2]}"
         if kind == "timer":
             return f"timer #{choice[1]}@p{choice[2]}"
+        if kind == "lose":
+            return f"lose #{choice[1]}→p{choice[2]}"
+        if kind == "dup":
+            return f"dup #{choice[1]}→p{choice[2]}"
+        if kind == "recover":
+            return f"recover p{choice[1]}"
         return f"crash p{choice[1]}"
 
     # -- counterexamples ---------------------------------------------------
@@ -288,7 +394,10 @@ class AmpModel(ExplorationModel):
     def counterexample(self, schedule: Sequence[Choice]) -> Counterexample:
         sink = MemorySink()
         runtime = AmpExplorationRuntime(
-            list(self.factory()), seed=self.seed, sink=sink
+            list(self.factory()),
+            seed=self.seed,
+            sink=sink,
+            recovery_enabled=self.allow_recovery,
         )
         runtime.start()
         for choice in schedule:

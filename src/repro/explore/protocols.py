@@ -232,3 +232,93 @@ def make_flood_min(
         return [FloodMinProcess(value, quorum) for value in values]
 
     return factory
+
+
+# -- AMP: quorum commit under crash-recovery ---------------------------------
+
+
+class QuorumAcceptor(AsyncProcess):
+    """A one-vote acceptor: grants its vote to the first proposer, denies
+    the rest.  The vote *is* quorum state — whoever holds it commits.
+
+    With ``durable=False`` the vote lives only in memory: a
+    crash-recovery cycle makes the acceptor forget it ever voted and
+    grant a second, conflicting vote (the explorer exhibits the
+    schedule).  With ``durable=True`` the vote is written to
+    ``ctx.stable`` before the grant leaves, and ``on_recover`` reloads
+    it — the classic write-ahead rule that makes promises survive.
+    """
+
+    def __init__(self, durable: bool = False) -> None:
+        self.durable = durable
+        self.voted: Optional[object] = None  # volatile unless durable
+
+    def on_message(self, ctx: Context, src: int, payload: object) -> None:
+        tag = payload[0]
+        if tag != "acquire":
+            return
+        value = payload[1]
+        voted = ctx.stable.get("voted") if self.durable else self.voted
+        if voted is None:
+            self.voted = value
+            if self.durable:
+                # Log the promise *before* answering: if we crash after
+                # the grant is on the wire, recovery must still know.
+                ctx.stable.put("voted", value)
+            ctx.send(src, ("granted", value))
+        else:
+            ctx.send(src, ("denied", voted))
+
+    def on_recover(self, ctx: Context) -> None:
+        if self.durable:
+            self.voted = ctx.stable.get("voted")
+
+
+class QuorumProposer(AsyncProcess):
+    """Ask the acceptor for its vote; commit own value iff granted."""
+
+    def __init__(self, value: object, acceptor: int = 0) -> None:
+        self.value = value
+        self.acceptor = acceptor
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.send(self.acceptor, ("acquire", self.value))
+
+    def on_message(self, ctx: Context, src: int, payload: object) -> None:
+        if ctx.decided:
+            return
+        tag, value = payload
+        if tag == "granted":
+            ctx.decide(("commit", self.value))
+            ctx.halt()
+        elif tag == "denied":
+            ctx.decide(("abort", value))
+            ctx.halt()
+
+
+def make_quorum_commit(
+    values: Sequence[object] = (1, 2), durable: bool = False
+) -> Callable[[], List[AsyncProcess]]:
+    """Factory: acceptor at pid 0, one proposer per value (for AmpModel)."""
+
+    def factory() -> List[AsyncProcess]:
+        processes: List[AsyncProcess] = [QuorumAcceptor(durable=durable)]
+        processes.extend(QuorumProposer(value) for value in values)
+        return processes
+
+    return factory
+
+
+def quorum_commit_agreement() -> Invariant:
+    """At most one value is ever committed (the vote is exclusive)."""
+
+    def check(model: ExplorationModel, config: Config) -> Optional[str]:
+        decided = model.decisions(config)
+        committed = sorted(
+            {repr(v) for verdict, v in decided.values() if verdict == "commit"}
+        )
+        if len(committed) > 1:
+            return f"two different values committed: {committed}"
+        return None
+
+    return Invariant("quorum-commit-agreement", check)

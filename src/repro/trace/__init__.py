@@ -29,6 +29,7 @@ from .events import (
     DROP,
     KINDS,
     READ,
+    RECOVER,
     ROUND_BEGIN,
     ROUND_END,
     SEND,
@@ -43,6 +44,7 @@ from .events import (
     event_from_json,
     event_to_json,
     events_for,
+    recovered_pids,
     trace_hash,
 )
 from .sink import JsonlSink, MemorySink, TraceSink, dump_trace, load_trace
@@ -73,6 +75,7 @@ __all__ = [
     "DROP",
     "KINDS",
     "READ",
+    "RECOVER",
     "ROUND_BEGIN",
     "ROUND_END",
     "SEND",
@@ -87,6 +90,7 @@ __all__ = [
     "event_from_json",
     "event_to_json",
     "events_for",
+    "recovered_pids",
     "trace_hash",
     "JsonlSink",
     "MemorySink",

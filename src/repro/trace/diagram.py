@@ -21,6 +21,7 @@ from .events import (
     DECIDE,
     DELIVER,
     DROP,
+    RECOVER,
     READ,
     ROUND_BEGIN,
     ROUND_END,
@@ -44,7 +45,7 @@ _GLYPH = {
 }
 
 #: glyph display order inside one cell
-_ORDER = {"X": 0, "*": 1, "s": 2, "d": 3, "t": 4, "r": 5, "w": 6, "o": 7}
+_ORDER = {"X": 0, "R": 1, "*": 2, "s": 3, "d": 4, "t": 5, "r": 6, "w": 7, "o": 8}
 
 
 def _short(value_repr: str, limit: int = 6) -> str:
@@ -99,6 +100,8 @@ def render_space_time(
         bucket = cells.setdefault((event.pid, col), [])
         if event.kind == CRASH:
             bucket.append("X")
+        elif event.kind == RECOVER:
+            bucket.append("R")
         elif event.kind == DECIDE:
             bucket.append("*" + _short(event.data.get("value", "")))
         else:
@@ -132,6 +135,6 @@ def render_space_time(
     if legend:
         lines.append(
             "legend: s send  d deliver  t timer  r read  w write  o step  "
-            "X crash  *v decide(v)  xK drops"
+            "X crash  R recover  *v decide(v)  xK drops"
         )
     return "\n".join(lines)

@@ -25,8 +25,9 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 SEND = "send"            #: a message left its sender
 DELIVER = "deliver"      #: a message reached a live destination
-DROP = "drop"            #: a message was lost (crash, adversary, dead dst)
+DROP = "drop"            #: a message/timer was discarded (crash, loss, dead dst)
 CRASH = "crash"          #: a process crashed
+RECOVER = "recover"      #: a crashed process came back up (AMP crash-recovery)
 TIMER = "timer"          #: a local timer fired (AMP only)
 READ = "read"            #: an atomic read step on a base object (ASM)
 WRITE = "write"          #: an atomic write step on a base object (ASM)
@@ -42,6 +43,7 @@ KINDS = frozenset(
         DELIVER,
         DROP,
         CRASH,
+        RECOVER,
         TIMER,
         READ,
         WRITE,
@@ -140,4 +142,9 @@ def decisions(events: Iterable[TraceEvent]) -> Dict[int, str]:
 
 
 def crashed_pids(events: Iterable[TraceEvent]) -> frozenset:
+    """Every pid that crashed at least once (recovered or not)."""
     return frozenset(e.pid for e in events if e.kind == CRASH)
+
+
+def recovered_pids(events: Iterable[TraceEvent]) -> frozenset:
+    return frozenset(e.pid for e in events if e.kind == RECOVER)

@@ -28,6 +28,7 @@ is a proof object rather than a replay input.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..amp.network import AmpRunResult, AsyncProcess, AsyncRuntime
@@ -40,6 +41,7 @@ from .events import (
     DELIVER,
     DROP,
     READ,
+    RECOVER,
     SEND,
     SNAPSHOT,
     STEP,
@@ -51,7 +53,7 @@ from .sink import TraceSink
 
 #: The event kinds that *drive* an AMP replay (everything the original
 #: event loop processed, in processing order).
-SCHEDULE_KINDS = frozenset({DELIVER, DROP, TIMER, CRASH})
+SCHEDULE_KINDS = frozenset({DELIVER, DROP, TIMER, CRASH, RECOVER})
 
 
 class ReplayDivergence(ModelViolation):
@@ -92,11 +94,37 @@ class ReplayRuntime(AsyncRuntime):
         self._recorded_sends: Dict[int, TraceEvent] = {
             e.data["send_seq"]: e for e in events if e.kind == SEND
         }
-        #: send_seq → (src, dst, payload, units) re-issued by the protocol
+        #: send_seq → (src, dst, payload, units) re-issued by the protocol.
+        #: Entries are retained after delivery: with a duplicating link the
+        #: same send_seq is delivered more than once.
         self._pending_sends: Dict[int, Tuple[int, int, object, int]] = {}
         self._pending_timers: Dict[int, Tuple[int, object]] = {}
         self._replay_send_seq = 0
         self._replay_timer_seq = 0
+        # Loss drops recorded *immediately after* their send are the
+        # runtime's inline style (the link model lost the message at
+        # send time, mid-handler); they must be re-emitted right after
+        # the matching re-issued send to keep the event log byte-
+        # identical, and skipped at their schedule position.  A loss
+        # drop elsewhere (the explorer's at-choice style) replays at its
+        # schedule position as usual.
+        self._inline_losses = set()
+        for prev, e in zip(events, list(events)[1:]):
+            if (
+                e.kind == DROP
+                and e.data.get("reason") == "loss"
+                and "timer_seq" not in e.data
+                and prev.kind == SEND
+                and prev.data["send_seq"] == e.data["send_seq"]
+            ):
+                self._inline_losses.add(e.data["send_seq"])
+        # Recovery restores constructed in-memory state: snapshot it for
+        # every pid the recorded run recovered (mirrors AsyncRuntime).
+        for e in events:
+            if e.kind == RECOVER and e.pid not in self._initial_state:
+                self._initial_state[e.pid] = copy.deepcopy(
+                    vars(self.processes[e.pid])
+                )
 
     # -- protocol-facing plumbing (indexed, not scheduled) -----------------
 
@@ -124,6 +152,8 @@ class ReplayRuntime(AsyncRuntime):
         self.payload_sent += units
         if self._sink is not None:
             self._sink.amp_send(seq, src, dst, payload, units, self.now)
+            if seq in self._inline_losses:
+                self._sink.amp_drop(seq, self.now, reason="loss")
 
     def _set_timer(self, pid: int, delay: float, name: object) -> None:
         if delay < 0:
@@ -158,12 +188,24 @@ class ReplayRuntime(AsyncRuntime):
                 self.crashed.add(event.pid)
                 if self._sink is not None:
                     self._sink.amp_crash(event.pid, self.now)
+            elif event.kind == RECOVER:
+                self._handle_recover(event.pid)
             elif event.kind == DROP:
-                self._pending_sends.pop(event.data["send_seq"], None)
-                if self._sink is not None:
-                    self._sink.amp_drop(
-                        event.data["send_seq"], self.now, reason=event.data["reason"]
-                    )
+                if "timer_seq" in event.data:
+                    self._pending_timers.pop(event.data["timer_seq"], None)
+                    if self._sink is not None:
+                        self._sink.amp_drop_timer(
+                            event.data["timer_seq"],
+                            self.now,
+                            reason=event.data["reason"],
+                        )
+                elif event.data["send_seq"] not in self._inline_losses:
+                    if self._sink is not None:
+                        self._sink.amp_drop(
+                            event.data["send_seq"],
+                            self.now,
+                            reason=event.data["reason"],
+                        )
             elif event.kind == DELIVER:
                 self._replay_delivery(event)
             elif event.kind == TIMER:
@@ -172,7 +214,7 @@ class ReplayRuntime(AsyncRuntime):
 
     def _replay_delivery(self, event: TraceEvent) -> None:
         seq = event.data["send_seq"]
-        pending = self._pending_sends.pop(seq, None)
+        pending = self._pending_sends.get(seq)
         if pending is None:
             raise ReplayDivergence(
                 f"recorded delivery of send #{seq} has no pending send in replay"

@@ -39,6 +39,7 @@ from .events import (
     DECIDE,
     DELIVER,
     DROP,
+    RECOVER,
     READ,
     ROUND_BEGIN,
     ROUND_END,
@@ -147,19 +148,37 @@ class TraceSink:
         )
         self._amp_sends[event_id] = (seq, (event.lamport, event.vc))
 
+    def amp_send_dup(self, event_id: int, orig_event_id: int) -> None:
+        """A wire duplicate: a second physical copy of an already-recorded
+        send.  No event is emitted (the protocol sent once); the copy's
+        kernel id just aliases the original's send_seq and clock so its
+        eventual delivery/drop carries the right provenance."""
+        if orig_event_id in self._amp_sends:
+            self._amp_sends[event_id] = self._amp_sends[orig_event_id]
+
     def amp_deliver(
         self, event_id: int, src: int, dst: int, payload: object, time: float
     ) -> None:
-        send_seq, clock = self._amp_sends.pop(event_id, (None, None))
+        # .get, not .pop: with duplicating links (and in replay, where all
+        # copies share one key) the same send may be delivered repeatedly.
+        # Entries are retained for the life of the sink — bounded by the
+        # run's send count, the same order as the trace itself.
+        send_seq, clock = self._amp_sends.get(event_id, (None, None))
         self._record(
             DELIVER, dst, time, merge=clock,
             src=src, dst=dst, payload=repr(payload), send_seq=send_seq,
         )
 
     def amp_drop(self, event_id: int, time: float, reason: str) -> None:
-        """A send that will never be delivered (crash-cancel or dead dst)."""
-        send_seq, _ = self._amp_sends.pop(event_id, (None, None))
+        """A send that will never be delivered (loss, crash-cancel, dead dst)."""
+        send_seq, _ = self._amp_sends.get(event_id, (None, None))
         self._record(DROP, SYSTEM, time, send_seq=send_seq, reason=reason)
+
+    def amp_drop_timer(self, event_id: int, time: float, reason: str) -> None:
+        """A timer that fired for a dead process ("dead-dst") or for a
+        newer incarnation than the one that set it ("stale")."""
+        timer_seq = self._amp_timers.pop(event_id, None)
+        self._record(DROP, SYSTEM, time, timer_seq=timer_seq, reason=reason)
 
     def amp_timer_set(self, event_id: int, pid: int) -> None:
         """Map the kernel's timer event id to a replayable sequence number."""
@@ -172,6 +191,9 @@ class TraceSink:
 
     def amp_crash(self, pid: int, time: float) -> None:
         self._record(CRASH, pid, time)
+
+    def amp_recover(self, pid: int, time: float) -> None:
+        self._record(RECOVER, pid, time)
 
     def amp_decide(self, pid: int, value: object, time: float) -> None:
         self._record(DECIDE, pid, time, value=repr(value))

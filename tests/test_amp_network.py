@@ -1,6 +1,9 @@
 """Tests for the asynchronous message-passing simulator (paper §5.1)."""
 
+import random
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import ConfigurationError, ModelViolation
 from repro.amp import (
@@ -160,6 +163,110 @@ class TestEventLoop:
         assert again._process_rng(7).random() == draws[(3, 7)]
 
 
+class TestQuiescentClock:
+    """Regression: ``run(until=t)`` used to leave the clock at the last
+    event's time when the queue drained before the deadline, so a later
+    segment resumed from the wrong virtual time and ``final_time`` under-
+    reported the elapsed run."""
+
+    def test_clock_advances_to_until_on_quiescence(self):
+        runtime = AsyncRuntime([TimerProcess()], quiesce_when_decided=False)
+        result = runtime.run(until=10.0)  # timer fires at 2.5, queue drains
+        assert result.decided[0]
+        assert result.final_time == 10.0
+
+    def test_quiescent_segments_keep_monotonic_clock(self):
+        runtime = AsyncRuntime([TimerProcess()], quiesce_when_decided=False)
+        assert runtime.run(until=10.0).final_time == 10.0
+        # Resuming an already-drained runtime must not rewind the clock.
+        assert runtime.run().final_time == 10.0
+        assert runtime.run(until=12.0).final_time == 12.0
+
+    def test_unbounded_run_still_ends_at_last_event(self):
+        result = AsyncRuntime([TimerProcess()]).run()
+        assert result.final_time == 2.5
+
+    def test_deferred_segment_still_stops_at_until(self):
+        """The companion (always-correct) branch: an event beyond the
+        deadline defers and the clock parks exactly at ``until``."""
+        runtime = AsyncRuntime([TimerProcess()])
+        assert runtime.run(until=1.0).final_time == 1.0
+        assert runtime.run().final_time == 2.5
+
+
+class TestTimerDrops:
+    """Regression: timers addressed to crashed/halted processes used to
+    vanish silently; they now leave a DROP event so traces account for
+    every scheduled occurrence."""
+
+    def _drops(self, events, reason):
+        from repro.trace import DROP
+
+        return [
+            e
+            for e in events
+            if e.kind == DROP
+            and e.data.get("reason") == reason
+            and "timer_seq" in e.data
+        ]
+
+    def test_crashed_process_timer_drop_recorded(self):
+        from repro.trace import MemorySink
+
+        sink = MemorySink()
+        AsyncRuntime(
+            [TimerProcess(), Gossip()],
+            crashes=[CrashAt(pid=0, time=1.0)],
+            max_crashes=1,
+            seed=0,
+            sink=sink,
+        ).run()
+        assert self._drops(sink.events, "dead-dst")
+
+    def test_halted_process_timer_drop_recorded(self):
+        from repro.trace import MemorySink
+
+        class HaltWithPendingTimer(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.set_timer(5.0, "never")
+                if ctx.pid == 0:
+                    ctx.send(1, "halt-now")
+
+            def on_message(self, ctx, src, payload):
+                ctx.decide("halted-early")
+                ctx.halt()
+
+        sink = MemorySink()
+        AsyncRuntime(
+            [HaltWithPendingTimer(), HaltWithPendingTimer()],
+            delay_model=FixedDelay(1.0),
+            quiesce_when_decided=False,
+            sink=sink,
+        ).run()
+        drops = self._drops(sink.events, "dead-dst")
+        assert len(drops) == 1  # p1's orphaned timer; p0's fires normally
+
+    def test_timer_drop_trace_replays_byte_identically(self):
+        from repro.trace import MemorySink, replay, trace_hash
+
+        def make():
+            return [TimerProcess(), Gossip()]
+
+        sink = MemorySink()
+        original = AsyncRuntime(
+            make(),
+            crashes=[CrashAt(pid=0, time=1.0)],
+            max_crashes=1,
+            seed=3,
+            sink=sink,
+        ).run()
+        assert self._drops(sink.events, "dead-dst")
+        replay_sink = MemorySink()
+        replayed = replay(make(), sink.events, seed=3, sink=replay_sink)
+        assert replayed.crashed == original.crashed
+        assert trace_hash(replay_sink.events) == trace_hash(sink.events)
+
+
 class TestDelayModels:
     def test_fixed_delay_validation(self):
         with pytest.raises(ConfigurationError):
@@ -200,6 +307,37 @@ class TestDelayModels:
         rng = random.Random(0)
         assert model.delay(0, 1, 0.0, rng) == 9.0
         assert model.delay(1, 0, 0.0, rng) == 1.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        gst=st.floats(min_value=0.5, max_value=50.0),
+        delta=st.floats(min_value=0.1, max_value=5.0),
+        chaos_max=st.floats(min_value=10.0, max_value=100.0),
+        send_frac=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_partial_synchrony_dls_arrival_bound(
+        self, gst, delta, chaos_max, send_frac, seed
+    ):
+        """The DLS contract: every message *arrives* by GST + Δ (pre-GST
+        sends) or within Δ of sending (post-GST sends).  Regression for
+        the clamp that used to allow pre-GST arrivals as late as
+        GST + 2Δ, contradicting the model's documented bound."""
+        model = PartialSynchronyDelay(gst=gst, delta=delta, chaos_max=chaos_max)
+        rng = random.Random(seed)
+        send_time = gst * send_frac  # anywhere in the chaotic era
+        for _ in range(20):
+            arrival = send_time + model.delay(0, 1, send_time, rng)
+            assert arrival <= gst + delta + 1e-9
+
+    def test_partial_synchrony_delay_stays_positive(self):
+        """Clamping to the arrival bound must never make a delay
+        non-positive, even for sends just before GST."""
+        model = PartialSynchronyDelay(gst=10.0, delta=1.0, chaos_max=20.0)
+        rng = random.Random(7)
+        for send_time in (0.0, 9.0, 9.999, 10.0, 15.0):
+            for _ in range(50):
+                assert model.delay(0, 1, send_time, rng) > 0.0
 
 
 class Gossip(AsyncProcess):

@@ -1,4 +1,5 @@
-"""AMP exploration: delivery orders, crashes, byte-identical replay."""
+"""AMP exploration: delivery orders, crashes, losses, duplications,
+recovery, and byte-identical replay."""
 
 import pytest
 
@@ -8,6 +9,8 @@ from repro.explore import (
     agreement,
     explore,
     make_flood_min,
+    make_quorum_commit,
+    quorum_commit_agreement,
     termination,
     validity,
 )
@@ -167,3 +170,124 @@ class TestModelMechanics:
         assert model.describe_choice(("deliver", 0, 1)) == "deliver #0→p1"
         assert model.describe_choice(("timer", 2, 0)) == "timer #2@p0"
         assert model.describe_choice(("crash", 1)) == "crash p1"
+        assert model.describe_choice(("lose", 0, 1)) == "lose #0→p1"
+        assert model.describe_choice(("dup", 0, 1)) == "dup #0→p1"
+        assert model.describe_choice(("recover", 1)) == "recover p1"
+
+
+class TestLinkFaultExploration:
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmpModel(make_flood_min([1, 0]), max_losses=-1)
+        with pytest.raises(ConfigurationError):
+            AmpModel(make_flood_min([1, 0]), max_duplications=-1)
+
+    def test_lose_choice_discards_the_message(self):
+        model = AmpModel(make_flood_min([1, 0]), max_losses=1)
+        initial = model.initial()
+        losses = [c for c in model.enabled(initial) if c[0] == "lose"]
+        assert len(losses) == 2  # one per pending message
+        after = model.step(initial, losses[0])
+        # The budget is spent and the message is gone: no second lose,
+        # one fewer deliver.
+        enabled = model.enabled(after)
+        assert not any(c[0] == "lose" for c in enabled)
+        assert sum(1 for c in enabled if c[0] == "deliver") == 1
+
+    def test_dup_choice_clones_the_message(self):
+        model = AmpModel(make_flood_min([1, 0]), max_duplications=1)
+        initial = model.initial()
+        dups = [c for c in model.enabled(initial) if c[0] == "dup"]
+        assert len(dups) == 2
+        after = model.step(initial, dups[0])
+        enabled = model.enabled(after)
+        assert not any(c[0] == "dup" for c in enabled)
+        # The clone is independently deliverable (new seq, same dst).
+        assert sum(1 for c in enabled if c[0] == "deliver") == 3
+
+    def test_no_fault_budgets_means_no_fault_choices(self):
+        model = AmpModel(make_flood_min([1, 0]))
+        choices = model.enabled(model.initial())
+        assert not any(c[0] in ("lose", "dup") for c in choices)
+
+    def test_flood_min_agreement_robust_to_duplication(self):
+        """Deciding on a *set* of values is idempotent: duplicated
+        deliveries cannot break agreement, and exploration proves it."""
+        result = explore(
+            AmpModel(make_flood_min([1, 0]), max_duplications=1),
+            properties=[agreement()],
+        )
+        assert result.ok and result.complete
+
+    def test_flood_min_loss_starves_termination(self):
+        """Losing one flood message leaves some process short of its
+        full quorum forever — the explorer finds the starving branch."""
+        result = explore(
+            AmpModel(make_flood_min([1, 0]), max_losses=1),
+            properties=[termination(2)],
+        )
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.property == "termination"
+        assert any(c[0] == "lose" for c in violation.counterexample.schedule)
+
+
+class TestRecoveryExploration:
+    def test_allow_recovery_needs_crash_budget(self):
+        with pytest.raises(ConfigurationError):
+            AmpModel(make_flood_min([1, 0]), allow_recovery=True)
+
+    def test_recover_choice_requires_a_crash(self):
+        model = AmpModel(
+            make_flood_min([1, 0]), max_crashes=1, allow_recovery=True
+        )
+        initial = model.initial()
+        assert not any(c[0] == "recover" for c in model.enabled(initial))
+        crashed = model.step(initial, ("crash", 0))
+        assert ("recover", 0) in model.enabled(crashed)
+        with pytest.raises(ConfigurationError):
+            model.enabled(model.step(initial, ("recover", 0)))
+
+    def test_recover_once_per_pid_keeps_space_finite(self):
+        model = AmpModel(
+            make_flood_min([1, 0]), max_crashes=1, allow_recovery=True
+        )
+        initial = model.initial()
+        state = model.step(initial, ("crash", 0))
+        state = model.step(state, ("recover", 0))
+        # The pid may crash again, but not come back a second time.
+        state = model.step(state, ("crash", 0))
+        assert not any(c[0] == "recover" for c in model.enabled(state))
+
+    def test_volatile_quorum_state_violates_agreement_under_recovery(self):
+        """The acceptance demo: a memory-only one-vote acceptor grants
+        twice across a crash-recovery cycle; the explorer exhibits a
+        schedule committing two different values, and the counterexample
+        replays byte-identically."""
+        result = explore(
+            AmpModel(
+                make_quorum_commit(durable=False),
+                max_crashes=1,
+                allow_recovery=True,
+            ),
+            properties=[quorum_commit_agreement()],
+        )
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.property == "quorum-commit-agreement"
+        assert "two different values committed" in violation.message
+        schedule = violation.counterexample.schedule
+        assert any(c[0] == "crash" for c in schedule)
+        assert any(c[0] == "recover" for c in schedule)
+        assert violation.counterexample.replays_identically()
+
+    def test_stable_storage_variant_is_verified_clean(self):
+        result = explore(
+            AmpModel(
+                make_quorum_commit(durable=True),
+                max_crashes=1,
+                allow_recovery=True,
+            ),
+            properties=[quorum_commit_agreement()],
+        )
+        assert result.ok and result.complete

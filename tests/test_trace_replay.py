@@ -18,6 +18,7 @@ from repro.trace import (
     DELIVER,
     SEND,
     MemorySink,
+    TraceEvent,
     ReplayDivergence,
     ReplayRuntime,
     ShmReplayScheduler,
@@ -156,13 +157,27 @@ class TestAmpReplayDivergence:
         with pytest.raises(ReplayDivergence):
             replay(make_benor(n, t, inputs), tampered, seed=3)
 
-    def test_duplicated_delivery_is_rejected(self):
-        """A deliver event whose send was already consumed dangles."""
+    def test_delivery_of_unsent_seq_is_rejected(self):
+        """A deliver event naming a send_seq the protocol never issued
+        dangles.  (A *repeated* delivery of a real send is legal now:
+        duplicating links deliver one send several times, so pending
+        sends are retained rather than consumed.)"""
         n, t, inputs, _, events = capture_benor(3)
-        i = next(i for i, e in enumerate(events) if e.kind == DELIVER)
-        doubled = events[: i + 1] + [events[i]] + events[i + 1 :]
+        i, dup = next(
+            (i, e) for i, e in enumerate(events) if e.kind == DELIVER
+        )
+        phantom = TraceEvent(
+            seq=dup.seq,
+            kind=DELIVER,
+            pid=dup.pid,
+            time=dup.time,
+            lamport=dup.lamport,
+            vc=dup.vc,
+            data={**dict(dup.data), "send_seq": 999_999},
+        )
+        broken = events[: i + 1] + [phantom] + events[i + 1 :]
         with pytest.raises(ReplayDivergence):
-            replay(make_benor(n, t, inputs), doubled, seed=3)
+            replay(make_benor(n, t, inputs), broken, seed=3)
 
 
 class TestShmReplay:
