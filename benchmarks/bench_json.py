@@ -1,0 +1,73 @@
+"""Machine-readable benchmark artifacts: ``BENCH_<name>.json``.
+
+Every mega-scale benchmark emits a JSON artifact next to the repo root
+(or wherever ``--out`` points) so EXPERIMENTS.md tables can be
+regenerated — and cross-checked — without re-parsing stdout.  The schema
+is deliberately small and flat:
+
+``name``        benchmark identifier (the ``<name>`` in the filename);
+``case_unit``   what one row measures;
+``cases``       list of per-case dicts, each with at least ``n``,
+                ``wall_s``, ``peak_rss_bytes``, ``payload_units``;
+``meta``        free-form provenance (python version, argv, platform).
+
+``peak_rss_bytes`` is process-lifetime peak RSS via ``getrusage`` —
+a *high-water mark*, so per-case deltas are only meaningful when cases
+run smallest-first (the writer records the ordering caveat in ``meta``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+from typing import Dict, List, Optional
+
+
+def peak_rss_bytes() -> int:
+    """Process peak RSS in bytes (Linux reports ru_maxrss in KiB)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - darwin reports bytes
+        return rss
+    return rss * 1024
+
+
+def write_bench_artifact(
+    name: str,
+    cases: List[Dict[str, object]],
+    out_dir: str = ".",
+    unit: str = "one kernel run",
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    Each case must carry the required keys; missing ones raise
+    ``ValueError`` so artifacts never silently lose their schema.
+    """
+    required = ("n", "wall_s", "peak_rss_bytes", "payload_units")
+    for case in cases:
+        missing = [k for k in required if k not in case]
+        if missing:
+            raise ValueError(
+                f"benchmark case {case.get('case', '?')!r} missing {missing}"
+            )
+    meta: Dict[str, object] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv,
+        "rss_note": "peak_rss_bytes is a process high-water mark",
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    payload = {
+        "name": name,
+        "case_unit": unit,
+        "cases": cases,
+        "meta": meta,
+    }
+    path = f"{out_dir.rstrip('/')}/BENCH_{name}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path

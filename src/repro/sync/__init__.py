@@ -2,7 +2,9 @@
 adversaries (paper §3).
 
 * :mod:`repro.sync.kernel` — lock-step round execution;
+* :mod:`repro.sync.arraykernel` — flat-column backend for n = 10⁴–10⁶;
 * :mod:`repro.sync.topology` — communication graphs;
+* :mod:`repro.sync.flatgraph` — O(n) CSR graph constructors;
 * :mod:`repro.sync.adversary` — TREE, TOUR, and friends;
 * :mod:`repro.sync.dissemination` — the TREE computability theorem;
 * :mod:`repro.sync.equivalence` — TOUR ≃ wait-free read/write;
@@ -45,6 +47,20 @@ from .kernel import (
     SynchronousRunner,
     run_synchronous,
 )
+from .arraykernel import (
+    ArrayContext,
+    ArraySynchronousRunner,
+    ColumnarAlgorithm,
+    ColumnarRunner,
+    run_columnar,
+)
+from .flatgraph import (
+    FlatGraph,
+    flat_from_topology,
+    flat_random_regular,
+    flat_ring,
+    flat_torus,
+)
 from .topology import (
     Topology,
     balanced_tree,
@@ -84,6 +100,16 @@ __all__ = [
     "SyncRunResult",
     "SynchronousRunner",
     "run_synchronous",
+    "ArrayContext",
+    "ArraySynchronousRunner",
+    "ColumnarAlgorithm",
+    "ColumnarRunner",
+    "run_columnar",
+    "FlatGraph",
+    "flat_from_topology",
+    "flat_random_regular",
+    "flat_ring",
+    "flat_torus",
     "Topology",
     "balanced_tree",
     "complete",

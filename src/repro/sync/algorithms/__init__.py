@@ -1,5 +1,10 @@
 """Synchronous algorithms: flooding, coloring, MIS, locality, consensus."""
 
+from .aggregate import (
+    AggregateFlooding,
+    ColumnarAggregateFlooding,
+    make_aggregate_flooders,
+)
 from .coloring import (
     ColeVishkinColoring,
     cv_iterations,
@@ -29,6 +34,9 @@ from .local import (
 from .mis import ColorToMIS, GreedyColorByID, verify_mis
 
 __all__ = [
+    "AggregateFlooding",
+    "ColumnarAggregateFlooding",
+    "make_aggregate_flooders",
     "ColeVishkinColoring",
     "cv_iterations",
     "expected_rounds",

@@ -1,0 +1,295 @@
+"""Flat CSR communication graphs for the mega-scale sync backend.
+
+The object :class:`~repro.sync.topology.Topology` keeps one Python set
+per vertex plus a set of edge tuples — perfect for graph algorithms at
+laptop scale, but at n = 10⁵–10⁶ the per-vertex objects alone dominate
+memory.  :class:`FlatGraph` stores the same undirected graph as two
+contiguous ``array`` columns in CSR (compressed sparse row) form:
+
+* ``indptr`` — ``n + 1`` offsets; vertex ``u``'s neighbors live at
+  ``indices[indptr[u] : indptr[u + 1]]``;
+* ``indices`` — all neighbor lists concatenated, each slice sorted
+  ascending (so iteration order equals the object kernel's
+  ``sorted(neighbors)`` convention with zero per-call sorting).
+
+The standard mega-scale families (:func:`flat_ring`, :func:`flat_torus`,
+:func:`flat_random_regular`) are built directly in CSR in O(n·d) without
+ever materializing a Python edge set.  Constructors are deterministic:
+the random-regular family is a pure function of ``(n, d, seed)``.
+
+``FlatGraph`` duck-types the :class:`~repro.sync.topology.Topology`
+query surface the kernels and adversaries use (``n``, ``name``,
+``neighbors``, ``degree``, ``max_degree``, ``vertices``, ``csr``), so a
+``FlatGraph`` can be handed to :class:`repro.sync.arraykernel` runners
+and to message adversaries directly; :meth:`FlatGraph.to_topology`
+converts back for small-n parity tests.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+
+Csr = Tuple[array, array]
+
+
+def _csr_from_adjacency(n: int, adjacency: List[List[int]]) -> Csr:
+    """Pack per-vertex sorted neighbor lists into (indptr, indices)."""
+    indptr = array("l", [0] * (n + 1))
+    indices = array("l")
+    offset = 0
+    for u in range(n):
+        row = adjacency[u]
+        row.sort()
+        indices.extend(row)
+        offset += len(row)
+        indptr[u + 1] = offset
+    return indptr, indices
+
+
+class FlatGraph:
+    """An immutable undirected graph on ``0..n-1`` stored as CSR arrays."""
+
+    __slots__ = ("n", "name", "indptr", "indices", "_diameter_cache")
+
+    def __init__(self, n: int, indptr: array, indices: array, name: str = "flat") -> None:
+        if n < 1:
+            raise ConfigurationError(f"a graph needs n >= 1 vertices, got {n}")
+        if len(indptr) != n + 1 or indptr[0] != 0 or indptr[n] != len(indices):
+            raise ConfigurationError("malformed CSR: indptr does not index indices")
+        self.n = n
+        self.name = name
+        self.indptr = indptr
+        self.indices = indices
+        self._diameter_cache: Optional[int] = None
+
+    # -- Topology-compatible queries ---------------------------------------
+
+    def csr(self) -> Csr:
+        """The (indptr, indices) pair; neighbor slices are sorted."""
+        return self.indptr, self.indices
+
+    def neighbors(self, u: int) -> FrozenSet[int]:
+        """Neighbor set of ``u`` (materialized per call; queries at mega
+        scale should read the CSR slice instead)."""
+        return frozenset(self.indices[self.indptr[u]:self.indptr[u + 1]])
+
+    def degree(self, u: int) -> int:
+        return self.indptr[u + 1] - self.indptr[u]
+
+    def max_degree(self) -> int:
+        indptr = self.indptr
+        return max(
+            (indptr[u + 1] - indptr[u] for u in range(self.n)), default=0
+        )
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges m (= len(indices) / 2)."""
+        return len(self.indices) // 2
+
+    def has_edge(self, u: int, v: int) -> bool:
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        indices = self.indices
+        while lo < hi:  # binary search: each CSR slice is sorted
+            mid = (lo + hi) // 2
+            if indices[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < self.indptr[u + 1] and indices[lo] == v
+
+    def vertices(self) -> range:
+        return range(self.n)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def is_complete(self) -> bool:
+        return len(self.indices) == self.n * (self.n - 1)
+
+    # -- graph algorithms (array-backed) -----------------------------------
+
+    def bfs_distances(self, source: int) -> array:
+        """Hop distances from ``source`` as an ``array('l')``; ``-1``
+        marks unreachable vertices (arrays cannot hold ``None``)."""
+        dist = array("l", [-1] * self.n)
+        dist[source] = 0
+        indptr, indices = self.indptr, self.indices
+        frontier = array("l", [source])
+        level = 0
+        while frontier:
+            level += 1
+            nxt = array("l")
+            for u in frontier:
+                for j in range(indptr[u], indptr[u + 1]):
+                    v = indices[j]
+                    if dist[v] < 0:
+                        dist[v] = level
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def eccentricity(self, source: int) -> int:
+        """Max hop distance from ``source`` (graph must be connected)."""
+        dist = self.bfs_distances(source)
+        worst = 0
+        for d in dist:
+            if d < 0:
+                raise ConfigurationError(
+                    "eccentricity undefined: graph is disconnected"
+                )
+            if d > worst:
+                worst = d
+        return worst
+
+    def is_connected(self) -> bool:
+        if self.n == 1:
+            return True
+        dist = self.bfs_distances(0)
+        return all(d >= 0 for d in dist)
+
+    def radius_bound(self) -> int:
+        """A cheap upper bound on the diameter: ``2 · ecc(0)``.
+
+        One BFS instead of n — the mega-scale substitute for
+        :meth:`~repro.sync.topology.Topology.diameter`, used to pick a
+        safe round budget for flooding (any R ≥ diameter works).
+        """
+        return 2 * self.eccentricity(0)
+
+    def diameter(self) -> int:
+        """Exact diameter via all-sources BFS — O(n·m), small n only."""
+        if self._diameter_cache is not None:
+            return self._diameter_cache
+        best = 0
+        for source in range(self.n):
+            ecc = self.eccentricity(source)
+            if ecc > best:
+                best = ecc
+        self._diameter_cache = best
+        return best
+
+    def to_topology(self):
+        """Materialize an object :class:`~repro.sync.topology.Topology`
+        (small n: parity tests, adversaries needing mutable graphs)."""
+        from .topology import Topology
+
+        indptr, indices = self.indptr, self.indices
+        edges = [
+            (u, indices[j])
+            for u in range(self.n)
+            for j in range(indptr[u], indptr[u + 1])
+            if u < indices[j]
+        ]
+        return Topology(self.n, edges, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlatGraph({self.name!r}, n={self.n}, m={self.edge_count})"
+
+
+# ---------------------------------------------------------------------------
+# O(n·d) constructors — no Python edge set is ever materialized
+# ---------------------------------------------------------------------------
+
+
+def flat_ring(n: int) -> FlatGraph:
+    """The n-cycle in CSR form, built in O(n)."""
+    if n < 3:
+        raise ConfigurationError(f"a ring needs n >= 3 vertices, got {n}")
+    indptr = array("l", range(0, 2 * n + 1, 2))
+    indices = array("l")
+    for i in range(n):
+        left = (i - 1) % n
+        right = (i + 1) % n
+        if left < right:
+            indices.append(left)
+            indices.append(right)
+        else:
+            indices.append(right)
+            indices.append(left)
+    return FlatGraph(n, indptr, indices, name=f"ring-{n}")
+
+
+def flat_torus(rows: int, cols: int) -> FlatGraph:
+    """The rows×cols torus (4-regular wraparound grid) in CSR, O(n)."""
+    if rows < 3 or cols < 3:
+        raise ConfigurationError(
+            f"a torus needs rows >= 3 and cols >= 3, got {rows}x{cols}"
+        )
+    n = rows * cols
+    indptr = array("l", range(0, 4 * n + 1, 4))
+    indices = array("l")
+    for r in range(rows):
+        up = ((r - 1) % rows) * cols
+        down = ((r + 1) % rows) * cols
+        base = r * cols
+        for c in range(cols):
+            nbrs = [
+                up + c,
+                down + c,
+                base + (c - 1) % cols,
+                base + (c + 1) % cols,
+            ]
+            nbrs.sort()
+            indices.extend(nbrs)
+    return FlatGraph(n, indptr, indices, name=f"torus-{rows}x{cols}")
+
+
+def flat_random_regular(
+    n: int, d: int, seed: int = 0, max_attempts: int = 200
+) -> FlatGraph:
+    """A connected random d-regular graph, deterministic in ``(n, d, seed)``.
+
+    Configuration model with whole-pairing rejection: shuffle the
+    ``n·d`` stub multiset, pair consecutive stubs, reject the attempt on
+    any self-loop or repeated edge (and on disconnection), retry with
+    the next derived RNG state.  For d ≥ 3 a constant fraction of
+    pairings is simple and simple d-regular graphs are connected w.h.p.,
+    so the expected attempt count is O(1); the result is a pure function
+    of the arguments.
+    """
+    if d < 2:
+        raise ConfigurationError(f"random regular graph needs degree >= 2, got {d}")
+    if d >= n:
+        raise ConfigurationError(f"degree {d} needs n > d, got n={n}")
+    if (n * d) % 2 != 0:
+        raise ConfigurationError(f"n*d must be even, got n={n}, d={d}")
+    rng = random.Random(seed)
+    stubs = list(range(n)) * d
+    for _attempt in range(max_attempts):
+        rng.shuffle(stubs)
+        adjacency: List[List[int]] = [[] for _ in range(n)]
+        seen_pairs = set()
+        simple = True
+        for k in range(0, len(stubs), 2):
+            u, v = stubs[k], stubs[k + 1]
+            if u == v:
+                simple = False
+                break
+            key = (u, v) if u < v else (v, u)
+            if key in seen_pairs:
+                simple = False
+                break
+            seen_pairs.add(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        if not simple:
+            continue
+        indptr, indices = _csr_from_adjacency(n, adjacency)
+        graph = FlatGraph(n, indptr, indices, name=f"rr-{n}-d{d}-s{seed}")
+        if graph.is_connected():
+            return graph
+    raise ConfigurationError(
+        f"no connected simple {d}-regular graph found in {max_attempts} "
+        f"attempts for n={n}, seed={seed}"
+    )
+
+
+def flat_from_topology(topology) -> FlatGraph:
+    """CSR view of an object :class:`~repro.sync.topology.Topology`."""
+    indptr, indices = topology.csr()
+    return FlatGraph(topology.n, indptr, indices, name=topology.name)

@@ -233,6 +233,19 @@ class SynchronousRunner:
         self.contexts = [
             Context(pid, inputs[pid], topology.neighbors(pid), n) for pid in range(n)
         ]
+        # Hot-loop containers, allocated once and reused every round:
+        # per-process inbox dicts (cleared via the dirty list rather than
+        # reallocated — ``received`` mappings are only valid during the
+        # ``on_round`` call that gets them), an active-membership mask,
+        # and the send maps.  Reuse does not change any iteration order:
+        # a cleared dict refills in insertion order exactly like a fresh
+        # one, so delivered-edge frozensets (and trace hashes) are
+        # byte-identical to the allocate-per-round loop.
+        self._inboxes: List[Dict[int, object]] = [{} for _ in range(n)]
+        self._inbox_dirty: List[int] = []
+        self._active_mask = bytearray(b"\x01") * n
+        self._sends: Dict[DirectedEdge, object] = {}
+        self._send_units: Dict[DirectedEdge, int] = {}
 
     def run(self) -> SyncRunResult:
         """Run rounds until every live process halts or decides-and-halts."""
@@ -251,7 +264,10 @@ class SynchronousRunner:
         outboxes: Dict[int, Outbox] = {}
         active: List[int] = []
         for pid in range(n):
-            outboxes[pid] = self._collect_outbox(pid, self.algorithms[pid].on_start)
+            ctx = self.contexts[pid]
+            outboxes[pid] = self._finalize_outbox(
+                pid, self.algorithms[pid].on_start(ctx) or {}
+            )
             active.append(pid)
             if self._sink is not None:
                 self._note_decides(pid, 0)
@@ -270,8 +286,10 @@ class SynchronousRunner:
 
             # --- send phase (with mid-send crashes) -----------------------
             crashing_now = {e.pid: e for e in self.crash_by_round.get(round_no, [])}
-            sends: Dict[DirectedEdge, object] = {}
-            send_units: Dict[DirectedEdge, int] = {}
+            sends = self._sends
+            send_units = self._send_units
+            sends.clear()
+            send_units.clear()
             for pid, outbox in outboxes.items():
                 # A process that halted during the previous round's compute
                 # still gets its final outbox delivered ("send, then halt").
@@ -295,6 +313,8 @@ class SynchronousRunner:
             messages_sent += len(sends)
             if crashing_now:
                 crashed.update(crashing_now)
+                for pid in crashing_now:
+                    self._active_mask[pid] = 0
                 active = [pid for pid in active if pid not in crashing_now]
                 if self._sink is not None:
                     for pid in crashing_now:
@@ -331,17 +351,23 @@ class SynchronousRunner:
                     self._sink.sync_deliver(round_no, src, dst, sends[(src, dst)])
 
             # --- receive + compute phases ----------------------------------
-            inboxes: Dict[int, Dict[int, object]] = {pid: {} for pid in active}
+            inboxes = self._inboxes
+            active_mask = self._active_mask
+            for pid in self._inbox_dirty:
+                inboxes[pid].clear()
+            del self._inbox_dirty[:]
             for (src, dst) in delivered_edges:
-                box = inboxes.get(dst)
-                if box is not None:
+                if active_mask[dst]:
+                    box = inboxes[dst]
+                    if not box:
+                        self._inbox_dirty.append(dst)
                     box[src] = sends[(src, dst)]
 
             still_active: List[int] = []
             for pid in active:
                 ctx = self.contexts[pid]
-                outbox = self._collect_outbox(
-                    pid, lambda c: self.algorithms[pid].on_round(c, inboxes[pid])
+                outbox = self._finalize_outbox(
+                    pid, self.algorithms[pid].on_round(ctx, inboxes[pid]) or {}
                 )
                 if ctx.halted:
                     # Keep the final outbox for one more send phase only.
@@ -349,6 +375,7 @@ class SynchronousRunner:
                         outboxes[pid] = outbox
                     else:
                         outboxes.pop(pid, None)
+                    active_mask[pid] = 0
                 else:
                     outboxes[pid] = outbox
                     still_active.append(pid)
@@ -379,9 +406,8 @@ class SynchronousRunner:
             self._decide_recorded[pid] = True
             self._sink.sync_decide(pid, round_no, ctx.output)
 
-    def _collect_outbox(self, pid: int, produce) -> Outbox:
+    def _finalize_outbox(self, pid: int, outbox: Outbox) -> Outbox:
         ctx = self.contexts[pid]
-        outbox = produce(ctx) or {}
         for target in outbox:
             if target not in ctx.neighbors:
                 raise ModelViolation(
@@ -400,9 +426,25 @@ def run_synchronous(
     topology: Topology,
     algorithms: Sequence[SyncAlgorithm],
     inputs: Sequence[object],
+    backend: str = "object",
     **kwargs,
 ) -> SyncRunResult:
-    """Convenience wrapper: build a runner and run it."""
+    """Convenience wrapper: build a runner and run it.
+
+    ``backend="object"`` (default) uses :class:`SynchronousRunner`;
+    ``backend="array"`` uses the flat-column
+    :class:`~repro.sync.arraykernel.ArraySynchronousRunner`, which runs
+    the same algorithms observationally equivalently (same results,
+    counters, and trace hashes) with flat per-process state.
+    """
+    if backend == "array":
+        from .arraykernel import ArraySynchronousRunner
+
+        return ArraySynchronousRunner(topology, algorithms, inputs, **kwargs).run()
+    if backend != "object":
+        raise ConfigurationError(
+            f"unknown sync backend {backend!r} (expected 'object' or 'array')"
+        )
     return SynchronousRunner(topology, algorithms, inputs, **kwargs).run()
 
 

@@ -15,6 +15,7 @@ hard dependency on networkx; graphs here are at laptop scale.
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.exceptions import ConfigurationError
@@ -41,6 +42,7 @@ class Topology:
         # mutation (see _invalidate_caches).
         self._distance_cache: Dict[int, Tuple[Optional[int], ...]] = {}
         self._diameter_cache: Optional[int] = None
+        self._csr_cache: Optional[Tuple[array, array]] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -61,9 +63,10 @@ class Topology:
         self._invalidate_caches()
 
     def _invalidate_caches(self) -> None:
-        """Drop memoized distances/diameter after any graph mutation."""
+        """Drop memoized distances/diameter/CSR after any graph mutation."""
         self._distance_cache.clear()
         self._diameter_cache = None
+        self._csr_cache = None
 
     # -- queries -------------------------------------------------------------
 
@@ -85,6 +88,28 @@ class Topology:
 
     def has_edge(self, u: int, v: int) -> bool:
         return _canonical(u, v) in self._edges
+
+    def csr(self) -> Tuple[array, array]:
+        """The adjacency in CSR form: ``(indptr, indices)`` arrays.
+
+        Vertex ``u``'s neighbors are ``indices[indptr[u]:indptr[u+1]]``,
+        sorted ascending.  This is the layout the array backend
+        (:mod:`repro.sync.arraykernel`) executes against.  Memoized
+        until the graph mutates (same policy as the distance/diameter
+        caches); callers must treat the arrays as read-only.
+        """
+        if self._csr_cache is not None:
+            return self._csr_cache
+        indptr = array("l", [0] * (self.n + 1))
+        indices = array("l")
+        offset = 0
+        for u in range(self.n):
+            row = sorted(self._adj[u])
+            indices.extend(row)
+            offset += len(row)
+            indptr[u + 1] = offset
+        self._csr_cache = (indptr, indices)
+        return self._csr_cache
 
     def vertices(self) -> range:
         return range(self.n)

@@ -48,6 +48,7 @@ from .events import (
     trace_hash,
 )
 from .sink import JsonlSink, MemorySink, TraceSink, dump_trace, load_trace
+from .aggregate import AggregateSink
 from .analysis import (
     HappenedBeforeDAG,
     causal_chain,
@@ -92,6 +93,7 @@ __all__ = [
     "events_for",
     "recovered_pids",
     "trace_hash",
+    "AggregateSink",
     "JsonlSink",
     "MemorySink",
     "TraceSink",

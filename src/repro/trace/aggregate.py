@@ -1,0 +1,217 @@
+"""Aggregate + sampled tracing for mega-scale synchronous runs.
+
+:class:`~repro.trace.sink.TraceSink` keeps an n-component vector clock
+per process — O(n²) memory at bind time — and one
+:class:`~repro.trace.events.TraceEvent` per send/deliver.  At
+n = 100,000 the bind alone is 10¹⁰ counters; the sink would dwarf the
+run it observes.  :class:`AggregateSink` is the mega-scale alternative:
+it duck-types the ``sync_*`` half of the sink protocol (the only half
+the synchronous kernels call) but keeps **aggregates** — counts of
+sends/delivers/drops-by-reason/crashes/decides, payload-unit totals,
+and per-round send/deliver series in flat ``array`` columns — in O(1)
+memory per event.
+
+Optionally it also *samples* full :class:`TraceEvent` records:
+
+* ``sample_pids`` — every send/deliver/decide/crash touching one of
+  these pids is kept as a real event (a per-pid local history);
+* ``sample_every`` — every k-th round keeps its round markers.
+
+Sampled events carry correct per-process **Lamport stamps** (maintained
+in one ``array('q')`` column with the standard tick/merge rules — a
+receive merges the sender's clock) but empty vector clocks: an
+n-component vector per event is exactly the cost this sink exists to
+avoid.  ``vc=()`` is the documented marker for "not tracked".
+
+The summary is JSON-safe (:meth:`AggregateSink.summary`) so benchmarks
+can embed it in ``BENCH_*.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    CRASH,
+    DECIDE,
+    DELIVER,
+    DROP,
+    ROUND_BEGIN,
+    ROUND_END,
+    SEND,
+    SYSTEM,
+    TraceEvent,
+)
+
+
+class AggregateSink:
+    """Constant-memory sync-event aggregator with optional sampling.
+
+    Not a :class:`~repro.trace.sink.TraceSink` subclass on purpose: the
+    base class's vector-clock storage is the scaling hazard.  Only the
+    ``sync_*`` protocol surface (plus ``bind``/``close``) is provided;
+    handing this sink to the AMP or shm kernels is a type error.
+    """
+
+    def __init__(
+        self,
+        sample_pids: Sequence[int] = (),
+        sample_every: int = 0,
+    ) -> None:
+        if sample_every < 0:
+            raise ValueError(f"sample_every must be >= 0, got {sample_every}")
+        self.sample_pids = frozenset(sample_pids)
+        self.sample_every = sample_every
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+        self._n = 0
+        # Aggregates.
+        self.sends = 0
+        self.delivers = 0
+        self.crashes = 0
+        self.decides = 0
+        self.drops_by_reason: Dict[str, int] = {}
+        self.payload_sent = 0
+        self.rounds = 0
+        self.round_sends = array("q")
+        self.round_delivers = array("q")
+        # Lamport column + per-round send clocks, only when sampling
+        # (aggregate-only mode must not pay per-message bookkeeping).
+        self._track_clocks = bool(self.sample_pids or sample_every)
+        self._lamport: array = array("q")
+        self._send_clock: Dict[Tuple[int, int], int] = {}
+
+    # -- lifecycle (sink protocol) -----------------------------------------
+
+    def bind(self, n: int) -> None:
+        """Size the Lamport column for ``n`` processes (idempotent)."""
+        if n > self._n:
+            self._lamport.extend([0] * (n - self._n))
+            self._n = n
+
+    def close(self) -> None:
+        """Nothing to release; provided for sink-protocol parity."""
+
+    # -- sampling helpers ---------------------------------------------------
+
+    def _round_sampled(self, round_no: int) -> bool:
+        return self.sample_every > 0 and round_no % self.sample_every == 0
+
+    def _emit(
+        self, kind: str, pid: int, time: float, lamport: int, **data: object
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                seq=self._seq,
+                kind=kind,
+                pid=pid,
+                time=time,
+                lamport=lamport,
+                vc=(),
+                data=data,
+            )
+        )
+        self._seq += 1
+
+    def _tick(self, pid: int) -> int:
+        self._lamport[pid] += 1
+        return self._lamport[pid]
+
+    def _tick_merge(self, pid: int, other: Optional[int]) -> int:
+        if other is not None and other > self._lamport[pid]:
+            self._lamport[pid] = other
+        return self._tick(pid)
+
+    # -- SMP sites (mirrors TraceSink's sync_* surface) ---------------------
+
+    def sync_round_begin(self, round_no: int) -> None:
+        self.rounds = max(self.rounds, round_no)
+        while len(self.round_sends) < round_no:
+            self.round_sends.append(0)
+            self.round_delivers.append(0)
+        if self._track_clocks:
+            self._send_clock.clear()
+        if self._round_sampled(round_no):
+            self._emit(ROUND_BEGIN, SYSTEM, float(round_no), 0, round=round_no)
+
+    def sync_round_end(self, round_no: int) -> None:
+        if self._round_sampled(round_no):
+            self._emit(ROUND_END, SYSTEM, float(round_no), 0, round=round_no)
+
+    def sync_send(
+        self, round_no: int, src: int, dst: int, payload: object, units: int
+    ) -> None:
+        self.sends += 1
+        self.payload_sent += units
+        self.round_sends[round_no - 1] += 1
+        if self._track_clocks:
+            lamport = self._tick(src)
+            self._send_clock[(src, dst)] = lamport
+            if src in self.sample_pids or dst in self.sample_pids:
+                self._emit(
+                    SEND, src, float(round_no), lamport,
+                    src=src, dst=dst, payload=repr(payload), units=units,
+                    round=round_no,
+                )
+
+    def sync_deliver(
+        self, round_no: int, src: int, dst: int, payload: object
+    ) -> None:
+        self.delivers += 1
+        self.round_delivers[round_no - 1] += 1
+        if self._track_clocks:
+            lamport = self._tick_merge(dst, self._send_clock.get((src, dst)))
+            if src in self.sample_pids or dst in self.sample_pids:
+                self._emit(
+                    DELIVER, dst, float(round_no), lamport,
+                    src=src, dst=dst, payload=repr(payload), round=round_no,
+                )
+
+    def sync_drop(self, round_no: int, src: int, dst: int, reason: str) -> None:
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        if self._track_clocks and (
+            src in self.sample_pids or dst in self.sample_pids
+        ):
+            self._emit(
+                DROP, SYSTEM, float(round_no), 0,
+                src=src, dst=dst, reason=reason, round=round_no,
+            )
+
+    def sync_crash(self, pid: int, round_no: int) -> None:
+        self.crashes += 1
+        if self._track_clocks:
+            lamport = self._tick(pid)
+            if pid in self.sample_pids:
+                self._emit(CRASH, pid, float(round_no), lamport, round=round_no)
+
+    def sync_decide(self, pid: int, round_no: int, value: object) -> None:
+        self.decides += 1
+        if self._track_clocks:
+            lamport = self._tick(pid)
+            if pid in self.sample_pids:
+                self._emit(
+                    DECIDE, pid, float(round_no), lamport,
+                    value=repr(value), round=round_no,
+                )
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def drops(self) -> int:
+        return sum(self.drops_by_reason.values())
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe aggregate summary (embedded in BENCH artifacts)."""
+        return {
+            "rounds": self.rounds,
+            "sends": self.sends,
+            "delivers": self.delivers,
+            "drops_by_reason": dict(sorted(self.drops_by_reason.items())),
+            "crashes": self.crashes,
+            "decides": self.decides,
+            "payload_sent": self.payload_sent,
+            "round_sends": list(self.round_sends),
+            "round_delivers": list(self.round_delivers),
+            "sampled_events": len(self.events),
+        }

@@ -1,0 +1,245 @@
+"""Observational equivalence: array backend vs object kernel.
+
+The golden matrix from the issue: {flooding, FloodSet, early-stopping,
+coloring, MIS, Luby} x {clean, message adversary, mid-send crash} x
+{ring, torus, random-regular}.  Each cell runs both backends with
+identical configuration and asserts the *trace hashes* are equal —
+byte-for-byte identical event streams, not just matching outputs.
+
+Algorithms that assume a reliable/clean network (coloring, MIS, Luby)
+only occupy their valid cells, as the issue allows.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync import run_synchronous
+from repro.sync.adversary import BoundedDropAdversary, TreeAdversary
+from repro.sync.algorithms import (
+    AggregateFlooding,
+    ColorToMIS,
+    make_early_stopping,
+    make_flooders,
+    make_floodset,
+    make_luby,
+    make_ring_colorers,
+)
+from repro.sync.flatgraph import flat_random_regular
+from repro.sync.kernel import CrashEvent
+from repro.sync.topology import grid, ring
+from repro.trace import MemorySink, trace_hash
+
+TOPOLOGIES = {
+    "ring": lambda: ring(9),
+    "torus": lambda: grid(3, 4, torus=True),
+    "random-regular": lambda: flat_random_regular(10, 3, seed=2).to_topology(),
+}
+
+FAULTS = {
+    "clean": (None, ()),
+    "adversary": (lambda: BoundedDropAdversary(max_drops=2, seed=3), ()),
+    "crash": (None, (CrashEvent(pid=1, round=2, delivered_to=frozenset({0})),)),
+}
+
+ALGORITHMS = {
+    "flooding": lambda n: make_flooders(n, rounds=8),
+    "floodset": lambda n: make_floodset(n, t=2),
+    "early-stopping": lambda n: make_early_stopping(n, t=2),
+}
+
+
+def run_both(topo, make_algs, inputs, mkadv=None, crashes=()):
+    """Run both backends; return ((result, hash), (result, hash))."""
+    out = []
+    for backend in ("object", "array"):
+        sink = MemorySink()
+        result = run_synchronous(
+            topo,
+            make_algs(),
+            inputs,
+            backend=backend,
+            adversary=mkadv() if mkadv else None,
+            crash_schedule=crashes,
+            sink=sink,
+        )
+        out.append((result, trace_hash(sink.events)))
+    return out
+
+
+def assert_equivalent(topo, make_algs, inputs, mkadv=None, crashes=()):
+    (res_o, h_o), (res_a, h_a) = run_both(topo, make_algs, inputs, mkadv, crashes)
+    assert h_o == h_a, "trace hashes diverge between backends"
+    assert res_a.outputs == res_o.outputs
+    assert res_a.rounds == res_o.rounds
+    assert res_a.decided == res_o.decided
+    assert res_a.halted == res_o.halted
+    assert res_a.crashed == res_o.crashed
+    assert res_a.messages_sent == res_o.messages_sent
+    assert res_a.message_count == res_o.message_count
+    assert res_a.payload_sent == res_o.payload_sent
+    assert res_a.payload_delivered == res_o.payload_delivered
+
+
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("fault_name", sorted(FAULTS))
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+def test_matrix(alg_name, fault_name, topo_name):
+    topo = TOPOLOGIES[topo_name]()
+    n = topo.n
+    mkadv, crashes = FAULTS[fault_name]
+    if alg_name == "flooding":
+        inputs = [10 + i for i in range(n)]
+    else:
+        inputs = [i % 2 for i in range(n)]
+    assert_equivalent(topo, lambda: ALGORITHMS[alg_name](n), inputs, mkadv, crashes)
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+def test_mis_clean(topo_name):
+    topo = TOPOLOGIES[topo_name]()
+    n = topo.n
+    assert_equivalent(
+        topo, lambda: [ColorToMIS(pid, n) for pid in range(n)], [None] * n
+    )
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+def test_luby_clean(topo_name):
+    topo = TOPOLOGIES[topo_name]()
+    assert_equivalent(topo, lambda: make_luby(topo.n, seed=4), [None] * topo.n)
+
+
+def test_coloring_ring_clean():
+    n = 9
+    assert_equivalent(ring(n), lambda: make_ring_colorers(n), [None] * n)
+
+
+def test_tree_adversary_cell():
+    n = 9
+    assert_equivalent(
+        ring(n),
+        lambda: make_flooders(n, rounds=6),
+        list(range(n)),
+        mkadv=lambda: TreeAdversary(seed=5),
+    )
+
+
+def test_adversary_plus_crash():
+    topo = grid(3, 4, torus=True)
+    n = topo.n
+    assert_equivalent(
+        topo,
+        lambda: make_flooders(n, rounds=8),
+        [10 + i for i in range(n)],
+        mkadv=lambda: BoundedDropAdversary(max_drops=2, seed=3),
+        crashes=(CrashEvent(pid=1, round=2, delivered_to=frozenset({0})),),
+    )
+
+
+class TestPinnedHashes:
+    """Literal golden hashes — any backend must keep reproducing these."""
+
+    def _hash(self, **kwargs):
+        sink = MemorySink()
+        run_synchronous(sink=sink, **kwargs)
+        return trace_hash(sink.events)
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_flooding_clean_ring(self, backend):
+        h = self._hash(
+            topology=ring(8),
+            algorithms=make_flooders(8, rounds=6),
+            inputs=[10 + i for i in range(8)],
+            backend=backend,
+        )
+        assert h == PINNED["flooding-clean-ring8"]
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_flooding_crash_torus(self, backend):
+        h = self._hash(
+            topology=grid(3, 4, torus=True),
+            algorithms=make_flooders(12, rounds=6),
+            inputs=[10 + i for i in range(12)],
+            crash_schedule=(
+                CrashEvent(pid=1, round=2, delivered_to=frozenset({0})),
+            ),
+            backend=backend,
+        )
+        assert h == PINNED["flooding-crash-torus3x4"]
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_floodset_adversary_rr(self, backend):
+        h = self._hash(
+            topology=flat_random_regular(10, 3, seed=2).to_topology(),
+            algorithms=make_floodset(10, t=2),
+            inputs=[i % 2 for i in range(10)],
+            adversary=BoundedDropAdversary(max_drops=2, seed=3),
+            backend=backend,
+        )
+        assert h == PINNED["floodset-adversary-rr10"]
+
+
+PINNED = {
+    "flooding-clean-ring8": (
+        "d08deeab4a4c01dd94f944bf467fdf806bda9eae93b2f4c7695b85d5ba026ab0"
+    ),
+    "flooding-crash-torus3x4": (
+        "e2079c10ea2954d196dfcb71adcec62d0cc3a5b703444d3a132d68b5c24020dc"
+    ),
+    "floodset-adversary-rr10": (
+        "5671d20f699898ccb73b1584b6d9e740602c13472fd5efe05752cdb01901ab8a"
+    ),
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_pid_relabeling_metamorphic(n, seed, data):
+    """Relabeling pids commutes with execution on the array backend.
+
+    Run min-aggregation flooding on ring(n), then on the pid-relabeled
+    ring; outputs must satisfy out'[perm[p]] == out[p] and the global
+    observables (rounds, message counts) must be invariant.
+    """
+    import random
+
+    perm = list(range(n))
+    random.Random(seed).shuffle(perm)
+    inputs = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=999), min_size=n, max_size=n
+        )
+    )
+    base = ring(n)
+    rounds = base.diameter()
+
+    relabeled_edges = [(perm[u], perm[v]) for (u, v) in base.edges]
+    from repro.sync.topology import Topology
+
+    relabeled = Topology(n, relabeled_edges)
+    relabeled_inputs = [None] * n
+    for p in range(n):
+        relabeled_inputs[perm[p]] = inputs[p]
+
+    def run(topo, ins):
+        return run_synchronous(
+            topo,
+            [AggregateFlooding(rounds=rounds, op="min") for _ in range(n)],
+            ins,
+            backend="array",
+        )
+
+    res = run(base, inputs)
+    res_p = run(relabeled, relabeled_inputs)
+
+    assert res_p.rounds == res.rounds
+    assert res_p.messages_sent == res.messages_sent
+    assert res_p.payload_sent == res.payload_sent
+    for p in range(n):
+        assert res_p.outputs[perm[p]] == res.outputs[p]
+        assert res.outputs[p] == min(inputs)

@@ -1,0 +1,137 @@
+"""CSR flat graphs: constructor parity, determinism, and queries."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.sync.flatgraph import (
+    FlatGraph,
+    flat_from_topology,
+    flat_random_regular,
+    flat_ring,
+    flat_torus,
+)
+from repro.sync.topology import grid, ring
+
+
+class TestFlatRing:
+    def test_matches_object_ring(self):
+        for n in (3, 4, 8, 17):
+            assert flat_ring(n).to_topology().edges == ring(n).edges
+
+    def test_csr_slices_sorted(self):
+        g = flat_ring(9)
+        indptr, indices = g.csr()
+        for u in range(g.n):
+            row = list(indices[indptr[u]:indptr[u + 1]])
+            assert row == sorted(row)
+            assert len(row) == 2
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            flat_ring(2)
+
+    def test_linear_build_at_scale(self):
+        g = flat_ring(50_000)
+        assert g.n == 50_000
+        assert g.edge_count == 50_000
+        assert g.degree(0) == 2
+
+
+class TestFlatTorus:
+    def test_matches_object_torus(self):
+        for rows, cols in ((3, 3), (3, 5), (4, 6)):
+            flat = flat_torus(rows, cols).to_topology()
+            assert flat.edges == grid(rows, cols, torus=True).edges
+
+    def test_four_regular(self):
+        g = flat_torus(5, 7)
+        assert all(g.degree(u) == 4 for u in range(g.n))
+
+    def test_rejects_wrapless_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            flat_torus(2, 5)
+
+
+class TestFlatRandomRegular:
+    def test_regular_and_connected(self):
+        g = flat_random_regular(40, 3, seed=1)
+        assert all(g.degree(u) == 3 for u in range(g.n))
+        assert g.is_connected()
+
+    def test_simple_graph(self):
+        g = flat_random_regular(30, 4, seed=5)
+        topo = g.to_topology()
+        # No self-loops by Topology's own validation; degree match means
+        # no parallel edges were collapsed.
+        assert all(topo.degree(u) == 4 for u in range(topo.n))
+
+    def test_deterministic_in_seed(self):
+        a = flat_random_regular(60, 3, seed=9)
+        b = flat_random_regular(60, 3, seed=9)
+        assert a.indptr == b.indptr and a.indices == b.indices
+
+    def test_different_seeds_differ(self):
+        a = flat_random_regular(60, 3, seed=1)
+        b = flat_random_regular(60, 3, seed=2)
+        assert a.indices != b.indices
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            flat_random_regular(10, 1)
+        with pytest.raises(ConfigurationError):
+            flat_random_regular(4, 5)
+        with pytest.raises(ConfigurationError):
+            flat_random_regular(5, 3)  # n*d odd
+
+
+class TestFlatGraphQueries:
+    def test_neighbors_and_has_edge(self):
+        g = flat_torus(4, 4)
+        for u in range(g.n):
+            for v in g.neighbors(u):
+                assert g.has_edge(u, v)
+                assert g.has_edge(v, u)
+            assert not g.has_edge(u, u)
+
+    def test_bfs_and_diameter_match_topology(self):
+        g = flat_random_regular(24, 3, seed=3)
+        topo = g.to_topology()
+        flat_dist = list(g.bfs_distances(0))
+        assert flat_dist == topo.bfs_distances(0)
+        assert g.diameter() == topo.diameter()
+        assert g.radius_bound() >= g.diameter()
+
+    def test_round_trip_through_topology(self):
+        g = flat_random_regular(20, 3, seed=4)
+        back = flat_from_topology(g.to_topology())
+        assert back.indptr == g.indptr and back.indices == g.indices
+
+    def test_malformed_csr_rejected(self):
+        from array import array
+
+        with pytest.raises(ConfigurationError):
+            FlatGraph(3, array("l", [0, 1, 2]), array("l", [1, 0]))
+
+
+class TestTopologyCsrCache:
+    def test_csr_memoized(self):
+        topo = ring(8)
+        assert topo.csr() is topo.csr()
+
+    def test_mutation_invalidates_csr_cache(self):
+        topo = ring(8)
+        first = topo.csr()
+        topo.add_edge(0, 4)
+        second = topo.csr()
+        assert second is not first
+        indptr, indices = second
+        assert list(indices[indptr[0]:indptr[1]]) == [1, 4, 7]
+
+    def test_csr_matches_neighbors(self):
+        topo = grid(3, 4, torus=True)
+        indptr, indices = topo.csr()
+        for u in range(topo.n):
+            assert (
+                frozenset(indices[indptr[u]:indptr[u + 1]])
+                == topo.neighbors(u)
+            )
