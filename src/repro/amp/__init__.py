@@ -7,6 +7,8 @@
 * :mod:`repro.amp.consensus` — FLP + Ben-Or, conditions, Ω, Paxos;
 * :mod:`repro.amp.tobroadcast` / :mod:`repro.amp.smr` — total order and
   replicated state machines;
+* :mod:`repro.amp.scd` — Set-Constrained Delivery broadcast and the
+  snapshot/counter/KV objects it powers consensus-free;
 * :mod:`repro.amp.adversary` — process adversaries, A-resilience.
 """
 
@@ -61,6 +63,19 @@ from .network import (
     run_processes,
 )
 from .storage import StableStorage
+from .scd import (
+    DELETED,
+    Counter,
+    ScdBroadcast,
+    ScdKvStore,
+    ScdMessage,
+    ScdNode,
+    SnapshotObject,
+    check_kv_convergence,
+    check_scd_histories,
+    check_uniform_set_sequences,
+    make_scd_kv,
+)
 from .quorums import (
     QuorumAbdNode,
     is_live_quorum_system,
@@ -125,6 +140,17 @@ __all__ = [
     "is_live_quorum_system",
     "is_safe_quorum_system",
     "majority_family",
+    "DELETED",
+    "Counter",
+    "ScdBroadcast",
+    "ScdKvStore",
+    "ScdMessage",
+    "ScdNode",
+    "SnapshotObject",
+    "check_kv_convergence",
+    "check_scd_histories",
+    "check_uniform_set_sequences",
+    "make_scd_kv",
     "ReplicatedStateMachine",
     "check_mutual_consistency",
     "make_replicated_machine",

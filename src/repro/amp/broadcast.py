@@ -170,13 +170,13 @@ class UniformReliableBroadcast:
             _, _, message_id, payload = message
             self._payloads[message_id] = payload
             self._echo(ctx, message_id, payload)
-            return self._maybe_deliver()
+            return self._maybe_deliver(message_id)
         if kind == "echo":
             _, _, message_id, payload = message
             self._payloads.setdefault(message_id, payload)
             self._echoes.setdefault(message_id, set()).add(src)
             self._echo(ctx, message_id, payload)
-            return self._maybe_deliver()
+            return self._maybe_deliver(message_id)
         return []
 
     def _echo(self, ctx: Context, message_id: MessageId, payload: object) -> None:
@@ -185,16 +185,21 @@ class UniformReliableBroadcast:
         self._echoed.add(message_id)
         ctx.broadcast((self.tag, "echo", message_id, payload))
 
-    def _maybe_deliver(self) -> List[Delivery]:
+    def _maybe_deliver(self, message_id: Optional[MessageId] = None) -> List[Delivery]:
+        # An echo count only changes for the id the triggering event
+        # carries, so checking just that id delivers the identical set
+        # at the identical call — without rescanning every message ever
+        # echoed (quadratic in run length).  ``None`` keeps the full
+        # scan for callers without a trigger id.
+        ids = (message_id,) if message_id is not None else tuple(self._echoes)
         out: List[Delivery] = []
-        for message_id, echoers in self._echoes.items():
-            if message_id in self._delivered_ids:
+        for mid in ids:
+            if mid in self._delivered_ids:
                 continue
+            echoers = self._echoes.get(mid, ())
             if len(echoers) >= self.quorum:
-                self._delivered_ids.add(message_id)
-                delivery = Delivery(
-                    message_id[0], message_id[1], self._payloads[message_id]
-                )
+                self._delivered_ids.add(mid)
+                delivery = Delivery(mid[0], mid[1], self._payloads[mid])
                 self.delivered.append(delivery)
                 out.append(delivery)
         return out

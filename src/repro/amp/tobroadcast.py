@@ -70,6 +70,9 @@ class TOBroadcastNode(AsyncProcess):
         self.poll_interval = poll_interval
         self.urb = UniformReliableBroadcast(pid, n, tag="to-urb")
         self.pending: Dict[MessageId, object] = {}
+        #: pending minus ordered, maintained incrementally — rebuilding
+        #: it from ``pending`` per message is quadratic in log length.
+        self.unordered: Dict[MessageId, object] = {}
         self.ordered_ids: Set[MessageId] = set()
         self.log: List[Tuple[MessageId, object]] = []
         self.instances: Dict[int, OmegaConsensusComponent] = {}
@@ -98,14 +101,9 @@ class TOBroadcastNode(AsyncProcess):
         """Join instance ``k`` if it is the next one and we have a reason."""
         if k != self.next_instance or k in self.instances_started:
             return
-        unordered = {
-            mid: payload
-            for mid, payload in self.pending.items()
-            if mid not in self.ordered_ids
-        }
-        if not unordered and not force:
+        if not self.unordered and not force:
             return
-        proposal: Batch = tuple(sorted(unordered.items()))
+        proposal: Batch = tuple(sorted(self.unordered.items()))
         self.instances_started.add(k)
         self._instance(k).start(ctx, proposal)
 
@@ -117,6 +115,7 @@ class TOBroadcastNode(AsyncProcess):
                 if mid in self.ordered_ids:
                     continue
                 self.ordered_ids.add(mid)
+                self.unordered.pop(mid, None)
                 self.log.append((mid, payload))
                 if self.on_deliver is not None:
                     self.on_deliver(ctx, mid[0], payload)
@@ -142,6 +141,8 @@ class TOBroadcastNode(AsyncProcess):
     def on_message(self, ctx: Context, src: int, message: object) -> None:
         for delivery in self.urb.handle(ctx, src, message):
             self.pending[delivery.message_id] = delivery.payload
+            if delivery.message_id not in self.ordered_ids:
+                self.unordered[delivery.message_id] = delivery.payload
         self._maybe_start(ctx, self.next_instance)
 
         if isinstance(message, tuple) and message and isinstance(message[0], str):

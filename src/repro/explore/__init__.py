@@ -60,7 +60,11 @@ from .protocols import (
     adopt_commit_validity,
     make_flood_min,
     make_quorum_commit,
+    make_scd_nodes,
     quorum_commit_agreement,
+    scd_coherence,
+    scd_termination,
+    scd_uniform_sets,
 )
 
 __all__ = [
@@ -101,5 +105,9 @@ __all__ = [
     "adopt_commit_validity",
     "make_flood_min",
     "make_quorum_commit",
+    "make_scd_nodes",
     "quorum_commit_agreement",
+    "scd_coherence",
+    "scd_termination",
+    "scd_uniform_sets",
 ]

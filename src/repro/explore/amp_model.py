@@ -356,6 +356,16 @@ class AmpModel(ExplorationModel):
         digest = hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
         return self._intern(digest)
 
+    def processes(self, prefix: Prefix) -> List[AsyncProcess]:
+        """The materialized process objects after ``prefix``.
+
+        Read-only by contract: properties inspect protocol state the
+        processes expose (delivery histories, views) beyond the bare
+        ``decisions`` map.  Mutating them would corrupt the prefix
+        cache.
+        """
+        return list(self._materialize(prefix).processes)
+
     def decisions(self, prefix: Prefix) -> Dict[int, object]:
         runtime = self._materialize(prefix)
         return {

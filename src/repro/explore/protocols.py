@@ -322,3 +322,83 @@ def quorum_commit_agreement() -> Invariant:
         return None
 
     return Invariant("quorum-commit-agreement", check)
+
+
+# -- AMP: SCD-broadcast (strictly between RB and TO) -------------------------
+
+
+def make_scd_nodes(
+    payload_lists: Sequence[Sequence[object]],
+) -> Callable[[], List[AsyncProcess]]:
+    """Factory of :class:`~repro.amp.scd.ScdNode` lists (for AmpModel).
+
+    ``payload_lists[pid]`` is what process ``pid`` SCD-broadcasts at
+    start; every node expects the grand total, so runs settle once all
+    messages are delivered everywhere and each node decides its set
+    sequence.
+    """
+    from ..amp.scd import ScdNode
+
+    n = len(payload_lists)
+    expected = sum(len(payloads) for payloads in payload_lists)
+
+    def factory() -> List[AsyncProcess]:
+        return [
+            ScdNode(pid, n, list(payload_lists[pid]), expected=expected)
+            for pid in range(n)
+        ]
+
+    return factory
+
+
+def _scd_histories(model: ExplorationModel, config: Config) -> List[Sequence]:
+    return [
+        process.delivered_sets
+        for process in model.processes(config)
+        if hasattr(process, "delivered_sets")
+    ]
+
+
+def scd_coherence() -> Invariant:
+    """Integrity + MS-Ordering over every process's delivered sets.
+
+    This is the SCD-broadcast safety contract: no message delivered
+    twice, and no two processes deliver two messages in *opposite*
+    strict orders (delivering them in one set is always allowed).
+    Checked as an invariant — it must hold in every reachable
+    configuration, not just terminal ones.
+    """
+    from ..amp.scd import check_scd_histories
+
+    def check(model: ExplorationModel, config: Config) -> Optional[str]:
+        return check_scd_histories(_scd_histories(model, config))
+
+    return Invariant("scd-coherence", check)
+
+
+def scd_uniform_sets() -> Invariant:
+    """The TO strengthening SCD does **not** provide (expected to fail).
+
+    Holds iff all delivered set sequences are prefix-compatible — what
+    TO-broadcast guarantees.  Exploring SCD against this property
+    yields a replayable counterexample: concrete evidence the
+    abstraction sits *strictly below* total order.
+    """
+    from ..amp.scd import check_uniform_set_sequences
+
+    def check(model: ExplorationModel, config: Config) -> Optional[str]:
+        return check_uniform_set_sequences(_scd_histories(model, config))
+
+    return Invariant("scd-uniform-sets", check)
+
+
+def scd_termination() -> Eventually:
+    """Every maximal run ends with all processes' histories decided."""
+
+    def check(model: ExplorationModel, config: Config) -> Optional[str]:
+        decided = model.decisions(config)
+        if len(decided) < getattr(model, "n", len(decided)):
+            return f"only {sorted(decided)} decided at a terminal configuration"
+        return None
+
+    return Eventually("scd-termination", check)

@@ -14,12 +14,22 @@ from .parallel import (
     aggregate_shm,
     run_many,
 )
+from .stats import (
+    DEFAULT_PERCENTILES,
+    LatencyStats,
+    decision_latency_stats,
+    percentiles,
+)
 
 __all__ = [
+    "DEFAULT_PERCENTILES",
+    "LatencyStats",
     "MultiReportStats",
     "MultiRunStats",
     "RunList",
     "aggregate_amp",
     "aggregate_shm",
+    "decision_latency_stats",
+    "percentiles",
     "run_many",
 ]

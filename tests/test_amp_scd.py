@@ -1,0 +1,271 @@
+"""SCD-broadcast: delivery invariants, the object family, linearizability.
+
+The contract under test (Imbs–Mostéfaoui–Perrin–Raynal): processes
+deliver *sets* of messages such that no two processes deliver two
+messages in opposite strict orders (MS-Ordering), each message exactly
+once (Integrity), and all messages eventually (Termination, ``t <
+n/2``).  That suffices — with no consensus anywhere — for snapshot
+objects, counters, and a linearizable KV store.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.amp import (
+    Counter,
+    CrashAt,
+    DuplicatingLink,
+    FairLossLink,
+    ReorderingLossLink,
+    ScdBroadcast,
+    ScdMessage,
+    ScdNode,
+    SnapshotObject,
+    UniformDelay,
+    check_kv_convergence,
+    check_scd_histories,
+    check_uniform_set_sequences,
+    make_scd_kv,
+    run_processes,
+    wrap_reliable,
+)
+from repro.amp.scd import DELETED
+from repro.core.exceptions import ConfigurationError, ModelViolation
+from repro.core.history import History
+from repro.core.linearizability import is_linearizable
+from repro.core.seqspec import SequentialSpec
+
+
+def run_scd(n, payload_lists, seed=0, **kwargs):
+    expected = sum(len(p) for p in payload_lists)
+    nodes = [
+        ScdNode(pid, n, payload_lists[pid], expected=expected)
+        for pid in range(n)
+    ]
+    result = run_processes(
+        nodes,
+        delay_model=UniformDelay(0.1, 2.0),
+        seed=seed,
+        **kwargs,
+    )
+    return nodes, result
+
+
+def kv_cell_spec():
+    """Per-key sequential spec for the KV store's put/get/delete ops."""
+
+    def apply(state, op, args):
+        if op == "put":
+            return args[1], None
+        if op == "delete":
+            return DELETED, None
+        if op == "get":
+            return state, (None if state in (None, DELETED) else state)
+        raise ValueError(op)
+
+    return SequentialSpec("kv-cell", None, apply)
+
+
+class TestBroadcastInvariants:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_ms_ordering_and_integrity_n3(self, seed):
+        nodes, result = run_scd(3, [["a0", "a1"], ["b0"], ["c0"]], seed=seed)
+        assert all(result.decided)
+        assert check_scd_histories([n.delivered_sets for n in nodes]) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ms_ordering_n5(self, seed):
+        payloads = [[f"p{pid}"] for pid in range(5)]
+        nodes, result = run_scd(5, payloads, seed=seed)
+        assert all(result.decided)
+        assert check_scd_histories([n.delivered_sets for n in nodes]) is None
+
+    def test_termination_under_minority_crash(self):
+        # n=5 tolerates t=2: the two crashed processes' forwards are
+        # not needed for the majority-stability rule.
+        payloads = [["m0"], ["m1"], [], [], []]
+        nodes = [ScdNode(pid, 5, payloads[pid], expected=2) for pid in range(5)]
+        result = run_processes(
+            nodes,
+            delay_model=UniformDelay(0.1, 1.0),
+            crashes=[CrashAt(3, 0.5), CrashAt(4, 0.7)],
+            max_crashes=2,
+            seed=4,
+        )
+        for pid in range(3):
+            assert result.decided[pid]
+        survivors = [nodes[pid].delivered_sets for pid in range(3)]
+        assert check_scd_histories(survivors) is None
+
+    def test_duplicating_link_is_deduplicated(self):
+        nodes = [ScdNode(pid, 3, [f"p{pid}"], expected=3) for pid in range(3)]
+        result = run_processes(
+            nodes,
+            delay_model=UniformDelay(0.2, 1.5),
+            link_model=DuplicatingLink(duplicate=0.5, copies=3),
+            seed=5,
+        )
+        assert all(result.decided)
+        assert check_scd_histories([n.delivered_sets for n in nodes]) is None
+
+    def test_survives_reordering_loss_when_wrapped(self):
+        nodes = [ScdNode(pid, 3, [f"p{pid}"], expected=3) for pid in range(3)]
+        result = run_processes(
+            wrap_reliable(nodes, retry_every=1.5),
+            delay_model=UniformDelay(0.2, 1.0),
+            link_model=ReorderingLossLink(
+                loss=0.25, duplicate=0.2, jitter=2.0, max_consecutive_losses=4
+            ),
+            seed=3,
+            max_events=200_000,
+        )
+        assert all(result.decided)
+        assert check_scd_histories([n.delivered_sets for n in nodes]) is None
+
+    def test_n1_delivers_synchronously(self):
+        nodes, result = run_scd(1, [["only"]])
+        assert result.decided == [True]
+        assert len(nodes[0].delivered_sets) == 1
+
+    def test_golden_history_digest_is_pinned(self):
+        # Regression pin: the delivered set sequences for one fixed
+        # schedule.  A refactor that reorders deliveries (even legally)
+        # shows up here and must be acknowledged explicitly.
+        nodes, result = run_scd(3, [["a"], ["b"], ["c"]], seed=2024)
+        canonical = repr(
+            [
+                [tuple(m.message_id for m in s) for s in node.delivered_sets]
+                for node in nodes
+            ]
+        )
+        digest = hashlib.sha256(canonical.encode()).hexdigest()
+        assert digest == (
+            "2cab41ab7edc52cf5ffd8edb8ed61632c02b7cb2d96505aa8c19219b9eeb30b2"
+        ), canonical
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScdBroadcast(0, 0)
+        with pytest.raises(ConfigurationError):
+            ScdBroadcast(3, 3)
+
+
+class TestHistoryCheckers:
+    def msg(self, origin, seq):
+        return ScdMessage(origin, seq, f"payload-{origin}-{seq}")
+
+    def test_accepts_same_set_delivery(self):
+        a, b = self.msg(0, 0), self.msg(1, 0)
+        histories = [[(a, b)], [(a, b)]]
+        assert check_scd_histories(histories) is None
+
+    def test_rejects_opposite_orders(self):
+        a, b = self.msg(0, 0), self.msg(1, 0)
+        histories = [[(a,), (b,)], [(b,), (a,)]]
+        assert "MS-ordering" in check_scd_histories(histories)
+
+    def test_allows_one_sided_split(self):
+        # One process splits {a} before {b}; the other delivers both in
+        # one set: never an *opposite* strict order.
+        a, b = self.msg(0, 0), self.msg(1, 0)
+        histories = [[(a,), (b,)], [(a, b)]]
+        assert check_scd_histories(histories) is None
+
+    def test_rejects_duplicate_delivery(self):
+        a = self.msg(0, 0)
+        histories = [[(a,), (a,)]]
+        assert "integrity" in check_scd_histories(histories).lower()
+
+    def test_uniform_sequences_detects_divergence(self):
+        a, b = self.msg(0, 0), self.msg(1, 0)
+        same = [[(a,), (b,)], [(a,), (b,)]]
+        split = [[(a,), (b,)], [(a, b)]]
+        assert check_uniform_set_sequences(same) is None
+        assert check_uniform_set_sequences(split) is not None
+
+
+class TestKvStore:
+    SCRIPTS = [
+        [("put", "a", 1), ("get", "a")],
+        [("put", "a", 2), ("get", "a")],
+        [("get", "a"), ("put", "b", 7), ("delete", "a"), ("get", "a")],
+    ]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_linearizable_against_sequential_spec(self, seed):
+        history = History()
+        nodes = make_scd_kv(3, self.SCRIPTS, history)
+        result = run_processes(
+            nodes, delay_model=UniformDelay(0.1, 2.0), seed=seed
+        )
+        assert all(result.decided)
+        check_kv_convergence(nodes)
+        specs = {obj: kv_cell_spec() for obj in history.objects()}
+        assert is_linearizable(history, specs), seed
+
+    def test_convergence_checker_catches_divergence(self):
+        history = History()
+        nodes = make_scd_kv(3, self.SCRIPTS, history)
+        run_processes(nodes, delay_model=UniformDelay(0.1, 2.0), seed=1)
+        nodes[0].store["planted"] = ((99, 0), "divergent")
+        with pytest.raises(ModelViolation):
+            check_kv_convergence(nodes)
+
+    def test_deleted_keys_are_invisible(self):
+        history = History()
+        scripts = [[("put", "x", 5)], [("delete", "x")], [("get", "x")]]
+        nodes = make_scd_kv(3, scripts, history)
+        run_processes(nodes, delay_model=UniformDelay(0.1, 0.5), seed=3)
+        check_kv_convergence(nodes)
+        states = [node.visible_state() for node in nodes]
+        for state in states:
+            assert all(key != "x" or value != DELETED for key, value in state)
+
+
+class TestCounterAndSnapshot:
+    def test_counter_sums_all_increments(self):
+        scripts = [
+            [("incr", 5), ("read",)],
+            [("incr", 3)],
+            [("incr", 2), ("read",)],
+        ]
+        nodes = [Counter(pid, 3, scripts[pid]) for pid in range(3)]
+        result = run_processes(
+            nodes, delay_model=UniformDelay(0.1, 1.0), seed=6
+        )
+        assert all(result.decided)
+        # The final read at every replica (after quiescence) is 10.
+        assert all(node.value == 10 for node in nodes)
+
+    def test_snapshot_reads_whole_object(self):
+        scripts = [
+            [("write", 0, "a"), ("snapshot",)],
+            [("write", 1, "b"), ("snapshot",)],
+            [("snapshot",)],
+        ]
+        nodes = [SnapshotObject(pid, 3, scripts[pid]) for pid in range(3)]
+        result = run_processes(
+            nodes, delay_model=UniformDelay(0.1, 1.0), seed=2
+        )
+        assert all(result.decided)
+        final = {node.visible_state() for node in nodes}
+        assert len(final) == 1  # replicas converged
+        assert dict(final.pop()) == {0: "a", 1: "b"}
+
+
+class TestUnderLossyLinksKv:
+    def test_kv_linearizable_over_fair_loss(self):
+        history = History()
+        nodes = make_scd_kv(3, TestKvStore.SCRIPTS, history)
+        result = run_processes(
+            wrap_reliable(nodes, retry_every=1.5),
+            delay_model=UniformDelay(0.1, 0.8),
+            link_model=FairLossLink(loss=0.2, max_consecutive_losses=4),
+            seed=9,
+            max_events=300_000,
+        )
+        assert all(result.decided)
+        check_kv_convergence(nodes)
+        specs = {obj: kv_cell_spec() for obj in history.objects()}
+        assert is_linearizable(history, specs)
