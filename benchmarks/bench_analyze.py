@@ -32,6 +32,10 @@ from repro.sync.algorithms.consensus import make_floodset
 
 OVERHEAD_BUDGET = 1.10  # sanitize=False ≤ 10% over the no-branch baseline
 
+#: Whole-project static analysis (parse + index + taint summaries + every
+#: rule) must stay linter-fast — it gates every CI run and pre-commit.
+ANALYZER_BUDGET_S = 30.0
+
 
 class _NoSanitizeRuntime(AsyncRuntime):
     """The AMP send path with the sanitize branch deleted — the
@@ -149,6 +153,27 @@ def compare(n=32, messages=50_000, repeats=5):
     return rows, off / base
 
 
+def analyzer_selfscan(paths=None):
+    """One full static-analysis pass over ``paths`` (default: the repo's
+    ``src/``, found relative to this file so the cwd doesn't matter), timed.
+
+    This is the interprocedural analyzer (call graph, class hierarchy,
+    taint summaries, all rule families) — the wall-time budget pins the
+    'linter cost' claim so cross-module analysis can't quietly turn into
+    a whole-program fixpoint that stalls CI.
+    """
+    import os
+    from time import perf_counter
+
+    from repro.analyze.cli import analyze_paths
+
+    if paths is None:
+        paths = [os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")]
+    start = perf_counter()
+    report = analyze_paths(list(paths))
+    return report, perf_counter() - start
+
+
 def test_sanitize_overhead(benchmark):
     def body():
         from conftest import print_series
@@ -184,6 +209,17 @@ def main(argv=None):
     for kernel, variant, seconds in rows:
         print(f"{kernel:>5}  {variant:<20} {seconds:.3f}s")
     print(f"sanitize-off overhead vs no-branch baseline: {overhead:.3f}x")
+    report, elapsed = analyzer_selfscan()
+    print(
+        f"analyzer self-scan: {report.files_scanned} file(s), "
+        f"{len(report.findings)} finding(s) in {elapsed:.2f}s "
+        f"(budget {ANALYZER_BUDGET_S:.0f}s)"
+    )
+    if elapsed > ANALYZER_BUDGET_S:
+        raise SystemExit(
+            f"analyzer self-scan took {elapsed:.2f}s, over the "
+            f"{ANALYZER_BUDGET_S:.0f}s budget"
+        )
     # Smoke runs are dominated by fixed costs; only full-size runs
     # assert the ratio.
     if not args.smoke and overhead > OVERHEAD_BUDGET:

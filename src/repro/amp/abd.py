@@ -101,7 +101,10 @@ class AbdNode(AsyncProcess):
         self._op_seq = 0
         self._phase: Optional[str] = None
         self._replies: Dict[Tuple[int, str], List[Tuple[Timestamp, object]]] = {}
-        self._acks: Dict[Tuple[int, str], int] = {}
+        # Quorum progress is counted per *responder*, never per message:
+        # a retransmitted or link-duplicated reply must not let one
+        # server stand in for two (QRM002).
+        self._reply_senders: Dict[Tuple[int, str], Set[int]] = {}
         self._current_start = 0.0
         self._current_ticket: Optional[int] = None
         self._pending_write_value: object = None
@@ -156,6 +159,7 @@ class AbdNode(AsyncProcess):
         self._phase = f"query:{purpose}"
         key = (self._op_seq, "query")
         self._replies[key] = []
+        self._reply_senders[key] = set()
         ctx.broadcast(("abd", "query", self.pid, self._op_seq))
 
     def _start_store(
@@ -163,7 +167,7 @@ class AbdNode(AsyncProcess):
     ) -> None:
         self._phase = f"store:{purpose}"
         key = (self._op_seq, "store")
-        self._acks[key] = 0
+        self._reply_senders[key] = set()
         ctx.broadcast(("abd", "store", self.pid, self._op_seq, ts, value))
 
     # -- message handling ----------------------------------------------------------
@@ -200,8 +204,12 @@ class AbdNode(AsyncProcess):
         if seq != self._op_seq or not (self._phase or "").startswith("query"):
             return
         key = (seq, "query")
+        senders = self._reply_senders.setdefault(key, set())
+        if server in senders:
+            return  # duplicate delivery: this server already counted
+        senders.add(server)
         self._replies[key].append((ts, value))
-        if len(self._replies[key]) != self.quorum:
+        if len(senders) != self.quorum:
             return
         purpose = self._phase.split(":")[1]
         max_ts, max_value = max(self._replies[key], key=lambda pair: pair[0])
@@ -227,8 +235,11 @@ class AbdNode(AsyncProcess):
         if seq != self._op_seq or not (self._phase or "").startswith("store"):
             return
         key = (seq, "store")
-        self._acks[key] += 1
-        if self._acks[key] != self.quorum:
+        senders = self._reply_senders.setdefault(key, set())
+        if server in senders:
+            return  # duplicate delivery: this server already counted
+        senders.add(server)
+        if len(senders) != self.quorum:
             return
         purpose = self._phase.split(":")[1]
         self._phase = None

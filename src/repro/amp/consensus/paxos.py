@@ -57,6 +57,10 @@ class PaxosNode(AsyncProcess):
         self.attempt = 0
         self.current_ballot: Optional[Ballot] = None
         self.promises: Dict[Ballot, List[Tuple[Ballot, object]]] = {}
+        # Majority progress is counted per *acceptor*, never per message:
+        # a retransmitted or link-duplicated promise must not let one
+        # acceptor stand in for two (QRM002).
+        self._promise_senders: Dict[Ballot, Set[int]] = {}
         self.accept_acks: Dict[Ballot, Set[int]] = {}
         self._accept_value: Dict[Ballot, object] = {}
         self.campaigning = False
@@ -95,6 +99,7 @@ class PaxosNode(AsyncProcess):
         self.current_ballot = ballot
         self.campaigning = True
         self.promises[ballot] = []
+        self._promise_senders[ballot] = set()
         ctx.broadcast(("paxos", "prepare", ballot))
 
     def _preempted(self, ctx: Context, seen_ballot: Ballot) -> None:
@@ -150,9 +155,13 @@ class PaxosNode(AsyncProcess):
         _, _, ballot, accepted_ballot, accepted_value = message
         if ballot != self.current_ballot:
             return
+        senders = self._promise_senders[ballot]
+        if src in senders:
+            return  # duplicate delivery: this acceptor already counted
+        senders.add(src)
         bucket = self.promises[ballot]
         bucket.append((accepted_ballot, accepted_value))
-        if len(bucket) != self.majority:
+        if len(senders) != self.majority:
             return
         best_ballot, best_value = max(bucket, key=lambda pair: pair[0])
         value = best_value if best_ballot > ZERO_BALLOT else self.input_value

@@ -95,4 +95,11 @@ def known_rule_ids() -> List[str]:
 
 def _load_builtin_rules() -> None:
     """Import the built-in rule modules (idempotent, lazy to avoid cycles)."""
-    from . import rules_alias, rules_det, rules_mdl  # noqa: F401
+    from . import (  # noqa: F401
+        rules_alias,
+        rules_det,
+        rules_dur,
+        rules_live,
+        rules_mdl,
+        rules_qrm,
+    )

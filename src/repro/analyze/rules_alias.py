@@ -55,6 +55,7 @@ class _MutateAfterPublish(Rule):
                 continue
             rebinds = list(module.rebindings_in(func))
             mutations = list(module.mutations_in(func))
+            mutations.extend(self._callee_mutations(module, func))
             reported = set()
             for name, publish_node, verb in published:
                 for mut_name, mut_node, how in mutations:
@@ -73,6 +74,32 @@ class _MutateAfterPublish(Rule):
                             f"new object instead of mutating the published "
                             f"one",
                         )
+
+    @staticmethod
+    def _callee_mutations(module: ModuleInfo, func) -> List[Tuple[str, ast.AST, str]]:
+        """Interprocedural mutation sites: calls that hand a local name to
+        a project function whose summary says it mutates that parameter
+        (``helper(msg)`` is as much a mutation of ``msg`` as
+        ``msg.append`` when ``helper`` appends)."""
+        index = module.project
+        if index is None:
+            return []
+        taint = index.taint
+        cls = index.enclosing_class(module, func)
+        out: List[Tuple[str, ast.AST, str]] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                for arg_name, callee_name in taint.call_argument_mutations(
+                    module, node, cls=cls
+                ):
+                    out.append(
+                        (
+                            arg_name,
+                            node,
+                            f" handed to {callee_name}(), which",
+                        )
+                    )
+        return out
 
     @staticmethod
     def _happens_after(module, func, publish_node, mut_node, rebinds, name) -> bool:

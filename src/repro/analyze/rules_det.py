@@ -252,3 +252,41 @@ class UnorderedIteration(Rule):
                 if leaf in _ORDER_INSENSITIVE_CALLS:
                     return True
         return False
+
+
+@rule
+class NondeterministicHelperCall(Rule):
+    id = "DET004"
+    summary = (
+        "call to a helper whose return value derives from ambient "
+        "nondeterminism (wall clock / global RNG) — DET001 laundered "
+        "through the call graph"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator:
+        index = module.project
+        if index is None:
+            return  # interprocedural by definition: needs project context
+        taint = index.taint
+        for node in module.walk(ast.Call):
+            if _resolve(module, node) is not None:
+                continue  # a direct source call: DET001/DET002 territory
+            cls = index.enclosing_class(module, node)
+            callee = index.resolve_call(module, node, cls=cls)
+            if callee is None:
+                continue
+            name = dotted_name(node.func)
+            dispatch = (
+                cls if name is not None and name.startswith("self.") else None
+            )
+            origin = taint.returns_nondet(callee, cls=dispatch)
+            if origin is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"call to {callee.qualname}() returns a value derived "
+                f"from {origin}() — nondeterminism laundered through a "
+                f"helper is still nondeterminism; thread the kernel's "
+                f"virtual time / per-process RNG through instead",
+            )

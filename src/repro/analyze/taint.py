@@ -1,0 +1,388 @@
+"""Summary-based interprocedural dataflow over the project call graph.
+
+For each project function the engine computes small, memoized
+*summaries* — the classic scalable alternative to whole-program
+path exploration:
+
+* :meth:`TaintEngine.returns_nondet` — does the function's return value
+  derive from an ambient-nondeterminism source (wall clock, OS entropy,
+  the global RNG), directly or through further project calls?  Returns
+  the dotted origin (``"time.time"``) so DET findings can name it.
+* :meth:`TaintEngine.mutated_param_indices` — which positional
+  parameters does the function mutate in place (own mutations plus
+  mutations by callees the parameter is forwarded to)?  Feeds the ALIAS
+  mutate-after-send rules: ``helper(msg)`` after ``ctx.send(dst, msg)``
+  is as bad as ``msg.append`` when ``helper`` appends.
+* :meth:`TaintEngine.events` — the flattened, textual-order sequence of
+  *protocol-visible effects* of running a method on a concrete class:
+  ``ctx.stable`` puts/gets (with constant keys when knowable), message
+  publishes (``send``/``broadcast``/``decide``), and ``self.<attr>``
+  writes, with resolved ``self.*`` callee effects spliced in at the call
+  site.  The DUR write-ahead rules scan this sequence.
+
+Summaries are computed by demand-driven DFS with an in-progress guard:
+recursive cycles assume the conservative bottom (*not* tainted, *no*
+mutation, *no* events) on the back-edge and settle in one pass — for the
+monotone facts tracked here that is the standard least-fixpoint
+shortcut.  Everything unresolvable (dynamic dispatch, out-of-project
+callees) contributes nothing, so wrong guesses fail safe: no finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .walker import ModuleInfo, dotted_name
+
+#: Handler entry points of the event-driven (AMP) node API — what the
+#: kernels invoke, hence the roots for liveness/reachability reasoning.
+HANDLER_METHODS = ("on_start", "on_message", "on_timer", "on_recover")
+
+#: Call attributes that publish state to other processes (payload
+#: becomes observable the moment they run).
+PUBLISH_ATTRS = ("send", "broadcast", "decide")
+
+#: A flattened effect: ``(kind, detail, node)`` where kind is one of
+#: ``put`` / ``get`` (detail = constant stable key or None if dynamic),
+#: ``publish`` (detail = attr name), ``set_attr`` (detail = attribute
+#: written on self).
+Event = Tuple[str, Optional[str], ast.AST]
+
+
+def _expr_contains_nondet_call(module: ModuleInfo, expr: ast.AST) -> Optional[str]:
+    """Dotted origin when ``expr`` contains a direct nondet-source call."""
+    from .rules_det import _FORBIDDEN_SOURCES, _RANDOM_MODULE_FNS, _resolve
+
+    for node in ast.walk(expr):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = _resolve(module, node)
+        if resolved is None:
+            continue
+        if resolved in _FORBIDDEN_SOURCES or resolved.startswith("secrets."):
+            return resolved
+        parts = resolved.split(".")
+        if parts[0] == "random" and len(parts) == 2 and (
+            parts[1] in _RANDOM_MODULE_FNS
+        ):
+            return resolved
+    return None
+
+
+def positional_params(func_node: ast.AST, is_method: bool) -> List[str]:
+    """Positional parameter names, minus the ``self``/``cls`` receiver."""
+    names = [arg.arg for arg in func_node.args.args]
+    if is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _stable_attr(call: ast.Call) -> Optional[str]:
+    """``"put"``/``"get"`` when the call is ``<...>.stable.put/get(...)``."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in ("put", "get")
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "stable"
+    ):
+        return func.attr
+    return None
+
+
+def _const_key(call: ast.Call) -> Optional[str]:
+    """First argument when it is a string constant (the stable key)."""
+    if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+        call.args[0].value, str
+    ):
+        return call.args[0].value
+    return None
+
+
+def _ordered(node: ast.AST) -> List[ast.AST]:
+    """All descendant nodes in source-text order (linear approximation of
+    control flow — good enough for linting straight-line handler code)."""
+    nodes = [
+        child
+        for child in ast.walk(node)
+        if hasattr(child, "lineno")
+    ]
+    nodes.sort(key=lambda child: (child.lineno, child.col_offset))
+    return nodes
+
+
+class TaintEngine:
+    """Demand-driven summary computation over a
+    :class:`~repro.analyze.callgraph.ProjectIndex`."""
+
+    def __init__(self, index) -> None:
+        self.index = index
+        self._returns: Dict[Tuple[str, str], Optional[str]] = {}
+        self._mutates: Dict[Tuple[str, str], FrozenSet[int]] = {}
+        self._events: Dict[Tuple[str, str], List[Event]] = {}
+        self._in_progress: Set[Tuple[str, str]] = set()
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def _key(func, owner) -> Tuple[str, str]:
+        return (func.key, owner.key if owner is not None else "")
+
+    def _dispatch_owner(self, func, call: ast.Call, owner):
+        """Concrete class for resolving calls *inside* a callee: keep the
+        caller's class for ``self.*`` dispatch, else the callee's own."""
+        name = dotted_name(call.func)
+        if name is not None and name.split(".")[0] == "self":
+            return owner
+        return None
+
+    # -- returns-nondet summaries ------------------------------------------
+
+    def returns_nondet(self, func, cls=None) -> Optional[str]:
+        """Dotted nondet origin the function's return value derives from,
+        or ``None``.  ``cls`` is the concrete receiver class for methods."""
+        owner = cls if cls is not None else func.owner
+        key = self._key(func, owner)
+        if key in self._returns:
+            return self._returns[key]
+        if key in self._in_progress:
+            return None
+        self._in_progress.add(key)
+        try:
+            result = self._compute_returns(func, owner)
+        finally:
+            self._in_progress.discard(key)
+        self._returns[key] = result
+        return result
+
+    def call_nondet_origin(
+        self, module: ModuleInfo, call: ast.Call, cls=None
+    ) -> Optional[str]:
+        """Origin when a call expression *evaluates to* a nondet-derived
+        value: a direct source call, or a project callee whose summary
+        says its return value is tainted."""
+        direct = _expr_contains_nondet_call(module, call)
+        if direct is not None:
+            return direct
+        callee = self.index.resolve_call(module, call, cls=cls)
+        if callee is None:
+            return None
+        return self.returns_nondet(
+            callee, cls=self._dispatch_owner(callee, call, cls)
+        )
+
+    def _compute_returns(self, func, owner) -> Optional[str]:
+        module = func.module
+        tainted: Dict[str, str] = {}
+
+        def origin_of(expr: ast.AST) -> Optional[str]:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    found = self.call_nondet_origin(module, node, cls=owner)
+                    if found is not None:
+                        return found
+                elif isinstance(node, ast.Name) and node.id in tainted:
+                    return tainted[node.id]
+            return None
+
+        assigns = [
+            node
+            for node in _ordered(func.node)
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign))
+        ]
+        # Two passes settle chains like a = src(); b = a + 1 regardless of
+        # the (linear) order approximation.
+        for _ in range(2):
+            for node in assigns:
+                value = getattr(node, "value", None)
+                if value is None:
+                    continue
+                found = origin_of(value)
+                if found is None:
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        tainted[target.id] = found
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                found = origin_of(node.value)
+                if found is not None:
+                    return found
+        return None
+
+    # -- mutates-param summaries -------------------------------------------
+
+    def mutated_param_indices(self, func, cls=None) -> FrozenSet[int]:
+        """Indices (into :func:`positional_params`) the function mutates,
+        directly or by forwarding to a mutating callee."""
+        owner = cls if cls is not None else func.owner
+        key = self._key(func, owner)
+        if key in self._mutates:
+            return self._mutates[key]
+        if key in self._in_progress:
+            return frozenset()
+        self._in_progress.add(key)
+        try:
+            result = self._compute_mutates(func, owner)
+        finally:
+            self._in_progress.discard(key)
+        self._mutates[key] = result
+        return result
+
+    def _compute_mutates(self, func, owner) -> FrozenSet[int]:
+        module = func.module
+        params = positional_params(func.node, is_method=func.owner is not None)
+        index_of = {name: i for i, name in enumerate(params)}
+        mutated: Set[int] = set()
+        for name, _node, _how in module.mutations_in(func.node):
+            if name in index_of:
+                mutated.add(index_of[name])
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                for arg_name, _desc in self.call_argument_mutations(
+                    module, node, cls=owner
+                ):
+                    if arg_name in index_of:
+                        mutated.add(index_of[arg_name])
+        return frozenset(mutated)
+
+    def call_argument_mutations(
+        self, module: ModuleInfo, call: ast.Call, cls=None
+    ) -> Iterator[Tuple[str, str]]:
+        """``(local name, callee name)`` for every plain-name argument this
+        call hands to a project callee that mutates that parameter."""
+        callee = self.index.resolve_call(module, call, cls=cls)
+        if callee is None:
+            return
+        callee_cls = self._dispatch_owner(callee, call, cls)
+        mutated = self.mutated_param_indices(callee, cls=callee_cls)
+        if not mutated:
+            return
+        for position, arg in enumerate(call.args):
+            if position in mutated and isinstance(arg, ast.Name):
+                yield arg.id, callee.name
+
+    # -- flattened effect sequences ----------------------------------------
+
+    def events(self, func, cls=None) -> List[Event]:
+        """Protocol-visible effects of running ``func`` on concrete class
+        ``cls``, in (approximate) program order, with resolved ``self.*``
+        callee effects spliced in at the call site."""
+        owner = cls if cls is not None else func.owner
+        key = self._key(func, owner)
+        if key in self._events:
+            return self._events[key]
+        if key in self._in_progress:
+            return []
+        self._in_progress.add(key)
+        try:
+            result = self._compute_events(func, owner)
+        finally:
+            self._in_progress.discard(key)
+        self._events[key] = result
+        return result
+
+    def _compute_events(self, func, owner) -> List[Event]:
+        module = func.module
+        events: List[Event] = []
+        expanded: Set[int] = set()
+        for node in _ordered(func.node):
+            if isinstance(node, ast.Call):
+                stable = _stable_attr(node)
+                if stable is not None:
+                    events.append((stable, _const_key(node), node))
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in PUBLISH_ATTRS
+                ):
+                    events.append(("publish", node.func.attr, node))
+                    continue
+                name = dotted_name(node.func)
+                if name is not None and name.split(".")[0] == "self":
+                    callee = self.index.resolve_call(module, node, cls=owner)
+                    if callee is not None and id(node) not in expanded:
+                        expanded.add(id(node))
+                        for kind, detail, _inner in self.events(
+                            callee, cls=owner
+                        ):
+                            # Anchor spliced effects at the call site so
+                            # findings point into the method under scan.
+                            events.append((kind, detail, node))
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for attr in self.self_attr_stores(target):
+                        events.append(("set_attr", attr, node))
+        return events
+
+    @staticmethod
+    def self_attr_stores(target: ast.AST) -> Iterator[str]:
+        """Attribute names written on ``self`` by an assignment target,
+        descending tuple/list/starred targets and subscript stores
+        (``self.log[k] = v`` counts as writing ``log``)."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from TaintEngine.self_attr_stores(element)
+        elif isinstance(target, ast.Starred):
+            yield from TaintEngine.self_attr_stores(target.value)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            node = target
+            while isinstance(node, ast.Subscript):
+                node = node.value
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                yield node.attr
+
+    # -- handler reachability ----------------------------------------------
+
+    def reachable_methods(self, cls) -> Dict[str, List]:
+        """Map ``handler name`` → list of FunctionInfo reachable from that
+        handler of concrete class ``cls`` through resolved ``self.*``
+        calls (the handler's own FunctionInfo first)."""
+        result: Dict[str, List] = {}
+        for handler in HANDLER_METHODS:
+            entry = cls.resolve_method(handler)
+            if entry is None:
+                continue
+            seen: List = []
+            seen_keys: Set[str] = set()
+            stack = [entry]
+            while stack:
+                current = stack.pop()
+                if current.key in seen_keys:
+                    continue
+                seen_keys.add(current.key)
+                seen.append(current)
+                for call, callee in self.index.calls_in(current, cls=cls):
+                    name = dotted_name(call.func)
+                    if (
+                        callee is not None
+                        and name is not None
+                        and name.split(".")[0] == "self"
+                    ):
+                        stack.append(callee)
+            result[handler] = seen
+        return result
+
+    def self_call_edges(self, func, cls) -> Iterator[Tuple[ast.Call, object]]:
+        """Resolved ``self.*`` call edges out of ``func`` on class ``cls``."""
+        for call, callee in self.index.calls_in(func, cls=cls):
+            name = dotted_name(call.func)
+            if callee is not None and name is not None and (
+                name.split(".")[0] == "self"
+            ):
+                yield call, callee

@@ -6,11 +6,16 @@ needs: parent links, enclosing-scope qualified names, the module's
 aliases of nondeterminism-bearing stdlib modules, a conservative
 "definitely a set" expression classifier, and mutation-site detection.
 
-The dataflow here is deliberately shallow — single-module, single-scope,
+The *intra-module* dataflow here is deliberately shallow — single-scope,
 textual order — because the rules are *linters*, not verifiers: they
 flag patterns that are hazards in this codebase's idiom, and the noqa /
 baseline layer (see :mod:`repro.analyze.suppress`) absorbs the cases
-where a human can argue order-insensitivity.
+where a human can argue order-insensitivity.  Cross-module and
+cross-function reasoning lives one layer up: when a module is analyzed
+as part of a project, :mod:`repro.analyze.callgraph` attaches a
+:class:`~repro.analyze.callgraph.ProjectIndex` as ``module.project``,
+and rules consult it (plus the summary engine in
+:mod:`repro.analyze.taint`) for interprocedural facts.
 """
 
 from __future__ import annotations
@@ -44,6 +49,26 @@ MUTATOR_METHODS = frozenset(
 )
 
 
+def module_name_from_path(path: str) -> str:
+    """Dotted module name of a source path.
+
+    Anchored at the last ``repro`` path segment when present (so
+    ``src/repro/amp/abd.py`` → ``repro.amp.abd`` and temporary test
+    trees like ``/tmp/x/repro/amp/p.py`` resolve the same way);
+    otherwise just the file stem.  ``__init__.py`` names its package.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    else:
+        parts = parts[-1:]
+    return ".".join(p for p in parts if p)
+
+
 def classify_path(path: str) -> str:
     """Module kind of a file path (see :data:`MODULE_KINDS`)."""
     normalized = path.replace("\\", "/")
@@ -55,6 +80,13 @@ def classify_path(path: str) -> str:
     if "/repro/" in normalized or normalized.startswith("repro/"):
         return "infra"
     return "other"
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` under a Subscript/Attribute chain, else ``None``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -76,6 +108,7 @@ class ModuleInfo:
         self.path = path
         self.source = source
         self.kind = kind if kind is not None else classify_path(path)
+        self.module_name = module_name_from_path(path)
         self.tree = ast.parse(source, filename=path)
         self._parent: Dict[ast.AST, ast.AST] = {}
         self._qual: Dict[ast.AST, str] = {}
@@ -83,8 +116,21 @@ class ModuleInfo:
         #: local alias -> dotted origin, for names taken from the
         #: nondeterminism-bearing stdlib modules (``from time import
         #: time`` => ``{"time": "time.time"}``; ``import random as rnd``
-        #: => ``{"rnd": "random"}``).
+        #: => ``{"rnd": "random"}``).  When the module is analyzed as
+        #: part of a project, :meth:`ProjectIndex.propagate_nondet`
+        #: extends this map with intra-package *re-exports* of such
+        #: names, so laundering nondeterminism through ``from .util
+        #: import now`` does not escape the DET rules.
         self.nondet_aliases: Dict[str, str] = {}
+        #: local binding -> dotted target, for *every* import (absolute
+        #: and relative — relative levels are resolved against this
+        #: module's own package).  ``from .abd import AbdNode`` inside
+        #: ``repro.amp.quorums`` => ``{"AbdNode": "repro.amp.abd.AbdNode"}``.
+        self.import_map: Dict[str, str] = {}
+        #: Set by :class:`repro.analyze.callgraph.ProjectIndex` when the
+        #: module is analyzed with project context; ``None`` for
+        #: standalone single-module analysis (the PR 4 shallow mode).
+        self.project = None
         self._collect_imports()
 
     # -- structure ---------------------------------------------------------
@@ -103,6 +149,11 @@ class ModuleInfo:
 
     def parent(self, node: ast.AST) -> Optional[ast.AST]:
         return self._parent.get(node)
+
+    def contains(self, node: ast.AST) -> bool:
+        """True when ``node`` belongs to this module's tree (findings must
+        only ever anchor at nodes of the module being reported on)."""
+        return node is self.tree or node in self._parent
 
     def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
         current = self._parent.get(node)
@@ -126,21 +177,51 @@ class ModuleInfo:
 
     # -- imports -----------------------------------------------------------
 
+    def _resolve_relative(self, level: int, module: Optional[str]) -> Optional[str]:
+        """Absolute dotted module for a relative import in this module.
+
+        ``level=1`` is this module's package, each extra level one
+        package up (``from ..core import x`` in ``repro.amp.abd`` →
+        ``repro.core``).  Returns ``None`` when the relative walk
+        escapes the known package path.
+        """
+        package = self.module_name.split(".")[:-1]
+        if level - 1 > len(package):
+            return None
+        base = package[: len(package) - (level - 1)]
+        parts = base + (module.split(".") if module else [])
+        return ".".join(parts) if parts else None
+
     def _collect_imports(self) -> None:
         for node in self.walk(ast.Import):
             for alias in node.names:
                 root = alias.name.split(".")[0]
+                bound = alias.asname or root
+                self.import_map[bound] = alias.name if alias.asname else root
                 if root in NONDET_MODULES:
-                    self.nondet_aliases[alias.asname or root] = alias.name
+                    self.nondet_aliases[bound] = alias.name
         for node in self.walk(ast.ImportFrom):
-            if node.module is None or node.level:
+            if node.level:
+                target = self._resolve_relative(node.level, node.module)
+                if target is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.import_map[alias.asname or alias.name] = (
+                        f"{target}.{alias.name}"
+                    )
+                continue
+            if node.module is None:
                 continue
             root = node.module.split(".")[0]
-            if root in NONDET_MODULES:
-                for alias in node.names:
-                    self.nondet_aliases[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
-                    )
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                self.import_map[bound] = f"{node.module}.{alias.name}"
+                if root in NONDET_MODULES:
+                    self.nondet_aliases[bound] = f"{node.module}.{alias.name}"
 
     # -- set-ness inference ------------------------------------------------
 
@@ -201,8 +282,11 @@ class ModuleInfo:
         """Yield ``(name, node, how)`` for in-place mutations of local names.
 
         Covers mutator method calls (``x.append(...)``), item/attribute
-        stores (``x[k] = v``, ``x.f = v``), augmented stores, and item
-        deletes.  ``how`` is a short description for the message.
+        stores at any depth under a local root (``x[k] = v``, ``x.f = v``,
+        ``x[a:b] = v``, ``x.buf[i] = v``), tuple/starred assignment
+        targets (``x[i], y = ...``), augmented stores, and item/attribute
+        deletes (``del x[k]``, ``del x.f``).  ``how`` is a short
+        description for the message.
         """
         for node in ast.walk(scope):
             if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
@@ -215,20 +299,37 @@ class ModuleInfo:
                     node.targets if isinstance(node, ast.Assign) else [node.target]
                 )
                 for target in targets:
-                    if isinstance(target, ast.Subscript) and isinstance(
-                        target.value, ast.Name
-                    ):
-                        yield target.value.id, node, "[...] = ..."
-                    elif isinstance(target, ast.Attribute) and isinstance(
-                        target.value, ast.Name
-                    ):
-                        yield target.value.id, node, f".{target.attr} = ..."
+                    for root, how in self._store_roots(target):
+                        yield root, node, how
             elif isinstance(node, ast.Delete):
                 for target in node.targets:
-                    if isinstance(target, ast.Subscript) and isinstance(
-                        target.value, ast.Name
-                    ):
-                        yield target.value.id, node, "del [...]"
+                    root = _root_name(target)
+                    if root is None or isinstance(target, ast.Name):
+                        continue
+                    how = (
+                        f"del .{target.attr}"
+                        if isinstance(target, ast.Attribute)
+                        else "del [...]"
+                    )
+                    yield root, node, how
+
+    @staticmethod
+    def _store_roots(target: ast.AST) -> Iterator[Tuple[str, str]]:
+        """``(root name, description)`` for every mutating store in an
+        assignment target, descending through tuple/list/starred targets."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from ModuleInfo._store_roots(element)
+        elif isinstance(target, ast.Starred):
+            yield from ModuleInfo._store_roots(target.value)
+        elif isinstance(target, ast.Subscript):
+            root = _root_name(target)
+            if root is not None:
+                yield root, "[...] = ..."
+        elif isinstance(target, ast.Attribute):
+            root = _root_name(target)
+            if root is not None:
+                yield root, f".{target.attr} = ..."
 
     def rebindings_in(self, scope: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
         """Yield ``(name, node)`` for plain rebinds (``x = ...``) in scope."""

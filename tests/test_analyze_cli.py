@@ -222,3 +222,114 @@ class TestSelfRun:
     def test_repo_source_tree_is_clean(self):
         """The gate CI enforces: the analyzer passes its own codebase."""
         assert main(["src"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# --diff gating and github output
+# ---------------------------------------------------------------------------
+
+
+class TestParseDiffLines:
+    DIFF = textwrap.dedent(
+        """\
+        diff --git a/proj/a.py b/proj/a.py
+        --- a/proj/a.py
+        +++ b/proj/a.py
+        @@ -10,2 +12,3 @@ def f():
+        -old
+        +new
+        +new
+        +new
+        @@ -30 +40 @@
+        +one
+        diff --git a/proj/gone.py b/proj/gone.py
+        --- a/proj/gone.py
+        +++ /dev/null
+        @@ -1,5 +0,0 @@
+        -bye
+        """
+    )
+
+    def test_hunks_map_to_new_side_lines(self):
+        from repro.analyze.cli import parse_diff_lines
+
+        changed = parse_diff_lines(self.DIFF)
+        assert changed["proj/a.py"] == {12, 13, 14, 40}
+
+    def test_deleted_files_are_skipped(self):
+        from repro.analyze.cli import parse_diff_lines
+
+        assert "proj/gone.py" not in parse_diff_lines(self.DIFF)
+        assert "/dev/null" not in parse_diff_lines(self.DIFF)
+
+    def test_restrict_to_diff_matches_relative_paths(self):
+        from repro.analyze.cli import restrict_to_diff
+
+        finding = Finding(
+            path="proj/a.py", line=12, col=0, rule="DET001", message="x"
+        )
+        missed = Finding(
+            path="proj/a.py", line=2, col=0, rule="DET001", message="x"
+        )
+        changed = {"proj/a.py": {12}}
+        assert restrict_to_diff([finding, missed], changed) == [finding]
+
+
+class TestDiffFlag:
+    def _git(self, *args):
+        subprocess.run(
+            ["git", *args], check=True, capture_output=True, text=True
+        )
+
+    def test_only_changed_lines_gate(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        self._git("init", "-q")
+        self._git("config", "user.email", "t@example.com")
+        self._git("config", "user.name", "t")
+        proj = tmp_path / "proj"
+        proj.mkdir()
+        (proj / "amp_proto.py").write_text(_BUGGY)
+        self._git("add", ".")
+        self._git("commit", "-q", "-m", "seed")
+        # Legacy finding, no changes vs HEAD: the diff gate passes.
+        assert main(["proj", "--diff", "HEAD"]) == 0
+        capsys.readouterr()
+        # A new bug on new lines fails, and only the new line is shown.
+        (proj / "amp_proto.py").write_text(
+            _BUGGY
+            + textwrap.dedent(
+                """
+                def g(ctx):
+                    payload = {"k": 1}
+                    ctx.broadcast(payload)
+                    payload["k"] = 2
+                """
+            )
+        )
+        assert main(["proj", "--diff", "HEAD"]) == 1
+        out = capsys.readouterr().out
+        assert "payload" in out
+        assert out.count("ALIAS001") == 1
+
+
+class TestGithubFormat:
+    def test_render_escapes_workflow_command(self):
+        from repro.analyze.cli import render_github
+
+        finding = Finding(
+            path="proj/a.py",
+            line=3,
+            col=4,
+            rule="DET001",
+            message="50% worse\nsecond line",
+        )
+        assert render_github(finding) == (
+            "::error file=proj/a.py,line=3,col=5,"
+            "title=DET001::50%25 worse%0Asecond line"
+        )
+
+    def test_github_format_end_to_end(self, buggy_tree, capsys):
+        assert main([str(buggy_tree), "--format=github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=ALIAS001::" in out

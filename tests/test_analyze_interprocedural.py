@@ -1,0 +1,158 @@
+"""Interprocedural regressions: what the project-wide pass sees that the
+old one-module-at-a-time pass (PR 4's analyzer) provably missed.
+
+The key fixture launders wall-clock time through a helper in *another
+module*: ``analyze_paths`` over the whole tree reports DET004, while
+analyzing the protocol file alone — the old shallow view — reports
+nothing, which is asserted as a regression guard in both directions.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analyze import analyze_source
+from repro.analyze.cli import analyze_paths
+
+
+def _write(tree, relpath, source):
+    path = tree / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+@pytest.fixture
+def laundered_clock_tree(tmp_path):
+    _write(
+        tmp_path,
+        "repro/amp/clockutil.py",
+        """
+        from time import time as wall
+
+
+        def now():
+            return wall()  # repro: noqa(DET001): the one blessed source
+        """,
+    )
+    _write(
+        tmp_path,
+        "repro/amp/proto.py",
+        """
+        from .clockutil import now
+
+
+        class P:
+            def on_message(self, ctx, src, m):
+                deadline = now() + 1.0
+                ctx.send(src, deadline)
+        """,
+    )
+    return tmp_path
+
+
+class TestDET004AcrossModules:
+    def test_project_pass_catches_laundered_clock(self, laundered_clock_tree):
+        report = analyze_paths([str(laundered_clock_tree)])
+        det4 = [f for f in report.findings if f.rule == "DET004"]
+        assert len(det4) == 1
+        finding = det4[0]
+        assert finding.path.endswith("proto.py")
+        assert "now()" in finding.message
+        assert "time.time" in finding.message
+
+    def test_shallow_single_file_pass_misses_it(self, laundered_clock_tree):
+        # The pre-call-graph analyzer saw one file at a time; on the
+        # protocol module alone there is no DET finding of any kind.
+        # This pins the motivation for the project-wide pass: if this
+        # starts failing, the fixture no longer demonstrates anything.
+        proto = laundered_clock_tree / "repro" / "amp" / "proto.py"
+        kept, _ = analyze_source(proto.read_text(), path=str(proto))
+        assert not [f for f in kept if f.rule.startswith("DET")]
+
+    def test_same_module_helper_needs_no_tree(self):
+        kept, _ = analyze_source(
+            textwrap.dedent(
+                """
+                from time import time as wall
+
+
+                def now():
+                    return wall()  # repro: noqa(DET001): blessed source
+
+
+                class P:
+                    def on_message(self, ctx, src, m):
+                        ctx.send(src, now())
+                """
+            ),
+            path="repro/amp/fixture.py",
+            kind="amp",
+        )
+        det4 = [f for f in kept if f.rule == "DET004"]
+        assert len(det4) == 1
+        assert det4[0].line == 11
+
+
+class TestALIASThroughHelpers:
+    def test_mutating_callee_after_send_triggers(self):
+        kept, _ = analyze_source(
+            textwrap.dedent(
+                """
+                def scramble(msg):
+                    msg.append("tail")
+
+
+                class P:
+                    def on_message(self, ctx, src, m):
+                        ctx.send(src, m)
+                        scramble(m)
+                """
+            ),
+            path="repro/amp/fixture.py",
+            kind="amp",
+        )
+        alias = [f for f in kept if f.rule == "ALIAS001"]
+        assert len(alias) == 1
+        assert alias[0].line == 9
+        assert "scramble" in alias[0].message
+
+    def test_read_only_callee_is_clean(self):
+        kept, _ = analyze_source(
+            textwrap.dedent(
+                """
+                def measure(msg):
+                    return len(msg)
+
+
+                class P:
+                    def on_message(self, ctx, src, m):
+                        ctx.send(src, m)
+                        measure(m)
+                """
+            ),
+            path="repro/amp/fixture.py",
+            kind="amp",
+        )
+        assert not [f for f in kept if f.rule == "ALIAS001"]
+
+    def test_method_callee_dispatches_through_class(self):
+        kept, _ = analyze_source(
+            textwrap.dedent(
+                """
+                class P:
+                    def _grow(self, batch):
+                        batch.append(0)
+
+                    def on_message(self, ctx, src, m):
+                        ctx.broadcast(m)
+                        self._grow(m)
+                """
+            ),
+            path="repro/amp/fixture.py",
+            kind="amp",
+        )
+        alias = [f for f in kept if f.rule == "ALIAS001"]
+        assert len(alias) == 1
+        assert alias[0].line == 8
+        assert "_grow" in alias[0].message

@@ -1,0 +1,232 @@
+"""Planted-bug corpus for the DUR (write-ahead durability) rule family.
+
+The fixtures are shaped like the crash-recovery nodes in
+:mod:`repro.amp` — a class opts in with ``on_recover`` (runtime hook) or
+``restore`` (component convention), and the rules check that what
+recovery reads was written, that published state was persisted first,
+and that persisted state is actually read back.
+"""
+
+import textwrap
+
+from repro.analyze import analyze_source
+
+
+def findings(source, kind="amp", rule=None, path="fixture.py"):
+    kept, _ = analyze_source(textwrap.dedent(source), path=path, kind=kind)
+    if rule is not None:
+        return [f for f in kept if f.rule == rule]
+    return kept
+
+
+class TestDUR001RestoreWithoutPersist:
+    def test_get_never_put_triggers_at_get(self):
+        hits = findings(
+            """
+            class P:
+                def on_recover(self, ctx):
+                    copy = ctx.stable.get("copy")
+                    if copy is not None:
+                        self.value = copy
+            """,
+            rule="DUR001",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert "'copy'" in hits[0].message
+
+    def test_restore_convention_also_opts_in(self):
+        hits = findings(
+            """
+            class Component:
+                def restore(self, ctx):
+                    self.log = ctx.stable.get("log")
+            """,
+            rule="DUR001",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+
+    def test_matching_put_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.value = m
+                    ctx.stable.put("copy", m)
+                    ctx.send(src, ("ack",))
+
+                def on_recover(self, ctx):
+                    self.value = ctx.stable.get("copy")
+            """,
+            rule="DUR001",
+        )
+
+    def test_dynamic_put_fails_safe(self):
+        # A computed put key might write anything — no finding.
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    ctx.stable.put(m[0], m)
+                    ctx.send(src, ("ack",))
+
+                def on_recover(self, ctx):
+                    self.value = ctx.stable.get("value")
+            """,
+            rule="DUR001",
+        )
+
+    def test_class_constant_key_resolves(self):
+        # self.KEY resolves to the class-level string on both sides.
+        assert not findings(
+            """
+            class P:
+                KEY = "snap"
+
+                def on_message(self, ctx, src, m):
+                    ctx.stable.put(self.KEY, m)
+                    ctx.send(src, ("ack",))
+
+                def on_recover(self, ctx):
+                    self.value = ctx.stable.get(self.KEY)
+            """,
+            rule="DUR001",
+        )
+
+
+class TestDUR002MutateAfterLastPersist:
+    def test_publish_before_put_triggers_at_write(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.seen = m
+                    ctx.send(src, ("ack", m))
+                    ctx.stable.put("seen", self.seen)
+
+                def on_recover(self, ctx):
+                    self.seen = ctx.stable.get("seen")
+            """,
+            rule="DUR002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert "self.seen" in hits[0].message
+        assert ".send" in hits[0].message
+        assert "line 5" in hits[0].message
+
+    def test_write_through_helper_triggers_at_call_site(self):
+        # The durable write happens inside self._update(); the effect is
+        # spliced into on_message at the call, where the finding lands.
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self._update(m)
+                    ctx.broadcast(("echo", m))
+                    ctx.stable.put("state", m)
+
+                def _update(self, m):
+                    self.state = m
+
+                def on_recover(self, ctx):
+                    self.state = ctx.stable.get("state")
+            """,
+            rule="DUR002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert "self.state" in hits[0].message
+
+    def test_write_ahead_order_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.seen = m
+                    ctx.stable.put("seen", self.seen)
+                    ctx.send(src, ("ack", m))
+
+                def on_recover(self, ctx):
+                    self.seen = ctx.stable.get("seen")
+            """,
+            rule="DUR002",
+        )
+
+    def test_volatile_attribute_is_clean(self):
+        # Only attributes the recovery hook restores are durable; writing
+        # scratch state and then sending is fine.
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.scratch = m
+                    ctx.send(src, ("ack", m))
+                    ctx.stable.put("seen", m)
+
+                def on_recover(self, ctx):
+                    self.seen = ctx.stable.get("seen")
+            """,
+            rule="DUR002",
+        )
+
+    def test_non_recovery_class_is_ignored(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.seen = m
+                    ctx.send(src, ("ack", m))
+            """,
+            rule="DUR002",
+        )
+
+
+class TestDUR003PersistWithoutRestore:
+    def test_put_never_read_back_triggers_at_put(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    ctx.stable.put("copy", m)
+                    ctx.stable.put("audit", m)
+                    ctx.send(src, "ok")
+
+                def on_recover(self, ctx):
+                    self.copy = ctx.stable.get("copy")
+            """,
+            rule="DUR003",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 5
+        assert "'audit'" in hits[0].message
+
+    def test_every_key_restored_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    ctx.stable.put("copy", m)
+                    ctx.send(src, "ok")
+
+                def on_recover(self, ctx):
+                    self.copy = ctx.stable.get("copy")
+            """,
+            rule="DUR003",
+        )
+
+    def test_dynamic_get_fails_safe(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    ctx.stable.put("audit", m)
+                    ctx.send(src, "ok")
+
+                def on_recover(self, ctx):
+                    for key in self.keys:
+                        setattr(self, key, ctx.stable.get(key))
+            """,
+            rule="DUR003",
+        )

@@ -1,0 +1,163 @@
+"""Planted-bug corpus for the LIVE (handler liveness) rule family.
+
+The AMP kernel is cooperative: a handler that never returns freezes
+virtual time.  LIVE001 flags inescapable loops reachable from handlers
+(through resolved ``self.*`` calls); LIVE002 flags handlers that recurse
+into themselves with no kernel hop.  Both apply to ``amp`` modules only.
+"""
+
+import textwrap
+
+from repro.analyze import analyze_source
+
+
+def findings(source, kind="amp", rule=None, path="fixture.py"):
+    kept, _ = analyze_source(textwrap.dedent(source), path=path, kind=kind)
+    if rule is not None:
+        return [f for f in kept if f.rule == rule]
+    return kept
+
+
+class TestLIVE001BlockingHandlerLoop:
+    def test_inline_while_true_triggers(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    while True:
+                        self.buffer = m
+            """,
+            rule="LIVE001",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert "directly in" in hits[0].message
+        assert "on_message" in hits[0].message
+
+    def test_loop_in_reachable_helper_triggers(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self._drain(ctx)
+
+                def _drain(self, ctx):
+                    while True:
+                        ctx.send(0, "poll")
+            """,
+            rule="LIVE001",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 7
+        assert "P._drain" in hits[0].message
+        assert "reachable from" in hits[0].message
+
+    def test_loop_with_break_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    while True:
+                        if not self.queue:
+                            break
+                        self.queue.pop()
+            """,
+            rule="LIVE001",
+        )
+
+    def test_condition_loop_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    while self.pending:
+                        self.pending.pop()
+            """,
+            rule="LIVE001",
+        )
+
+    def test_unreachable_loop_is_clean(self):
+        # The loop is real but no handler can reach it — not a liveness
+        # bug for the kernel (dead or externally-driven code).
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    ctx.send(src, m)
+
+                def spin_forever(self):
+                    while True:
+                        pass
+            """,
+            rule="LIVE001",
+        )
+
+    def test_amp_only(self):
+        source = """
+            class P:
+                def on_message(self, ctx, src, m):
+                    while True:
+                        self.buffer = m
+            """
+        assert findings(source, kind="amp", rule="LIVE001")
+        assert not findings(source, kind="shm", rule="LIVE001")
+
+
+class TestLIVE002RecursiveHandler:
+    def test_direct_self_recursion_triggers(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    if m:
+                        self.on_message(ctx, src, m - 1)
+            """,
+            rule="LIVE002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 5
+        assert "calls itself" in hits[0].message
+
+    def test_recursion_through_helper_triggers(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self._step(ctx, m)
+
+                def _step(self, ctx, m):
+                    if m:
+                        self.on_message(ctx, None, m)
+            """,
+            rule="LIVE002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 8
+        assert "P._step" in hits[0].message
+
+    def test_handler_calling_other_handler_is_clean(self):
+        # on_timer -> on_message is a one-way edge, not a cycle.
+        assert not findings(
+            """
+            class P:
+                def on_timer(self, ctx, name):
+                    self.on_message(ctx, None, name)
+
+                def on_message(self, ctx, src, m):
+                    ctx.send(0, m)
+            """,
+            rule="LIVE002",
+        )
+
+    def test_self_message_hop_is_clean(self):
+        # Re-sending yourself a message is the *recommended* shape: the
+        # kernel mediates each step.
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    if m:
+                        ctx.send(self.pid, m - 1)
+            """,
+            rule="LIVE002",
+        )

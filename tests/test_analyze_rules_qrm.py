@@ -1,0 +1,238 @@
+"""Planted-bug corpus for the QRM (quorum arithmetic) rule family.
+
+Every triggering fixture asserts the *exact* line of the finding — the
+rules must point at the broken threshold or counter, not somewhere in
+its vicinity — and every fixture has a clean twin encoding the correct
+idiom (``n // 2 + 1``, sender-keyed counting, one shared threshold).
+"""
+
+import textwrap
+
+from repro.analyze import analyze_source
+
+
+def findings(source, kind="amp", rule=None, path="fixture.py"):
+    kept, _ = analyze_source(textwrap.dedent(source), path=path, kind=kind)
+    if rule is not None:
+        return [f for f in kept if f.rule == rule]
+    return kept
+
+
+class TestQRM001OffByOneMajority:
+    def test_gte_half_triggers_at_compare_line(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.votes.add(src)
+                    if len(self.votes) >= self.n // 2:
+                        ctx.decide(m)
+            """,
+            rule="QRM001",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 5
+        assert "disjoint" in hits[0].message
+
+    def test_reversed_comparison_triggers(self):
+        hits = findings(
+            """
+            def quorum_met(count, n):
+                return n // 2 <= count
+            """,
+            rule="QRM001",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 3
+
+    def test_over_strict_threshold_triggers(self):
+        hits = findings(
+            """
+            def done(acks, n):
+                return acks > n // 2 + 1
+            """,
+            rule="QRM001",
+        )
+        assert len(hits) == 1
+        assert "super-majority" in hits[0].message
+
+    def test_quorum_named_assignment_triggers(self):
+        hits = findings(
+            """
+            class P:
+                def __init__(self, n):
+                    self.quorum = n // 2
+            """,
+            rule="QRM001",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert "minority" in hits[0].message
+
+    def test_correct_majority_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def __init__(self, n):
+                    self.quorum = n // 2 + 1
+
+                def on_message(self, ctx, src, m):
+                    self.votes.add(src)
+                    if len(self.votes) > self.n // 2:
+                        ctx.decide(m)
+            """,
+            rule="QRM001",
+        )
+
+    def test_strict_minority_bound_is_clean(self):
+        # (n + 1) // 2 with >= is the *correct* majority for odd-centric
+        # phrasing; the left operand is arithmetic, so it is exempt.
+        assert not findings(
+            """
+            def quorum_met(count, n):
+                return count >= (n + 1) // 2
+            """,
+            rule="QRM001",
+        )
+
+
+class TestQRM002UnkeyedQuorumCount:
+    def test_unkeyed_self_counter_triggers_at_populate_line(self):
+        hits = findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.acks += 1
+                    if self.acks >= self.quorum:
+                        ctx.decide(m)
+            """,
+            rule="QRM002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert "'self.quorum'" in hits[0].message
+        assert "line 5" in hits[0].message
+
+    def test_unkeyed_append_triggers(self):
+        hits = findings(
+            """
+            class P:
+                def _on_reply(self, ctx, src, ts):
+                    self.replies.append(ts)
+                    if len(self.replies) >= self.quorum:
+                        self._finish(ctx)
+            """,
+            rule="QRM002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert ".append" in hits[0].message
+
+    def test_subscript_counter_triggers(self):
+        hits = findings(
+            """
+            class P:
+                def _on_ack(self, ctx, src, key):
+                    self.acks[key] += 1
+                    if self.acks[key] >= self.majority:
+                        self._finish(ctx, key)
+            """,
+            rule="QRM002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 4
+
+    def test_local_counter_triggers(self):
+        hits = findings(
+            """
+            def tally(messages, quorum):
+                count = 0
+                for _ in messages:
+                    count += 1
+                return count >= quorum
+            """,
+            rule="QRM002",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 5
+
+    def test_sender_keyed_set_is_clean(self):
+        # The fixed AbdNode idiom: values accumulate in a list, but
+        # progress is measured on a *set of responder pids*.
+        assert not findings(
+            """
+            class P:
+                def _on_reply(self, ctx, src, ts):
+                    if src in self.senders:
+                        return
+                    self.senders.add(src)
+                    self.replies.append(ts)
+                    if len(self.senders) >= self.quorum:
+                        self._finish(ctx)
+            """,
+            rule="QRM002",
+        )
+
+    def test_counter_never_compared_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.messages_seen += 1
+                    self.log.append(m)
+            """,
+            rule="QRM002",
+        )
+
+
+class TestQRM003InconsistentThreshold:
+    def test_mismatched_thresholds_trigger_at_second_site(self):
+        hits = findings(
+            """
+            class P:
+                def _on_promise(self, ctx, src, m):
+                    if len(self.promise_senders) >= self.n // 2 + 1:
+                        ctx.broadcast(m)
+
+                def _on_ack(self, ctx, src, m):
+                    if len(self.promise_senders) >= self.quorum:
+                        ctx.decide(m)
+            """,
+            rule="QRM003",
+        )
+        assert len(hits) == 1
+        assert hits[0].line == 8
+        assert "self.promise_senders" in hits[0].message
+        assert "line 4" in hits[0].message
+
+    def test_shared_threshold_is_clean(self):
+        assert not findings(
+            """
+            class P:
+                def _on_promise(self, ctx, src, m):
+                    if len(self.promise_senders) >= self.quorum:
+                        ctx.broadcast(m)
+
+                def _on_ack(self, ctx, src, m):
+                    if len(self.promise_senders) >= self.quorum:
+                        ctx.decide(m)
+            """,
+            rule="QRM003",
+        )
+
+    def test_different_counters_may_differ(self):
+        # Distinct counters with distinct thresholds are two protocols'
+        # business, not an inconsistency.
+        assert not findings(
+            """
+            class P:
+                def _on_echo(self, ctx, src, m):
+                    if len(self.echo_senders) >= self.echo_quorum:
+                        ctx.broadcast(m)
+
+                def _on_ready(self, ctx, src, m):
+                    if len(self.ready_senders) >= self.ready_quorum:
+                        ctx.decide(m)
+            """,
+            rule="QRM003",
+        )

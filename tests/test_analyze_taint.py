@@ -1,0 +1,241 @@
+"""Unit tests for :mod:`repro.analyze.taint` summaries.
+
+Covers the three summary kinds (returns-nondet, mutates-param, effect
+sequences), concrete-class dispatch sensitivity, handler reachability,
+and the in-progress guard that keeps recursive call graphs from hanging
+the engine.
+"""
+
+import ast
+import textwrap
+
+from repro.analyze.callgraph import build_index
+from repro.analyze.taint import TaintEngine, positional_params
+from repro.analyze.walker import ModuleInfo
+
+
+def make(path, source):
+    return ModuleInfo(path, textwrap.dedent(source))
+
+
+class TestReturnsNondet:
+    def test_chain_through_helpers(self):
+        util = make(
+            "repro/amp/util.py",
+            """
+            from time import time as wall
+
+            def now():
+                return wall()
+
+            def stamped(x):
+                return (now(), x)
+
+            def double(x):
+                return x * 2
+            """,
+        )
+        index = build_index([util])
+        taint = index.taint
+        assert (
+            taint.returns_nondet(index.functions["repro.amp.util:now"])
+            == "time.time"
+        )
+        assert (
+            taint.returns_nondet(index.functions["repro.amp.util:stamped"])
+            == "time.time"
+        )
+        assert (
+            taint.returns_nondet(index.functions["repro.amp.util:double"])
+            is None
+        )
+
+    def test_cross_module_chain(self):
+        util = make(
+            "repro/amp/util.py",
+            """
+            from time import time as wall
+
+            def now():
+                return wall()
+            """,
+        )
+        proto = make(
+            "repro/amp/proto.py",
+            """
+            from .util import now
+
+            def deadline(slack):
+                return now() + slack
+            """,
+        )
+        index = build_index([util, proto])
+        func = index.functions["repro.amp.proto:deadline"]
+        assert index.taint.returns_nondet(func) == "time.time"
+
+    def test_dispatch_sensitivity(self):
+        # The same self.pick() call site is tainted for Base but clean
+        # for the subclass that overrides pick() deterministically.
+        mod = make(
+            "repro/amp/node.py",
+            """
+            import random
+
+            class Base:
+                def pick(self):
+                    return random.random()
+
+                def act(self):
+                    return self.pick()
+
+            class Det(Base):
+                def pick(self):
+                    return 0.5
+            """,
+        )
+        index = build_index([mod])
+        act = index.functions["repro.amp.node:Base.act"]
+        base = index.classes["repro.amp.node:Base"]
+        det = index.classes["repro.amp.node:Det"]
+        assert index.taint.returns_nondet(act, cls=base) == "random.random"
+        assert index.taint.returns_nondet(act, cls=det) is None
+
+    def test_recursion_settles_without_hanging(self):
+        mod = make(
+            "repro/amp/rec.py",
+            """
+            def loop(x):
+                return loop(x)
+            """,
+        )
+        index = build_index([mod])
+        func = index.functions["repro.amp.rec:loop"]
+        assert index.taint.returns_nondet(func) is None
+
+
+class TestMutatedParams:
+    def test_direct_and_forwarded(self):
+        mod = make(
+            "repro/amp/mut.py",
+            """
+            def push(items, value):
+                items.append(value)
+
+            def relay(batch):
+                push(batch, 1)
+
+            def reader(batch):
+                return len(batch)
+            """,
+        )
+        index = build_index([mod])
+        taint = index.taint
+        assert taint.mutated_param_indices(
+            index.functions["repro.amp.mut:push"]
+        ) == frozenset({0})
+        assert taint.mutated_param_indices(
+            index.functions["repro.amp.mut:relay"]
+        ) == frozenset({0})
+        assert taint.mutated_param_indices(
+            index.functions["repro.amp.mut:reader"]
+        ) == frozenset()
+
+    def test_positional_params_drop_receiver(self):
+        node = ast.parse("def m(self, a, b): pass").body[0]
+        assert positional_params(node, is_method=True) == ["a", "b"]
+        assert positional_params(node, is_method=False) == ["self", "a", "b"]
+
+
+class TestEvents:
+    def test_splice_order_and_anchor(self):
+        mod = make(
+            "repro/amp/dur.py",
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.seen = m
+                    self._save(ctx)
+                    ctx.send(src, "ack")
+
+                def _save(self, ctx):
+                    ctx.stable.put("seen", self.seen)
+            """,
+        )
+        index = build_index([mod])
+        cls = index.classes["repro.amp.dur:P"]
+        handler = cls.resolve_method("on_message")
+        events = index.taint.events(handler, cls=cls)
+        assert [(kind, detail) for kind, detail, _ in events] == [
+            ("set_attr", "seen"),
+            ("put", "seen"),
+            ("publish", "send"),
+        ]
+        # The spliced put is anchored at the self._save(ctx) call site.
+        assert events[1][2].lineno == 5
+
+    def test_dynamic_key_is_none(self):
+        mod = make(
+            "repro/amp/dyn.py",
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    ctx.stable.put(m[0], m)
+            """,
+        )
+        index = build_index([mod])
+        cls = index.classes["repro.amp.dyn:P"]
+        handler = cls.resolve_method("on_message")
+        assert [
+            (kind, detail) for kind, detail, _ in index.taint.events(
+                handler, cls=cls
+            )
+        ] == [("put", None)]
+
+    def test_self_attr_stores_compound_targets(self):
+        target = ast.parse("self.a, self.b[k] = v").body[0].targets[0]
+        assert sorted(TaintEngine.self_attr_stores(target)) == ["a", "b"]
+        local = ast.parse("x = v").body[0].targets[0]
+        assert list(TaintEngine.self_attr_stores(local)) == []
+
+    def test_recursive_handler_terminates(self):
+        mod = make(
+            "repro/amp/rec.py",
+            """
+            class P:
+                def on_message(self, ctx, src, m):
+                    self.count = m
+                    self.on_message(ctx, src, m)
+            """,
+        )
+        index = build_index([mod])
+        cls = index.classes["repro.amp.rec:P"]
+        handler = cls.resolve_method("on_message")
+        events = index.taint.events(handler, cls=cls)
+        assert ("set_attr", "count") in [(k, d) for k, d, _ in events]
+
+
+class TestReachability:
+    def test_closure_over_self_calls(self):
+        mod = make(
+            "repro/amp/reach.py",
+            """
+            class P:
+                def on_start(self, ctx):
+                    self._a(ctx)
+
+                def _a(self, ctx):
+                    self._b(ctx)
+
+                def _b(self, ctx):
+                    pass
+
+                def _island(self, ctx):
+                    pass
+            """,
+        )
+        index = build_index([mod])
+        cls = index.classes["repro.amp.reach:P"]
+        reachable = index.taint.reachable_methods(cls)
+        names = {func.name for func in reachable["on_start"]}
+        assert names == {"on_start", "_a", "_b"}
+        assert "on_message" not in reachable

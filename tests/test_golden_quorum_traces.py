@@ -1,0 +1,94 @@
+"""Golden trace pins for the QRM002-driven quorum-counting refactor.
+
+The analyzer's self-run (QRM002) flagged that :class:`AbdNode` and
+:class:`PaxosNode` counted quorum progress per *message* (unkeyed
+``+= 1`` / ``.append``) rather than per *responder*.  The fix keys
+progress on sender sets.  Under reliable links every server/acceptor
+responds at most once per phase, so the refactor must be **behavior
+identical** there — these hashes, captured from the pre-fix code, pin
+that: any divergence in the full event trace (sends, deliveries, timer
+fires, decisions) fails the test.
+
+If a *deliberate* protocol change invalidates them, re-capture with the
+run functions below and say why in the commit.
+"""
+
+from repro.amp.abd import AbdNode, FastReadAbdNode
+from repro.amp.consensus.paxos import make_paxos
+from repro.amp.failure_detectors import OmegaFD
+from repro.amp.network import CrashAt, UniformDelay, run_processes
+from repro.core.history import History
+from repro.trace import MemorySink, trace_hash
+
+GOLDEN = {
+    ("abd", 3): "36d01041f70c90922a1dc79899a87844ee71a3a4da04806ccf227b6dfd98c63c",
+    ("abd", 11): "986aa7e941ec4a19ce495b597a792e1f1f1cc22672b9f7d0cf05e19d9f7ff7f9",
+    ("fastread", 3): "c24edc47cd89a3f3708e15f32d72e464b11243528bfe0d93d45455df4720cd4b",
+    ("fastread", 11): "c377019cacc6c34d00c74f3d91bf2d5614c44b5153221f0d2d60be374addf317",
+    ("paxos", 3): "c885cf11fd0c0adbf6c05f48611498d4201339ef25b8083bce4daee9bbe3ce66",
+    ("paxos", 11): "b54fdd152dc0c9847f3ee5197cb1309ba923682856dff0ac5d1d2fbbdb74da80",
+}
+
+
+def abd_trace(node_cls, seed):
+    n = 5
+    history = History()
+    scripts = {
+        0: [("write", "a"), ("read",)],
+        1: [("pause", 1.0), ("write", "b"), ("read",)],
+        2: [("read",), ("pause", 2.0), ("read",)],
+    }
+    nodes = [
+        node_cls(pid, n, scripts.get(pid, []), history=history, multi_writer=True)
+        for pid in range(n)
+    ]
+    sink = MemorySink()
+    run_processes(
+        nodes,
+        seed=seed,
+        delay_model=UniformDelay(0.1, 1.5),
+        crashes=[CrashAt(pid=4, time=2.0)],
+        max_crashes=1,
+        sink=sink,
+    )
+    return trace_hash(sink.events)
+
+
+def paxos_trace(seed):
+    nodes = make_paxos(5, list(range(5)))
+    sink = MemorySink()
+    result = run_processes(
+        nodes,
+        seed=seed,
+        delay_model=UniformDelay(0.1, 2.0),
+        failure_detector=OmegaFD(5, tau=2.0),
+        sink=sink,
+    )
+    decided = sorted(set(v for v in result.decided if v is not None))
+    return trace_hash(sink.events), decided
+
+
+class TestAbdSenderDedupIsBehaviorIdentical:
+    def test_abd_seed_3(self):
+        assert abd_trace(AbdNode, 3) == GOLDEN[("abd", 3)]
+
+    def test_abd_seed_11(self):
+        assert abd_trace(AbdNode, 11) == GOLDEN[("abd", 11)]
+
+    def test_fastread_seed_3(self):
+        assert abd_trace(FastReadAbdNode, 3) == GOLDEN[("fastread", 3)]
+
+    def test_fastread_seed_11(self):
+        assert abd_trace(FastReadAbdNode, 11) == GOLDEN[("fastread", 11)]
+
+
+class TestPaxosPromiseDedupIsBehaviorIdentical:
+    def test_paxos_seed_3(self):
+        trace, decided = paxos_trace(3)
+        assert trace == GOLDEN[("paxos", 3)]
+        assert len(decided) == 1  # agreement, same run as before the fix
+
+    def test_paxos_seed_11(self):
+        trace, decided = paxos_trace(11)
+        assert trace == GOLDEN[("paxos", 11)]
+        assert len(decided) == 1
