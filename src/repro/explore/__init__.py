@@ -27,10 +27,19 @@ from .engine import (
     ExploreResult,
     ExploreStats,
     Violation,
+    VisitedStore,
+    child_sleep_set,
     explore,
     state_graph,
 )
 from .model import ExplorationModel, Interner
+from .sharded import (
+    ShardedExplorer,
+    ShardedExploreResult,
+    schedule_key,
+    shard_of,
+)
+from .spill import SpillDict
 from .properties import (
     Eventually,
     Invariant,
@@ -78,8 +87,15 @@ __all__ = [
     "ExploreResult",
     "ExploreStats",
     "Violation",
+    "VisitedStore",
+    "child_sleep_set",
     "explore",
     "state_graph",
+    "ShardedExplorer",
+    "ShardedExploreResult",
+    "SpillDict",
+    "schedule_key",
+    "shard_of",
     "Property",
     "Invariant",
     "Eventually",

@@ -13,12 +13,26 @@ which end of the frontier they pop).  Two reductions keep it tractable:
   child.  Combined with state caching this needs the classic fix:
   the sleep set is stored with each visited state, and a revisit with a
   *smaller* sleep set wakes exactly the stored-minus-new choices.
-  Sleep sets preserve every reachable state (the reduction is in
-  transitions), so property checking stays exhaustive.
+  When choice labels are stable across converging prefixes (shm pid
+  choices, grid axes), sleep sets preserve every reachable state — the
+  reduction is purely in transitions.  Labels that embed
+  prefix-dependent identity (AMP send sequence numbers, on protocols
+  whose sends depend on deliveries) alias in the per-fingerprint
+  stored sleep sets, making the pruned state set traversal-order
+  dependent; use ``reduce=False`` for exhaustive claims on such
+  models (docs/EXPLORER.md, "The stability caveat").
 
 Properties (:mod:`repro.explore.properties`) are checked once per
 unique state; the first violation's schedule is materialized into a
 replayable :class:`~repro.explore.counterexample.Counterexample`.
+
+The dedup/revisit rule and the child-sleep computation are factored
+into :class:`VisitedStore` and :func:`child_sleep_set` — the seams the
+sharded engine (:mod:`repro.explore.sharded`, reached via
+``explore(..., workers=N)``) shares with this loop, so the serial and
+parallel searches cannot drift apart.  ``spill_dir=`` swaps the
+visited backing for a disk-spilling LRU store
+(:class:`~repro.explore.spill.SpillDict`).
 
 :func:`state_graph` is the unreduced enumeration (config →
 successors), kept for clients that need the whole graph — the
@@ -27,10 +41,20 @@ bivalence/valence analyses of :mod:`repro.shm.bivalence` run on it.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.exceptions import ConfigurationError, SimulationLimitExceeded
 from .counterexample import Counterexample
@@ -41,7 +65,7 @@ from .strategies import BFS, DFS, RandomWalk, Strategy
 
 @dataclass
 class ExploreStats:
-    """Search effort accounting (the currency of EXPERIMENTS.md A5)."""
+    """Search effort accounting (the currency of EXPERIMENTS.md A5/A10)."""
 
     states: int = 0           #: unique configurations visited
     transitions: int = 0      #: model.step executions
@@ -50,9 +74,109 @@ class ExploreStats:
     terminals: int = 0        #: configurations with no enabled choice
     max_depth_seen: int = 0   #: longest schedule prefix reached
     elapsed: float = 0.0      #: wall-clock seconds
+    spilled: int = 0          #: visited entries evicted to the disk store
 
     def states_per_second(self) -> float:
-        return self.states / self.elapsed if self.elapsed > 0 else float("inf")
+        # Clamped, not inf: a sub-millisecond run can legitimately see a
+        # zero-duration clock, and "inf states/s" in a report is noise.
+        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+
+    def merge_in(self, other: "ExploreStats") -> None:
+        """Fold another stats block into this one (field-wise).
+
+        Counters add; ``max_depth_seen`` and ``elapsed`` take the max —
+        shard workers run concurrently, so summing their wall clocks
+        would double-count time.  Used by the sharded engine to combine
+        per-shard deltas; the fold is order-insensitive, so the merged
+        result is identical at any worker count.
+        """
+        self.states += other.states
+        self.transitions += other.transitions
+        self.deduped += other.deduped
+        self.sleep_pruned += other.sleep_pruned
+        self.terminals += other.terminals
+        self.spilled += other.spilled
+        if other.max_depth_seen > self.max_depth_seen:
+            self.max_depth_seen = other.max_depth_seen
+        if other.elapsed > self.elapsed:
+            self.elapsed = other.elapsed
+
+    @classmethod
+    def merge(cls, parts: Iterable["ExploreStats"]) -> "ExploreStats":
+        """Deterministic fold of many stats blocks (see :meth:`merge_in`)."""
+        total = cls()
+        for part in parts:
+            total.merge_in(part)
+        return total
+
+
+class VisitedStore:
+    """The dedup seam: fingerprint → stored sleep set, with the revisit rule.
+
+    Encapsulates the one stateful decision of the search — *have we been
+    here, and with which sleep set?* — so the serial engine, the sharded
+    per-shard workers, and the disk-spill backend all share one
+    implementation of Godefroid's state-caching fix:
+
+    * first visit: store the sleep set, explore ``enabled - sleep``;
+    * revisit with a smaller sleep set: the stored-minus-new choices
+      were slept when this state was expanded but are awake now — they
+      must be (re)explored or the reduction would miss their futures;
+      the stored set shrinks to the intersection;
+    * revisit with nothing to wake: pure dedup.
+
+    ``backing`` is any mapping with ``get``/``__setitem__``/``__len__``
+    — a plain dict (default) or a :class:`~repro.explore.spill.SpillDict`
+    when the visited set must not be RAM-bound.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, backing=None) -> None:
+        self._store = {} if backing is None else backing
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def visit(
+        self, fingerprint: Hashable, sleep: FrozenSet[Choice]
+    ) -> Tuple[bool, Optional[FrozenSet[Choice]]]:
+        """Returns ``(first_visit, wake)``.
+
+        ``(True, None)`` — new state, now stored with ``sleep``;
+        ``(False, wake)`` — revisit: ``wake`` is the set of stored-but-
+        no-longer-slept choices (empty = plain dedup, nothing to do).
+        """
+        stored = self._store.get(fingerprint, self._MISSING)
+        if stored is self._MISSING:
+            self._store[fingerprint] = sleep
+            return True, None
+        wake = stored - sleep
+        if wake:
+            self._store[fingerprint] = stored & sleep
+        return False, wake
+
+
+def child_sleep_set(
+    model: ExplorationModel,
+    config: Config,
+    sleep: FrozenSet[Choice],
+    executed: Sequence[Choice],
+    choice: Choice,
+) -> FrozenSet[Choice]:
+    """The sleep set a child inherits (the other half of the seam).
+
+    A sibling choice stays asleep in ``choice``'s child iff it commutes
+    with ``choice`` from here — both orders reach the same state, and
+    the other order is (or will be) explored from a sibling branch.
+    Shared verbatim by the serial and sharded engines so the reduction
+    cannot drift between them.
+    """
+    return frozenset(
+        other
+        for other in (set(sleep) | set(executed))
+        if model.independent(config, other, choice)
+    )
 
 
 @dataclass
@@ -84,12 +208,14 @@ class ExploreResult:
     strategy: str
 
     def report(self) -> str:
+        rate = self.stats.states_per_second()
         head = (
             f"[{self.strategy}] "
             f"{'OK' if self.ok else f'{len(self.violations)} violation(s)'}"
             f"{' (exhaustive)' if self.complete else ' (bounded)'} — "
             f"{self.stats.states} states, {self.stats.transitions} transitions, "
             f"{self.stats.deduped} deduped, {self.stats.sleep_pruned} slept"
+            + (f", {rate:,.0f} states/s" if rate > 0 else "")
         )
         return "\n".join([head] + [v.report() for v in self.violations])
 
@@ -114,6 +240,11 @@ class Explorer:
         model's ``independent`` is the always-``False`` default).
     stop_on_first:
         Stop at the first violation (default) instead of collecting all.
+    spill_dir:
+        When set, back the visited set with a
+        :class:`~repro.explore.spill.SpillDict` in this directory so the
+        search is no longer RAM-bound (``spill_entries`` caps the hot
+        cache).  Evictions show up as ``stats.spilled``.
     """
 
     def __init__(
@@ -123,12 +254,16 @@ class Explorer:
         strategy: Optional[Strategy] = None,
         reduce: bool = True,
         stop_on_first: bool = True,
+        spill_dir: Optional[str] = None,
+        spill_entries: int = 200_000,
     ) -> None:
         self.model = model
         self.properties = list(properties)
         self.strategy = strategy if strategy is not None else BFS()
         self.reduce = reduce
         self.stop_on_first = stop_on_first
+        self.spill_dir = spill_dir
+        self.spill_entries = spill_entries
 
     # -- entry point -------------------------------------------------------
 
@@ -191,8 +326,17 @@ class Explorer:
         stats = ExploreStats()
         violations: List[Violation] = []
         intern = Interner()
+        backing = None
+        if self.spill_dir is not None:
+            from .spill import SpillDict
+
+            os.makedirs(self.spill_dir, exist_ok=True)
+            backing = SpillDict(
+                os.path.join(self.spill_dir, "visited.sqlite"),
+                max_entries=self.spill_entries,
+            )
         #: fingerprint → the sleep set this state was (last) expanded with.
-        visited: Dict[Hashable, FrozenSet[Choice]] = {}
+        visited = VisitedStore(backing)
         empty: FrozenSet[Choice] = frozenset()
         frontier: deque = deque()
         frontier.append((model.initial(), (), empty))
@@ -207,20 +351,10 @@ class Explorer:
             if depth > stats.max_depth_seen:
                 stats.max_depth_seen = depth
 
-            if fingerprint in visited:
-                stored = visited[fingerprint]
-                wake = stored - sleep
-                if not wake:
-                    stats.deduped += 1
-                    continue
-                # Revisit with a smaller sleep set: the choices slept on
-                # the first visit but awake now must be explored, or the
-                # reduction would miss their futures (Godefroid's
-                # state-caching fix).
-                visited[fingerprint] = stored & sleep
-                to_explore = [c for c in model.enabled(config) if c in wake]
-            else:
-                visited[fingerprint] = sleep if self.reduce else empty
+            first, wake = visited.visit(
+                fingerprint, sleep if self.reduce else empty
+            )
+            if first:
                 if len(visited) > strategy.max_states:
                     complete = False
                     break
@@ -237,6 +371,15 @@ class Explorer:
                     stats.sleep_pruned += len(enabled) - len(to_explore)
                 else:
                     to_explore = list(enabled)
+            else:
+                if not wake:
+                    stats.deduped += 1
+                    continue
+                # Revisit with a smaller sleep set: the choices slept on
+                # the first visit but awake now must be explored, or the
+                # reduction would miss their futures (Godefroid's
+                # state-caching fix — see VisitedStore.visit).
+                to_explore = [c for c in model.enabled(config) if c in wake]
 
             if strategy.max_depth is not None and depth >= strategy.max_depth:
                 if to_explore:
@@ -248,10 +391,8 @@ class Explorer:
                 child = model.step(config, choice)
                 stats.transitions += 1
                 if self.reduce:
-                    child_sleep = frozenset(
-                        other
-                        for other in (set(sleep) | set(executed))
-                        if model.independent(config, other, choice)
+                    child_sleep = child_sleep_set(
+                        model, config, sleep, executed, choice
                     )
                 else:
                     child_sleep = empty
@@ -259,6 +400,9 @@ class Explorer:
                 executed.append(choice)
 
         stats.states = len(visited)
+        if backing is not None:
+            stats.spilled = backing.spilled
+            backing.close()
         if stopped or violations:
             complete = False
         return ExploreResult(
@@ -328,11 +472,41 @@ def explore(
     strategy: Optional[Strategy] = None,
     reduce: bool = True,
     stop_on_first: bool = True,
+    workers: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    spill_entries: int = 200_000,
+    **sharded_opts,
 ) -> ExploreResult:
-    """One-call front door: build an :class:`Explorer` and run it."""
+    """One-call front door: build an :class:`Explorer` and run it.
+
+    ``workers=None`` (default) runs the serial engine in-process.  Any
+    integer ``workers >= 1`` routes to the sharded superstep engine
+    (:class:`~repro.explore.sharded.ShardedExplorer`) — including
+    ``workers=1``, which runs the same superstep algorithm on one shard
+    and is the baseline the determinism tests compare against.  Extra
+    keyword arguments (``shards=``, ``por_boundary=``, ...) are only
+    valid together with ``workers``.
+
+    ``spill_dir`` works in both modes: the visited set (or each visited
+    shard) overflows to SQLite files in that directory.
+    """
+    if workers is not None:
+        from .sharded import ShardedExplorer
+
+        return ShardedExplorer(
+            model, properties=properties, strategy=strategy,
+            reduce=reduce, stop_on_first=stop_on_first,
+            workers=workers, spill_dir=spill_dir,
+            spill_entries=spill_entries, **sharded_opts,
+        ).run()
+    if sharded_opts:
+        raise ConfigurationError(
+            f"explore() options {sorted(sharded_opts)} require workers=N"
+        )
     return Explorer(
         model, properties=properties, strategy=strategy,
         reduce=reduce, stop_on_first=stop_on_first,
+        spill_dir=spill_dir, spill_entries=spill_entries,
     ).run()
 
 

@@ -1,0 +1,674 @@
+"""Sharded superstep exploration: hash-partitioned parallel BFS.
+
+The classic distributed-model-checking layout (Stern–Dill style): the
+canonical-fingerprint space is partitioned by a **stable hash** across
+``W`` shard workers; each worker owns one slice of the visited set and
+everything about a state happens at its owner.  The search proceeds in
+depth-synchronous **supersteps**:
+
+::
+
+    coordinator                    worker 0 .. worker W-1
+    -----------                    -----------------------
+    route initial state ──────────▶ shard = owner(fp(initial))
+    loop per BFS depth d:
+      send ("step", inbox_s, d) ──▶ each shard s:
+                                      merge inbox + own local_next
+                                      group by fingerprint, dedup/wake
+                                      check properties, expand level d
+                                      route children: own shard → keep,
+                                        other shard → outbox[dest]
+      collect replies ◀──────────── (outboxes, per-step report)
+      route outboxes into inboxes; merge stats; pick violations;
+      stop at barrier on budget / violation / empty frontier
+
+Workers are **forked**, not spawned: models and properties close over
+protocol factories and are not picklable, so the worker state crosses
+the process boundary by memory inheritance (a module global set just
+before the fork).  Frontier entries — ``(fingerprint, config,
+schedule, sleep)`` — are plain picklable data for every shipped
+adapter (AMP configs are choice prefixes, shm configs are canonical
+tuples).  Where fork or the pool is unavailable the engine runs the
+*identical* superstep algorithm over all ``W`` shards in-process, and
+records the degradation as ``pool_fallback`` (the
+:class:`~repro.harness.parallel.RunList` pattern) — results are the
+same either way, by construction.
+
+**Shard routing** uses ``zlib.crc32`` over the fingerprint's ``repr``
+bytes (:func:`shard_of`), never builtin ``hash()``: string hashing is
+salted per process, so ``hash()`` would route the same state to
+different owners in different workers.
+
+**POR across shard boundaries.**  Sleep sets travel with frontier
+entries, so a child landing on a remote shard arrives with the same
+sleep set the serial engine would have given it — this is the default
+``por_boundary="replicate"`` mode, and it makes the sharded search the
+serial search with a different visit order.  The alternative,
+``por_boundary="clear"``, wipes the sleep set of every shard-crossing
+entry.  That is also *sound* (an empty sleep set only wakes more
+choices), so verdict and state-count parity survive; what it
+costs is redundant transitions at shard boundaries and, because the
+redundancy depends on which states cross shards, schedule-identical
+counterexamples across worker counts.  Both modes are tested; use
+"clear" only as a debugging aid when a custom model's ``independent``
+is suspect.
+
+**Determinism across worker counts.**  All entries for a fingerprint
+produced at depth ``d`` meet at its owner in the same superstep,
+wherever they were produced.  The owner merges the group canonically —
+sleep sets by intersection (the same fixpoint the serial engine's
+sequential revisit-wake rule converges to), the representative
+schedule as the minimum under :func:`schedule_key` — and processes
+groups in sorted fingerprint order.  By induction over depth, the
+per-level state sets, stored sleep sets, and expansions are partition-
+independent, so ``workers ∈ {1, 2, 4}`` yield identical verdicts,
+state counts, stats, and (under "replicate") byte-identical
+counterexamples.  This is what lets the bench assert serial/sharded
+parity as a gate.
+
+**What moves at the barrier (vs the serial engine).**  Budgets are
+checked per superstep, so ``max_states`` can overshoot by up to one
+BFS level; ``stop_on_first`` finishes the current level before
+stopping and keeps the *canonical* (shortest, then lexicographically
+least) violation of that level rather than the incidental first one;
+``deduped``/``transitions`` counters can differ from serial because a
+group merge does in one visit what serial does as visit-plus-revisits.
+Verdict, state count, and counterexample schedules (BFS finds
+minimum-length ones in both engines) are preserved — the parity tests
+pin exactly that contract.
+
+**Serial/sharded POR parity needs stable choice labels.**  Determinism
+across worker counts holds unconditionally, but matching the *serial*
+engine's reduced state count additionally requires that a logical move
+keeps one label on every prefix reaching a fingerprint (true for shm
+pid choices; false for AMP send seqs on protocols whose sends depend
+on deliveries, e.g. SCD-broadcast — there the per-fingerprint sleep
+sets alias choices and each engine prunes a different, deterministic
+subset).  With ``reduce=False`` both engines visit the exact reachable
+set and agree byte-for-byte; the A10 bench asserts SCD parity that
+way.  See docs/EXPLORER.md, "The stability caveat".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+import warnings
+import zlib
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..harness.parallel import POOL_ERRORS, fork_context
+from .counterexample import Counterexample
+from .engine import (
+    ExploreResult,
+    ExploreStats,
+    Violation,
+    VisitedStore,
+    child_sleep_set,
+)
+from .model import Choice, ExplorationModel, Interner
+from .properties import Property
+from .strategies import BFS, Strategy
+
+__all__ = [
+    "ShardedExplorer",
+    "ShardedExploreResult",
+    "shard_of",
+    "schedule_key",
+]
+
+#: One frontier entry: (fingerprint, config, schedule, sleep set).
+Entry = Tuple[Any, Any, Tuple[Choice, ...], FrozenSet[Choice]]
+
+#: Raw violation as shipped from a worker: (property index, property
+#: name, message, schedule).  The index makes the canonical pick follow
+#: the user's property order, like the serial engine's check loop.
+RawViolation = Tuple[int, str, str, Tuple[Choice, ...]]
+
+_POR_BOUNDARY_MODES = ("replicate", "clear")
+
+
+def shard_of(fingerprint: Any, shards: int) -> int:
+    """Stable owner shard of a canonical fingerprint.
+
+    CRC32 over the ``repr`` bytes — builtin ``hash()`` is salted per
+    process (PYTHONHASHSEED) and would scatter one state across owners.
+    """
+    return zlib.crc32(repr(fingerprint).encode("utf-8")) % shards
+
+
+def schedule_key(schedule: Sequence[Choice]) -> Tuple[int, Tuple[str, ...]]:
+    """Total order on schedules: shortest first, then lexicographic.
+
+    Choices are compared by ``repr`` so heterogeneous choice types
+    (tuples, ints) never hit an unorderable comparison.
+    """
+    return (len(schedule), tuple(repr(choice) for choice in schedule))
+
+
+class _WorkerError(RuntimeError):
+    """A shard worker raised; carries the remote traceback text."""
+
+
+class _Shard:
+    """One shard: its slice of the visited set plus the expansion loop.
+
+    Lives inside a worker process (pool mode) or in the coordinator
+    (in-process emulation) — same code either way.  The dedup/wake rule
+    and the child-sleep computation are the engine's own
+    :class:`~repro.explore.engine.VisitedStore` /
+    :func:`~repro.explore.engine.child_sleep_set`, so the reduction
+    cannot drift from the serial engine's.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        model: ExplorationModel,
+        properties: Sequence[Property],
+        strategy: Strategy,
+        reduce: bool,
+        shards: int,
+        por_boundary: str,
+        spill_dir: Optional[str],
+        spill_entries: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.model = model
+        self.properties = list(properties)
+        self.strategy = strategy
+        self.reduce = reduce
+        self.shards = shards
+        self.por_boundary = por_boundary
+        self._backing = None
+        if spill_dir is not None:
+            from .spill import SpillDict
+
+            self._backing = SpillDict(
+                os.path.join(spill_dir, f"shard-{shard_id:03d}.sqlite"),
+                max_entries=spill_entries,
+            )
+        self.visited = VisitedStore(self._backing)
+        self._intern = Interner()
+        #: children that stay on this shard — never serialized.
+        self.local_next: List[Entry] = []
+
+    def superstep(
+        self, incoming: List[Entry], depth: int
+    ) -> Tuple[Dict[int, List[Entry]], Dict[str, Any]]:
+        """Process one BFS level of this shard; returns (outboxes, report)."""
+        model = self.model
+        reduce = self.reduce
+        empty: FrozenSet[Choice] = frozenset()
+        max_depth = self.strategy.max_depth
+
+        # Canonical per-fingerprint merge: all same-depth entries for a
+        # state meet here (the owner), wherever they were produced, so
+        # the merged (config, schedule, sleep) — and everything computed
+        # from it — is independent of how the space was partitioned.
+        groups: Dict[Any, List[Any]] = {}
+        for fp, config, schedule, sleep in self.local_next + incoming:
+            fp = self._intern(fp)
+            group = groups.get(fp)
+            if group is None:
+                groups[fp] = [config, schedule, sleep]
+            else:
+                if schedule_key(schedule) < schedule_key(group[1]):
+                    group[0] = config
+                    group[1] = schedule
+                group[2] = group[2] & sleep
+        self.local_next = []
+
+        stats = ExploreStats()
+        violations: List[RawViolation] = []
+        cut = False
+        outboxes: Dict[int, List[Entry]] = defaultdict(list)
+
+        for fp in sorted(groups, key=repr):
+            config, schedule, sleep = groups[fp]
+            if not reduce:
+                sleep = empty
+            first, wake = self.visited.visit(fp, sleep)
+            if first:
+                for index, prop in enumerate(self.properties):
+                    message = prop.on_state(model, config)
+                    if message is not None:
+                        violations.append((index, prop.name, message, schedule))
+                enabled = model.enabled(config)
+                if not enabled:
+                    stats.terminals += 1
+                    for index, prop in enumerate(self.properties):
+                        message = prop.on_terminal(model, config)
+                        if message is not None:
+                            violations.append(
+                                (index, prop.name, message, schedule)
+                            )
+                    continue
+                if reduce:
+                    to_explore = [c for c in enabled if c not in sleep]
+                    stats.sleep_pruned += len(enabled) - len(to_explore)
+                else:
+                    to_explore = list(enabled)
+            else:
+                if not wake:
+                    stats.deduped += 1
+                    continue
+                to_explore = [c for c in model.enabled(config) if c in wake]
+
+            if max_depth is not None and depth >= max_depth:
+                if to_explore:
+                    cut = True  # branches dropped: the verdict is bounded
+                continue
+
+            executed: List[Choice] = []
+            for choice in to_explore:
+                child = model.step(config, choice)
+                stats.transitions += 1
+                if reduce:
+                    child_sleep = child_sleep_set(
+                        model, config, sleep, executed, choice
+                    )
+                else:
+                    child_sleep = empty
+                executed.append(choice)
+                child_fp = model.fingerprint(child)
+                dest = shard_of(child_fp, self.shards)
+                if dest != self.shard_id and self.por_boundary == "clear":
+                    child_sleep = empty
+                entry = (child_fp, child, schedule + (choice,), child_sleep)
+                if dest == self.shard_id:
+                    self.local_next.append(entry)
+                else:
+                    outboxes[dest].append(entry)
+
+        report = {
+            "visited": len(self.visited),
+            "transitions": stats.transitions,
+            "deduped": stats.deduped,
+            "sleep_pruned": stats.sleep_pruned,
+            "terminals": stats.terminals,
+            "spilled": self._backing.spilled if self._backing is not None else 0,
+            "violations": violations,
+            "cut": cut,
+            "local_next": len(self.local_next),
+        }
+        return dict(outboxes), report
+
+    def close(self) -> None:
+        if self._backing is not None:
+            self._backing.close()
+
+
+# Worker state crosses the process boundary by fork inheritance, not
+# pickling: models and properties close over protocol factories.  Set
+# immediately before the fork, cleared immediately after.
+_WORKER_STATE: Optional[Dict[str, Any]] = None
+
+
+def _worker_main(shard_id: int, conn) -> None:
+    """Shard worker loop: ("step", entries, depth) → ("ok", outboxes, report)."""
+    shard = _Shard(shard_id=shard_id, **_WORKER_STATE)
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, incoming, depth = message
+            try:
+                outboxes, report = shard.superstep(incoming, depth)
+            except Exception:
+                # Reply rather than die: an unreplied recv() would
+                # deadlock the coordinator's collection loop.
+                conn.send(("error", traceback.format_exc()))
+                continue
+            conn.send(("ok", outboxes, report))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        shard.close()
+        conn.close()
+
+
+class _PoolTransport:
+    """Fork-start shard workers, one duplex pipe each."""
+
+    def __init__(self, ctx, shards: int, state: Dict[str, Any]) -> None:
+        global _WORKER_STATE
+        self.conns = []
+        self.procs = []
+        _WORKER_STATE = state
+        try:
+            for shard_id in range(shards):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(shard_id, child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self.conns.append(parent_conn)
+                self.procs.append(proc)
+        finally:
+            _WORKER_STATE = None
+
+    def step_all(self, incoming: List[List[Entry]], depth: int):
+        # Send to every worker before collecting any reply: the sends
+        # are what lets the W supersteps actually overlap.
+        for conn, batch in zip(self.conns, incoming):
+            conn.send(("step", batch, depth))
+        replies = []
+        for shard_id, conn in enumerate(self.conns):
+            reply = conn.recv()
+            if reply[0] == "error":
+                raise _WorkerError(f"shard {shard_id} worker failed:\n{reply[1]}")
+            replies.append((reply[1], reply[2]))
+        return replies
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+            conn.close()
+        self.conns = []
+        for proc in self.procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+        self.procs = []
+
+
+class _LocalTransport:
+    """All shards in this process — the fallback, and ``workers=1``.
+
+    Runs the byte-for-byte same superstep code as the pool workers, so
+    a fallback (or a fork-less platform) changes wall-clock time only,
+    never results.
+    """
+
+    def __init__(self, shards: int, state: Dict[str, Any]) -> None:
+        self.shards = [
+            _Shard(shard_id=shard_id, **state) for shard_id in range(shards)
+        ]
+
+    def step_all(self, incoming: List[List[Entry]], depth: int):
+        return [
+            shard.superstep(batch, depth)
+            for shard, batch in zip(self.shards, incoming)
+        ]
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+
+@dataclass
+class ShardedExploreResult(ExploreResult):
+    """An :class:`~repro.explore.engine.ExploreResult` plus shard metadata.
+
+    ``pool_fallback`` mirrors :class:`~repro.harness.parallel.RunList`:
+    ``None`` normally, else a short description of why the requested
+    worker pool degraded to in-process execution — surfaced in
+    :meth:`report` so a silently serial "parallel" run stays visible.
+    """
+
+    workers: int = 1          #: workers requested
+    workers_used: int = 1     #: worker processes that actually ran
+    shards: int = 1           #: visited-set partitions (== workers)
+    supersteps: int = 0       #: BFS levels processed
+    pool_fallback: Optional[str] = None
+
+    def report(self) -> str:
+        if self.pool_fallback is not None:
+            detail = f"in-process fallback: {self.pool_fallback}"
+        elif self.workers_used > 1:
+            detail = f"{self.workers_used} workers"
+        else:
+            detail = "1 worker"
+        sharded = (
+            f"  sharded: {self.shards} shard(s), {detail}, "
+            f"{self.supersteps} superstep(s)"
+        )
+        if self.stats.spilled:
+            sharded += f", {self.stats.spilled} spilled to disk"
+        head, *rest = super().report().split("\n")
+        return "\n".join([head, sharded] + rest)
+
+
+class ShardedExplorer:
+    """Drives the sharded superstep search; mirrors :class:`Explorer`.
+
+    Parameters beyond the serial engine's:
+
+    workers:
+        Shard workers (and visited-set partitions).  ``workers=1`` runs
+        the superstep algorithm on one in-process shard — the baseline
+        the determinism tests compare 2 and 4 workers against.
+    por_boundary:
+        ``"replicate"`` (default) ships sleep sets with shard-crossing
+        entries; ``"clear"`` empties them at the boundary.  Both are
+        sound; see the module docstring for the trade.
+    spill_dir / spill_entries:
+        Per-shard :class:`~repro.explore.spill.SpillDict` overflow.
+
+    Only :class:`~repro.explore.strategies.BFS` is supported: the
+    superstep design *is* level-synchronous breadth-first search (DFS
+    would serialize on the single deepest path; random walks don't
+    partition).
+    """
+
+    def __init__(
+        self,
+        model: ExplorationModel,
+        properties: Sequence[Property] = (),
+        strategy: Optional[Strategy] = None,
+        reduce: bool = True,
+        stop_on_first: bool = True,
+        workers: int = 1,
+        por_boundary: str = "replicate",
+        spill_dir: Optional[str] = None,
+        spill_entries: int = 200_000,
+    ) -> None:
+        strategy = strategy if strategy is not None else BFS()
+        if not isinstance(strategy, BFS):
+            raise ConfigurationError(
+                f"the sharded engine is breadth-first only; "
+                f"got strategy {strategy.name!r} (use BFS(...) or workers=None)"
+            )
+        if not isinstance(workers, int) or workers < 1:
+            raise ConfigurationError(f"workers must be an int >= 1, got {workers!r}")
+        if por_boundary not in _POR_BOUNDARY_MODES:
+            raise ConfigurationError(
+                f"por_boundary must be one of {_POR_BOUNDARY_MODES}, "
+                f"got {por_boundary!r}"
+            )
+        self.model = model
+        self.properties = list(properties)
+        self.strategy = strategy
+        self.reduce = reduce
+        self.stop_on_first = stop_on_first
+        self.workers = workers
+        self.shards = workers
+        self.por_boundary = por_boundary
+        self.spill_dir = spill_dir
+        self.spill_entries = spill_entries
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> ShardedExploreResult:
+        start = time.perf_counter()
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+        state = dict(
+            model=self.model,
+            properties=self.properties,
+            strategy=self.strategy,
+            reduce=self.reduce,
+            shards=self.shards,
+            por_boundary=self.por_boundary,
+            spill_dir=self.spill_dir,
+            spill_entries=self.spill_entries,
+        )
+
+        transport = None
+        pool_fallback: Optional[str] = None
+        workers_used = 1
+        if self.workers > 1:
+            ctx, reason = fork_context()
+            if ctx is None:
+                pool_fallback = reason
+            else:
+                try:
+                    transport = _PoolTransport(ctx, self.shards, state)
+                    workers_used = self.workers
+                except POOL_ERRORS as exc:
+                    pool_fallback = f"{type(exc).__name__}: {exc}"
+        if transport is None:
+            if pool_fallback is not None:
+                self._warn_fallback(pool_fallback)
+            transport = _LocalTransport(self.shards, state)
+
+        try:
+            try:
+                result = self._drive(transport)
+            except (_WorkerError, *POOL_ERRORS) as exc:
+                # Pool died mid-search (or entries turned out to be
+                # unpicklable for a custom model).  The search is a pure
+                # function of (model, strategy), so restart it from
+                # scratch in-process: same results, just slower — and a
+                # worker-side model bug will re-raise here with a native
+                # traceback.
+                transport.close()
+                pool_fallback = (
+                    str(exc) if isinstance(exc, _WorkerError)
+                    else f"{type(exc).__name__}: {exc}"
+                )
+                self._warn_fallback(pool_fallback)
+                workers_used = 1
+                transport = _LocalTransport(self.shards, state)
+                result = self._drive(transport)
+        finally:
+            transport.close()
+
+        result.stats.elapsed = time.perf_counter() - start
+        result.workers = self.workers
+        result.workers_used = workers_used
+        result.pool_fallback = pool_fallback
+        return result
+
+    def _warn_fallback(self, reason: str) -> None:
+        warnings.warn(
+            f"sharded explore: worker pool unavailable ({reason.splitlines()[0]}); "
+            f"running all {self.shards} shard(s) in-process",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # -- the coordinator loop ----------------------------------------------
+
+    def _drive(self, transport) -> ShardedExploreResult:
+        model = self.model
+        strategy = self.strategy
+        shards = self.shards
+        stats = ExploreStats()
+        raw_violations: List[RawViolation] = []
+        complete = True
+
+        initial = model.initial()
+        initial_fp = model.fingerprint(initial)
+        incoming: List[List[Entry]] = [[] for _ in range(shards)]
+        incoming[shard_of(initial_fp, shards)].append(
+            (initial_fp, initial, (), frozenset())
+        )
+
+        depth = 0
+        supersteps = 0
+        states_total = 0
+        while True:
+            replies = transport.step_all(incoming, depth)
+            supersteps += 1
+            stats.max_depth_seen = depth
+
+            next_incoming: List[List[Entry]] = [[] for _ in range(shards)]
+            local_next_total = 0
+            states_total = 0
+            spilled_total = 0
+            level_violations: List[RawViolation] = []
+            for outboxes, report in replies:
+                for dest, entries in outboxes.items():
+                    next_incoming[dest].extend(entries)
+                states_total += report["visited"]
+                local_next_total += report["local_next"]
+                spilled_total += report["spilled"]
+                stats.transitions += report["transitions"]
+                stats.deduped += report["deduped"]
+                stats.sleep_pruned += report["sleep_pruned"]
+                stats.terminals += report["terminals"]
+                level_violations.extend(report["violations"])
+                if report["cut"]:
+                    complete = False
+            stats.spilled = spilled_total
+
+            if level_violations:
+                # Canonical pick: shortest schedule, then lexicographic,
+                # then property order — partition-independent, so every
+                # worker count reports the same violation(s).
+                level_violations.sort(key=lambda v: (schedule_key(v[3]), v[0]))
+                complete = False
+                if self.stop_on_first:
+                    raw_violations = level_violations[:1]
+                    break
+                raw_violations.extend(level_violations)
+
+            if states_total > strategy.max_states:
+                complete = False
+                break
+            if local_next_total == 0 and all(not box for box in next_incoming):
+                break
+            incoming = next_incoming
+            depth += 1
+
+        stats.states = states_total
+        violations = [self._violation(raw) for raw in raw_violations]
+        if violations:
+            complete = False
+        return ShardedExploreResult(
+            ok=not violations,
+            complete=complete,
+            violations=violations,
+            stats=stats,
+            strategy=(
+                strategy.name
+                + ("+sleep" if self.reduce else "")
+                + f"+sharded[{shards}]"
+            ),
+            workers=self.workers,
+            workers_used=1,
+            shards=shards,
+            supersteps=supersteps,
+        )
+
+    def _violation(self, raw: RawViolation) -> Violation:
+        """Materialize a worker-reported violation coordinator-side.
+
+        Only the schedule crosses the process boundary; the replayable
+        :class:`~repro.explore.counterexample.Counterexample` (trace
+        events, sink, replayer closure) is rebuilt here from the
+        coordinator's own model, exactly as the serial engine does — so
+        counterexamples from remote workers replay byte-identically.
+        """
+        _, name, message, schedule = raw
+        try:
+            counterexample = self.model.counterexample(schedule)
+        except ConfigurationError:
+            counterexample = None
+        return Violation(
+            property=name, message=message, schedule=schedule,
+            counterexample=counterexample,
+        )

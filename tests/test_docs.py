@@ -19,6 +19,7 @@ DOCS_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SOURCES = {
     "README": DOCS_ROOT / "README.md",
     "TUTORIAL": DOCS_ROOT / "docs" / "TUTORIAL.md",
+    "EXPLORER": DOCS_ROOT / "docs" / "EXPLORER.md",
 }
 
 FENCE = re.compile(r"```python([^\S\n]+no-run)?[^\S\n]*\n(.*?)```", re.DOTALL)
@@ -42,8 +43,29 @@ RUNNABLE = [s for s in SNIPPETS if s[2]]
 
 def test_docs_have_snippets():
     names = {name for name, *_ in SNIPPETS}
-    assert names == {"README", "TUTORIAL"}
+    assert names == {"README", "TUTORIAL", "EXPLORER"}
     assert len(RUNNABLE) >= 15
+
+
+# Matches inline links and images; reference-style links are not used in
+# this repo's docs.  External schemes and intra-page anchors are skipped.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_no_dead_relative_links():
+    """Every relative link in README + docs/ resolves to a real file."""
+    sources = [DOCS_ROOT / "README.md"] + sorted(
+        (DOCS_ROOT / "docs").glob("*.md")
+    )
+    dead = []
+    for path in sources:
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                dead.append(f"{path.relative_to(DOCS_ROOT)} -> {target}")
+    assert not dead, f"dead relative links: {dead}"
 
 
 def test_no_run_marker_is_rare():

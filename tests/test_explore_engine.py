@@ -200,3 +200,21 @@ class TestExplorerObject:
         result = Explorer(GridModel(2, 2)).run()
         assert result.stats.elapsed >= 0.0
         assert result.stats.states_per_second() > 0
+
+    def test_zero_duration_rate_is_clamped(self):
+        # Regression: a sub-ms run can see elapsed == 0.0; the rate must
+        # clamp to 0, not report float("inf") states/s.
+        from repro.explore import ExploreStats
+
+        stats = ExploreStats(states=100, elapsed=0.0)
+        assert stats.states_per_second() == 0.0
+        import math
+
+        assert not math.isinf(stats.states_per_second())
+
+    def test_report_includes_rate_only_when_measurable(self):
+        result = Explorer(GridModel(2, 2)).run()
+        assert "states/s" in result.report()
+        result.stats.elapsed = 0.0
+        assert "inf" not in result.report()
+        assert "states/s" not in result.report()

@@ -36,9 +36,15 @@ def two_broadcasters():
 
 class TestInvariantsHoldExhaustively:
     def test_coherence_and_termination_clean_and_complete(self):
+        # reduce=False: the "every schedule" claim must cover the exact
+        # reachable set.  Sleep-set POR under-explores SCD because AMP
+        # send seqs alias across converging prefixes (the stability
+        # caveat in docs/EXPLORER.md; pinned by the sharded test
+        # suite's test_scd_choice_label_aliasing).
         result = explore(
             AmpModel(two_broadcasters()),
             properties=[scd_coherence(), scd_termination()],
+            reduce=False,
         )
         assert result.ok, result.violations
         assert result.complete
